@@ -1,0 +1,58 @@
+//! One Criterion bench per paper artifact: each measurement regenerates
+//! the table/figure end to end (workload generation, full simulation
+//! sweep, statistics extraction).
+//!
+//! Artifact ↔ bench mapping (see DESIGN.md §4):
+//!
+//! * `workdist`   — §III per-thread workload distribution
+//! * `scaletable` — §II-C scalability classification
+//! * `fig1_locks` — Figures 1a + 1b (acquisitions, contentions)
+//! * `fig1c`      — Figure 1c (eclipse lifespan CDF)
+//! * `fig1d`      — Figure 1d (xalan lifespan CDF)
+//! * `fig2`       — Figure 2 (mutator vs. GC decomposition)
+//! * `abl_sched`  — §IV future work 1 (biased scheduling)
+//! * `abl_heap`   — §IV future work 2 (compartmentalized heaplets)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use scalesim_bench::bench_params;
+use scalesim_experiments::{
+    run_biased_sched, run_fig1_locks, run_fig1c, run_fig1d, run_fig2, run_heaplets,
+    run_scalability, run_workdist,
+};
+
+fn paper_artifacts(c: &mut Criterion) {
+    let params = bench_params();
+    let mut group = c.benchmark_group("paper");
+    group.sample_size(10);
+
+    group.bench_function("workdist", |b| {
+        b.iter(|| black_box(run_workdist(&params)));
+    });
+    group.bench_function("scaletable", |b| {
+        b.iter(|| black_box(run_scalability(&params)));
+    });
+    group.bench_function("fig1_locks", |b| {
+        b.iter(|| black_box(run_fig1_locks(&params)));
+    });
+    group.bench_function("fig1c", |b| {
+        b.iter(|| black_box(run_fig1c(&params)));
+    });
+    group.bench_function("fig1d", |b| {
+        b.iter(|| black_box(run_fig1d(&params)));
+    });
+    group.bench_function("fig2", |b| {
+        b.iter(|| black_box(run_fig2(&params)));
+    });
+    group.bench_function("abl_sched", |b| {
+        b.iter(|| black_box(run_biased_sched("xalan", &params)));
+    });
+    group.bench_function("abl_heap", |b| {
+        b.iter(|| black_box(run_heaplets("xalan", &params)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, paper_artifacts);
+criterion_main!(benches);

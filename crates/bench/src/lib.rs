@@ -1,0 +1,42 @@
+//! # scalesim-bench
+//!
+//! Criterion benchmarks regenerating every table and figure of the
+//! ISPASS'15 evaluation, plus raw simulator-throughput benches.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo bench -p scalesim-bench            # everything
+//! cargo bench -p scalesim-bench fig1       # one figure family
+//! ```
+//!
+//! Each figure bench executes the corresponding
+//! [`scalesim_experiments`] driver at a reduced-but-representative scale
+//! (Criterion repeats each run many times; the paper-sized single run is
+//! the `scalesim-experiments` CLI's job).
+
+#![warn(missing_docs)]
+
+use scalesim_experiments::ExpParams;
+
+/// The scale and sweep used by the figure benches: large enough that GC,
+/// contention and lifespan effects all materialize, small enough for
+/// Criterion's repetitions.
+#[must_use]
+pub fn bench_params() -> ExpParams {
+    ExpParams::paper()
+        .with_scale(0.05)
+        .with_threads(vec![4, 16, 48])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_params_are_modest() {
+        let p = bench_params();
+        assert!(p.scale <= 0.1);
+        assert_eq!(p.max_threads(), 48);
+    }
+}

@@ -1,0 +1,350 @@
+//! JVM configuration.
+//!
+//! [`JvmConfig`] mirrors the paper's experimental knobs: thread count,
+//! enabled cores (equal to threads by default, §II-C), heap sized at 3×
+//! the application's minimum requirement, the stop-the-world parallel
+//! collector, plus the two future-work levers — biased (cohort)
+//! scheduling and compartmentalized heaplets.
+
+use scalesim_gc::GcCostModel;
+
+/// How the old (mature) generation is collected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OldGenPolicy {
+    /// Stop-the-world mark-compact — the paper's throughput collector.
+    #[default]
+    StwFull,
+    /// Mostly-concurrent (CMS-like): a background thread marks and sweeps
+    /// while mutators run, bracketed by two short STW pauses; promotion
+    /// failure still falls back to a STW full collection ("concurrent
+    /// mode failure").
+    MostlyConcurrent,
+}
+use scalesim_machine::{MachineTopology, Placement};
+use scalesim_objtrace::Retention;
+use scalesim_sched::SchedPolicy;
+use scalesim_simkit::SimDuration;
+
+/// Complete configuration for one simulated JVM run.
+///
+/// Build with [`JvmConfig::builder`].
+///
+/// # Examples
+///
+/// ```
+/// use scalesim_core::JvmConfig;
+///
+/// let cfg = JvmConfig::builder().threads(16).seed(7).build();
+/// assert_eq!(cfg.threads, 16);
+/// assert_eq!(cfg.cores(), 16); // paper methodology: cores = threads
+/// ```
+#[derive(Debug, Clone)]
+pub struct JvmConfig {
+    /// The machine the VM runs on.
+    pub machine: MachineTopology,
+    /// Number of mutator (application) threads.
+    pub threads: usize,
+    /// Enabled cores; `None` means "equal to `threads`" (the paper's
+    /// setting), capped at the machine's core count.
+    pub cores_override: Option<usize>,
+    /// How enabled cores are placed across sockets.
+    pub placement: Placement,
+    /// OS scheduling policy.
+    pub policy: SchedPolicy,
+    /// Scheduling quantum.
+    pub quantum: SimDuration,
+    /// Cohort rotation period (biased policy only).
+    pub cohort_rotation: SimDuration,
+    /// Use per-thread nursery heaplets instead of a shared nursery.
+    pub heaplets: bool,
+    /// Total heap bytes; `None` means 3× the app's minimum heap (§II-C).
+    pub heap_bytes_override: Option<u64>,
+    /// Fraction of the heap given to the nursery.
+    pub nursery_fraction: f64,
+    /// Number of parallel GC workers; `None` means one per enabled core
+    /// (the HotSpot default).
+    pub gc_workers_override: Option<usize>,
+    /// Number of JVM helper threads (JIT, finalizer, …) that periodically
+    /// compete for cores (§II-C: "many helper threads also run
+    /// concurrently with the application threads").
+    pub helper_threads: usize,
+    /// Mean helper burst length.
+    pub helper_burst: SimDuration,
+    /// Mean helper sleep between bursts.
+    pub helper_period: SimDuration,
+    /// Old-generation collection policy.
+    pub old_gen: OldGenPolicy,
+    /// Full override of the collector cost model; `None` derives a
+    /// HotSpot-like model from the GC worker count and the enabled
+    /// cores' mean NUMA factor. Used by sensitivity studies.
+    pub gc_model_override: Option<GcCostModel>,
+    /// Pause goal enabling adaptive nursery sizing (HotSpot
+    /// `AdaptiveSizePolicy`): after each minor collection the nursery
+    /// shrinks when the pause overshot the goal and grows when pauses sit
+    /// well below it. `None` keeps the nursery fixed (the paper's
+    /// measured configuration).
+    pub pause_goal: Option<SimDuration>,
+    /// Object-trace retention mode.
+    pub retention: Retention,
+    /// Master random seed; a run is a pure function of (config, app).
+    pub seed: u64,
+}
+
+impl JvmConfig {
+    /// Starts building a configuration from the defaults.
+    #[must_use]
+    pub fn builder() -> JvmConfigBuilder {
+        JvmConfigBuilder::new()
+    }
+
+    /// Enabled core count after resolving the default (= threads, capped
+    /// at the machine size).
+    #[must_use]
+    pub fn cores(&self) -> usize {
+        self.cores_override
+            .unwrap_or(self.threads)
+            .clamp(1, self.machine.num_cores())
+    }
+
+    /// GC worker count after resolving the default (= enabled cores).
+    #[must_use]
+    pub fn gc_workers(&self) -> usize {
+        self.gc_workers_override.unwrap_or_else(|| self.cores()).max(1)
+    }
+
+    /// Heap size for an app with the given minimum requirement: the
+    /// override if set, otherwise 3× the minimum (§II-C).
+    #[must_use]
+    pub fn heap_bytes(&self, app_min_heap: u64) -> u64 {
+        self.heap_bytes_override
+            .unwrap_or_else(|| scalesim_heap::HeapSizer::three_times_min(app_min_heap))
+    }
+}
+
+impl Default for JvmConfig {
+    fn default() -> Self {
+        JvmConfig::builder().build()
+    }
+}
+
+/// Non-consuming builder for [`JvmConfig`].
+#[derive(Debug, Clone)]
+pub struct JvmConfigBuilder {
+    config: JvmConfig,
+}
+
+impl Default for JvmConfigBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl JvmConfigBuilder {
+    /// Starts from the paper's defaults: the 48-core AMD testbed, 4
+    /// threads, fair scheduling, shared nursery, 2 helper threads.
+    #[must_use]
+    pub fn new() -> Self {
+        JvmConfigBuilder {
+            config: JvmConfig {
+                machine: MachineTopology::amd_6168(),
+                threads: 4,
+                cores_override: None,
+                placement: Placement::Compact,
+                policy: SchedPolicy::Fair,
+                quantum: SimDuration::from_millis(2),
+                cohort_rotation: SimDuration::from_millis(4),
+                heaplets: false,
+                heap_bytes_override: None,
+                nursery_fraction: 1.0 / 3.0,
+                gc_workers_override: None,
+                helper_threads: 2,
+                helper_burst: SimDuration::from_micros(200),
+                helper_period: SimDuration::from_millis(2),
+                old_gen: OldGenPolicy::StwFull,
+                gc_model_override: None,
+                pause_goal: None,
+                retention: Retention::HistogramOnly,
+                seed: 42,
+            },
+        }
+    }
+
+    /// Sets the machine.
+    pub fn machine(&mut self, machine: MachineTopology) -> &mut Self {
+        self.config.machine = machine;
+        self
+    }
+
+    /// Sets the mutator thread count.
+    pub fn threads(&mut self, threads: usize) -> &mut Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Overrides the enabled core count (default: equal to threads).
+    pub fn cores(&mut self, cores: usize) -> &mut Self {
+        self.config.cores_override = Some(cores);
+        self
+    }
+
+    /// Sets the core placement across sockets.
+    pub fn placement(&mut self, placement: Placement) -> &mut Self {
+        self.config.placement = placement;
+        self
+    }
+
+    /// Sets the scheduling policy.
+    pub fn policy(&mut self, policy: SchedPolicy) -> &mut Self {
+        self.config.policy = policy;
+        self
+    }
+
+    /// Sets the scheduling quantum.
+    pub fn quantum(&mut self, quantum: SimDuration) -> &mut Self {
+        self.config.quantum = quantum;
+        self
+    }
+
+    /// Sets the cohort rotation period (biased policy).
+    pub fn cohort_rotation(&mut self, period: SimDuration) -> &mut Self {
+        self.config.cohort_rotation = period;
+        self
+    }
+
+    /// Switches the nursery to per-thread heaplets.
+    pub fn heaplets(&mut self, on: bool) -> &mut Self {
+        self.config.heaplets = on;
+        self
+    }
+
+    /// Overrides the heap size (default: 3× the app's minimum heap).
+    pub fn heap_bytes(&mut self, bytes: u64) -> &mut Self {
+        self.config.heap_bytes_override = Some(bytes);
+        self
+    }
+
+    /// Sets the nursery fraction of the heap.
+    pub fn nursery_fraction(&mut self, fraction: f64) -> &mut Self {
+        self.config.nursery_fraction = fraction;
+        self
+    }
+
+    /// Overrides the GC worker count (default: one per enabled core).
+    pub fn gc_workers(&mut self, workers: usize) -> &mut Self {
+        self.config.gc_workers_override = Some(workers);
+        self
+    }
+
+    /// Sets the helper-thread count.
+    pub fn helper_threads(&mut self, helpers: usize) -> &mut Self {
+        self.config.helper_threads = helpers;
+        self
+    }
+
+    /// Sets helper burst length and sleep period means.
+    pub fn helper_profile(&mut self, burst: SimDuration, period: SimDuration) -> &mut Self {
+        self.config.helper_burst = burst;
+        self.config.helper_period = period;
+        self
+    }
+
+    /// Sets the old-generation collection policy.
+    pub fn old_gen(&mut self, policy: OldGenPolicy) -> &mut Self {
+        self.config.old_gen = policy;
+        self
+    }
+
+    /// Overrides the collector cost model entirely (sensitivity
+    /// studies); the default derives one from workers and NUMA factor.
+    pub fn gc_model(&mut self, model: GcCostModel) -> &mut Self {
+        self.config.gc_model_override = Some(model);
+        self
+    }
+
+    /// Enables adaptive nursery sizing with the given pause goal.
+    pub fn pause_goal(&mut self, goal: SimDuration) -> &mut Self {
+        self.config.pause_goal = Some(goal);
+        self
+    }
+
+    /// Sets the object-trace retention mode.
+    pub fn retention(&mut self, retention: Retention) -> &mut Self {
+        self.config.retention = retention;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn seed(&mut self, seed: u64) -> &mut Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Finishes the build.
+    ///
+    /// # Panics
+    ///
+    /// Panics if threads is zero, the nursery fraction is outside (0, 1),
+    /// or the quantum is zero.
+    #[must_use]
+    pub fn build(&self) -> JvmConfig {
+        let c = &self.config;
+        assert!(c.threads >= 1, "need at least one mutator thread");
+        assert!(
+            c.nursery_fraction > 0.0 && c.nursery_fraction < 1.0,
+            "nursery fraction must be in (0,1)"
+        );
+        assert!(!c.quantum.is_zero(), "quantum must be positive");
+        c.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_methodology() {
+        let cfg = JvmConfig::default();
+        assert_eq!(cfg.machine.num_cores(), 48);
+        assert_eq!(cfg.threads, 4);
+        assert_eq!(cfg.cores(), 4, "cores follow threads");
+        assert_eq!(cfg.gc_workers(), 4, "GC workers follow cores");
+        assert_eq!(cfg.heap_bytes(10), 30, "3x min heap");
+        assert!(!cfg.heaplets);
+    }
+
+    #[test]
+    fn cores_cap_at_machine() {
+        let cfg = JvmConfig::builder().threads(96).build();
+        assert_eq!(cfg.cores(), 48);
+    }
+
+    #[test]
+    fn overrides_stick() {
+        let cfg = JvmConfig::builder()
+            .threads(8)
+            .cores(4)
+            .gc_workers(2)
+            .heap_bytes(12345)
+            .heaplets(true)
+            .seed(9)
+            .build();
+        assert_eq!(cfg.cores(), 4);
+        assert_eq!(cfg.gc_workers(), 2);
+        assert_eq!(cfg.heap_bytes(1), 12345);
+        assert!(cfg.heaplets);
+        assert_eq!(cfg.seed, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one mutator thread")]
+    fn zero_threads_panics() {
+        let _ = JvmConfig::builder().threads(0).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "nursery fraction")]
+    fn bad_nursery_fraction_panics() {
+        let _ = JvmConfig::builder().nursery_fraction(0.0).build();
+    }
+}

@@ -1,0 +1,214 @@
+//! Trace-driven GC simulation.
+//!
+//! Elephant Tracks exists precisely to decouple *measuring* object
+//! lifetimes from *evaluating* collectors: a recorded trace can be
+//! replayed through different heap configurations without re-running the
+//! application. The paper's methodology (heap fixed at 3× the minimum)
+//! comes from that tradition; [`replay_gc`] reproduces it — record a
+//! trace once with [`Retention::Full`], then sweep heap sizes, layouts or
+//! cost models over the same object population.
+//!
+//! Replay is exact with respect to the allocation clock: events carry
+//! their original order, so lifespans, survival and promotion decisions
+//! depend only on the replayed heap configuration.
+//!
+//! [`Retention::Full`]: scalesim_objtrace::Retention::Full
+
+use std::collections::HashMap;
+
+use scalesim_gc::{Collector, GcCostModel, GcLog};
+use scalesim_heap::{AllocResult, Heap, HeapConfig, ObjectId};
+use scalesim_objtrace::{ObjSeq, TraceEvent};
+use scalesim_sched::ThreadId;
+use scalesim_simkit::SimTime;
+
+/// Results of replaying a trace through one heap configuration.
+#[derive(Debug, Clone)]
+pub struct ReplayOutcome {
+    /// Every collection the replay triggered.
+    pub gc: GcLog,
+    /// Objects/bytes processed (equals the trace's totals).
+    pub objects: u64,
+    /// Bytes allocated over the whole replay.
+    pub bytes: u64,
+    /// Peak live bytes observed (a lower bound on any workable heap).
+    pub peak_live_bytes: u64,
+}
+
+/// Replays an in-order object trace against a fresh heap, running the
+/// collector whenever an allocation does not fit.
+///
+/// `mutator_threads` is used for the safepoint component of the pause
+/// model (the thread count the trace was recorded under).
+///
+/// # Panics
+///
+/// Panics if the trace is malformed (a death without a matching
+/// allocation, or an allocation larger than a nursery region of the
+/// replayed configuration), or if the configuration is genuinely too
+/// small (promotion overflows the mature space even after a full
+/// collection).
+#[must_use]
+pub fn replay_gc(
+    events: &[TraceEvent],
+    config: HeapConfig,
+    model: GcCostModel,
+    mutator_threads: usize,
+) -> ReplayOutcome {
+    let mut heap = Heap::new(config);
+    let mut collector = Collector::new(model);
+    let mut live: HashMap<ObjSeq, ObjectId> = HashMap::new();
+    let mut live_bytes = 0u64;
+    let mut peak_live_bytes = 0u64;
+
+    for event in events {
+        match *event {
+            TraceEvent::Alloc {
+                obj, thread, size, ..
+            } => {
+                let tid = ThreadId::new(thread);
+                let id = loop {
+                    match heap.alloc(tid, size) {
+                        AllocResult::Ok(id) => break id,
+                        AllocResult::NurseryFull { region } => {
+                            let at = SimTime::from_nanos(heap.clock());
+                            collector.collect_minor(&mut heap, region, mutator_threads, at);
+                        }
+                    }
+                };
+                let previous = live.insert(obj, id);
+                assert!(previous.is_none(), "trace allocates object {obj} twice");
+                live_bytes += size;
+                peak_live_bytes = peak_live_bytes.max(live_bytes);
+            }
+            TraceEvent::Death { obj, .. } => {
+                let id = live
+                    .remove(&obj)
+                    .unwrap_or_else(|| panic!("trace kills unknown object {obj}"));
+                let death = heap.kill(id);
+                live_bytes -= death.size;
+            }
+        }
+    }
+
+    let stats = *heap.stats();
+    ReplayOutcome {
+        gc: collector.into_log(),
+        objects: stats.objects_allocated,
+        bytes: stats.bytes_allocated,
+        peak_live_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scalesim_gc::GcKind;
+    use scalesim_heap::NurseryLayout;
+
+    /// A synthetic trace: `n` objects of `size` bytes, each dying after
+    /// `overlap` further allocations.
+    fn synthetic_trace(n: u64, size: u64, overlap: u64) -> Vec<TraceEvent> {
+        let mut events = Vec::new();
+        let mut clock = 0;
+        for i in 0..n {
+            clock += size;
+            events.push(TraceEvent::Alloc {
+                obj: i,
+                thread: (i % 4) as usize,
+                size,
+                clock,
+            });
+            if i >= overlap {
+                events.push(TraceEvent::Death {
+                    obj: i - overlap,
+                    lifespan: overlap * size,
+                    clock,
+                });
+            }
+        }
+        for i in n.saturating_sub(overlap)..n {
+            events.push(TraceEvent::Death {
+                obj: i,
+                lifespan: (n - i) * size,
+                clock,
+            });
+        }
+        events
+    }
+
+    fn config(total: u64) -> HeapConfig {
+        HeapConfig::new(total, 1.0 / 3.0, NurseryLayout::Shared)
+    }
+
+    fn model() -> GcCostModel {
+        GcCostModel::hotspot_like(4, 1.0)
+    }
+
+    #[test]
+    fn replay_collects_when_the_nursery_fills() {
+        // 1 MiB of allocation through a 340 KiB nursery region
+        let trace = synthetic_trace(1024, 1024, 8);
+        let out = replay_gc(&trace, config(1 << 20), model(), 4);
+        assert_eq!(out.objects, 1024);
+        assert_eq!(out.bytes, 1 << 20);
+        assert!(out.gc.count(GcKind::Minor) >= 2);
+        assert_eq!(out.peak_live_bytes, 9 * 1024);
+    }
+
+    #[test]
+    fn bigger_heaps_collect_less() {
+        let trace = synthetic_trace(4096, 1024, 16);
+        let small = replay_gc(&trace, config(1 << 20), model(), 4);
+        let big = replay_gc(&trace, config(8 << 20), model(), 4);
+        assert!(
+            big.gc.collections() < small.gc.collections(),
+            "{} vs {}",
+            big.gc.collections(),
+            small.gc.collections()
+        );
+        assert!(big.gc.total_pause() < small.gc.total_pause());
+    }
+
+    #[test]
+    fn long_overlaps_survive_and_promote() {
+        // objects live across ~2 nursery fills -> survivors -> promotions
+        let trace = synthetic_trace(4096, 1024, 700);
+        let out = replay_gc(&trace, config(1 << 20), model(), 4);
+        assert!(out.gc.survived_bytes() > 0);
+        assert!(out.gc.promoted_bytes() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "kills unknown object")]
+    fn malformed_trace_panics() {
+        let events = vec![TraceEvent::Death {
+            obj: 7,
+            lifespan: 0,
+            clock: 0,
+        }];
+        let _ = replay_gc(&events, config(1 << 20), model(), 1);
+    }
+
+    #[test]
+    fn replaying_a_recorded_run_matches_its_allocation_totals() {
+        use crate::{Jvm, JvmConfig};
+        use scalesim_objtrace::Retention;
+        use scalesim_workloads::{xalan, AppModel};
+
+        let app = xalan().scaled(0.005);
+        let report = Jvm::new(
+            JvmConfig::builder()
+                .threads(4)
+                .retention(Retention::Full)
+                .seed(42)
+                .build(),
+        )
+        .run(&app);
+        let events = report.trace.events().expect("full retention");
+        let cfg = config(3 * app.min_heap_bytes());
+        let out = replay_gc(events, cfg, model(), 4);
+        assert_eq!(out.objects, report.trace.allocations());
+        assert_eq!(out.bytes, report.trace.allocated_bytes());
+    }
+}

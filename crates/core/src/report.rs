@@ -1,0 +1,229 @@
+//! Run reports: everything a paper figure needs, from one run.
+
+use std::fmt;
+
+use scalesim_gc::GcLog;
+use scalesim_heap::HeapStats;
+use scalesim_metrics::Summary;
+use scalesim_objtrace::ObjectTracer;
+use scalesim_sched::StateTimes;
+use scalesim_simkit::SimDuration;
+use scalesim_sync::LockReport;
+
+/// Per-mutator-thread results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadReport {
+    /// Work items the thread completed.
+    pub items_done: u64,
+    /// Per-state time accounting.
+    pub times: StateTimes,
+    /// Times the thread was placed on a core.
+    pub dispatches: u64,
+    /// Times the thread was preempted at quantum expiry.
+    pub preemptions: u64,
+}
+
+/// Everything measured during one simulated run.
+///
+/// * Figure 1a/1b read [`RunReport::locks`],
+/// * Figure 1c/1d read [`RunReport::trace`],
+/// * Figure 2 reads [`RunReport::mutator_wall`] / [`RunReport::gc_time`],
+/// * the workload-distribution analysis reads [`RunReport::per_thread`].
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Application name.
+    pub app: String,
+    /// Configured mutator threads.
+    pub threads: usize,
+    /// Enabled cores.
+    pub cores: usize,
+    /// End-to-end execution time.
+    pub wall_time: SimDuration,
+    /// Sum of stop-the-world pauses — the paper's "GC time".
+    pub gc_time: SimDuration,
+    /// Aggregate on-CPU time over all mutator threads.
+    pub mutator_cpu: SimDuration,
+    /// The collection log.
+    pub gc: GcLog,
+    /// The DTrace-analog lock report.
+    pub locks: LockReport,
+    /// The Elephant-Tracks-analog object trace.
+    pub trace: ObjectTracer,
+    /// Heap counters.
+    pub heap: HeapStats,
+    /// Per-mutator-thread breakdown (index = thread).
+    pub per_thread: Vec<ThreadReport>,
+    /// Total simulation events processed (diagnostics).
+    pub events_processed: u64,
+}
+
+impl RunReport {
+    /// Wall time minus GC pauses — the paper's "mutator time" component
+    /// of total execution.
+    #[must_use]
+    pub fn mutator_wall(&self) -> SimDuration {
+        self.wall_time.saturating_sub(self.gc_time)
+    }
+
+    /// GC share of total execution, in `[0, 1]`.
+    #[must_use]
+    pub fn gc_share(&self) -> f64 {
+        if self.wall_time.is_zero() {
+            0.0
+        } else {
+            self.gc_time.as_secs_f64() / self.wall_time.as_secs_f64()
+        }
+    }
+
+    /// Total items completed across threads.
+    #[must_use]
+    pub fn total_items(&self) -> u64 {
+        self.per_thread.iter().map(|t| t.items_done).sum()
+    }
+
+    /// Per-thread item shares (fractions of total, one per thread).
+    #[must_use]
+    pub fn work_shares(&self) -> Vec<f64> {
+        let total = self.total_items().max(1) as f64;
+        self.per_thread
+            .iter()
+            .map(|t| t.items_done as f64 / total)
+            .collect()
+    }
+
+    /// Workload-imbalance summary over per-thread item counts — CV near 0
+    /// means "nearly uniform distribution of workload among threads"
+    /// (§III); large CV means a few threads do most of the work.
+    #[must_use]
+    pub fn work_distribution(&self) -> Summary {
+        let counts: Vec<f64> = self
+            .per_thread
+            .iter()
+            .map(|t| t.items_done as f64)
+            .collect();
+        Summary::from_samples(&counts)
+    }
+
+    /// How many threads carry 90 % of the work (smallest such set).
+    #[must_use]
+    pub fn threads_for_90pct_work(&self) -> usize {
+        let mut counts: Vec<u64> = self.per_thread.iter().map(|t| t.items_done).collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let mut acc = 0u64;
+        for (i, c) in counts.iter().enumerate() {
+            acc += c;
+            if acc as f64 >= 0.9 * total as f64 {
+                return i + 1;
+            }
+        }
+        counts.len()
+    }
+
+    /// Aggregate suspension time (alive but not executing) over mutators.
+    #[must_use]
+    pub fn total_suspension(&self) -> SimDuration {
+        self.per_thread.iter().map(|t| t.times.suspended()).sum()
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} with {} threads on {} cores:",
+            self.app, self.threads, self.cores
+        )?;
+        writeln!(
+            f,
+            "  wall {}  (mutator {}, gc {} = {:.1}%)",
+            self.wall_time,
+            self.mutator_wall(),
+            self.gc_time,
+            self.gc_share() * 100.0
+        )?;
+        writeln!(f, "  {}", self.gc)?;
+        writeln!(
+            f,
+            "  locks: {} acquisitions, {} contentions",
+            self.locks.total.acquisitions, self.locks.total.contentions
+        )?;
+        write!(f, "  {}", self.trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scalesim_objtrace::Retention;
+
+    fn report_with_items(items: &[u64]) -> RunReport {
+        RunReport {
+            app: "test".into(),
+            threads: items.len(),
+            cores: items.len(),
+            wall_time: SimDuration::from_millis(100),
+            gc_time: SimDuration::from_millis(20),
+            mutator_cpu: SimDuration::from_millis(300),
+            gc: GcLog::new(),
+            locks: LockReport::default(),
+            trace: ObjectTracer::new(Retention::HistogramOnly),
+            heap: HeapStats::default(),
+            per_thread: items
+                .iter()
+                .map(|&n| ThreadReport {
+                    items_done: n,
+                    times: StateTimes::default(),
+                    dispatches: 0,
+                    preemptions: 0,
+                })
+                .collect(),
+            events_processed: 0,
+        }
+    }
+
+    #[test]
+    fn mutator_wall_and_gc_share() {
+        let r = report_with_items(&[10, 10]);
+        assert_eq!(r.mutator_wall(), SimDuration::from_millis(80));
+        assert!((r.gc_share() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn work_shares_sum_to_one() {
+        let r = report_with_items(&[30, 10, 40, 20]);
+        let shares = r.work_shares();
+        assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(shares[2], 0.4);
+        assert_eq!(r.total_items(), 100);
+    }
+
+    #[test]
+    fn imbalance_distinguishes_uniform_from_skewed() {
+        let uniform = report_with_items(&[25, 25, 25, 25]);
+        let skewed = report_with_items(&[97, 1, 1, 1]);
+        assert!(uniform.work_distribution().coefficient_of_variation() < 0.01);
+        assert!(skewed.work_distribution().coefficient_of_variation() > 1.0);
+    }
+
+    #[test]
+    fn threads_for_90pct_work() {
+        let uniform = report_with_items(&[25, 25, 25, 25]);
+        assert_eq!(uniform.threads_for_90pct_work(), 4);
+        let skewed = report_with_items(&[90, 4, 3, 2, 1, 0, 0, 0]);
+        assert_eq!(skewed.threads_for_90pct_work(), 1);
+        let empty = report_with_items(&[0, 0]);
+        assert_eq!(empty.threads_for_90pct_work(), 0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let r = report_with_items(&[1]);
+        let s = r.to_string();
+        assert!(s.contains("test with 1 threads"), "{s}");
+        assert!(s.contains("gc"), "{s}");
+    }
+}

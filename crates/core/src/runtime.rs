@@ -1,0 +1,1350 @@
+//! The simulated JVM: mutator threads, helper threads, work dispatch,
+//! allocation, locking, and stop-the-world collection, all driven by one
+//! deterministic event loop.
+//!
+//! # Execution model
+//!
+//! Every mutator thread is a state machine advanced whenever it holds a
+//! core: it fetches work (a guided batch from the shared queue, or its
+//! static assignment), then interprets its current item's steps — compute
+//! bursts become timed events, allocations hit the heap (possibly
+//! triggering a stop-the-world collection), critical sections go through
+//! the monitor table (possibly blocking the thread). Helper threads
+//! alternate sleeps and compute bursts, creating the transient
+//! core-oversubscription the paper attributes to "many helper threads
+//! [that] also run concurrently with the application threads" (§II-C).
+//!
+//! A stop-the-world pause is realized literally: the collector computes
+//! the pause, every pending event is shifted by it, and the scheduler's
+//! accounting absorbs it as GC time. From the mutators' perspective the
+//! world stops and resumes; the allocation clock does not advance during
+//! a pause, exactly as in a real JVM.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use scalesim_gc::{AdaptiveSizer, Collector, GcCostModel};
+use scalesim_heap::{AllocResult, Heap, HeapConfig, NurseryLayout, ObjectId};
+use scalesim_objtrace::{ObjSeq, ObjectTracer};
+use scalesim_sched::{BlockReason, CpuScheduler, SchedPolicy, ThreadId};
+use scalesim_simkit::{EventId, EventQueue, RngFactory, SimDuration, SimTime};
+use scalesim_sync::{AcquireOutcome, LockTable, MonitorId};
+use scalesim_workloads::{AppModel, DeathPoint, Distribution, Step, WorkItem};
+
+use crate::config::{JvmConfig, OldGenPolicy};
+use crate::report::{RunReport, ThreadReport};
+
+/// Hard ceiling on simulation events — a runaway-loop backstop far above
+/// any legitimate run in this workspace.
+const MAX_EVENTS: u64 = 2_000_000_000;
+
+/// The simulated JVM. Construct with a [`JvmConfig`], then [`Jvm::run`]
+/// an application; each run is independent and deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use scalesim_core::{Jvm, JvmConfig};
+/// use scalesim_workloads::xalan;
+///
+/// let report = Jvm::new(JvmConfig::builder().threads(4).build())
+///     .run(&xalan().scaled(0.01));
+/// assert!(report.total_items() > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Jvm {
+    config: JvmConfig,
+}
+
+impl Jvm {
+    /// Creates a VM with the given configuration.
+    #[must_use]
+    pub fn new(config: JvmConfig) -> Self {
+        Jvm { config }
+    }
+
+    /// The VM's configuration.
+    #[must_use]
+    pub fn config(&self) -> &JvmConfig {
+        &self.config
+    }
+
+    /// Executes `app` to completion and returns the measurements.
+    #[must_use]
+    pub fn run(&self, app: &dyn AppModel) -> RunReport {
+        Sim::new(&self.config, app).run()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    /// A thread was placed on a core and should take its next action.
+    Resume(ThreadId),
+    /// A thread's timed step (compute / critical hold / fetch) finished.
+    StepDone(ThreadId),
+    /// A thread's scheduling quantum expired.
+    Quantum(ThreadId),
+    /// A sleeping helper thread wakes for its next burst.
+    HelperWake(ThreadId),
+    /// Rotate the active cohort (biased scheduling).
+    CohortRotate,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StepKind {
+    /// Plain on-CPU compute.
+    Compute,
+    /// Holding an application monitor; release on completion.
+    Critical(MonitorId),
+    /// Holding the work-queue monitor for a batch dispatch.
+    Fetch(MonitorId),
+    /// A helper thread's burst.
+    HelperBurst,
+    /// The concurrent old-generation collector's background work.
+    CycleWork,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RunningStep {
+    kind: StepKind,
+    deadline: SimTime,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Purpose {
+    Fetch,
+    Critical,
+    /// Per-batch result merge (guided queue mode): holds the merge lock
+    /// but is not an item step, so no cursor movement.
+    Merge,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingAcquire {
+    monitor: MonitorId,
+    held: SimDuration,
+    purpose: Purpose,
+    granted: bool,
+}
+
+#[derive(Debug)]
+struct ItemCursor {
+    item: WorkItem,
+    next: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ThreadKind {
+    Mutator,
+    Helper,
+    /// Background thread of a mostly-concurrent old-gen cycle.
+    GcBackground,
+}
+
+#[derive(Debug)]
+struct ThreadCtx {
+    kind: ThreadKind,
+    rng: StdRng,
+    participates: bool,
+    assigned_remaining: u64,
+    batch_remaining: u64,
+    cursor: Option<ItemCursor>,
+    slots: Vec<Option<(ObjectId, ObjSeq)>>,
+    item_end: Vec<(ObjectId, ObjSeq)>,
+    carried: Vec<(ObjectId, ObjSeq, u32)>,
+    pending: Option<PendingAcquire>,
+    merge_pending: bool,
+    /// Local heaplet-GC time the thread must absorb before continuing.
+    local_pause_debt: SimDuration,
+    /// Parked by cooperative phase (biased) scheduling until its cohort
+    /// becomes active.
+    parked: bool,
+    running: Option<RunningStep>,
+    paused: Option<(StepKind, SimDuration)>,
+    step_timer: Option<EventId>,
+    quantum_timer: Option<EventId>,
+    items_done: u64,
+    done: bool,
+}
+
+impl ThreadCtx {
+    fn new(kind: ThreadKind, rng: StdRng) -> Self {
+        ThreadCtx {
+            kind,
+            rng,
+            participates: false,
+            assigned_remaining: 0,
+            batch_remaining: 0,
+            cursor: None,
+            slots: Vec::new(),
+            item_end: Vec::new(),
+            carried: Vec::new(),
+            pending: None,
+            merge_pending: false,
+            local_pause_debt: SimDuration::ZERO,
+            parked: false,
+            running: None,
+            paused: None,
+            step_timer: None,
+            quantum_timer: None,
+            items_done: 0,
+            done: false,
+        }
+    }
+}
+
+enum WorkOutcome {
+    GotItem,
+    StepScheduled,
+    Blocked,
+    Finished,
+}
+
+struct Sim<'a> {
+    config: &'a JvmConfig,
+    app: &'a dyn AppModel,
+    queue: EventQueue<Event>,
+    sched: CpuScheduler,
+    locks: LockTable,
+    heap: Heap,
+    collector: Collector,
+    tracer: ObjectTracer,
+    ctxs: Vec<ThreadCtx>,
+    /// Monitor instances per lock class.
+    class_monitors: Vec<Vec<MonitorId>>,
+    /// Remaining undistributed items (guided queue mode).
+    shared_remaining: u64,
+    /// Effective workers (threads that receive work).
+    workers: usize,
+    mutators: Vec<ThreadId>,
+    helpers: Vec<ThreadId>,
+    mutators_left: usize,
+    permanents: Vec<(ObjectId, ObjSeq)>,
+    /// Cohort count for cooperative phase scheduling (0 under fair).
+    cohorts: usize,
+    active_cohort: usize,
+    /// A mostly-concurrent old-gen cycle in flight: (background thread,
+    /// initial-mark pause to report at the end, remaining work).
+    concurrent_cycle: Option<(ThreadId, SimDuration)>,
+}
+
+impl<'a> Sim<'a> {
+    fn new(config: &'a JvmConfig, app: &'a dyn AppModel) -> Self {
+        let cores = config.placement.enabled(&config.machine, config.cores());
+        let mean_numa = config.machine.mean_numa_factor_of(&cores);
+        // The runtime implements the *cooperative* phase variant of biased
+        // scheduling itself (threads yield at item boundaries), so the OS
+        // scheduler proper always runs the fair policy. `CpuScheduler`'s
+        // strict cohort gating remains available for standalone studies.
+        let sched = CpuScheduler::new(cores, config.quantum, SchedPolicy::Fair);
+        let cohorts = match config.policy {
+            SchedPolicy::Fair => 0,
+            SchedPolicy::Biased { cohorts } => cohorts,
+        };
+
+        let layout = if config.heaplets {
+            NurseryLayout::Heaplets {
+                count: config.threads,
+            }
+        } else {
+            NurseryLayout::Shared
+        };
+        let heap = Heap::new(HeapConfig::new(
+            config.heap_bytes(app.min_heap_bytes()),
+            config.nursery_fraction,
+            layout,
+        ));
+        let gc_model = config
+            .gc_model_override
+            .unwrap_or_else(|| GcCostModel::hotspot_like(config.gc_workers(), mean_numa));
+        let mut collector = Collector::new(gc_model);
+        if config.old_gen == OldGenPolicy::MostlyConcurrent {
+            // The runtime starts concurrent cycles; only promotion
+            // failure may still escalate to a STW full collection.
+            collector.set_occupancy_escalation(false);
+        }
+
+        let mut locks = LockTable::new();
+        let class_monitors: Vec<Vec<MonitorId>> = app
+            .lock_classes()
+            .iter()
+            .map(|class| {
+                (0..class.instances)
+                    .map(|_| locks.create(&class.name))
+                    .collect()
+            })
+            .collect();
+
+        Sim {
+            config,
+            app,
+            queue: EventQueue::new(),
+            sched,
+            locks,
+            heap,
+            collector,
+            tracer: ObjectTracer::new(config.retention),
+            ctxs: Vec::new(),
+            class_monitors,
+            shared_remaining: 0,
+            workers: app.effective_workers(config.threads),
+            mutators: Vec::new(),
+            helpers: Vec::new(),
+            mutators_left: 0,
+            permanents: Vec::new(),
+            cohorts,
+            active_cohort: 0,
+            concurrent_cycle: None,
+        }
+    }
+
+    fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    // ------------------------------------------------------------------
+    // Setup
+    // ------------------------------------------------------------------
+
+    fn spawn_threads(&mut self) {
+        let rngs = RngFactory::new(self.config.seed);
+        let total = self.app.total_items();
+
+        // Static assignments, when applicable.
+        let static_assign: Option<Vec<u64>> = match self.app.distribution() {
+            Distribution::GuidedQueue { .. } => {
+                self.shared_remaining = total;
+                None
+            }
+            Distribution::StaticSkewed { .. } => {
+                let shares = self.app.distribution().shares(self.workers);
+                let mut assigned: Vec<u64> =
+                    shares.iter().map(|s| (s * total as f64) as u64).collect();
+                let leftover = total - assigned.iter().sum::<u64>();
+                let n = assigned.len();
+                for k in 0..leftover as usize {
+                    assigned[k % n] += 1;
+                }
+                Some(assigned)
+            }
+        };
+
+        for i in 0..self.config.threads {
+            let tid = self.sched.register(self.now());
+            debug_assert_eq!(tid.index(), i);
+            let mut ctx = ThreadCtx::new(ThreadKind::Mutator, rngs.stream("mutator", i as u64));
+            ctx.participates = i < self.workers;
+            if let Some(assign) = &static_assign {
+                ctx.assigned_remaining = if i < assign.len() { assign[i] } else { 0 };
+            }
+            self.ctxs.push(ctx);
+            self.mutators.push(tid);
+        }
+        self.mutators_left = self.mutators.len();
+
+        for h in 0..self.config.helper_threads {
+            let tid = self.sched.register(self.now());
+            self.ctxs.push(ThreadCtx::new(
+                ThreadKind::Helper,
+                rngs.stream("helper", h as u64),
+            ));
+            self.helpers.push(tid);
+        }
+
+        // Mutators start first so they win the initial dispatch race.
+        for &tid in &self.mutators.clone() {
+            let idle = {
+                let ctx = &self.ctxs[tid.index()];
+                !ctx.participates
+                    || (matches!(self.app.distribution(), Distribution::StaticSkewed { .. })
+                        && ctx.assigned_remaining == 0)
+            };
+            if idle {
+                // No work will ever reach this thread; it exits at once.
+                self.finish_thread(tid);
+            } else {
+                self.sched.start(tid, self.now());
+            }
+        }
+        for &tid in &self.helpers.clone() {
+            self.sched.start(tid, self.now());
+        }
+
+        if let SchedPolicy::Biased { .. } = self.config.policy {
+            self.queue
+                .schedule_after(self.config.cohort_rotation, Event::CohortRotate);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Main loop
+    // ------------------------------------------------------------------
+
+    fn run(mut self) -> RunReport {
+        self.spawn_threads();
+        self.dispatch_and_resume();
+
+        let mut wall = SimTime::ZERO;
+        while self.mutators_left > 0 {
+            let Some((_, event)) = self.queue.pop() else {
+                panic!(
+                    "simulation deadlock: {} mutators unfinished with no pending events",
+                    self.mutators_left
+                );
+            };
+            assert!(
+                self.queue.popped_total() < MAX_EVENTS,
+                "event budget exceeded — runaway simulation"
+            );
+            self.handle(event);
+            wall = self.now();
+        }
+
+        // Helpers (and an unfinished concurrent-GC background thread)
+        // outlive the measurement window; stop them for clean accounting.
+        for &tid in &self.helpers.clone() {
+            if self.sched.state(tid).is_live() {
+                self.sched.terminate(tid, wall);
+            }
+        }
+        if let Some((tid, _)) = self.concurrent_cycle.take() {
+            if self.sched.state(tid).is_live() {
+                self.sched.terminate(tid, wall);
+            }
+        }
+
+        // Right-censor objects still alive at VM shutdown.
+        let clock = self.heap.clock();
+        for (obj, seq) in std::mem::take(&mut self.permanents) {
+            if self.heap.is_live(obj) {
+                let lifespan = clock - self.heap.object(obj).birth;
+                self.tracer.on_censored(seq, lifespan, clock);
+            }
+        }
+
+        let per_thread: Vec<ThreadReport> = self
+            .mutators
+            .iter()
+            .map(|&tid| ThreadReport {
+                items_done: self.ctxs[tid.index()].items_done,
+                times: *self.sched.times(tid),
+                dispatches: self.sched.dispatches(tid),
+                preemptions: self.sched.preemptions(tid),
+            })
+            .collect();
+        let mutator_cpu: SimDuration = per_thread.iter().map(|t| t.times.running).sum();
+
+        RunReport {
+            app: self.app.name().to_owned(),
+            threads: self.config.threads,
+            cores: self.config.cores(),
+            wall_time: wall.saturating_since(SimTime::ZERO),
+            gc_time: self.collector.log().total_pause(),
+            mutator_cpu,
+            gc: self.collector.into_log(),
+            locks: self.locks.report(),
+            trace: self.tracer,
+            heap: *self.heap.stats(),
+            per_thread,
+            events_processed: self.queue.popped_total(),
+        }
+    }
+
+    fn handle(&mut self, event: Event) {
+        match event {
+            Event::Resume(tid) => self.on_resume(tid),
+            Event::StepDone(tid) => self.on_step_done(tid),
+            Event::Quantum(tid) => self.on_quantum(tid),
+            Event::HelperWake(tid) => self.on_helper_wake(tid),
+            Event::CohortRotate => self.on_cohort_rotate(),
+        }
+    }
+
+    fn dispatch_and_resume(&mut self) {
+        for d in self.sched.dispatch(self.now()) {
+            self.queue.schedule_now(Event::Resume(d.thread));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event handlers
+    // ------------------------------------------------------------------
+
+    fn on_resume(&mut self, tid: ThreadId) {
+        if self.ctxs[tid.index()].done || self.sched.core_of(tid).is_none() {
+            return; // stale
+        }
+        if self.ctxs[tid.index()].running.is_some() {
+            return; // already mid-step
+        }
+        self.arm_quantum(tid);
+        self.next_action(tid);
+    }
+
+    fn on_step_done(&mut self, tid: ThreadId) {
+        let ctx = &mut self.ctxs[tid.index()];
+        ctx.step_timer = None;
+        let Some(running) = ctx.running.take() else {
+            return; // cancelled late; defensive
+        };
+        match running.kind {
+            StepKind::Compute => self.next_action(tid),
+            StepKind::Critical(mon) => {
+                self.release_monitor(mon, tid);
+                self.next_action(tid);
+            }
+            StepKind::Fetch(mon) => {
+                self.complete_fetch(tid);
+                self.release_monitor(mon, tid);
+                self.next_action(tid);
+            }
+            StepKind::HelperBurst => {
+                self.disarm_quantum(tid);
+                self.sched.block(tid, self.now(), BlockReason::Sleep);
+                let period = self.config.helper_period;
+                let sleep = exp_sample(&mut self.ctxs[tid.index()].rng, period);
+                self.queue.schedule_after(sleep, Event::HelperWake(tid));
+                self.dispatch_and_resume();
+            }
+            StepKind::CycleWork => {
+                self.finish_concurrent_cycle(tid);
+            }
+        }
+    }
+
+    fn on_quantum(&mut self, tid: ThreadId) {
+        self.ctxs[tid.index()].quantum_timer = None;
+        if self.ctxs[tid.index()].done {
+            return;
+        }
+        match self.sched.quantum_expired(tid, self.now()) {
+            scalesim_sched::QuantumOutcome::Continued => {
+                if self.sched.core_of(tid).is_some() {
+                    self.arm_quantum(tid);
+                }
+            }
+            scalesim_sched::QuantumOutcome::Preempted => {
+                self.pause_running_step(tid);
+                self.dispatch_and_resume();
+            }
+        }
+    }
+
+    fn on_helper_wake(&mut self, tid: ThreadId) {
+        if self.ctxs[tid.index()].done || !self.sched.state(tid).is_live() {
+            return;
+        }
+        self.sched.unblock(tid, self.now());
+        self.dispatch_and_resume();
+    }
+
+    fn on_cohort_rotate(&mut self) {
+        self.active_cohort = (self.active_cohort + 1) % self.cohorts.max(1);
+        self.queue
+            .schedule_after(self.config.cohort_rotation, Event::CohortRotate);
+        let now = self.now();
+        for &tid in &self.mutators.clone() {
+            let idx = tid.index();
+            if self.ctxs[idx].parked && idx % self.cohorts == self.active_cohort {
+                self.ctxs[idx].parked = false;
+                self.sched.unblock(tid, now);
+            }
+        }
+        self.dispatch_and_resume();
+    }
+
+    // ------------------------------------------------------------------
+    // Timers
+    // ------------------------------------------------------------------
+
+    fn arm_quantum(&mut self, tid: ThreadId) {
+        let id = self
+            .queue
+            .schedule_after(self.sched.quantum(), Event::Quantum(tid));
+        if let Some(old) = self.ctxs[tid.index()].quantum_timer.replace(id) {
+            self.queue.cancel(old);
+        }
+    }
+
+    fn disarm_quantum(&mut self, tid: ThreadId) {
+        if let Some(id) = self.ctxs[tid.index()].quantum_timer.take() {
+            self.queue.cancel(id);
+        }
+    }
+
+    /// Schedules a timed step for a thread currently on a core.
+    fn begin_step(&mut self, tid: ThreadId, kind: StepKind, duration: SimDuration) {
+        let deadline = self.now() + duration;
+        let id = self.queue.schedule_at(deadline, Event::StepDone(tid));
+        let ctx = &mut self.ctxs[tid.index()];
+        debug_assert!(ctx.running.is_none(), "{tid} began a step mid-step");
+        ctx.running = Some(RunningStep { kind, deadline });
+        ctx.step_timer = Some(id);
+    }
+
+    /// Interrupts a thread's running step, remembering the remainder.
+    fn pause_running_step(&mut self, tid: ThreadId) {
+        let now = self.now();
+        let ctx = &mut self.ctxs[tid.index()];
+        if let Some(r) = ctx.running.take() {
+            if let Some(timer) = ctx.step_timer.take() {
+                self.queue.cancel(timer);
+            }
+            ctx.paused = Some((r.kind, r.deadline.saturating_since(now)));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The mutator state machine
+    // ------------------------------------------------------------------
+
+    fn next_action(&mut self, tid: ThreadId) {
+        // Resume an interrupted step first.
+        if let Some((kind, remaining)) = self.ctxs[tid.index()].paused.take() {
+            self.begin_step(tid, kind, remaining);
+            return;
+        }
+        // A monitor granted while we waited?
+        if let Some(p) = self.ctxs[tid.index()].pending {
+            assert!(
+                p.granted,
+                "{tid} resumed with an ungranted pending acquire"
+            );
+            self.ctxs[tid.index()].pending = None;
+            match p.purpose {
+                Purpose::Fetch => {
+                    self.begin_step(tid, StepKind::Fetch(p.monitor), p.held);
+                }
+                Purpose::Critical => {
+                    self.ctxs[tid.index()]
+                        .cursor
+                        .as_mut()
+                        .expect("critical without an item")
+                        .next += 1;
+                    self.begin_step(tid, StepKind::Critical(p.monitor), p.held);
+                }
+                Purpose::Merge => {
+                    self.begin_step(tid, StepKind::Critical(p.monitor), p.held);
+                }
+            }
+            return;
+        }
+
+        match self.ctxs[tid.index()].kind {
+            ThreadKind::Helper => {
+                let burst = {
+                    let mean = self.config.helper_burst;
+                    exp_sample(&mut self.ctxs[tid.index()].rng, mean)
+                };
+                self.begin_step(tid, StepKind::HelperBurst, burst);
+                return;
+            }
+            ThreadKind::GcBackground => {
+                debug_assert!(
+                    self.concurrent_cycle.is_some(),
+                    "background thread without a cycle"
+                );
+                // the cycle's CPU work was stashed as pause debt at spawn
+                let duration =
+                    std::mem::take(&mut self.ctxs[tid.index()].local_pause_debt);
+                self.begin_step(tid, StepKind::CycleWork, duration);
+                return;
+            }
+            ThreadKind::Mutator => {}
+        }
+
+        loop {
+            // Absorb thread-local heaplet-GC time before anything else.
+            let debt = std::mem::take(&mut self.ctxs[tid.index()].local_pause_debt);
+            if !debt.is_zero() {
+                self.begin_step(tid, StepKind::Compute, debt);
+                return;
+            }
+            if self.ctxs[tid.index()].cursor.is_none() {
+                match self.try_get_work(tid) {
+                    WorkOutcome::GotItem => continue,
+                    WorkOutcome::StepScheduled | WorkOutcome::Blocked => return,
+                    WorkOutcome::Finished => {
+                        self.finish_thread(tid);
+                        self.dispatch_and_resume();
+                        return;
+                    }
+                }
+            }
+
+            // Execute steps until one needs simulated time or blocks.
+            let cursor = self.ctxs[tid.index()].cursor.as_ref().expect("item");
+            if cursor.next >= cursor.item.len() {
+                self.finish_item(tid);
+                continue;
+            }
+            let step = cursor.item.steps()[cursor.next];
+            match step {
+                Step::Alloc { bytes, death } => {
+                    let (obj, seq) = self.do_alloc(tid, bytes);
+                    let ctx = &mut self.ctxs[tid.index()];
+                    match death {
+                        DeathPoint::Slot(s) => {
+                            let s = s as usize;
+                            if ctx.slots.len() <= s {
+                                ctx.slots.resize(s + 1, None);
+                            }
+                            ctx.slots[s] = Some((obj, seq));
+                        }
+                        DeathPoint::ItemEnd => ctx.item_end.push((obj, seq)),
+                        DeathPoint::CarryItems(n) => ctx.carried.push((obj, seq, n)),
+                        DeathPoint::Permanent => self.permanents.push((obj, seq)),
+                    }
+                    self.ctxs[tid.index()].cursor.as_mut().expect("item").next += 1;
+                }
+                Step::KillSlot(s) => {
+                    let (obj, seq) = self.ctxs[tid.index()].slots[s as usize]
+                        .take()
+                        .expect("validated item: slot allocated before kill");
+                    self.kill_object(obj, seq);
+                    self.ctxs[tid.index()].cursor.as_mut().expect("item").next += 1;
+                }
+                Step::Compute(d) => {
+                    self.ctxs[tid.index()].cursor.as_mut().expect("item").next += 1;
+                    self.begin_step(tid, StepKind::Compute, d);
+                    return;
+                }
+                Step::Critical { class, held } => {
+                    let mon = self.pick_monitor(tid, class.0);
+                    match self.locks.acquire(mon, tid, self.now()) {
+                        AcquireOutcome::Acquired => {
+                            self.ctxs[tid.index()].cursor.as_mut().expect("item").next += 1;
+                            self.begin_step(tid, StepKind::Critical(mon), held);
+                            return;
+                        }
+                        AcquireOutcome::Contended => {
+                            self.ctxs[tid.index()].pending = Some(PendingAcquire {
+                                monitor: mon,
+                                held,
+                                purpose: Purpose::Critical,
+                                granted: false,
+                            });
+                            self.block_on_monitor(tid);
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn try_get_work(&mut self, tid: ThreadId) -> WorkOutcome {
+        // Cooperative phase scheduling: a thread whose cohort is inactive
+        // parks at the item boundary — "worker threads are scheduled at
+        // the different phases of the execution" (paper SIV.1). Parking
+        // here (never mid-item) means no locks are held and no in-flight
+        // objects are kept alive while parked.
+        if self.cohorts > 1
+            && tid.index() % self.cohorts != self.active_cohort
+            && self.has_more_work(tid)
+        {
+            self.ctxs[tid.index()].parked = true;
+            self.disarm_quantum(tid);
+            self.sched.block(tid, self.now(), BlockReason::Sleep);
+            self.dispatch_and_resume();
+            return WorkOutcome::Blocked;
+        }
+        match self.app.distribution() {
+            Distribution::StaticSkewed { .. } => {
+                let ctx = &mut self.ctxs[tid.index()];
+                if ctx.assigned_remaining == 0 {
+                    return WorkOutcome::Finished;
+                }
+                ctx.assigned_remaining -= 1;
+                self.start_item(tid);
+                WorkOutcome::GotItem
+            }
+            Distribution::GuidedQueue {
+                lock,
+                dispatch,
+                merge,
+                ..
+            } => {
+                if self.ctxs[tid.index()].batch_remaining > 0 {
+                    self.ctxs[tid.index()].batch_remaining -= 1;
+                    self.start_item(tid);
+                    return WorkOutcome::GotItem;
+                }
+                // The batch is drained: merge its results under the shared
+                // merge lock before returning to the queue.
+                if self.ctxs[tid.index()].merge_pending {
+                    self.ctxs[tid.index()].merge_pending = false;
+                    if let Some(m) = merge {
+                        let mon = self.class_monitors[m.class.0][0];
+                        let held = {
+                            let rng = &mut self.ctxs[tid.index()].rng;
+                            SimDuration::from_nanos(rng.gen_range(m.held_ns.0..=m.held_ns.1))
+                        };
+                        match self.locks.acquire(mon, tid, self.now()) {
+                            AcquireOutcome::Acquired => {
+                                self.begin_step(tid, StepKind::Critical(mon), held);
+                                return WorkOutcome::StepScheduled;
+                            }
+                            AcquireOutcome::Contended => {
+                                self.ctxs[tid.index()].pending = Some(PendingAcquire {
+                                    monitor: mon,
+                                    held,
+                                    purpose: Purpose::Merge,
+                                    granted: false,
+                                });
+                                self.block_on_monitor(tid);
+                                return WorkOutcome::Blocked;
+                            }
+                        }
+                    }
+                }
+                if self.shared_remaining == 0 {
+                    return WorkOutcome::Finished;
+                }
+                let mon = self.class_monitors[lock.0][0];
+                let dispatch = *dispatch;
+                match self.locks.acquire(mon, tid, self.now()) {
+                    AcquireOutcome::Acquired => {
+                        self.begin_step(tid, StepKind::Fetch(mon), dispatch);
+                        WorkOutcome::StepScheduled
+                    }
+                    AcquireOutcome::Contended => {
+                        self.ctxs[tid.index()].pending = Some(PendingAcquire {
+                            monitor: mon,
+                            held: dispatch,
+                            purpose: Purpose::Fetch,
+                            granted: false,
+                        });
+                        self.block_on_monitor(tid);
+                        WorkOutcome::Blocked
+                    }
+                }
+            }
+        }
+    }
+
+    /// Computes the guided batch at fetch completion: `max(1, remaining /
+    /// (factor * workers))` items, clamped to what is left.
+    fn complete_fetch(&mut self, tid: ThreadId) {
+        let Distribution::GuidedQueue { factor, .. } = self.app.distribution() else {
+            unreachable!("fetch completed under a static distribution");
+        };
+        let batch = if self.shared_remaining == 0 {
+            0
+        } else {
+            let guided =
+                (self.shared_remaining as f64 / (factor * self.workers as f64)).ceil() as u64;
+            guided.clamp(1, self.shared_remaining)
+        };
+        self.shared_remaining -= batch;
+        let has_merge = matches!(
+            self.app.distribution(),
+            Distribution::GuidedQueue { merge: Some(_), .. }
+        );
+        let ctx = &mut self.ctxs[tid.index()];
+        ctx.batch_remaining = batch;
+        ctx.merge_pending = batch > 0 && has_merge;
+    }
+
+    fn start_item(&mut self, tid: ThreadId) {
+        let item = {
+            let rng = &mut self.ctxs[tid.index()].rng;
+            self.app.make_item(rng)
+        };
+        let ctx = &mut self.ctxs[tid.index()];
+        ctx.slots.clear();
+        ctx.cursor = Some(ItemCursor { item, next: 0 });
+    }
+
+    fn finish_item(&mut self, tid: ThreadId) {
+        let (item_end, expired) = {
+            let ctx = &mut self.ctxs[tid.index()];
+            ctx.cursor = None;
+            ctx.items_done += 1;
+            debug_assert!(ctx.slots.iter().all(Option::is_none), "leaked slot object");
+            let item_end = std::mem::take(&mut ctx.item_end);
+            let mut expired = Vec::new();
+            ctx.carried.retain_mut(|(obj, seq, left)| {
+                if *left <= 1 {
+                    expired.push((*obj, *seq));
+                    false
+                } else {
+                    *left -= 1;
+                    true
+                }
+            });
+            (item_end, expired)
+        };
+        for (obj, seq) in item_end.into_iter().chain(expired) {
+            self.kill_object(obj, seq);
+        }
+    }
+
+    fn finish_thread(&mut self, tid: ThreadId) {
+        let carried = std::mem::take(&mut self.ctxs[tid.index()].carried);
+        for (obj, seq, _) in carried {
+            self.kill_object(obj, seq);
+        }
+        self.disarm_quantum(tid);
+        let ctx = &mut self.ctxs[tid.index()];
+        debug_assert!(ctx.running.is_none() && ctx.paused.is_none());
+        ctx.done = true;
+        self.sched.terminate(tid, self.now());
+        if self.ctxs[tid.index()].kind == ThreadKind::Mutator {
+            self.mutators_left -= 1;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation & GC
+    // ------------------------------------------------------------------
+
+    fn do_alloc(&mut self, tid: ThreadId, bytes: u64) -> (ObjectId, ObjSeq) {
+        for attempt in 0..2 {
+            match self.heap.alloc(tid, bytes) {
+                AllocResult::Ok(obj) => {
+                    let seq = self.tracer.on_alloc(tid.index(), bytes, self.heap.clock());
+                    return (obj, seq);
+                }
+                AllocResult::NurseryFull { region } => {
+                    assert_eq!(attempt, 0, "allocation failed after a collection");
+                    if self.config.heaplets {
+                        self.run_gc_local(region, tid);
+                    } else {
+                        self.run_gc(region);
+                    }
+                }
+            }
+        }
+        unreachable!("two allocation attempts always suffice")
+    }
+
+    fn run_gc(&mut self, region: usize) {
+        let live = self.sched.live_count();
+        let now = self.now();
+        let pause = self
+            .collector
+            .collect_minor(&mut self.heap, region, live, now);
+        self.apply_stw(pause);
+        self.maybe_start_concurrent_cycle();
+        if let Some(goal) = self.config.pause_goal {
+            // Feed the observed pause back into the nursery size
+            // (HotSpot AdaptiveSizePolicy), discounting the irreducible
+            // safepoint floor that nursery size cannot influence.
+            let floor = SimDuration::from_nanos(
+                self.collector.model().pause_floor_ns(live) as u64,
+            );
+            let sizer = AdaptiveSizer::new(goal);
+            let next = sizer.next_capacity(self.heap.region_capacity(region), pause, floor);
+            // Cap growth at half the heap (HotSpot's NewRatio-style bound)
+            // so the mature space always keeps promotion headroom.
+            let next = next.min(self.heap.config().total_bytes() / 2);
+            self.heap.resize_region(region, next);
+        }
+    }
+
+    /// Thread-local heaplet collection: the owner absorbs the pause as
+    /// compute-time debt; only an escalated full collection stops the
+    /// world.
+    fn run_gc_local(&mut self, region: usize, tid: ThreadId) {
+        let live = self.sched.live_count();
+        let now = self.now();
+        let out = self
+            .collector
+            .collect_minor_local(&mut self.heap, region, live, now);
+        self.ctxs[tid.index()].local_pause_debt += out.local_pause;
+        if !out.stw_pause.is_zero() {
+            self.apply_stw(out.stw_pause);
+        }
+        self.maybe_start_concurrent_cycle();
+    }
+
+    /// Kicks off a mostly-concurrent old-gen cycle when occupancy calls
+    /// for one: a short initial-mark STW pause, then a fresh background
+    /// thread that competes with mutators for a core while it marks and
+    /// sweeps.
+    fn maybe_start_concurrent_cycle(&mut self) {
+        if self.config.old_gen != OldGenPolicy::MostlyConcurrent
+            || self.concurrent_cycle.is_some()
+            || !self.collector.wants_concurrent_cycle(&self.heap)
+        {
+            return;
+        }
+        let live = self.sched.live_count();
+        let now = self.now();
+        let (initial, work) = self.collector.begin_concurrent_cycle(&self.heap, live, now);
+        self.apply_stw(initial);
+
+        let tid = self.sched.register(self.now());
+        let rngs = RngFactory::new(self.config.seed);
+        let mut ctx = ThreadCtx::new(
+            ThreadKind::GcBackground,
+            rngs.stream("gc-background", tid.index() as u64),
+        );
+        // stash the cycle's CPU work where next_action will find it
+        ctx.local_pause_debt = work;
+        self.ctxs.push(ctx);
+        self.concurrent_cycle = Some((tid, initial));
+        self.sched.start(tid, self.now());
+        self.dispatch_and_resume();
+    }
+
+    /// Completes the cycle: remark STW pause, sweep, retire the
+    /// background thread.
+    fn finish_concurrent_cycle(&mut self, tid: ThreadId) {
+        let (cycle_tid, _initial) = self
+            .concurrent_cycle
+            .take()
+            .expect("cycle work finished without a cycle");
+        debug_assert_eq!(cycle_tid, tid);
+        let live = self.sched.live_count();
+        let now = self.now();
+        let remark = self
+            .collector
+            .finish_concurrent_cycle(&mut self.heap, live, now);
+        self.apply_stw(remark);
+        self.disarm_quantum(tid);
+        self.ctxs[tid.index()].done = true;
+        self.sched.terminate(tid, self.now());
+        self.dispatch_and_resume();
+    }
+
+    fn apply_stw(&mut self, pause: SimDuration) {
+        self.queue.shift_all(pause);
+        self.sched.apply_stw_pause(pause);
+        // Cached step deadlines move with the world.
+        for ctx in &mut self.ctxs {
+            if let Some(r) = &mut ctx.running {
+                r.deadline = r.deadline.saturating_add(pause);
+            }
+        }
+    }
+
+    /// Whether the thread still has (or can still get) work.
+    fn has_more_work(&self, tid: ThreadId) -> bool {
+        let ctx = &self.ctxs[tid.index()];
+        match self.app.distribution() {
+            Distribution::StaticSkewed { .. } => ctx.assigned_remaining > 0,
+            Distribution::GuidedQueue { .. } => {
+                ctx.batch_remaining > 0 || ctx.merge_pending || self.shared_remaining > 0
+            }
+        }
+    }
+
+    fn kill_object(&mut self, obj: ObjectId, seq: ObjSeq) {
+        let death = self.heap.kill(obj);
+        self.tracer.on_death(seq, death.lifespan, self.heap.clock());
+    }
+
+    // ------------------------------------------------------------------
+    // Locking
+    // ------------------------------------------------------------------
+
+    fn pick_monitor(&mut self, tid: ThreadId, class: usize) -> MonitorId {
+        let instances = &self.class_monitors[class];
+        if instances.len() == 1 {
+            instances[0]
+        } else {
+            let i = self.ctxs[tid.index()].rng.gen_range(0..instances.len());
+            instances[i]
+        }
+    }
+
+    fn block_on_monitor(&mut self, tid: ThreadId) {
+        self.disarm_quantum(tid);
+        self.sched.block(tid, self.now(), BlockReason::Monitor);
+        self.dispatch_and_resume();
+    }
+
+    fn release_monitor(&mut self, mon: MonitorId, tid: ThreadId) {
+        if let Some(grant) = self.locks.release(mon, tid, self.now()) {
+            let next = grant.next;
+            let p = self.ctxs[next.index()]
+                .pending
+                .as_mut()
+                .expect("granted thread has a pending acquire");
+            debug_assert_eq!(p.monitor, mon);
+            p.granted = true;
+            self.sched.unblock(next, self.now());
+            self.dispatch_and_resume();
+        }
+    }
+}
+
+/// Exponential sample with the given mean (for helper sleep/burst times).
+fn exp_sample(rng: &mut StdRng, mean: SimDuration) -> SimDuration {
+    let u: f64 = rng.gen_range(1e-12f64..1.0);
+    SimDuration::from_secs_f64(-u.ln() * mean.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::JvmConfig;
+    use scalesim_gc::GcKind;
+    use scalesim_workloads::{eclipse, h2, jython, xalan, SyntheticApp};
+
+    fn quick(app: &SyntheticApp, threads: usize) -> RunReport {
+        let cfg = JvmConfig::builder().threads(threads).seed(1).build();
+        Jvm::new(cfg).run(&app.scaled(0.02))
+    }
+
+    #[test]
+    fn single_thread_run_completes_all_items() {
+        let app = xalan().scaled(0.02);
+        let report = Jvm::new(JvmConfig::builder().threads(1).build()).run(&app);
+        assert_eq!(report.total_items(), app.total_items());
+        assert!(report.wall_time.as_nanos() > 0);
+        assert!(report.mutator_cpu.as_nanos() > 0);
+    }
+
+    #[test]
+    fn multithreaded_run_completes_all_items() {
+        let app = xalan().scaled(0.02);
+        let report = quick(&xalan(), 8);
+        assert_eq!(report.total_items(), app.total_items());
+        assert_eq!(report.per_thread.len(), 8);
+    }
+
+    #[test]
+    fn scalable_app_speeds_up() {
+        let t1 = quick(&xalan(), 1);
+        let t8 = quick(&xalan(), 8);
+        let speedup = t1.wall_time.as_secs_f64() / t8.wall_time.as_secs_f64();
+        assert!(speedup > 3.0, "xalan 8-thread speedup only {speedup:.2}");
+    }
+
+    #[test]
+    fn non_scalable_app_does_not_speed_up_much() {
+        let t1 = quick(&h2(), 1);
+        let t8 = quick(&h2(), 8);
+        let speedup = t1.wall_time.as_secs_f64() / t8.wall_time.as_secs_f64();
+        assert!(speedup < 2.0, "h2 8-thread speedup {speedup:.2} too high");
+    }
+
+    #[test]
+    fn gc_happens_and_is_logged() {
+        let report = quick(&xalan(), 4);
+        assert!(report.gc.count(GcKind::Minor) > 0, "no minor GC occurred");
+        assert!(report.gc_time.as_nanos() > 0);
+        assert!(report.gc_time < report.wall_time);
+    }
+
+    #[test]
+    fn lock_profile_reports_app_classes() {
+        let report = quick(&xalan(), 4);
+        assert!(report.locks.acquisitions_of("workqueue") > 0);
+        assert!(report.locks.acquisitions_of("dtm-cache") > 0);
+    }
+
+    #[test]
+    fn trace_balances_allocations_and_deaths() {
+        let report = quick(&xalan(), 4);
+        assert!(report.trace.allocations() > 0);
+        assert_eq!(
+            report.trace.allocations(),
+            report.trace.deaths() + report.trace.censored(),
+            "every object dies or is censored"
+        );
+    }
+
+    #[test]
+    fn determinism_same_seed_same_report() {
+        let a = quick(&xalan(), 4);
+        let b = quick(&xalan(), 4);
+        assert_eq!(a.wall_time, b.wall_time);
+        assert_eq!(a.locks.total.contentions, b.locks.total.contentions);
+        assert_eq!(a.trace.allocations(), b.trace.allocations());
+        assert_eq!(a.events_processed, b.events_processed);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let app = xalan().scaled(0.02);
+        let a = Jvm::new(JvmConfig::builder().threads(4).seed(1).build()).run(&app);
+        let b = Jvm::new(JvmConfig::builder().threads(4).seed(2).build()).run(&app);
+        assert_ne!(a.wall_time, b.wall_time);
+    }
+
+    #[test]
+    fn jython_concentrates_work_in_four_threads() {
+        let report = quick(&jython(), 16);
+        assert!(report.threads_for_90pct_work() <= 4);
+        let idle: u64 = report.per_thread[4..].iter().map(|t| t.items_done).sum();
+        assert_eq!(idle, 0, "threads beyond the cap received work");
+    }
+
+    #[test]
+    fn eclipse_work_is_skewed() {
+        let report = quick(&eclipse(), 8);
+        let shares = report.work_shares();
+        assert!(shares[0] > shares[3], "{shares:?}");
+    }
+
+    #[test]
+    fn mutator_wall_plus_gc_equals_wall() {
+        let report = quick(&xalan(), 4);
+        assert_eq!(
+            report.mutator_wall() + report.gc_time,
+            report.wall_time
+        );
+    }
+
+    #[test]
+    fn heaplets_mode_runs_and_collects_per_region() {
+        let cfg = JvmConfig::builder().threads(4).heaplets(true).seed(1).build();
+        let report = Jvm::new(cfg).run(&xalan().scaled(0.02));
+        assert!(report.gc.collections() > 0);
+        let regions: std::collections::HashSet<usize> = report
+            .gc
+            .events()
+            .iter()
+            .filter(|e| e.kind == GcKind::LocalMinor)
+            .map(|e| e.region)
+            .collect();
+        assert!(regions.len() > 1, "only one heaplet was ever collected");
+        assert_eq!(
+            report.gc.count(GcKind::Minor),
+            0,
+            "heaplet mode never runs global minors"
+        );
+    }
+
+    #[test]
+    fn biased_policy_completes_work() {
+        let cfg = JvmConfig::builder()
+            .threads(8)
+            .policy(SchedPolicy::Biased { cohorts: 2 })
+            .seed(1)
+            .build();
+        let app = xalan().scaled(0.02);
+        let report = Jvm::new(cfg).run(&app);
+        assert_eq!(report.total_items(), app.total_items());
+    }
+
+    #[test]
+    fn helper_threads_are_excluded_from_mutator_reports() {
+        let report = quick(&xalan(), 4);
+        assert_eq!(report.per_thread.len(), 4);
+    }
+
+    #[test]
+    fn concurrent_old_gen_replaces_full_collections() {
+        use crate::config::OldGenPolicy;
+        // full-scale xalan at 48 threads: promotion pressure produces
+        // full GCs in the baseline (see Figure 2)
+        let app = xalan();
+        let stw = Jvm::new(JvmConfig::builder().threads(48).seed(1).build()).run(&app);
+        let conc = Jvm::new(
+            JvmConfig::builder()
+                .threads(48)
+                .seed(1)
+                .old_gen(OldGenPolicy::MostlyConcurrent)
+                .build(),
+        )
+        .run(&app);
+        assert_eq!(conc.total_items(), app.total_items());
+        assert!(
+            stw.gc.count(GcKind::Full) > 0,
+            "baseline must have full GCs for the comparison to mean anything"
+        );
+        let cycles = conc.gc.count(GcKind::ConcurrentOld);
+        let failures = conc.gc.count(GcKind::Full);
+        assert!(
+            cycles > 0 || failures > 0,
+            "occupancy pressure must trigger old-gen work"
+        );
+        // The win is the worst old-gen pause: each concurrent STW phase
+        // (initial mark / remark) is far shorter than a full collection.
+        let max_of = |r: &crate::RunReport, kind: GcKind| {
+            r.gc
+                .events()
+                .iter()
+                .filter(|e| e.kind == kind)
+                .map(|e| e.pause)
+                .max()
+                .unwrap_or(SimDuration::ZERO)
+        };
+        let worst_full = max_of(&stw, GcKind::Full);
+        let worst_phase = max_of(&conc, GcKind::ConcurrentOld);
+        assert!(
+            worst_phase < worst_full,
+            "worst concurrent phase {worst_phase} vs worst full GC {worst_full}"
+        );
+    }
+
+    #[test]
+    fn permanent_objects_are_censored_at_shutdown() {
+        // every app allocates some permanent objects with nonzero
+        // probability; they must be right-censored, never leaked
+        let report = quick(&xalan(), 4);
+        assert!(report.trace.censored() > 0, "xalan allocates permanents");
+        assert_eq!(
+            report.trace.allocations(),
+            report.trace.deaths() + report.trace.censored()
+        );
+    }
+
+    #[test]
+    fn biased_cohorts_park_and_stagger_threads() {
+        let cfg = JvmConfig::builder()
+            .threads(8)
+            .policy(SchedPolicy::Biased { cohorts: 2 })
+            .seed(1)
+            .build();
+        let app = xalan().scaled(0.05);
+        let biased = Jvm::new(cfg).run(&app);
+        let fair =
+            Jvm::new(JvmConfig::builder().threads(8).seed(1).build()).run(&app);
+        // parked threads accumulate sleep-state time that fair never has
+        let sleep: SimDuration = biased
+            .per_thread
+            .iter()
+            .map(|t| t.times.blocked_sleep)
+            .sum();
+        assert!(sleep.as_nanos() > 0, "cohort parking must show up as sleep");
+        assert!(biased.wall_time > fair.wall_time);
+        // but work and objects are conserved identically
+        assert_eq!(biased.total_items(), fair.total_items());
+    }
+
+    #[test]
+    fn heaplet_local_pause_debt_is_charged_to_the_allocating_thread() {
+        let cfg = JvmConfig::builder().threads(4).heaplets(true).seed(1).build();
+        let app = xalan().scaled(0.05);
+        let report = Jvm::new(cfg).run(&app);
+        let local_pause = report.gc.pause_of(GcKind::LocalMinor);
+        assert!(local_pause.as_nanos() > 0);
+        // local collection time rides inside mutator running time (the
+        // owner thread does the copying), so aggregate running exceeds
+        // the items' pure CPU demand
+        assert!(report.mutator_cpu > local_pause);
+    }
+
+    #[test]
+    fn gc_share_is_monotone_across_big_thread_jumps() {
+        // the core Figure-2 relation at unit-test scale
+        let shares: Vec<f64> = [2usize, 12, 48]
+            .iter()
+            .map(|&t| quick(&xalan(), t).gc_share())
+            .collect();
+        assert!(shares.windows(2).all(|w| w[1] > w[0]), "{shares:?}");
+    }
+
+    #[test]
+    fn more_threads_than_cores_still_completes() {
+        let cfg = JvmConfig::builder().threads(6).cores(2).seed(1).build();
+        let app = xalan().scaled(0.01);
+        let report = Jvm::new(cfg).run(&app);
+        assert_eq!(report.total_items(), app.total_items());
+        let runnable_wait: SimDuration = report
+            .per_thread
+            .iter()
+            .map(|t| t.times.runnable_wait)
+            .sum();
+        assert!(
+            runnable_wait > SimDuration::ZERO,
+            "6 threads on 2 cores must wait for cores"
+        );
+    }
+}

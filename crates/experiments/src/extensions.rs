@@ -1,0 +1,985 @@
+//! Extension experiments beyond the paper's figures.
+//!
+//! The paper's characterization invites three follow-up questions that
+//! its testbed could not isolate but the simulator can:
+//!
+//! * `ext-ergo` — would HotSpot's adaptive nursery sizing (on by default
+//!   for the throughput collector, but pinned for the paper's fixed-heap
+//!   methodology) rein in the growing pauses of Figure 2?
+//! * `ext-numa` — how much of the GC-time growth is NUMA exposure?
+//!   Compact vs. scatter core placement isolates the remote-copy factor.
+//! * `ext-sharding` — Figure 1b shows contention growing with threads;
+//!   sharding the hottest application lock quantifies how much of it is
+//!   a single-monitor artifact.
+//! * `ext-gcworkers` — how much do more parallel GC workers help? The
+//!   `w / (1 + α(w-1))` synchronization model predicts saturation.
+//! * `ext-oversub` — the paper keeps threads = cores; oversubscribing a
+//!   fixed 48-core machine exposes preemption-driven lifespan inflation.
+//! * `ext-heapsize` — trace-driven replay (the Elephant-Tracks workflow)
+//!   sweeps heap sizes over one recorded object population, testing the
+//!   paper's "3× minimum heap" methodology.
+//! * `ext-concurrent` — would a CMS-like mostly-concurrent old-generation
+//!   collector change the paper's conclusion that GC limits scalability?
+
+use scalesim_core::{replay_gc, Jvm, JvmConfig, OldGenPolicy, RunReport};
+use scalesim_heap::{HeapConfig, NurseryLayout};
+use scalesim_objtrace::Retention;
+use scalesim_gc::{GcCostModel, GcKind};
+use scalesim_machine::Placement;
+use scalesim_metrics::{fmt2, fmt_pct, Table};
+use scalesim_simkit::SimDuration;
+use scalesim_workloads::app_by_name;
+
+use crate::params::ExpParams;
+use crate::sweep::{run_all, RunSpec};
+
+// ---------------------------------------------------------------------
+// ext-ergo: adaptive nursery sizing
+// ---------------------------------------------------------------------
+
+/// One row of the ergonomics study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErgoRow {
+    /// Thread count.
+    pub threads: usize,
+    /// Variant (`fixed` or `goal=<pause>`).
+    pub variant: String,
+    /// End-to-end wall time.
+    pub wall: SimDuration,
+    /// Total GC pause time.
+    pub gc: SimDuration,
+    /// Largest minor pause.
+    pub max_minor_pause: SimDuration,
+    /// Minor collections.
+    pub minors: usize,
+}
+
+/// The adaptive-sizing study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ergonomics {
+    /// All rows.
+    pub rows: Vec<ErgoRow>,
+}
+
+impl Ergonomics {
+    /// The row for `(variant, threads)`.
+    #[must_use]
+    pub fn row(&self, variant: &str, threads: usize) -> Option<&ErgoRow> {
+        self.rows
+            .iter()
+            .find(|r| r.variant == variant && r.threads == threads)
+    }
+
+    /// Renders the table.
+    #[must_use]
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(vec![
+            "threads",
+            "variant",
+            "wall",
+            "gc",
+            "max minor pause",
+            "minors",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.threads.to_string(),
+                r.variant.clone(),
+                r.wall.to_string(),
+                r.gc.to_string(),
+                r.max_minor_pause.to_string(),
+                r.minors.to_string(),
+            ]);
+        }
+        t
+    }
+}
+
+fn max_minor_pause(report: &RunReport) -> SimDuration {
+    report
+        .gc
+        .events()
+        .iter()
+        .filter(|e| matches!(e.kind, GcKind::Minor | GcKind::LocalMinor))
+        .map(|e| e.pause)
+        .fold(SimDuration::ZERO, SimDuration::max)
+}
+
+/// Runs `ext-ergo`: fixed nursery vs. adaptive sizing under two pause
+/// goals, on `app`. The goals are set relative to each configuration's
+/// irreducible pause floor (fixed overhead + time-to-safepoint):
+/// a *tight* goal of 1.1× the floor leaves almost no copy budget, a
+/// *relaxed* goal of 4× the floor lets the nursery grow for throughput.
+///
+/// # Panics
+///
+/// Panics if `app` is unknown.
+#[must_use]
+pub fn run_ergonomics(app: &str, params: &ExpParams) -> Ergonomics {
+    let model = app_by_name(app).unwrap_or_else(|| panic!("unknown app {app}"));
+    let mut specs = Vec::new();
+    let mut labels = Vec::new();
+    for &threads in &params.thread_counts {
+        let mut fixed = JvmConfig::builder();
+        fixed.threads(threads).seed(params.seed);
+        let fixed = fixed.build();
+        // The floor this configuration's minor pauses cannot go below.
+        let cost = GcCostModel::hotspot_like(
+            fixed.gc_workers(),
+            fixed.machine.mean_numa_factor(fixed.cores()),
+        );
+        let live_threads = threads + fixed.helper_threads;
+        let floor =
+            SimDuration::from_nanos(cost.pause_floor_ns(live_threads) as u64);
+        specs.push(RunSpec {
+            app: model.scaled(params.scale),
+            config: fixed.clone(),
+        });
+        labels.push("fixed".to_owned());
+        for (label, factor) in [("tight", 1.1f64), ("relaxed", 4.0)] {
+            let mut cfg = JvmConfig::builder();
+            cfg.threads(threads)
+                .seed(params.seed)
+                .pause_goal(floor.mul_f64(factor));
+            specs.push(RunSpec {
+                app: model.scaled(params.scale),
+                config: cfg.build(),
+            });
+            labels.push(label.to_owned());
+        }
+    }
+    let reports = run_all(&specs);
+    Ergonomics {
+        rows: labels
+            .iter()
+            .zip(reports.iter())
+            .map(|(variant, r)| ErgoRow {
+                threads: r.threads,
+                variant: variant.clone(),
+                wall: r.wall_time,
+                gc: r.gc_time,
+                max_minor_pause: max_minor_pause(r),
+                minors: r.gc.count(GcKind::Minor),
+            })
+            .collect(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// ext-numa: placement sensitivity
+// ---------------------------------------------------------------------
+
+/// One row of the NUMA-placement study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NumaRow {
+    /// Thread count.
+    pub threads: usize,
+    /// `compact` or `scatter`.
+    pub placement: String,
+    /// Mean NUMA factor of the enabled cores.
+    pub numa_factor: f64,
+    /// End-to-end wall time.
+    pub wall: SimDuration,
+    /// Total GC pause time.
+    pub gc: SimDuration,
+}
+
+/// The placement study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NumaStudy {
+    /// All rows.
+    pub rows: Vec<NumaRow>,
+}
+
+impl NumaStudy {
+    /// The row for `(placement, threads)`.
+    #[must_use]
+    pub fn row(&self, placement: &str, threads: usize) -> Option<&NumaRow> {
+        self.rows
+            .iter()
+            .find(|r| r.placement == placement && r.threads == threads)
+    }
+
+    /// Renders the table.
+    #[must_use]
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(vec!["threads", "placement", "numa factor", "wall", "gc"]);
+        for r in &self.rows {
+            t.row(vec![
+                r.threads.to_string(),
+                r.placement.clone(),
+                fmt2(r.numa_factor),
+                r.wall.to_string(),
+                r.gc.to_string(),
+            ]);
+        }
+        t
+    }
+}
+
+/// Runs `ext-numa`: compact vs. scatter placement on `app`. The effect
+/// is largest at thread counts below one socket's worth of cores, where
+/// compact placement stays NUMA-local.
+///
+/// # Panics
+///
+/// Panics if `app` is unknown.
+#[must_use]
+pub fn run_numa_placement(app: &str, params: &ExpParams) -> NumaStudy {
+    let model = app_by_name(app).unwrap_or_else(|| panic!("unknown app {app}"));
+    let placements = [(Placement::Compact, "compact"), (Placement::Scatter, "scatter")];
+    let mut specs = Vec::new();
+    let mut meta = Vec::new();
+    for &threads in &params.thread_counts {
+        for (placement, label) in placements {
+            let mut cfg = JvmConfig::builder();
+            cfg.threads(threads).seed(params.seed).placement(placement);
+            let cfg = cfg.build();
+            let cores = placement.enabled(&cfg.machine, cfg.cores());
+            let factor = cfg.machine.mean_numa_factor_of(&cores);
+            specs.push(RunSpec {
+                app: model.scaled(params.scale),
+                config: cfg,
+            });
+            meta.push((label.to_owned(), factor));
+        }
+    }
+    let reports = run_all(&specs);
+    NumaStudy {
+        rows: meta
+            .iter()
+            .zip(reports.iter())
+            .map(|((label, factor), r)| NumaRow {
+                threads: r.threads,
+                placement: label.clone(),
+                numa_factor: *factor,
+                wall: r.wall_time,
+                gc: r.gc_time,
+            })
+            .collect(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// ext-sharding: splitting the hottest lock
+// ---------------------------------------------------------------------
+
+/// One row of the sharding study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardingRow {
+    /// Shards backing the hot lock class.
+    pub shards: usize,
+    /// Contention instances on that class.
+    pub contentions: u64,
+    /// Contention rate on that class (contended / acquisitions).
+    pub contention_rate: f64,
+    /// End-to-end wall time.
+    pub wall: SimDuration,
+}
+
+/// The sharding study (fixed thread count, varying shard counts).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sharding {
+    /// The app studied.
+    pub app: String,
+    /// The lock class sharded.
+    pub class: String,
+    /// Thread count used.
+    pub threads: usize,
+    /// One row per shard count.
+    pub rows: Vec<ShardingRow>,
+}
+
+impl Sharding {
+    /// Renders the table.
+    #[must_use]
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(vec!["app", "lock", "threads", "shards", "contentions", "rate", "wall"]);
+        for r in &self.rows {
+            t.row(vec![
+                self.app.clone(),
+                self.class.clone(),
+                self.threads.to_string(),
+                r.shards.to_string(),
+                r.contentions.to_string(),
+                fmt_pct(r.contention_rate),
+                r.wall.to_string(),
+            ]);
+        }
+        t
+    }
+}
+
+/// Runs `ext-sharding`: shard `app`'s lock class `class_idx` 1/2/4/8
+/// ways at the sweep's largest thread count.
+///
+/// # Panics
+///
+/// Panics if `app` is unknown or `class_idx` is out of range.
+#[must_use]
+pub fn run_lock_sharding(app: &str, class_idx: usize, params: &ExpParams) -> Sharding {
+    let model = app_by_name(app).unwrap_or_else(|| panic!("unknown app {app}"));
+    let class = model.spec().lock_classes[class_idx].name.clone();
+    let threads = params.max_threads();
+    let shard_counts = [1usize, 2, 4, 8];
+    let specs: Vec<RunSpec> = shard_counts
+        .iter()
+        .map(|&k| {
+            RunSpec::new(
+                model.with_lock_instances(class_idx, k).scaled(params.scale),
+                threads,
+                params.seed,
+            )
+        })
+        .collect();
+    let reports = run_all(&specs);
+    Sharding {
+        app: app.to_owned(),
+        class: class.clone(),
+        threads,
+        rows: shard_counts
+            .iter()
+            .zip(reports.iter())
+            .map(|(&shards, r)| {
+                let stats = &r.locks.by_class[&class];
+                ShardingRow {
+                    shards,
+                    contentions: stats.contentions,
+                    contention_rate: stats.contention_rate(),
+                    wall: r.wall_time,
+                }
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExpParams {
+        ExpParams::quick().with_scale(0.02).with_threads(vec![16])
+    }
+
+    #[test]
+    fn ergonomics_produces_three_variants_per_thread_count() {
+        let e = run_ergonomics("xalan", &tiny());
+        assert_eq!(e.rows.len(), 3);
+        assert!(e.row("fixed", 16).is_some());
+        assert!(e.row("tight", 16).is_some());
+        assert!(e.row("relaxed", 16).is_some());
+        assert_eq!(e.table().num_rows(), 3);
+    }
+
+    #[test]
+    fn adaptive_sizing_never_storms() {
+        // The historical failure mode: an unachievable goal shrinking the
+        // nursery into a collection storm. With floor-aware control, GC
+        // time under any goal stays within a small factor of fixed.
+        let params = ExpParams::quick().with_scale(0.1).with_threads(vec![32]);
+        let e = run_ergonomics("xalan", &params);
+        let fixed = e.row("fixed", 32).expect("fixed");
+        for variant in ["tight", "relaxed"] {
+            let v = e.row(variant, 32).expect(variant);
+            assert!(
+                v.gc.as_secs_f64() < fixed.gc.as_secs_f64() * 3.0,
+                "{variant}: gc {} vs fixed {}",
+                v.gc,
+                fixed.gc
+            );
+        }
+    }
+
+    #[test]
+    fn relaxed_goal_trades_pause_for_fewer_collections() {
+        let params = ExpParams::quick().with_scale(0.1).with_threads(vec![8]);
+        let e = run_ergonomics("xalan", &params);
+        let fixed = e.row("fixed", 8).expect("fixed");
+        let relaxed = e.row("relaxed", 8).expect("relaxed");
+        assert!(
+            relaxed.minors <= fixed.minors,
+            "growing the nursery must not collect more often: {} vs {}",
+            relaxed.minors,
+            fixed.minors
+        );
+    }
+
+    #[test]
+    fn numa_scatter_is_more_exposed_and_slower_gc() {
+        let params = ExpParams::quick().with_scale(0.05).with_threads(vec![8]);
+        let n = run_numa_placement("xalan", &params);
+        let compact = n.row("compact", 8).expect("compact");
+        let scatter = n.row("scatter", 8).expect("scatter");
+        assert_eq!(compact.numa_factor, 1.0);
+        assert!(scatter.numa_factor > 1.3);
+        assert!(scatter.gc > compact.gc, "{} vs {}", scatter.gc, compact.gc);
+    }
+
+    #[test]
+    fn sharding_reduces_contention_on_the_hot_class() {
+        let params = ExpParams::quick().with_scale(0.05).with_threads(vec![32]);
+        // xalan lock class 1 = dtm-cache
+        let s = run_lock_sharding("xalan", 1, &params);
+        assert_eq!(s.class, "dtm-cache");
+        assert_eq!(s.rows.len(), 4);
+        let one = &s.rows[0];
+        let eight = &s.rows[3];
+        assert!(
+            eight.contentions * 2 < one.contentions,
+            "8 shards: {} vs 1 shard: {}",
+            eight.contentions,
+            one.contentions
+        );
+    }
+}
+
+
+// ---------------------------------------------------------------------
+// ext-gcworkers: parallel GC worker scaling
+// ---------------------------------------------------------------------
+
+/// One row of the GC-worker scaling study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GcWorkersRow {
+    /// Parallel GC worker threads.
+    pub workers: usize,
+    /// Total GC pause time.
+    pub gc: SimDuration,
+    /// Largest minor pause.
+    pub max_minor_pause: SimDuration,
+    /// End-to-end wall time.
+    pub wall: SimDuration,
+}
+
+/// The GC-worker scaling study (fixed mutator thread count).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GcWorkers {
+    /// Mutator threads used throughout.
+    pub threads: usize,
+    /// One row per worker count.
+    pub rows: Vec<GcWorkersRow>,
+}
+
+impl GcWorkers {
+    /// Renders the table.
+    #[must_use]
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(vec!["threads", "gc workers", "gc", "max minor pause", "wall"]);
+        for r in &self.rows {
+            t.row(vec![
+                self.threads.to_string(),
+                r.workers.to_string(),
+                r.gc.to_string(),
+                r.max_minor_pause.to_string(),
+                r.wall.to_string(),
+            ]);
+        }
+        t
+    }
+}
+
+/// Runs `ext-gcworkers`: sweeps the parallel GC worker count (1, 2, 4,
+/// …, cores) at the sweep's largest thread count.
+///
+/// # Panics
+///
+/// Panics if `app` is unknown.
+#[must_use]
+pub fn run_gc_workers(app: &str, params: &ExpParams) -> GcWorkers {
+    let model = app_by_name(app).unwrap_or_else(|| panic!("unknown app {app}"));
+    let threads = params.max_threads();
+    let mut worker_counts = Vec::new();
+    let mut w = 1;
+    while w < threads {
+        worker_counts.push(w);
+        w *= 2;
+    }
+    worker_counts.push(threads);
+    let specs: Vec<RunSpec> = worker_counts
+        .iter()
+        .map(|&workers| {
+            let mut cfg = JvmConfig::builder();
+            cfg.threads(threads).seed(params.seed).gc_workers(workers);
+            RunSpec {
+                app: model.scaled(params.scale),
+                config: cfg.build(),
+            }
+        })
+        .collect();
+    let reports = run_all(&specs);
+    GcWorkers {
+        threads,
+        rows: worker_counts
+            .iter()
+            .zip(reports.iter())
+            .map(|(&workers, r)| GcWorkersRow {
+                workers,
+                gc: r.gc_time,
+                max_minor_pause: max_minor_pause(r),
+                wall: r.wall_time,
+            })
+            .collect(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// ext-oversub: threads beyond cores
+// ---------------------------------------------------------------------
+
+/// One row of the oversubscription study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OversubRow {
+    /// Mutator threads (cores fixed at the machine's 48).
+    pub threads: usize,
+    /// Quantum preemptions across all mutators.
+    pub preemptions: u64,
+    /// Fraction of objects with lifespans below 1 KiB.
+    pub frac_below_1k: f64,
+    /// Total GC pause time.
+    pub gc: SimDuration,
+    /// End-to-end wall time.
+    pub wall: SimDuration,
+}
+
+/// The oversubscription study: a fixed fully-enabled machine with
+/// 1×, 2× and 4× as many threads as cores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Oversub {
+    /// Enabled cores (fixed).
+    pub cores: usize,
+    /// One row per thread count.
+    pub rows: Vec<OversubRow>,
+}
+
+impl Oversub {
+    /// Renders the table.
+    #[must_use]
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(vec![
+            "cores",
+            "threads",
+            "preemptions",
+            "<1KiB",
+            "gc",
+            "wall",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                self.cores.to_string(),
+                r.threads.to_string(),
+                r.preemptions.to_string(),
+                fmt_pct(r.frac_below_1k),
+                r.gc.to_string(),
+                r.wall.to_string(),
+            ]);
+        }
+        t
+    }
+}
+
+/// Runs `ext-oversub` on `app`: 48 cores enabled, threads at 1×/2×/4×
+/// the core count. The paper never oversubscribes (threads = cores);
+/// this shows that its lifespan-inflation mechanism strengthens when
+/// threads time-share cores and quantum preemption suspends them
+/// mid-item.
+///
+/// # Panics
+///
+/// Panics if `app` is unknown.
+#[must_use]
+pub fn run_oversubscription(app: &str, params: &ExpParams) -> Oversub {
+    let model = app_by_name(app).unwrap_or_else(|| panic!("unknown app {app}"));
+    let cores = 48;
+    let thread_counts = [cores, 2 * cores, 4 * cores];
+    let specs: Vec<RunSpec> = thread_counts
+        .iter()
+        .map(|&threads| {
+            let mut cfg = JvmConfig::builder();
+            cfg.threads(threads).cores(cores).seed(params.seed);
+            RunSpec {
+                app: model.scaled(params.scale),
+                config: cfg.build(),
+            }
+        })
+        .collect();
+    let reports = run_all(&specs);
+    Oversub {
+        cores,
+        rows: thread_counts
+            .iter()
+            .zip(reports.iter())
+            .map(|(&threads, r)| OversubRow {
+                threads,
+                preemptions: r.per_thread.iter().map(|t| t.preemptions).sum(),
+                frac_below_1k: r.trace.fraction_below(1 << 10),
+                gc: r.gc_time,
+                wall: r.wall_time,
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+
+    #[test]
+    fn gc_workers_help_but_saturate() {
+        let params = ExpParams::quick().with_scale(0.1).with_threads(vec![32]);
+        let g = run_gc_workers("xalan", &params);
+        assert_eq!(g.threads, 32);
+        assert!(g.rows.len() >= 5);
+        let one = &g.rows[0];
+        let all = g.rows.last().expect("rows");
+        assert!(all.gc < one.gc, "more workers must reduce GC time");
+        // diminishing returns: the last doubling helps less than the first
+        let first_gain = one.gc.as_secs_f64() / g.rows[1].gc.as_secs_f64();
+        let n = g.rows.len();
+        let last_gain = g.rows[n - 2].gc.as_secs_f64() / all.gc.as_secs_f64();
+        assert!(
+            first_gain > last_gain,
+            "first doubling {first_gain:.3}x, last {last_gain:.3}x"
+        );
+    }
+
+    #[test]
+    fn oversubscription_hurts_gc_disproportionately() {
+        let params = ExpParams::quick().with_scale(0.1);
+        let o = run_oversubscription("xalan", &params);
+        assert_eq!(o.rows.len(), 3);
+        let matched = &o.rows[0];
+        let four_x = &o.rows[2];
+        // Threads time-sharing 48 cores gain no mutator capacity but keep
+        // more carried objects alive, so GC time grows much faster than
+        // wall time.
+        let gc_growth = four_x.gc.as_secs_f64() / matched.gc.as_secs_f64();
+        let wall_growth = four_x.wall.as_secs_f64() / matched.wall.as_secs_f64();
+        assert!(gc_growth > 1.5, "gc growth {gc_growth:.2}");
+        assert!(
+            gc_growth > wall_growth,
+            "gc x{gc_growth:.2} should outpace wall x{wall_growth:.2}"
+        );
+        // ... and lifespans never get shorter under time-sharing.
+        assert!(four_x.frac_below_1k <= matched.frac_below_1k + 0.02);
+    }
+}
+
+
+// ---------------------------------------------------------------------
+// ext-heapsize: trace-driven heap-size sweep
+// ---------------------------------------------------------------------
+
+/// One row of the heap-size study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeapSizeRow {
+    /// Heap size as a multiple of the app's minimum requirement.
+    pub factor: f64,
+    /// Heap size in bytes.
+    pub heap_bytes: u64,
+    /// Minor collections during replay.
+    pub minors: usize,
+    /// Full collections during replay.
+    pub fulls: usize,
+    /// Total GC pause time.
+    pub gc: SimDuration,
+    /// Mean nursery survival rate.
+    pub survival: f64,
+}
+
+/// The heap-size study: one recorded trace replayed at several heap
+/// sizes (the Elephant-Tracks trace-driven GC-simulation workflow).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeapSizeStudy {
+    /// App the trace was recorded from.
+    pub app: String,
+    /// Threads the trace was recorded under.
+    pub threads: usize,
+    /// Objects in the trace.
+    pub objects: u64,
+    /// One row per heap-size factor.
+    pub rows: Vec<HeapSizeRow>,
+}
+
+impl HeapSizeStudy {
+    /// The row for a given factor.
+    #[must_use]
+    pub fn row(&self, factor: f64) -> Option<&HeapSizeRow> {
+        self.rows.iter().find(|r| (r.factor - factor).abs() < 1e-9)
+    }
+
+    /// Renders the table.
+    #[must_use]
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(vec![
+            "app",
+            "threads",
+            "heap (x min)",
+            "minors",
+            "fulls",
+            "gc",
+            "survival",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                self.app.clone(),
+                self.threads.to_string(),
+                format!("{:.1}x", r.factor),
+                r.minors.to_string(),
+                r.fulls.to_string(),
+                r.gc.to_string(),
+                fmt_pct(r.survival),
+            ]);
+        }
+        t
+    }
+}
+
+/// Runs `ext-heapsize` on `app`: records one full object trace at the
+/// sweep's largest thread count, then replays it at 1.5×–6× the app's
+/// minimum heap.
+///
+/// Note: full-trace retention is memory-proportional to the object
+/// count; prefer `--scale` ≤ 0.5 for paper-sized workloads.
+///
+/// # Panics
+///
+/// Panics if `app` is unknown.
+#[must_use]
+pub fn run_heap_size(app: &str, params: &ExpParams) -> HeapSizeStudy {
+    let model = app_by_name(app).unwrap_or_else(|| panic!("unknown app {app}"));
+    let threads = params.max_threads();
+    let scaled = model.scaled(params.scale);
+
+    let mut cfg = JvmConfig::builder();
+    cfg.threads(threads)
+        .seed(params.seed)
+        .retention(Retention::Full);
+    let report = Jvm::new(cfg.build()).run(&scaled);
+    let events = report.trace.events().expect("full retention");
+
+    let min_heap = scaled.spec().min_heap_bytes;
+    let gc_model = GcCostModel::hotspot_like(
+        threads,
+        scalesim_machine::MachineTopology::amd_6168().mean_numa_factor(threads.min(48)),
+    );
+    let rows = [1.5f64, 2.0, 3.0, 4.0, 6.0]
+        .into_iter()
+        .map(|factor| {
+            let heap_bytes = (min_heap as f64 * factor) as u64;
+            let heap_cfg = HeapConfig::new(heap_bytes, 1.0 / 3.0, NurseryLayout::Shared);
+            let out = replay_gc(events, heap_cfg, gc_model, threads);
+            HeapSizeRow {
+                factor,
+                heap_bytes,
+                minors: out.gc.count(GcKind::Minor),
+                fulls: out.gc.count(GcKind::Full),
+                gc: out.gc.total_pause(),
+                survival: out.gc.minor_survival_rate().unwrap_or(0.0),
+            }
+        })
+        .collect();
+    HeapSizeStudy {
+        app: app.to_owned(),
+        threads,
+        objects: report.trace.allocations(),
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod heapsize_tests {
+    use super::*;
+
+    #[test]
+    fn gc_time_falls_with_heap_size_with_diminishing_returns() {
+        let params = ExpParams::quick().with_scale(0.05).with_threads(vec![16]);
+        let study = run_heap_size("xalan", &params);
+        assert_eq!(study.rows.len(), 5);
+        assert!(study.objects > 0);
+
+        let gc: Vec<f64> = study.rows.iter().map(|r| r.gc.as_secs_f64()).collect();
+        assert!(
+            gc.windows(2).all(|w| w[1] <= w[0] * 1.05),
+            "GC time should fall (or hold) as the heap grows: {gc:?}"
+        );
+        // tight heaps pay heavily relative to generous ones
+        assert!(
+            gc[0] > gc[4] * 2.0,
+            "1.5x min heap should cost >2x the GC time of 6x: {gc:?}"
+        );
+    }
+
+    #[test]
+    fn minor_count_scales_inversely_with_nursery() {
+        let params = ExpParams::quick().with_scale(0.02).with_threads(vec![8]);
+        let study = run_heap_size("lusearch", &params);
+        let small = study.row(1.5).expect("1.5x");
+        let large = study.row(6.0).expect("6x");
+        assert!(
+            small.minors > large.minors * 2,
+            "{} vs {}",
+            small.minors,
+            large.minors
+        );
+    }
+}
+
+
+// ---------------------------------------------------------------------
+// ext-concurrent: mostly-concurrent old generation
+// ---------------------------------------------------------------------
+
+/// One row of the concurrent-collector study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConcurrentRow {
+    /// Thread count.
+    pub threads: usize,
+    /// `stw-full` or `concurrent`.
+    pub policy: String,
+    /// End-to-end wall time.
+    pub wall: SimDuration,
+    /// Total STW pause time (all collection kinds).
+    pub gc_stw: SimDuration,
+    /// Worst single old-generation pause (full GC, or one concurrent
+    /// phase).
+    pub worst_old_pause: SimDuration,
+    /// Old-gen collections: full GCs, or completed concurrent cycles.
+    pub old_collections: usize,
+    /// STW full GCs under the concurrent policy — "concurrent mode
+    /// failures".
+    pub failures: usize,
+}
+
+/// The concurrent-collector study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConcurrentStudy {
+    /// All rows.
+    pub rows: Vec<ConcurrentRow>,
+}
+
+impl ConcurrentStudy {
+    /// The row for `(policy, threads)`.
+    #[must_use]
+    pub fn row(&self, policy: &str, threads: usize) -> Option<&ConcurrentRow> {
+        self.rows
+            .iter()
+            .find(|r| r.policy == policy && r.threads == threads)
+    }
+
+    /// Renders the table.
+    #[must_use]
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(vec![
+            "threads",
+            "old-gen policy",
+            "wall",
+            "gc stw",
+            "worst old pause",
+            "old collections",
+            "cmf",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.threads.to_string(),
+                r.policy.clone(),
+                r.wall.to_string(),
+                r.gc_stw.to_string(),
+                r.worst_old_pause.to_string(),
+                r.old_collections.to_string(),
+                r.failures.to_string(),
+            ]);
+        }
+        t
+    }
+}
+
+fn concurrent_row(policy: &str, r: &RunReport) -> ConcurrentRow {
+    let max_of = |kind: GcKind| {
+        r.gc
+            .events()
+            .iter()
+            .filter(|e| e.kind == kind)
+            .map(|e| e.pause)
+            .max()
+            .unwrap_or(SimDuration::ZERO)
+    };
+    let (worst_old, old_collections, failures) = if policy == "concurrent" {
+        (
+            max_of(GcKind::ConcurrentOld).max(max_of(GcKind::Full)),
+            r.gc.count(GcKind::ConcurrentOld) / 2, // two phases per cycle
+            r.gc.count(GcKind::Full),
+        )
+    } else {
+        (max_of(GcKind::Full), r.gc.count(GcKind::Full), 0)
+    };
+    ConcurrentRow {
+        threads: r.threads,
+        policy: policy.to_owned(),
+        wall: r.wall_time,
+        gc_stw: r.gc_time,
+        worst_old_pause: worst_old,
+        old_collections,
+        failures,
+    }
+}
+
+/// Runs `ext-concurrent` on `app`: the paper's STW throughput collector
+/// vs. a CMS-like mostly-concurrent old generation, across the thread
+/// sweep.
+///
+/// # Panics
+///
+/// Panics if `app` is unknown.
+#[must_use]
+pub fn run_concurrent_old_gen(app: &str, params: &ExpParams) -> ConcurrentStudy {
+    let model = app_by_name(app).unwrap_or_else(|| panic!("unknown app {app}"));
+    let mut specs = Vec::new();
+    let mut labels = Vec::new();
+    for &threads in &params.thread_counts {
+        for (label, policy) in [
+            ("stw-full", OldGenPolicy::StwFull),
+            ("concurrent", OldGenPolicy::MostlyConcurrent),
+        ] {
+            let mut cfg = JvmConfig::builder();
+            cfg.threads(threads).seed(params.seed).old_gen(policy);
+            specs.push(RunSpec {
+                app: model.scaled(params.scale),
+                config: cfg.build(),
+            });
+            labels.push(label);
+        }
+    }
+    let reports = run_all(&specs);
+    ConcurrentStudy {
+        rows: labels
+            .iter()
+            .zip(reports.iter())
+            .map(|(label, r)| concurrent_row(label, r))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod concurrent_tests {
+    use super::*;
+
+    #[test]
+    fn concurrent_policy_bounds_the_worst_old_gen_pause() {
+        // Needs enough promotion pressure for old-gen collections: full
+        // scale at 48 threads (see Figure 2's full-GC column).
+        let params = ExpParams::paper().with_threads(vec![48]);
+        let study = run_concurrent_old_gen("xalan", &params);
+        let stw = study.row("stw-full", 48).expect("stw row");
+        let conc = study.row("concurrent", 48).expect("concurrent row");
+        assert!(stw.old_collections > 0, "baseline needs full GCs");
+        assert!(conc.old_collections > 0, "cycles must run");
+        assert!(
+            conc.worst_old_pause < stw.worst_old_pause,
+            "{} vs {}",
+            conc.worst_old_pause,
+            stw.worst_old_pause
+        );
+        // mutator work is unaffected
+        assert_eq!(study.table().num_rows(), 2);
+    }
+}

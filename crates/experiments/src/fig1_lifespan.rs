@@ -1,0 +1,169 @@
+//! Figures 1c and 1d: object-lifespan CDFs at low vs. high thread
+//! counts.
+//!
+//! Paper expectations (§III-B): xalan (Figure 1d) has over 80 % of
+//! objects with lifespans below 1 KB at 4 threads but only ~50 % at 48;
+//! eclipse (Figure 1c) "shows almost no change in object lifespans as we
+//! changed the numbers of threads from 4 to 48".
+
+use scalesim_metrics::{fmt_bytes, fmt_pct, Table};
+use scalesim_workloads::{app_by_name, AppModel};
+
+use crate::params::ExpParams;
+use crate::sweep::{run_all, RunSpec};
+
+/// Default CDF sampling thresholds (bytes of allocation), log-spaced the
+/// way the paper's x-axes are.
+pub const DEFAULT_THRESHOLDS: [u64; 9] = [
+    64,
+    256,
+    1 << 10,
+    4 << 10,
+    16 << 10,
+    64 << 10,
+    256 << 10,
+    1 << 20,
+    16 << 20,
+];
+
+/// One lifespan-CDF figure: an app measured at several thread counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LifespanCurves {
+    /// Application name.
+    pub app: String,
+    /// Sampling thresholds (bytes).
+    pub thresholds: Vec<u64>,
+    /// Per thread count: `(threads, fraction of objects with lifespan <
+    /// threshold)` for each threshold.
+    pub curves: Vec<(usize, Vec<f64>)>,
+}
+
+impl LifespanCurves {
+    /// Fraction of objects with lifespans below 1 KiB at the given thread
+    /// count — the paper's headline statistic.
+    #[must_use]
+    pub fn frac_below_1k(&self, threads: usize) -> Option<f64> {
+        let idx = self.thresholds.iter().position(|&t| t == 1 << 10)?;
+        self.curves
+            .iter()
+            .find(|(t, _)| *t == threads)
+            .map(|(_, fracs)| fracs[idx])
+    }
+
+    /// Maximum vertical CDF shift between the lowest and highest thread
+    /// counts — near 0 for eclipse, large for xalan.
+    #[must_use]
+    pub fn max_shift(&self) -> f64 {
+        let (Some((_, lo)), Some((_, hi))) = (self.curves.first(), self.curves.last()) else {
+            return 0.0;
+        };
+        lo.iter()
+            .zip(hi.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Renders the figure as a table: one row per thread count, one
+    /// column per threshold.
+    #[must_use]
+    pub fn table(&self) -> Table {
+        let mut headers = vec!["app".to_owned(), "threads".to_owned()];
+        headers.extend(self.thresholds.iter().map(|&t| format!("<{}", fmt_bytes(t))));
+        let mut table = Table::new(headers);
+        for (threads, fracs) in &self.curves {
+            let mut row = vec![self.app.clone(), threads.to_string()];
+            row.extend(fracs.iter().map(|&f| fmt_pct(f)));
+            table.row(row);
+        }
+        table
+    }
+}
+
+/// Runs a lifespan-CDF figure for one app over `thread_counts`.
+///
+/// # Panics
+///
+/// Panics if `app` is not one of the six benchmarks.
+#[must_use]
+pub fn run_lifespan_curves(app: &str, params: &ExpParams) -> LifespanCurves {
+    let model = app_by_name(app).unwrap_or_else(|| panic!("unknown app {app}"));
+    let specs: Vec<RunSpec> = params
+        .thread_counts
+        .iter()
+        .map(|&t| RunSpec::new(model.scaled(params.scale), t, params.seed))
+        .collect();
+    let reports = run_all(&specs);
+    let thresholds = DEFAULT_THRESHOLDS.to_vec();
+    let curves = params
+        .thread_counts
+        .iter()
+        .zip(reports.iter())
+        .map(|(&threads, r)| {
+            let fracs = thresholds
+                .iter()
+                .map(|&t| r.trace.fraction_below(t))
+                .collect();
+            (threads, fracs)
+        })
+        .collect();
+    LifespanCurves {
+        app: model.name().to_owned(),
+        thresholds,
+        curves,
+    }
+}
+
+/// Figure 1c: eclipse's lifespan CDF — expected to barely move with
+/// thread count.
+#[must_use]
+pub fn run_fig1c(params: &ExpParams) -> LifespanCurves {
+    run_lifespan_curves("eclipse", params)
+}
+
+/// Figure 1d: xalan's lifespan CDF — expected to shift right markedly at
+/// high thread counts.
+#[must_use]
+pub fn run_fig1d(params: &ExpParams) -> LifespanCurves {
+    run_lifespan_curves("xalan", params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExpParams {
+        ExpParams::quick().with_scale(0.01).with_threads(vec![4, 16])
+    }
+
+    #[test]
+    fn curves_cover_thread_counts_and_thresholds() {
+        let c = run_fig1d(&tiny());
+        assert_eq!(c.app, "xalan");
+        assert_eq!(c.curves.len(), 2);
+        assert_eq!(c.curves[0].1.len(), DEFAULT_THRESHOLDS.len());
+        assert!(c.frac_below_1k(4).is_some());
+        assert!(c.frac_below_1k(99).is_none());
+    }
+
+    #[test]
+    fn cdf_rows_are_monotone_in_threshold() {
+        let c = run_fig1d(&tiny());
+        for (_, fracs) in &c.curves {
+            assert!(fracs.windows(2).all(|w| w[0] <= w[1] + 1e-9), "{fracs:?}");
+        }
+    }
+
+    #[test]
+    fn table_shape() {
+        let c = run_fig1c(&tiny());
+        let t = c.table();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.headers().len(), 2 + DEFAULT_THRESHOLDS.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown app")]
+    fn unknown_app_panics() {
+        let _ = run_lifespan_curves("nope", &tiny());
+    }
+}

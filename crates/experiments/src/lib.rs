@@ -1,0 +1,67 @@
+//! # scalesim-experiments
+//!
+//! One driver per artifact of the ISPASS'15 evaluation, each printing the
+//! same rows/series the paper reports:
+//!
+//! | id | paper artifact | driver |
+//! |----|----------------|--------|
+//! | `workdist` | §III workload distribution | [`run_workdist`] |
+//! | `scaletable` | §II-C scalable / non-scalable classification | [`run_scalability`] |
+//! | `fig1a`/`fig1b` | Fig. 1a/1b lock acquisitions & contentions | [`run_fig1_locks`] |
+//! | `fig1c` | Fig. 1c eclipse lifespan CDF | [`run_fig1c`] |
+//! | `fig1d` | Fig. 1d xalan lifespan CDF | [`run_fig1d`] |
+//! | `fig2` | Fig. 2 mutator vs. GC time | [`run_fig2`] |
+//! | `abl-sched` | §IV future work 1 (biased scheduling) | [`run_biased_sched`] |
+//! | `abl-heap` | §IV future work 2 (compartmentalized heap) | [`run_heaplets`] |
+//! | `ext-ergo` | extension: adaptive nursery sizing | [`run_ergonomics`] |
+//! | `ext-numa` | extension: NUMA placement sensitivity | [`run_numa_placement`] |
+//! | `ext-sharding` | extension: hot-lock sharding | [`run_lock_sharding`] |
+//! | `ext-gcworkers` | extension: parallel GC worker scaling | [`run_gc_workers`] |
+//! | `ext-oversub` | extension: threads beyond cores | [`run_oversubscription`] |
+//! | `ext-heapsize` | extension: trace-replay heap-size sweep | [`run_heap_size`] |
+//! | `ext-concurrent` | extension: mostly-concurrent old generation | [`run_concurrent_old_gen`] |
+//!
+//! Sweeps run in parallel across host cores ([`run_all`]); every
+//! simulation itself is deterministic and single-threaded, so results are
+//! reproducible bit-for-bit for a given [`ExpParams`].
+//!
+//! ```
+//! use scalesim_experiments::{run_fig1d, ExpParams};
+//!
+//! let params = ExpParams::quick().with_scale(0.01).with_threads(vec![4, 16]);
+//! let fig1d = run_fig1d(&params);
+//! println!("{}", fig1d.table());
+//! assert!(fig1d.frac_below_1k(4).unwrap() > fig1d.frac_below_1k(16).unwrap());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod ablation;
+mod extensions;
+mod fig1_lifespan;
+mod fig1_locks;
+mod fig2_gc;
+mod params;
+mod scalability;
+mod sweep;
+mod workdist;
+
+pub use ablation::{run_biased_sched, run_heaplets, Ablation, AblationRow};
+pub use extensions::{
+    run_concurrent_old_gen, run_ergonomics, run_gc_workers, run_heap_size,
+    run_lock_sharding, run_numa_placement, run_oversubscription, ConcurrentRow,
+    ConcurrentStudy, ErgoRow, Ergonomics, GcWorkers, GcWorkersRow, HeapSizeRow,
+    HeapSizeStudy, NumaRow, NumaStudy, Oversub, OversubRow, Sharding, ShardingRow,
+};
+pub use fig1_lifespan::{
+    run_fig1c, run_fig1d, run_lifespan_curves, LifespanCurves, DEFAULT_THRESHOLDS,
+};
+pub use fig1_locks::{run_fig1_locks, Fig1Locks};
+pub use fig2_gc::{run_fig2, Fig2, Fig2Row};
+pub use params::ExpParams;
+pub use scalability::{
+    run_scalability, Scalability, ScalabilityRow, SCALABLE_SPEEDUP_THRESHOLD,
+};
+pub use sweep::{run_all, RunSpec};
+pub use workdist::{run_workdist, Workdist, WorkdistRow};

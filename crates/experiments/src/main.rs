@@ -1,0 +1,286 @@
+//! Command-line driver regenerating every table and figure of the paper.
+//!
+//! ```sh
+//! scalesim-experiments all                 # paper-sized, every artifact
+//! scalesim-experiments fig1d --scale 0.1   # one artifact, smaller run
+//! scalesim-experiments fig2 --out results  # also write CSV files
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use scalesim_experiments::{
+    run_biased_sched, run_concurrent_old_gen, run_ergonomics, run_fig1_locks, run_fig1c,
+    run_fig1d, run_fig2, run_gc_workers, run_heap_size, run_heaplets, run_lock_sharding,
+    run_numa_placement, run_oversubscription, run_scalability, run_workdist, ExpParams,
+};
+use scalesim_metrics::Table;
+
+const USAGE: &str = "\
+usage: scalesim-experiments <artifact> [--scale F] [--seed N] [--threads a,b,c] [--out DIR]
+
+artifacts:
+  workdist    per-thread workload distribution (paper §III)
+  scaletable  scalable / non-scalable classification (paper §II-C)
+  fig1a       lock acquisitions vs threads (with fig1b)
+  fig1b       lock contentions vs threads (with fig1a)
+  fig1c       eclipse object-lifespan CDF
+  fig1d       xalan object-lifespan CDF
+  fig2        mutator vs GC time decomposition
+  abl-sched   ablation: biased (cohort) scheduling
+  abl-heap    ablation: compartmentalized heaplets
+  ext-ergo    extension: adaptive nursery sizing (pause goals)
+  ext-numa    extension: compact vs scatter NUMA placement
+  ext-sharding extension: sharding xalan's hot dtm-cache lock
+  ext-gcworkers extension: parallel GC worker scaling
+  ext-oversub  extension: oversubscription (threads beyond cores)
+  ext-heapsize extension: trace-replay heap-size sweep (3x-min-heap rule)
+  ext-concurrent extension: mostly-concurrent old-gen collector
+  all         everything above
+
+options:
+  --scale F      workload scale factor (default 1.0 = paper-sized)
+  --seed N       master seed (default 42)
+  --threads LIST comma-separated thread counts (default 4,8,16,32,48)
+  --out DIR      also write each table as CSV into DIR
+";
+
+struct Cli {
+    artifact: String,
+    params: ExpParams,
+    out: Option<PathBuf>,
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut artifact = None;
+    let mut params = ExpParams::paper();
+    let mut out = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = it.next().ok_or("--scale needs a value")?;
+                let scale: f64 = v.parse().map_err(|_| format!("bad scale {v}"))?;
+                if scale <= 0.0 {
+                    return Err("scale must be positive".to_owned());
+                }
+                params = params.with_scale(scale);
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                params.seed = v.parse().map_err(|_| format!("bad seed {v}"))?;
+            }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                let threads: Result<Vec<usize>, _> =
+                    v.split(',').map(str::parse).collect();
+                let threads = threads.map_err(|_| format!("bad thread list {v}"))?;
+                if threads.is_empty() || !threads.windows(2).all(|w| w[0] < w[1]) {
+                    return Err("thread list must be strictly increasing".to_owned());
+                }
+                params = params.with_threads(threads);
+            }
+            "--out" => {
+                let v = it.next().ok_or("--out needs a value")?;
+                out = Some(PathBuf::from(v));
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other if artifact.is_none() && !other.starts_with('-') => {
+                artifact = Some(other.to_owned());
+            }
+            other => return Err(format!("unexpected argument {other}")),
+        }
+    }
+    Ok(Cli {
+        artifact: artifact.ok_or("no artifact given")?,
+        params,
+        out,
+    })
+}
+
+fn emit(out: &Option<PathBuf>, name: &str, title: &str, table: &Table) {
+    println!("== {title} ==");
+    println!("{table}");
+    if let Some(dir) = out {
+        std::fs::create_dir_all(dir).expect("create output directory");
+        let path = dir.join(format!("{name}.csv"));
+        std::fs::write(&path, table.to_csv()).expect("write CSV");
+        println!("wrote {}", path.display());
+    }
+    println!();
+}
+
+fn run_artifact(cli: &Cli, artifact: &str) -> Result<(), String> {
+    let p = &cli.params;
+    match artifact {
+        "workdist" => emit(
+            &cli.out,
+            "workdist",
+            "Workload distribution across threads (paper SIII)",
+            &run_workdist(p).table(),
+        ),
+        "scaletable" => emit(
+            &cli.out,
+            "scaletable",
+            "Scalability classification (paper SII-C)",
+            &run_scalability(p).table(),
+        ),
+        "fig1a" | "fig1b" => emit(
+            &cli.out,
+            "fig1_locks",
+            "Fig 1a/1b: lock acquisitions & contentions vs threads",
+            &run_fig1_locks(p).table(),
+        ),
+        "fig1c" => emit(
+            &cli.out,
+            "fig1c",
+            "Fig 1c: eclipse object-lifespan CDF",
+            &run_fig1c(p).table(),
+        ),
+        "fig1d" => emit(
+            &cli.out,
+            "fig1d",
+            "Fig 1d: xalan object-lifespan CDF",
+            &run_fig1d(p).table(),
+        ),
+        "fig2" => emit(
+            &cli.out,
+            "fig2",
+            "Fig 2: mutator vs GC time decomposition (scalable apps)",
+            &run_fig2(p).table(),
+        ),
+        "abl-sched" => emit(
+            &cli.out,
+            "abl_sched",
+            "Ablation: biased (cohort) scheduling on xalan (paper SIV.1)",
+            &run_biased_sched("xalan", p).table(),
+        ),
+        "abl-heap" => emit(
+            &cli.out,
+            "abl_heap",
+            "Ablation: compartmentalized heaplets on xalan (paper SIV.2)",
+            &run_heaplets("xalan", p).table(),
+        ),
+        "ext-ergo" => emit(
+            &cli.out,
+            "ext_ergo",
+            "Extension: adaptive nursery sizing on xalan (HotSpot ergonomics)",
+            &run_ergonomics("xalan", p).table(),
+        ),
+        "ext-numa" => emit(
+            &cli.out,
+            "ext_numa",
+            "Extension: NUMA placement sensitivity on xalan",
+            &run_numa_placement("xalan", p).table(),
+        ),
+        "ext-sharding" => emit(
+            &cli.out,
+            "ext_sharding",
+            "Extension: sharding xalan's dtm-cache lock",
+            &run_lock_sharding("xalan", 1, p).table(),
+        ),
+        "ext-gcworkers" => emit(
+            &cli.out,
+            "ext_gcworkers",
+            "Extension: parallel GC worker scaling on xalan",
+            &run_gc_workers("xalan", p).table(),
+        ),
+        "ext-oversub" => emit(
+            &cli.out,
+            "ext_oversub",
+            "Extension: oversubscription (threads beyond 48 cores) on xalan",
+            &run_oversubscription("xalan", p).table(),
+        ),
+        "ext-heapsize" => emit(
+            &cli.out,
+            "ext_heapsize",
+            "Extension: trace-replay heap-size sweep on xalan (3x-min-heap rule)",
+            &run_heap_size("xalan", p).table(),
+        ),
+        "ext-concurrent" => emit(
+            &cli.out,
+            "ext_concurrent",
+            "Extension: mostly-concurrent old generation on xalan",
+            &run_concurrent_old_gen("xalan", p).table(),
+        ),
+        "all" => {
+            for a in [
+                "workdist",
+                "scaletable",
+                "fig1a",
+                "fig1c",
+                "fig1d",
+                "fig2",
+                "abl-sched",
+                "abl-heap",
+                "ext-ergo",
+                "ext-numa",
+                "ext-sharding",
+                "ext-gcworkers",
+                "ext-oversub",
+                "ext-heapsize",
+                "ext-concurrent",
+            ] {
+                run_artifact(cli, a)?;
+            }
+        }
+        other => return Err(format!("unknown artifact {other}")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}\n");
+            }
+            eprint!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run_artifact(&cli, &cli.artifact.clone()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}\n");
+            eprint!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| (*x).to_owned()).collect()
+    }
+
+    #[test]
+    fn parses_artifact_and_options() {
+        let cli = parse_args(&s(&["fig2", "--scale", "0.5", "--seed", "7", "--threads", "2,4"]))
+            .unwrap();
+        assert_eq!(cli.artifact, "fig2");
+        assert_eq!(cli.params.scale, 0.5);
+        assert_eq!(cli.params.seed, 7);
+        assert_eq!(cli.params.thread_counts, vec![2, 4]);
+        assert!(cli.out.is_none());
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_args(&s(&[])).is_err());
+        assert!(parse_args(&s(&["fig2", "--scale", "-1"])).is_err());
+        assert!(parse_args(&s(&["fig2", "--threads", "4,2"])).is_err());
+        assert!(parse_args(&s(&["fig2", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn out_dir_parses() {
+        let cli = parse_args(&s(&["fig1d", "--out", "/tmp/x"])).unwrap();
+        assert_eq!(cli.out.unwrap(), PathBuf::from("/tmp/x"));
+    }
+}

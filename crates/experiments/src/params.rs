@@ -1,0 +1,128 @@
+//! Shared experiment parameters.
+
+/// Parameters shared by every experiment driver.
+///
+/// `scale` multiplies each benchmark's standard work size: `1.0`
+/// regenerates the paper-sized runs, smaller values give CI-sized runs
+/// with the same qualitative shapes.
+///
+/// # Examples
+///
+/// ```
+/// use scalesim_experiments::ExpParams;
+///
+/// let quick = ExpParams::quick();
+/// assert!(quick.scale < 1.0);
+/// assert!(!quick.thread_counts.is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpParams {
+    /// Workload scale factor (1.0 = paper-sized).
+    pub scale: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Thread counts to sweep (the paper uses 4..48 with cores =
+    /// threads).
+    pub thread_counts: Vec<usize>,
+}
+
+impl Default for ExpParams {
+    fn default() -> Self {
+        ExpParams {
+            scale: 1.0,
+            seed: 42,
+            thread_counts: vec![4, 8, 16, 32, 48],
+        }
+    }
+}
+
+impl ExpParams {
+    /// Paper-sized parameters.
+    #[must_use]
+    pub fn paper() -> Self {
+        ExpParams::default()
+    }
+
+    /// CI-sized parameters: 5 % of standard work, fewer sweep points.
+    #[must_use]
+    pub fn quick() -> Self {
+        ExpParams {
+            scale: 0.05,
+            seed: 42,
+            thread_counts: vec![4, 16, 48],
+        }
+    }
+
+    /// Returns a copy with a different scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not positive.
+    #[must_use]
+    pub fn with_scale(mut self, scale: f64) -> Self {
+        assert!(scale > 0.0, "scale must be positive");
+        self.scale = scale;
+        self
+    }
+
+    /// Returns a copy with different thread counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is empty or not strictly increasing.
+    #[must_use]
+    pub fn with_threads(mut self, threads: Vec<usize>) -> Self {
+        assert!(!threads.is_empty(), "need at least one thread count");
+        assert!(
+            threads.windows(2).all(|w| w[0] < w[1]),
+            "thread counts must be strictly increasing"
+        );
+        self.thread_counts = threads;
+        self
+    }
+
+    /// The largest swept thread count.
+    #[must_use]
+    pub fn max_threads(&self) -> usize {
+        *self.thread_counts.last().expect("non-empty by invariant")
+    }
+
+    /// The smallest swept thread count.
+    #[must_use]
+    pub fn min_threads(&self) -> usize {
+        self.thread_counts[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_paper_shaped() {
+        let p = ExpParams::default();
+        assert_eq!(p.scale, 1.0);
+        assert_eq!(p.thread_counts, vec![4, 8, 16, 32, 48]);
+        assert_eq!(p.max_threads(), 48);
+        assert_eq!(p.min_threads(), 4);
+    }
+
+    #[test]
+    fn with_helpers_validate() {
+        let p = ExpParams::default().with_scale(0.1).with_threads(vec![2, 4]);
+        assert_eq!(p.scale, 0.1);
+        assert_eq!(p.max_threads(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_threads_panic() {
+        let _ = ExpParams::default().with_threads(vec![4, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn zero_scale_panics() {
+        let _ = ExpParams::default().with_scale(0.0);
+    }
+}

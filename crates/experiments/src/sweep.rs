@@ -1,0 +1,119 @@
+//! Parallel execution of independent simulation runs.
+//!
+//! A figure is a sweep over (application × thread count). Each run is an
+//! independent, deterministic, single-threaded simulation, so the sweep
+//! parallelizes embarrassingly across host cores with crossbeam's scoped
+//! threads. Results come back in input order regardless of completion
+//! order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use scalesim_core::{Jvm, JvmConfig, RunReport};
+use scalesim_workloads::SyntheticApp;
+
+/// One run request: an application and the VM configuration to run it
+/// under.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// The application (already scaled as desired).
+    pub app: SyntheticApp,
+    /// VM configuration.
+    pub config: JvmConfig,
+}
+
+impl RunSpec {
+    /// Convenience constructor for the common case: `app` at `threads`
+    /// threads with cores following threads (the paper's methodology).
+    #[must_use]
+    pub fn new(app: SyntheticApp, threads: usize, seed: u64) -> Self {
+        RunSpec {
+            app,
+            config: JvmConfig::builder().threads(threads).seed(seed).build(),
+        }
+    }
+
+    /// Executes this run.
+    #[must_use]
+    pub fn run(&self) -> RunReport {
+        Jvm::new(self.config.clone()).run(&self.app)
+    }
+}
+
+/// Executes all runs, using up to `available_parallelism` host threads,
+/// and returns reports in input order.
+///
+/// # Panics
+///
+/// Panics if any individual simulation panics (the panic is propagated).
+#[must_use]
+pub fn run_all(specs: &[RunSpec]) -> Vec<RunReport> {
+    if specs.is_empty() {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(specs.len());
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<RunReport>>> =
+        specs.iter().map(|_| Mutex::new(None)).collect();
+
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= specs.len() {
+                    break;
+                }
+                let report = specs[i].run();
+                *results[i].lock().expect("result slot poisoned") = Some(report);
+            });
+        }
+    })
+    .expect("a simulation worker panicked");
+
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker completed without storing a result")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scalesim_workloads::{sunflow, xalan};
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let specs = vec![
+            RunSpec::new(xalan().scaled(0.002), 2, 1),
+            RunSpec::new(sunflow().scaled(0.002), 4, 1),
+            RunSpec::new(xalan().scaled(0.002), 8, 1),
+        ];
+        let reports = run_all(&specs);
+        assert_eq!(reports.len(), 3);
+        assert_eq!(reports[0].app, "xalan");
+        assert_eq!(reports[0].threads, 2);
+        assert_eq!(reports[1].app, "sunflow");
+        assert_eq!(reports[2].threads, 8);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let spec = RunSpec::new(xalan().scaled(0.002), 4, 7);
+        let serial = spec.run();
+        let parallel = run_all(&[spec])[0].clone();
+        assert_eq!(serial.wall_time, parallel.wall_time);
+        assert_eq!(serial.events_processed, parallel.events_processed);
+    }
+
+    #[test]
+    fn empty_sweep_is_fine() {
+        assert!(run_all(&[]).is_empty());
+    }
+}

@@ -1,0 +1,124 @@
+//! Workload distribution across threads (§III, opening paragraph).
+//!
+//! "The non-scalable applications employ only a small number of threads
+//! to perform the work. For example, jython mainly uses three to four
+//! threads to do most of the work even when we set the number [of]
+//! mutator threads to be larger than 16. On the other hand, xalan,
+//! lusearch, and sunflow show nearly a uniform distribution of workload
+//! among threads."
+
+use scalesim_metrics::{fmt2, Table};
+use scalesim_workloads::{all_apps, AppModel, ScalabilityClass};
+
+use crate::params::ExpParams;
+use crate::sweep::{run_all, RunSpec};
+
+/// Work-distribution measurements for one (app, thread count) cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkdistRow {
+    /// Application name.
+    pub app: String,
+    /// Paper classification.
+    pub expected: ScalabilityClass,
+    /// Configured threads.
+    pub threads: usize,
+    /// Coefficient of variation of per-thread item counts (0 = perfectly
+    /// uniform).
+    pub cv: f64,
+    /// Smallest number of threads covering 90 % of completed items.
+    pub threads_for_90pct: usize,
+    /// Largest single thread share of the work.
+    pub max_share: f64,
+}
+
+/// The full workload-distribution study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workdist {
+    /// One row per (app × thread count).
+    pub rows: Vec<WorkdistRow>,
+}
+
+impl Workdist {
+    /// Rows for one app.
+    #[must_use]
+    pub fn rows_of(&self, app: &str) -> Vec<&WorkdistRow> {
+        self.rows.iter().filter(|r| r.app == app).collect()
+    }
+
+    /// Renders the table.
+    #[must_use]
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(vec![
+            "app",
+            "class",
+            "threads",
+            "cv",
+            "threads for 90% work",
+            "max share",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.app.clone(),
+                r.expected.label().to_owned(),
+                r.threads.to_string(),
+                fmt2(r.cv),
+                r.threads_for_90pct.to_string(),
+                fmt2(r.max_share),
+            ]);
+        }
+        t
+    }
+}
+
+/// Runs the workload-distribution sweep over all apps.
+#[must_use]
+pub fn run_workdist(params: &ExpParams) -> Workdist {
+    let apps = all_apps();
+    let mut specs = Vec::new();
+    for app in &apps {
+        for &threads in &params.thread_counts {
+            specs.push(RunSpec::new(app.scaled(params.scale), threads, params.seed));
+        }
+    }
+    let reports = run_all(&specs);
+    let rows = reports
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let app = &apps[i / params.thread_counts.len()];
+            let shares = r.work_shares();
+            WorkdistRow {
+                app: r.app.clone(),
+                expected: app.class(),
+                threads: r.threads,
+                cv: r.work_distribution().coefficient_of_variation(),
+                threads_for_90pct: r.threads_for_90pct_work(),
+                max_share: shares.iter().copied().fold(0.0, f64::max),
+            }
+        })
+        .collect();
+    Workdist { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jython_concentrates_and_xalan_spreads() {
+        let params = ExpParams::quick().with_scale(0.01).with_threads(vec![16]);
+        let w = run_workdist(&params);
+        assert_eq!(w.rows.len(), 6);
+
+        let jython = &w.rows_of("jython")[0];
+        assert!(jython.threads_for_90pct <= 4, "{jython:?}");
+        assert!(jython.cv > 0.5, "{jython:?}");
+
+        let xalan = &w.rows_of("xalan")[0];
+        assert!(xalan.threads_for_90pct >= 12, "{xalan:?}");
+        assert!(xalan.cv < 0.3, "{xalan:?}");
+
+        let t = w.table();
+        assert_eq!(t.num_rows(), 6);
+    }
+}

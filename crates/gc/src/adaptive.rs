@@ -1,0 +1,173 @@
+//! Adaptive nursery sizing — HotSpot's `AdaptiveSizePolicy`.
+//!
+//! The paper's collector is the throughput-oriented parallel collector,
+//! which by default resizes the young generation to balance a *pause
+//! goal* against throughput: pauses above the goal shrink the nursery
+//! (smaller survivor sets per collection), comfortable pauses grow it
+//! back (fewer collections). [`AdaptiveSizer`] reproduces that feedback
+//! loop; the `ext-ergo` extension experiment evaluates it.
+
+use scalesim_simkit::SimDuration;
+
+/// Feedback controller for one nursery region's capacity.
+///
+/// # Examples
+///
+/// ```
+/// use scalesim_gc::AdaptiveSizer;
+/// use scalesim_simkit::SimDuration;
+///
+/// let sizer = AdaptiveSizer::new(SimDuration::from_millis(1));
+/// // a 3 ms pause against a 1 ms goal (no floor) shrinks the nursery
+/// let next = sizer.next_capacity(8 << 20, SimDuration::from_millis(3), SimDuration::ZERO);
+/// assert!(next < 8 << 20);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveSizer {
+    pause_goal: SimDuration,
+    shrink_factor: f64,
+    grow_factor: f64,
+}
+
+impl AdaptiveSizer {
+    /// Creates a sizer with HotSpot-like adjustment factors (shrink to
+    /// 80 % on overshoot, grow by 20 % when pauses sit below half the
+    /// goal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pause_goal` is zero.
+    #[must_use]
+    pub fn new(pause_goal: SimDuration) -> Self {
+        assert!(!pause_goal.is_zero(), "pause goal must be positive");
+        AdaptiveSizer {
+            pause_goal,
+            shrink_factor: 0.8,
+            grow_factor: 1.2,
+        }
+    }
+
+    /// The configured pause goal.
+    #[must_use]
+    pub fn pause_goal(&self) -> SimDuration {
+        self.pause_goal
+    }
+
+    /// Overrides the adjustment factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < shrink < 1 < grow`.
+    #[must_use]
+    pub fn with_factors(mut self, shrink: f64, grow: f64) -> Self {
+        assert!(shrink > 0.0 && shrink < 1.0, "shrink must be in (0,1)");
+        assert!(grow > 1.0, "grow must exceed 1");
+        self.shrink_factor = shrink;
+        self.grow_factor = grow;
+        self
+    }
+
+    /// The nursery capacity to use after observing `pause` on a region of
+    /// `capacity` bytes, given the collection's irreducible `floor`
+    /// (fixed overhead + time-to-safepoint, from
+    /// [`GcCostModel::pause_floor_ns`]).
+    ///
+    /// Only the copy component above the floor responds to nursery size,
+    /// so the controller compares it against the goal's headroom above
+    /// the same floor: shrink on overshoot, grow when comfortably under,
+    /// and **hold** when the goal is unachievable (at or below the floor)
+    /// rather than shrinking uselessly into a collection storm.
+    ///
+    /// [`GcCostModel::pause_floor_ns`]: crate::GcCostModel::pause_floor_ns
+    #[must_use]
+    pub fn next_capacity(&self, capacity: u64, pause: SimDuration, floor: SimDuration) -> u64 {
+        let budget = self.pause_goal.saturating_sub(floor);
+        if budget.is_zero() {
+            return capacity; // goal unachievable: shrinking cannot help
+        }
+        let copy = pause.saturating_sub(floor);
+        if copy > budget {
+            (capacity as f64 * self.shrink_factor) as u64
+        } else if copy.as_nanos() * 2 < budget.as_nanos() {
+            (capacity as f64 * self.grow_factor) as u64
+        } else {
+            capacity
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> SimDuration {
+        SimDuration::from_millis(n)
+    }
+
+    #[test]
+    fn overshoot_shrinks() {
+        let s = AdaptiveSizer::new(ms(1));
+        assert_eq!(s.next_capacity(1000, ms(2), SimDuration::ZERO), 800);
+    }
+
+    #[test]
+    fn comfortable_pause_grows() {
+        let s = AdaptiveSizer::new(ms(10));
+        assert_eq!(s.next_capacity(1000, ms(1), SimDuration::ZERO), 1200);
+    }
+
+    #[test]
+    fn near_goal_holds() {
+        let s = AdaptiveSizer::new(ms(10));
+        assert_eq!(s.next_capacity(1000, ms(7), SimDuration::ZERO), 1000);
+        assert_eq!(s.next_capacity(1000, ms(10), SimDuration::ZERO), 1000);
+    }
+
+    #[test]
+    fn unachievable_goal_holds_instead_of_storming() {
+        // floor above the goal: shrinking cannot reach the goal, so the
+        // sizer must not destroy throughput trying
+        let s = AdaptiveSizer::new(ms(1));
+        assert_eq!(s.next_capacity(1000, ms(5), ms(2)), 1000);
+        assert_eq!(s.next_capacity(1000, ms(5), ms(1)), 1000);
+    }
+
+    #[test]
+    fn floor_is_subtracted_from_both_sides() {
+        // goal 3ms, floor 2ms -> budget 1ms; pause 3.5ms -> copy 1.5ms
+        let s = AdaptiveSizer::new(ms(3));
+        assert_eq!(s.next_capacity(1000, ms(3) + ms(1) / 2, ms(2)), 800);
+        // copy 0.4ms < budget/2 -> grow
+        assert_eq!(
+            s.next_capacity(1000, ms(2) + SimDuration::from_micros(400), ms(2)),
+            1200
+        );
+    }
+
+    #[test]
+    fn custom_factors() {
+        let s = AdaptiveSizer::new(ms(1)).with_factors(0.5, 2.0);
+        assert_eq!(s.next_capacity(1000, ms(5), SimDuration::ZERO), 500);
+        assert_eq!(
+            s.next_capacity(1000, SimDuration::from_micros(100), SimDuration::ZERO),
+            2000
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "pause goal must be positive")]
+    fn zero_goal_panics() {
+        let _ = AdaptiveSizer::new(SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "shrink must be in (0,1)")]
+    fn bad_shrink_panics() {
+        let _ = AdaptiveSizer::new(ms(1)).with_factors(1.5, 2.0);
+    }
+
+    #[test]
+    fn accessor() {
+        assert_eq!(AdaptiveSizer::new(ms(3)).pause_goal(), ms(3));
+    }
+}

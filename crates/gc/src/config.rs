@@ -1,0 +1,216 @@
+//! Collector cost model configuration.
+//!
+//! The paper's JVM is OpenJDK 1.7 HotSpot with the **stop-the-world,
+//! throughput-oriented parallel collector** (§II-B). Its pause cost is
+//! modelled from first principles:
+//!
+//! * a fixed per-pause overhead (bringing the VM to a stop, bookkeeping),
+//! * a time-to-safepoint term linear in the number of mutator threads,
+//! * copy/mark/compact work linear in surviving bytes, divided by the
+//!   *effective* number of parallel GC workers, and scaled by the mean
+//!   NUMA factor of the enabled cores (remote copies cost more),
+//! * a worker-synchronization term that erodes parallel efficiency as
+//!   workers grow (the classic `w / (1 + α(w-1))` model).
+
+/// Cost model for the simulated parallel collector.
+///
+/// # Examples
+///
+/// ```
+/// use scalesim_gc::GcCostModel;
+///
+/// let m = GcCostModel::hotspot_like(8, 1.0);
+/// assert!(m.effective_workers() > 1.0);
+/// assert!(m.effective_workers() < 8.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GcCostModel {
+    /// Number of parallel GC worker threads (HotSpot defaults to the core
+    /// count).
+    pub workers: usize,
+    /// Per-worker synchronization-overhead coefficient α in the
+    /// `w / (1 + α(w-1))` effective-parallelism model.
+    pub worker_sync_alpha: f64,
+    /// Mean NUMA access-cost multiplier for the enabled cores (from
+    /// [`MachineTopology::mean_numa_factor`]).
+    ///
+    /// [`MachineTopology::mean_numa_factor`]:
+    ///     scalesim_machine::MachineTopology::mean_numa_factor
+    pub numa_factor: f64,
+    /// Nanoseconds to copy one surviving byte (single worker, local).
+    pub copy_ns_per_byte: f64,
+    /// Nanoseconds to mark one live mature byte in a full collection.
+    pub mark_ns_per_byte: f64,
+    /// Nanoseconds to compact one live mature byte in a full collection.
+    pub compact_ns_per_byte: f64,
+    /// Fixed overhead per pause, in nanoseconds.
+    pub fixed_pause_ns: f64,
+    /// Time-to-safepoint cost per mutator thread, in nanoseconds.
+    pub safepoint_ns_per_thread: f64,
+    /// Full collection triggers when mature occupancy exceeds this
+    /// fraction of mature capacity.
+    pub full_gc_trigger: f64,
+    /// Occupancy fraction at which a *mostly-concurrent* old-generation
+    /// cycle starts. Lower than [`full_gc_trigger`](Self::full_gc_trigger)
+    /// because promotions continue while the cycle runs (HotSpot's
+    /// `CMSInitiatingOccupancyFraction`).
+    pub concurrent_trigger: f64,
+    /// Fixed overhead of a *thread-local* heaplet collection, in
+    /// nanoseconds — no global rendezvous, so far below
+    /// [`fixed_pause_ns`](Self::fixed_pause_ns).
+    pub local_fixed_pause_ns: f64,
+}
+
+impl GcCostModel {
+    /// A HotSpot-Parallel-Scavenge-like cost model for `workers` GC
+    /// threads on cores with the given mean NUMA factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero or `numa_factor < 1.0`.
+    #[must_use]
+    pub fn hotspot_like(workers: usize, numa_factor: f64) -> Self {
+        assert!(workers >= 1, "need at least one GC worker");
+        assert!(numa_factor >= 1.0, "NUMA factor cannot be below 1.0");
+        GcCostModel {
+            workers,
+            worker_sync_alpha: 0.03,
+            numa_factor,
+            copy_ns_per_byte: 1.0,
+            mark_ns_per_byte: 0.5,
+            compact_ns_per_byte: 1.0,
+            fixed_pause_ns: 150_000.0,          // 150 us VM-stop overhead
+            safepoint_ns_per_thread: 15_000.0,  // 15 us per mutator thread
+            full_gc_trigger: 0.9,
+            concurrent_trigger: 0.7,            // start cycles with headroom
+            local_fixed_pause_ns: 15_000.0,     // 15 us, owner thread only
+        }
+    }
+
+    /// Effective parallel workers after synchronization overhead:
+    /// `w / (1 + α(w-1))`.
+    #[must_use]
+    pub fn effective_workers(&self) -> f64 {
+        let w = self.workers as f64;
+        w / (1.0 + self.worker_sync_alpha * (w - 1.0))
+    }
+
+    /// Pause nanoseconds for a minor collection that evacuates
+    /// `survived_bytes`, with `mutator_threads` threads to stop.
+    #[must_use]
+    pub fn minor_pause_ns(&self, survived_bytes: u64, mutator_threads: usize) -> f64 {
+        self.fixed_pause_ns
+            + self.safepoint_ns_per_thread * mutator_threads as f64
+            + self.copy_ns_per_byte * survived_bytes as f64 * self.numa_factor
+                / self.effective_workers()
+    }
+
+    /// The irreducible part of a stop-the-world minor pause — fixed
+    /// overhead plus time-to-safepoint — which no amount of nursery
+    /// shrinking can remove. Adaptive sizing treats pause goals at or
+    /// below this floor as unachievable.
+    #[must_use]
+    pub fn pause_floor_ns(&self, mutator_threads: usize) -> f64 {
+        self.fixed_pause_ns + self.safepoint_ns_per_thread * mutator_threads as f64
+    }
+
+    /// Pause nanoseconds for a *thread-local* heaplet collection: no
+    /// global safepoint, single-threaded copying by the owning thread at
+    /// local-memory cost.
+    #[must_use]
+    pub fn local_minor_pause_ns(&self, survived_bytes: u64) -> f64 {
+        self.local_fixed_pause_ns + self.copy_ns_per_byte * survived_bytes as f64
+    }
+
+    /// STW pause of a concurrent cycle's *initial mark* (root scan only).
+    #[must_use]
+    pub fn concurrent_initial_mark_ns(&self, mutator_threads: usize) -> f64 {
+        self.fixed_pause_ns / 3.0 + self.safepoint_ns_per_thread * mutator_threads as f64
+    }
+
+    /// STW pause of a concurrent cycle's *remark* (re-scan of mutations,
+    /// ~5 % of a full mark, parallelized).
+    #[must_use]
+    pub fn concurrent_remark_ns(&self, live_mature_bytes: u64, mutator_threads: usize) -> f64 {
+        self.fixed_pause_ns / 3.0
+            + self.safepoint_ns_per_thread * mutator_threads as f64
+            + 0.05 * self.mark_ns_per_byte * live_mature_bytes as f64
+                / self.effective_workers()
+    }
+
+    /// CPU work of the concurrent phase (single background thread marking
+    /// and sweeping the live mature bytes at local cost).
+    #[must_use]
+    pub fn concurrent_background_ns(&self, live_mature_bytes: u64) -> f64 {
+        (self.mark_ns_per_byte + self.compact_ns_per_byte) * live_mature_bytes as f64
+    }
+
+    /// Pause nanoseconds for a full collection over `live_mature_bytes`,
+    /// with `mutator_threads` threads to stop.
+    #[must_use]
+    pub fn full_pause_ns(&self, live_mature_bytes: u64, mutator_threads: usize) -> f64 {
+        self.fixed_pause_ns
+            + self.safepoint_ns_per_thread * mutator_threads as f64
+            + (self.mark_ns_per_byte + self.compact_ns_per_byte)
+                * live_mature_bytes as f64
+                * self.numa_factor
+                / self.effective_workers()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_workers_saturate() {
+        let m1 = GcCostModel::hotspot_like(1, 1.0);
+        assert!((m1.effective_workers() - 1.0).abs() < 1e-12);
+        let m48 = GcCostModel::hotspot_like(48, 1.0);
+        assert!(m48.effective_workers() > 15.0);
+        assert!(m48.effective_workers() < 48.0);
+        let m12 = GcCostModel::hotspot_like(12, 1.0);
+        assert!(
+            m48.effective_workers() > m12.effective_workers(),
+            "more workers still help, just sublinearly"
+        );
+    }
+
+    #[test]
+    fn minor_pause_grows_with_survivors_and_threads() {
+        let m = GcCostModel::hotspot_like(8, 1.0);
+        let small = m.minor_pause_ns(1 << 20, 8);
+        let big = m.minor_pause_ns(8 << 20, 8);
+        assert!(big > small);
+        let more_threads = m.minor_pause_ns(1 << 20, 48);
+        assert!(more_threads > small);
+    }
+
+    #[test]
+    fn numa_scales_copy_work_only() {
+        let local = GcCostModel::hotspot_like(8, 1.0);
+        let remote = GcCostModel::hotspot_like(8, 1.5);
+        let l = local.minor_pause_ns(1 << 20, 0) - local.fixed_pause_ns;
+        let r = remote.minor_pause_ns(1 << 20, 0) - remote.fixed_pause_ns;
+        assert!((r / l - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_pause_costs_mark_plus_compact() {
+        let m = GcCostModel::hotspot_like(1, 1.0);
+        let ns = m.full_pause_ns(1000, 0) - m.fixed_pause_ns;
+        assert!((ns - 1500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one GC worker")]
+    fn zero_workers_panics() {
+        let _ = GcCostModel::hotspot_like(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NUMA factor")]
+    fn sub_local_numa_panics() {
+        let _ = GcCostModel::hotspot_like(1, 0.9);
+    }
+}

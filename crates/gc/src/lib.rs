@@ -1,0 +1,35 @@
+//! # scalesim-gc
+//!
+//! Stop-the-world generational parallel collector model — the simulated
+//! counterpart of the paper's "throughput-oriented parallel garbage
+//! collector" (OpenJDK 1.7 HotSpot Parallel Scavenge, §II-B).
+//!
+//! The collector has three parts:
+//!
+//! * [`GcCostModel`] — pause-time model: fixed overhead, time-to-safepoint
+//!   linear in mutator threads, copy/mark/compact work linear in surviving
+//!   bytes, parallel GC workers with synchronization losses, and a NUMA
+//!   multiplier from the machine topology.
+//! * [`Collector`] — the policy: copying nursery evacuation with survivor
+//!   spaces and tenuring, promotion-failure and occupancy escalation to
+//!   full mark-compact collections.
+//! * [`GcLog`] — the simulated `-verbose:gc` stream the experiments read
+//!   GC time from (Figure 2's GC component).
+//!
+//! Because pause cost is driven by *surviving bytes*, the paper's causal
+//! chain — thread scaling → longer object lifespans → more nursery
+//! survivors → more copying and more full collections → rising GC time —
+//! emerges from the simulation rather than being hard-coded.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod adaptive;
+mod collector;
+mod config;
+mod log;
+
+pub use adaptive::AdaptiveSizer;
+pub use collector::{Collector, LocalGcOutcome};
+pub use config::GcCostModel;
+pub use log::{GcEvent, GcKind, GcLog};

@@ -1,0 +1,247 @@
+//! Heap sizing configuration.
+//!
+//! The paper's methodology (§II-C) sizes the heap at **three times the
+//! minimum heap requirement** of each benchmark — "a common approach that
+//! has been used to evaluate GC performance". [`HeapSizer`] encodes that
+//! rule; [`HeapConfig`] carries the resulting layout.
+
+use std::fmt;
+
+/// How the nursery is organized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NurseryLayout {
+    /// One nursery shared by every thread (HotSpot's default; the paper's
+    /// measured configuration).
+    Shared,
+    /// One private nursery *heaplet* per mutator thread — the paper's
+    /// second future-work proposal ("compartmentalized heap to isolate
+    /// objects from lifetime interference").
+    Heaplets {
+        /// Number of per-thread compartments (= mutator thread count).
+        count: usize,
+    },
+}
+
+impl NurseryLayout {
+    /// Number of independent nursery regions under this layout.
+    #[must_use]
+    pub fn region_count(self) -> usize {
+        match self {
+            NurseryLayout::Shared => 1,
+            NurseryLayout::Heaplets { count } => count,
+        }
+    }
+}
+
+/// Sizes and layout of a simulated generational heap.
+///
+/// # Examples
+///
+/// ```
+/// use scalesim_heap::{HeapConfig, NurseryLayout};
+///
+/// let cfg = HeapConfig::new(96 << 20, 1.0 / 3.0, NurseryLayout::Shared);
+/// assert_eq!(cfg.nursery_bytes(), 32 << 20);
+/// assert_eq!(cfg.mature_bytes(), 64 << 20);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeapConfig {
+    total_bytes: u64,
+    nursery_fraction: f64,
+    layout: NurseryLayout,
+    /// Fraction of a nursery region reserved for survivors between minor
+    /// collections (HotSpot survivor spaces); overflow promotes directly.
+    survivor_fraction: f64,
+    /// Survivor age at which an object is tenured into the mature space.
+    tenure_threshold: u8,
+    /// TLAB (thread-local allocation buffer) size in bytes.
+    tlab_bytes: u64,
+}
+
+impl HeapConfig {
+    /// Creates a config with the given total size, nursery fraction and
+    /// layout, using HotSpot-like defaults for the survivor fraction
+    /// (10 %), the tenuring threshold (2 collections survived), and the
+    /// TLAB size (64 KiB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_bytes` is zero or `nursery_fraction` is outside
+    /// `(0, 1)`.
+    #[must_use]
+    pub fn new(total_bytes: u64, nursery_fraction: f64, layout: NurseryLayout) -> Self {
+        assert!(total_bytes > 0, "heap must have nonzero size");
+        assert!(
+            nursery_fraction > 0.0 && nursery_fraction < 1.0,
+            "nursery fraction must be in (0,1), got {nursery_fraction}"
+        );
+        HeapConfig {
+            total_bytes,
+            nursery_fraction,
+            layout,
+            survivor_fraction: 0.10,
+            tenure_threshold: 2,
+            tlab_bytes: 64 << 10,
+        }
+    }
+
+    /// Overrides the survivor-space fraction of each nursery region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is outside `(0, 1)`.
+    #[must_use]
+    pub fn with_survivor_fraction(mut self, f: f64) -> Self {
+        assert!(f > 0.0 && f < 1.0, "survivor fraction must be in (0,1)");
+        self.survivor_fraction = f;
+        self
+    }
+
+    /// Overrides the tenuring threshold.
+    #[must_use]
+    pub fn with_tenure_threshold(mut self, ages: u8) -> Self {
+        self.tenure_threshold = ages;
+        self
+    }
+
+    /// Overrides the TLAB size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is zero.
+    #[must_use]
+    pub fn with_tlab_bytes(mut self, bytes: u64) -> Self {
+        assert!(bytes > 0, "TLAB size must be nonzero");
+        self.tlab_bytes = bytes;
+        self
+    }
+
+    /// Total heap size in bytes.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Bytes given to the nursery (young generation) overall.
+    #[must_use]
+    pub fn nursery_bytes(&self) -> u64 {
+        (self.total_bytes as f64 * self.nursery_fraction) as u64
+    }
+
+    /// Bytes of one nursery region (the whole nursery when shared, a
+    /// per-thread slice under heaplets).
+    #[must_use]
+    pub fn region_bytes(&self) -> u64 {
+        self.nursery_bytes() / self.layout.region_count() as u64
+    }
+
+    /// Bytes given to the mature (old) generation.
+    #[must_use]
+    pub fn mature_bytes(&self) -> u64 {
+        self.total_bytes - self.nursery_bytes()
+    }
+
+    /// The nursery layout.
+    #[must_use]
+    pub fn layout(&self) -> NurseryLayout {
+        self.layout
+    }
+
+    /// Survivor fraction of each region.
+    #[must_use]
+    pub fn survivor_fraction(&self) -> f64 {
+        self.survivor_fraction
+    }
+
+    /// Tenuring threshold in survived collections.
+    #[must_use]
+    pub fn tenure_threshold(&self) -> u8 {
+        self.tenure_threshold
+    }
+
+    /// TLAB size in bytes.
+    #[must_use]
+    pub fn tlab_bytes(&self) -> u64 {
+        self.tlab_bytes
+    }
+}
+
+impl fmt::Display for HeapConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "heap {} MiB (nursery {} MiB x {} region(s), mature {} MiB)",
+            self.total_bytes >> 20,
+            self.region_bytes() >> 20,
+            self.layout.region_count(),
+            self.mature_bytes() >> 20
+        )
+    }
+}
+
+/// The paper's heap-sizing rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HeapSizer;
+
+impl HeapSizer {
+    /// "We then ran these applications by setting the heap size to three
+    /// times the minimum heap requirements" (§II-C).
+    #[must_use]
+    pub fn three_times_min(min_heap_bytes: u64) -> u64 {
+        min_heap_bytes.saturating_mul(3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizer_triples() {
+        assert_eq!(HeapSizer::three_times_min(32 << 20), 96 << 20);
+    }
+
+    #[test]
+    fn split_adds_up() {
+        let cfg = HeapConfig::new(90, 1.0 / 3.0, NurseryLayout::Shared);
+        assert_eq!(cfg.nursery_bytes() + cfg.mature_bytes(), 90);
+        assert_eq!(cfg.nursery_bytes(), 30);
+    }
+
+    #[test]
+    fn heaplets_split_the_nursery() {
+        let cfg = HeapConfig::new(120, 0.5, NurseryLayout::Heaplets { count: 4 });
+        assert_eq!(cfg.nursery_bytes(), 60);
+        assert_eq!(cfg.region_bytes(), 15);
+        assert_eq!(cfg.layout().region_count(), 4);
+    }
+
+    #[test]
+    fn defaults_and_overrides() {
+        let cfg = HeapConfig::new(100, 0.3, NurseryLayout::Shared)
+            .with_survivor_fraction(0.2)
+            .with_tenure_threshold(5)
+            .with_tlab_bytes(1024);
+        assert_eq!(cfg.survivor_fraction(), 0.2);
+        assert_eq!(cfg.tenure_threshold(), 5);
+        assert_eq!(cfg.tlab_bytes(), 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero size")]
+    fn zero_heap_panics() {
+        let _ = HeapConfig::new(0, 0.3, NurseryLayout::Shared);
+    }
+
+    #[test]
+    #[should_panic(expected = "nursery fraction")]
+    fn bad_fraction_panics() {
+        let _ = HeapConfig::new(100, 1.5, NurseryLayout::Shared);
+    }
+
+    #[test]
+    fn display_mentions_regions() {
+        let cfg = HeapConfig::new(96 << 20, 1.0 / 3.0, NurseryLayout::Heaplets { count: 8 });
+        assert!(cfg.to_string().contains("8 region(s)"));
+    }
+}

@@ -1,0 +1,40 @@
+//! # scalesim-heap
+//!
+//! Generational managed-heap model: TLAB bump allocation, nursery regions,
+//! a mature space, and the VM-wide **allocation clock**.
+//!
+//! The paper measures object lifespan "by observing the amount of heap
+//! memory that has been allocated to other objects between its creation
+//! and its death" (§II-A). [`Heap::clock`] is that measure: every
+//! allocation advances it by the object's size, and [`Heap::kill`] returns
+//! the object's lifespan as the clock delta since birth.
+//!
+//! Occupancy follows real generational-heap semantics: dead space lingers
+//! until a collection ([`Heap::reset_region_to_survivors`] /
+//! [`Heap::compact_mature`]) reclaims it. The nursery is either one shared
+//! region (HotSpot's layout, the paper's measured configuration) or
+//! per-thread *heaplets* ([`NurseryLayout::Heaplets`]) implementing the
+//! paper's compartmentalized-heap future-work proposal.
+//!
+//! ```
+//! use scalesim_heap::{AllocResult, Heap, HeapConfig, HeapSizer, NurseryLayout};
+//! use scalesim_sched::ThreadId;
+//!
+//! // The paper sizes heaps at 3x the minimum requirement.
+//! let total = HeapSizer::three_times_min(1 << 20);
+//! let mut heap = Heap::new(HeapConfig::new(total, 1.0 / 3.0, NurseryLayout::Shared));
+//! let AllocResult::Ok(obj) = heap.alloc(ThreadId::new(0), 256) else { unreachable!() };
+//! assert!(heap.is_live(obj));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+#[allow(clippy::module_inception)]
+mod heap;
+mod object;
+
+pub use config::{HeapConfig, HeapSizer, NurseryLayout};
+pub use heap::{AllocResult, DeathRecord, Heap, HeapStats};
+pub use object::{ObjectId, ObjectRecord, ObjectTable, Space};

@@ -1,0 +1,314 @@
+//! Object identity and the live-object table.
+//!
+//! The heap tracks every live object's size, birth stamp on the allocation
+//! clock, age (minor collections survived) and the space it occupies. The
+//! table is a slab with generation-tagged handles, so a stale [`ObjectId`]
+//! (used after the object died) is caught deterministically rather than
+//! corrupting another object's record.
+
+use std::fmt;
+
+/// Which space an object currently occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Space {
+    /// Young generation, within the given nursery region.
+    Nursery {
+        /// Region index (0 under the shared layout; the owner thread's
+        /// compartment under heaplets).
+        region: usize,
+    },
+    /// Old generation.
+    Mature,
+}
+
+/// Handle to a live object. Tagged so reuse of a slab slot invalidates
+/// old handles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ObjectId {
+    slot: u32,
+    tag: u32,
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj{}#{}", self.slot, self.tag)
+    }
+}
+
+/// A live object's record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObjectRecord {
+    /// Object size in bytes.
+    pub size: u64,
+    /// Allocation-clock reading at birth (total bytes allocated VM-wide
+    /// before this object).
+    pub birth: u64,
+    /// Minor collections survived.
+    pub age: u8,
+    /// Current space.
+    pub space: Space,
+}
+
+#[derive(Debug, Clone)]
+struct Slot {
+    tag: u32,
+    record: Option<ObjectRecord>,
+}
+
+/// Slab of live objects with tagged handles and O(1) alloc/free.
+///
+/// # Examples
+///
+/// ```
+/// use scalesim_heap::{ObjectRecord, ObjectTable, Space};
+///
+/// let mut table = ObjectTable::new();
+/// let id = table.insert(ObjectRecord {
+///     size: 64, birth: 0, age: 0, space: Space::Nursery { region: 0 },
+/// });
+/// assert_eq!(table.get(id).size, 64);
+/// let dead = table.remove(id);
+/// assert_eq!(dead.size, 64);
+/// assert!(!table.contains(id));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ObjectTable {
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl ObjectTable {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        ObjectTable::default()
+    }
+
+    /// Number of live objects.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no objects are live.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Inserts a record, returning its handle.
+    pub fn insert(&mut self, record: ObjectRecord) -> ObjectId {
+        self.live += 1;
+        if let Some(slot) = self.free.pop() {
+            let s = &mut self.slots[slot as usize];
+            debug_assert!(s.record.is_none());
+            s.record = Some(record);
+            ObjectId { slot, tag: s.tag }
+        } else {
+            let slot = u32::try_from(self.slots.len()).expect("object table overflow");
+            self.slots.push(Slot {
+                tag: 0,
+                record: Some(record),
+            });
+            ObjectId { slot, tag: 0 }
+        }
+    }
+
+    /// Whether `id` refers to a live object.
+    #[must_use]
+    pub fn contains(&self, id: ObjectId) -> bool {
+        self.slots
+            .get(id.slot as usize)
+            .is_some_and(|s| s.tag == id.tag && s.record.is_some())
+    }
+
+    /// Borrows a live object's record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is stale or was never issued.
+    #[must_use]
+    pub fn get(&self, id: ObjectId) -> &ObjectRecord {
+        let s = &self.slots[id.slot as usize];
+        assert_eq!(s.tag, id.tag, "stale handle {id}");
+        s.record.as_ref().unwrap_or_else(|| panic!("dead object {id}"))
+    }
+
+    /// Mutably borrows a live object's record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is stale or was never issued.
+    pub fn get_mut(&mut self, id: ObjectId) -> &mut ObjectRecord {
+        let s = &mut self.slots[id.slot as usize];
+        assert_eq!(s.tag, id.tag, "stale handle {id}");
+        s.record.as_mut().unwrap_or_else(|| panic!("dead object {id}"))
+    }
+
+    /// Removes a live object, returning its final record. The slot is
+    /// recycled with a bumped tag, invalidating the handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is stale or already removed.
+    pub fn remove(&mut self, id: ObjectId) -> ObjectRecord {
+        let s = &mut self.slots[id.slot as usize];
+        assert_eq!(s.tag, id.tag, "stale handle {id}");
+        let rec = s
+            .record
+            .take()
+            .unwrap_or_else(|| panic!("double-free of {id}"));
+        s.tag = s.tag.wrapping_add(1);
+        self.free.push(id.slot);
+        self.live -= 1;
+        rec
+    }
+
+    /// Iterates over `(handle, record)` for every live object.
+    ///
+    /// Iteration order is slab order (deterministic).
+    pub fn iter(&self) -> impl Iterator<Item = (ObjectId, &ObjectRecord)> + '_ {
+        self.slots.iter().enumerate().filter_map(|(i, s)| {
+            s.record.as_ref().map(|r| {
+                (
+                    ObjectId {
+                        slot: i as u32,
+                        tag: s.tag,
+                    },
+                    r,
+                )
+            })
+        })
+    }
+
+    /// Handles of live objects in the given nursery region.
+    #[must_use]
+    pub fn nursery_live(&self, region: usize) -> Vec<ObjectId> {
+        self.iter()
+            .filter(|(_, r)| r.space == Space::Nursery { region })
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Handles of live mature objects.
+    #[must_use]
+    pub fn mature_live(&self) -> Vec<ObjectId> {
+        self.iter()
+            .filter(|(_, r)| r.space == Space::Mature)
+            .map(|(id, _)| id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(size: u64, region: usize) -> ObjectRecord {
+        ObjectRecord {
+            size,
+            birth: 0,
+            age: 0,
+            space: Space::Nursery { region },
+        }
+    }
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let mut t = ObjectTable::new();
+        let a = t.insert(rec(10, 0));
+        let b = t.insert(rec(20, 0));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(a).size, 10);
+        assert_eq!(t.get(b).size, 20);
+        assert_eq!(t.remove(a).size, 10);
+        assert_eq!(t.len(), 1);
+        assert!(!t.contains(a));
+        assert!(t.contains(b));
+    }
+
+    #[test]
+    fn slots_recycle_with_fresh_tags() {
+        let mut t = ObjectTable::new();
+        let a = t.insert(rec(10, 0));
+        t.remove(a);
+        let b = t.insert(rec(30, 0));
+        assert_ne!(a, b, "recycled slot must carry a new tag");
+        assert!(!t.contains(a));
+        assert!(t.contains(b));
+    }
+
+    #[test]
+    #[should_panic(expected = "stale handle")]
+    fn stale_handle_get_panics() {
+        let mut t = ObjectTable::new();
+        let a = t.insert(rec(10, 0));
+        t.remove(a);
+        t.insert(rec(30, 0)); // reuses the slot
+        let _ = t.get(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "double-free")]
+    fn double_remove_panics() {
+        let mut t = ObjectTable::new();
+        let a = t.insert(rec(10, 0));
+        t.remove(a);
+        // the tag changed, so this is stale... re-create a same-tag case:
+        // removing twice without reuse hits the double-free branch only if
+        // tags matched, so craft it via a fresh slot's id kept around.
+        let b = t.insert(rec(5, 0));
+        t.remove(b);
+        // b's slot tag bumped; removing b again is stale:
+        // to exercise double-free we need an empty slot with matching tag,
+        // which cannot happen through the public API — stale covers it.
+        let s = &mut t.slots[b_slot(b)];
+        s.tag = s.tag.wrapping_sub(1); // simulate internal corruption
+        t.remove(b);
+    }
+
+    fn b_slot(id: ObjectId) -> usize {
+        id.slot as usize
+    }
+
+    #[test]
+    fn age_mutation_via_get_mut() {
+        let mut t = ObjectTable::new();
+        let a = t.insert(rec(10, 0));
+        t.get_mut(a).age += 1;
+        t.get_mut(a).space = Space::Mature;
+        assert_eq!(t.get(a).age, 1);
+        assert_eq!(t.get(a).space, Space::Mature);
+    }
+
+    #[test]
+    fn per_space_queries() {
+        let mut t = ObjectTable::new();
+        let a = t.insert(rec(10, 0));
+        let b = t.insert(rec(20, 1));
+        let c = t.insert(rec(30, 0));
+        t.get_mut(b).space = Space::Mature;
+
+        let r0 = t.nursery_live(0);
+        assert_eq!(r0, vec![a, c]);
+        assert!(t.nursery_live(1).is_empty());
+        assert_eq!(t.mature_live(), vec![b]);
+    }
+
+    #[test]
+    fn iter_is_deterministic_slab_order() {
+        let mut t = ObjectTable::new();
+        let ids: Vec<_> = (0..5).map(|i| t.insert(rec(i, 0))).collect();
+        t.remove(ids[2]);
+        let seen: Vec<_> = t.iter().map(|(id, _)| id).collect();
+        assert_eq!(seen, vec![ids[0], ids[1], ids[3], ids[4]]);
+    }
+
+    #[test]
+    fn display_of_object_id() {
+        let mut t = ObjectTable::new();
+        let a = t.insert(rec(1, 0));
+        assert_eq!(a.to_string(), "obj0#0");
+    }
+}

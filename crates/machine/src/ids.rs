@@ -1,0 +1,81 @@
+//! Typed identifiers for hardware resources.
+//!
+//! Plain `usize` indices invite mixing a core index with a socket index;
+//! these newtypes make that a compile error ([C-NEWTYPE]).
+
+use std::fmt;
+
+macro_rules! id_newtype {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(usize);
+
+        impl $name {
+            /// Creates an identifier from a raw index.
+            #[must_use]
+            pub const fn new(index: usize) -> Self {
+                $name(index)
+            }
+
+            /// The raw index (e.g. for indexing parallel `Vec`s).
+            #[must_use]
+            pub const fn index(self) -> usize {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(index: usize) -> Self {
+                $name(index)
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// A processing core, numbered machine-wide (not per socket).
+    CoreId,
+    "core"
+);
+id_newtype!(
+    /// A processor socket (package).
+    SocketId,
+    "socket"
+);
+id_newtype!(
+    /// A NUMA memory node. On the modelled machines each socket has one
+    /// local memory node with the same index.
+    MemNodeId,
+    "mem"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_and_display() {
+        let c = CoreId::new(5);
+        assert_eq!(c.index(), 5);
+        assert_eq!(c.to_string(), "core5");
+        assert_eq!(SocketId::new(2).to_string(), "socket2");
+        assert_eq!(MemNodeId::new(1).to_string(), "mem1");
+    }
+
+    #[test]
+    fn from_usize() {
+        assert_eq!(CoreId::from(3), CoreId::new(3));
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(CoreId::new(1) < CoreId::new(2));
+    }
+}

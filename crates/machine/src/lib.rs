@@ -1,0 +1,73 @@
+//! # scalesim-machine
+//!
+//! Manycore NUMA machine model for the `scalesim` workspace.
+//!
+//! The ISPASS'15 study ran on a four-socket, 48-core AMD Opteron 6168
+//! system and varied the number of *enabled* cores from 4 to 48. This crate
+//! provides that machine as data: a [`MachineTopology`] with sockets,
+//! cores, per-socket memory nodes, a NUMA cost matrix, and the
+//! socket-major core-enablement order the experiments use.
+//!
+//! ```
+//! use scalesim_machine::{MachineTopology, CoreId};
+//!
+//! let m = MachineTopology::amd_6168();
+//! // Core 20 lives on socket 1; touching socket 3's memory costs 1.5x.
+//! let s = m.socket_of(CoreId::new(20));
+//! assert_eq!(s.index(), 1);
+//! assert_eq!(m.numa_factor(CoreId::new(20), m.local_mem_node(s)), 1.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod ids;
+mod topology;
+
+pub use ids::{CoreId, MemNodeId, SocketId};
+pub use topology::{MachineBuilder, MachineTopology, NumaFactor};
+
+/// How enabled cores are chosen when a configuration uses fewer cores
+/// than the machine has.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Placement {
+    /// Fill sockets in order (the paper's enablement; minimizes NUMA
+    /// exposure at low core counts). See [`MachineTopology::enabled`].
+    #[default]
+    Compact,
+    /// Round-robin across sockets (interleaved pinning; maximizes NUMA
+    /// exposure). See [`MachineTopology::enabled_scatter`].
+    Scatter,
+}
+
+impl Placement {
+    /// The core set this placement enables for `n` cores.
+    #[must_use]
+    pub fn enabled(self, machine: &MachineTopology, n: usize) -> Vec<CoreId> {
+        match self {
+            Placement::Compact => machine.enabled(n),
+            Placement::Scatter => machine.enabled_scatter(n),
+        }
+    }
+}
+
+#[cfg(test)]
+mod placement_tests {
+    use super::*;
+
+    #[test]
+    fn placement_dispatches_to_the_right_order() {
+        let m = MachineTopology::amd_6168();
+        assert_eq!(Placement::Compact.enabled(&m, 3), m.enabled(3));
+        assert_eq!(Placement::Scatter.enabled(&m, 3), m.enabled_scatter(3));
+        assert_ne!(
+            Placement::Compact.enabled(&m, 8),
+            Placement::Scatter.enabled(&m, 8)
+        );
+    }
+
+    #[test]
+    fn default_is_compact() {
+        assert_eq!(Placement::default(), Placement::Compact);
+    }
+}

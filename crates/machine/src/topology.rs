@@ -1,0 +1,456 @@
+//! Machine topology: sockets, cores, memory nodes and NUMA distances.
+//!
+//! The ISPASS'15 paper's testbed is a four-socket AMD Opteron 6168 box —
+//! 48 cores total, one memory node per socket, 64 GB RAM. The experiments
+//! enable between 4 and 48 cores; [`MachineTopology::enabled`] models the
+//! same socket-by-socket enablement `numactl`/hot-unplug would produce.
+
+use std::fmt;
+
+use crate::ids::{CoreId, MemNodeId, SocketId};
+
+/// Relative cost multiplier for a memory access from one socket to
+/// another's memory node (1.0 = local).
+pub type NumaFactor = f64;
+
+/// An immutable description of a manycore NUMA machine.
+///
+/// Built with [`MachineBuilder`] or the [`MachineTopology::amd_6168`]
+/// preset.
+///
+/// # Examples
+///
+/// ```
+/// use scalesim_machine::MachineTopology;
+///
+/// let m = MachineTopology::amd_6168();
+/// assert_eq!(m.num_cores(), 48);
+/// assert_eq!(m.num_sockets(), 4);
+/// let enabled = m.enabled(16);
+/// assert_eq!(enabled.len(), 16);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineTopology {
+    cores_per_socket: usize,
+    num_sockets: usize,
+    /// numa_distance[a][b]: access-cost multiplier from socket `a` to
+    /// memory node `b`.
+    numa_distance: Vec<Vec<NumaFactor>>,
+    ram_bytes: u64,
+    name: String,
+}
+
+impl MachineTopology {
+    /// The paper's testbed: 4 × AMD Opteron 6168 (12 cores each, 48 total),
+    /// 64 GB RAM, remote-socket accesses ~1.5× local cost.
+    #[must_use]
+    pub fn amd_6168() -> Self {
+        MachineBuilder::new()
+            .name("4x AMD Opteron 6168")
+            .sockets(4)
+            .cores_per_socket(12)
+            .remote_factor(1.5)
+            .ram_bytes(64 * (1 << 30))
+            .build()
+    }
+
+    /// A contemporary two-socket Xeon-like box: 2 × 16 cores, 128 GB,
+    /// remote accesses ~1.3× local. Useful to check that conclusions are
+    /// not artifacts of the AMD testbed's four-socket layout.
+    #[must_use]
+    pub fn xeon_2s_32c() -> Self {
+        MachineBuilder::new()
+            .name("2x Xeon-like 16-core")
+            .sockets(2)
+            .cores_per_socket(16)
+            .remote_factor(1.3)
+            .ram_bytes(128 * (1 << 30))
+            .build()
+    }
+
+    /// Human-readable machine name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total number of cores.
+    #[must_use]
+    pub fn num_cores(&self) -> usize {
+        self.cores_per_socket * self.num_sockets
+    }
+
+    /// Number of sockets.
+    #[must_use]
+    pub fn num_sockets(&self) -> usize {
+        self.num_sockets
+    }
+
+    /// Cores per socket.
+    #[must_use]
+    pub fn cores_per_socket(&self) -> usize {
+        self.cores_per_socket
+    }
+
+    /// Installed RAM in bytes.
+    #[must_use]
+    pub fn ram_bytes(&self) -> u64 {
+        self.ram_bytes
+    }
+
+    /// The socket a core belongs to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range for this machine.
+    #[must_use]
+    pub fn socket_of(&self, core: CoreId) -> SocketId {
+        assert!(
+            core.index() < self.num_cores(),
+            "{core} out of range for {} cores",
+            self.num_cores()
+        );
+        SocketId::new(core.index() / self.cores_per_socket)
+    }
+
+    /// The memory node local to a socket (one node per socket).
+    #[must_use]
+    pub fn local_mem_node(&self, socket: SocketId) -> MemNodeId {
+        MemNodeId::new(socket.index())
+    }
+
+    /// NUMA access-cost multiplier for a core touching a memory node
+    /// (1.0 when local).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` or `node` is out of range.
+    #[must_use]
+    pub fn numa_factor(&self, core: CoreId, node: MemNodeId) -> NumaFactor {
+        let s = self.socket_of(core);
+        assert!(node.index() < self.num_sockets, "{node} out of range");
+        self.numa_distance[s.index()][node.index()]
+    }
+
+    /// Average NUMA factor seen by `cores` enabled cores (socket-major
+    /// enablement). See [`mean_numa_factor_of`](Self::mean_numa_factor_of).
+    #[must_use]
+    pub fn mean_numa_factor(&self, cores: usize) -> NumaFactor {
+        self.mean_numa_factor_of(&self.enabled(cores))
+    }
+
+    /// Average NUMA factor seen by an explicit core set touching memory
+    /// spread uniformly over the memory nodes their sockets own — a proxy
+    /// for how "NUMA-exposed" a configuration is (1.0 on one socket,
+    /// rising as the set spans sockets).
+    #[must_use]
+    pub fn mean_numa_factor_of(&self, enabled: &[CoreId]) -> NumaFactor {
+        if enabled.is_empty() {
+            return 1.0;
+        }
+        let sockets_used: Vec<SocketId> = {
+            let mut s: Vec<_> = enabled.iter().map(|&c| self.socket_of(c)).collect();
+            s.sort();
+            s.dedup();
+            s
+        };
+        let mut total = 0.0;
+        for &c in enabled {
+            for &s in &sockets_used {
+                total += self.numa_factor(c, self.local_mem_node(s));
+            }
+        }
+        total / (enabled.len() * sockets_used.len()) as f64
+    }
+
+    /// The first `n` cores in socket-major order — the set of cores enabled
+    /// for an experiment that restricts the machine to `n` processors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the machine's core count or is zero.
+    #[must_use]
+    pub fn enabled(&self, n: usize) -> Vec<CoreId> {
+        assert!(n >= 1, "at least one core must be enabled");
+        assert!(
+            n <= self.num_cores(),
+            "cannot enable {n} cores on a {}-core machine",
+            self.num_cores()
+        );
+        (0..n).map(CoreId::new).collect()
+    }
+
+    /// The first `n` cores in *scatter* order — round-robin across
+    /// sockets, the placement `numactl --interleave`-style pinning
+    /// produces. Spreads even small configurations over all memory
+    /// nodes, maximizing NUMA exposure (and memory bandwidth).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the machine's core count or is zero.
+    #[must_use]
+    pub fn enabled_scatter(&self, n: usize) -> Vec<CoreId> {
+        assert!(n >= 1, "at least one core must be enabled");
+        assert!(
+            n <= self.num_cores(),
+            "cannot enable {n} cores on a {}-core machine",
+            self.num_cores()
+        );
+        (0..n)
+            .map(|i| {
+                let socket = i % self.num_sockets;
+                let within = i / self.num_sockets;
+                CoreId::new(socket * self.cores_per_socket + within)
+            })
+            .collect()
+    }
+
+    /// Iterates over all cores of the machine.
+    pub fn cores(&self) -> impl Iterator<Item = CoreId> + '_ {
+        (0..self.num_cores()).map(CoreId::new)
+    }
+}
+
+impl fmt::Display for MachineTopology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} sockets x {} cores, {} GB)",
+            self.name,
+            self.num_sockets,
+            self.cores_per_socket,
+            self.ram_bytes >> 30
+        )
+    }
+}
+
+/// Incrementally configures a [`MachineTopology`] ([C-BUILDER]).
+///
+/// # Examples
+///
+/// ```
+/// use scalesim_machine::MachineBuilder;
+///
+/// let m = MachineBuilder::new()
+///     .sockets(2)
+///     .cores_per_socket(8)
+///     .remote_factor(1.3)
+///     .build();
+/// assert_eq!(m.num_cores(), 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MachineBuilder {
+    sockets: usize,
+    cores_per_socket: usize,
+    remote_factor: NumaFactor,
+    ram_bytes: u64,
+    name: String,
+}
+
+impl Default for MachineBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MachineBuilder {
+    /// Starts from a modest 1-socket, 4-core default.
+    #[must_use]
+    pub fn new() -> Self {
+        MachineBuilder {
+            sockets: 1,
+            cores_per_socket: 4,
+            remote_factor: 1.5,
+            ram_bytes: 16 * (1 << 30),
+            name: "custom".to_owned(),
+        }
+    }
+
+    /// Sets the number of sockets.
+    pub fn sockets(&mut self, n: usize) -> &mut Self {
+        self.sockets = n;
+        self
+    }
+
+    /// Sets the number of cores on each socket.
+    pub fn cores_per_socket(&mut self, n: usize) -> &mut Self {
+        self.cores_per_socket = n;
+        self
+    }
+
+    /// Sets the remote-access cost multiplier applied between distinct
+    /// sockets (local accesses are always 1.0).
+    pub fn remote_factor(&mut self, f: NumaFactor) -> &mut Self {
+        self.remote_factor = f;
+        self
+    }
+
+    /// Sets installed RAM in bytes.
+    pub fn ram_bytes(&mut self, bytes: u64) -> &mut Self {
+        self.ram_bytes = bytes;
+        self
+    }
+
+    /// Sets the display name.
+    pub fn name(&mut self, name: &str) -> &mut Self {
+        self.name = name.to_owned();
+        self
+    }
+
+    /// Builds the topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if sockets or cores-per-socket is zero, or if the remote
+    /// factor is below 1.0 (remote memory cannot be cheaper than local).
+    #[must_use]
+    pub fn build(&self) -> MachineTopology {
+        assert!(self.sockets >= 1, "need at least one socket");
+        assert!(self.cores_per_socket >= 1, "need at least one core per socket");
+        assert!(
+            self.remote_factor >= 1.0,
+            "remote NUMA factor must be >= 1.0, got {}",
+            self.remote_factor
+        );
+        let numa_distance = (0..self.sockets)
+            .map(|a| {
+                (0..self.sockets)
+                    .map(|b| if a == b { 1.0 } else { self.remote_factor })
+                    .collect()
+            })
+            .collect();
+        MachineTopology {
+            cores_per_socket: self.cores_per_socket,
+            num_sockets: self.sockets,
+            numa_distance,
+            ram_bytes: self.ram_bytes,
+            name: self.name.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amd_preset_matches_paper_testbed() {
+        let m = MachineTopology::amd_6168();
+        assert_eq!(m.num_sockets(), 4);
+        assert_eq!(m.cores_per_socket(), 12);
+        assert_eq!(m.num_cores(), 48);
+        assert_eq!(m.ram_bytes(), 64 * (1 << 30));
+    }
+
+    #[test]
+    fn xeon_preset_shape() {
+        let m = MachineTopology::xeon_2s_32c();
+        assert_eq!(m.num_cores(), 32);
+        assert_eq!(m.num_sockets(), 2);
+        assert_eq!(m.numa_factor(CoreId::new(0), MemNodeId::new(1)), 1.3);
+    }
+
+    #[test]
+    fn socket_assignment_is_socket_major() {
+        let m = MachineTopology::amd_6168();
+        assert_eq!(m.socket_of(CoreId::new(0)), SocketId::new(0));
+        assert_eq!(m.socket_of(CoreId::new(11)), SocketId::new(0));
+        assert_eq!(m.socket_of(CoreId::new(12)), SocketId::new(1));
+        assert_eq!(m.socket_of(CoreId::new(47)), SocketId::new(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn socket_of_out_of_range_panics() {
+        let _ = MachineTopology::amd_6168().socket_of(CoreId::new(48));
+    }
+
+    #[test]
+    fn numa_factor_local_is_one_remote_is_configured() {
+        let m = MachineTopology::amd_6168();
+        let c0 = CoreId::new(0);
+        assert_eq!(m.numa_factor(c0, MemNodeId::new(0)), 1.0);
+        assert_eq!(m.numa_factor(c0, MemNodeId::new(3)), 1.5);
+    }
+
+    #[test]
+    fn enabled_fills_sockets_in_order() {
+        let m = MachineTopology::amd_6168();
+        let e = m.enabled(13);
+        assert_eq!(e.len(), 13);
+        assert_eq!(m.socket_of(e[12]), SocketId::new(1));
+        assert!(e[..12].iter().all(|&c| m.socket_of(c) == SocketId::new(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot enable")]
+    fn enabling_too_many_cores_panics() {
+        let _ = MachineTopology::amd_6168().enabled(49);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn enabling_zero_cores_panics() {
+        let _ = MachineTopology::amd_6168().enabled(0);
+    }
+
+    #[test]
+    fn mean_numa_factor_grows_with_socket_span() {
+        let m = MachineTopology::amd_6168();
+        let one_socket = m.mean_numa_factor(12);
+        let all = m.mean_numa_factor(48);
+        assert_eq!(one_socket, 1.0);
+        assert!(all > one_socket, "all={all} one={one_socket}");
+        assert!(all <= 1.5);
+    }
+
+    #[test]
+    fn scatter_round_robins_sockets() {
+        let m = MachineTopology::amd_6168();
+        let e = m.enabled_scatter(6);
+        let sockets: Vec<usize> = e.iter().map(|&c| m.socket_of(c).index()).collect();
+        assert_eq!(sockets, vec![0, 1, 2, 3, 0, 1]);
+        assert_eq!(e[4], CoreId::new(1), "second core on socket 0");
+    }
+
+    #[test]
+    fn scatter_is_more_numa_exposed_than_compact() {
+        let m = MachineTopology::amd_6168();
+        let compact = m.mean_numa_factor_of(&m.enabled(8));
+        let scatter = m.mean_numa_factor_of(&m.enabled_scatter(8));
+        assert_eq!(compact, 1.0, "8 compact cores fit one socket");
+        assert!(scatter > 1.3, "8 scattered cores span all sockets: {scatter}");
+    }
+
+    #[test]
+    fn scatter_covers_all_cores_without_duplicates() {
+        let m = MachineTopology::amd_6168();
+        let mut e = m.enabled_scatter(48);
+        e.sort();
+        e.dedup();
+        assert_eq!(e.len(), 48);
+    }
+
+    #[test]
+    fn builder_validates() {
+        let r = std::panic::catch_unwind(|| MachineBuilder::new().sockets(0).build());
+        assert!(r.is_err());
+        let r = std::panic::catch_unwind(|| MachineBuilder::new().remote_factor(0.5).build());
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn cores_iterator_covers_all() {
+        let m = MachineBuilder::new().sockets(2).cores_per_socket(3).build();
+        let v: Vec<_> = m.cores().collect();
+        assert_eq!(v.len(), 6);
+        assert_eq!(v[5], CoreId::new(5));
+    }
+
+    #[test]
+    fn display_mentions_shape() {
+        let s = MachineTopology::amd_6168().to_string();
+        assert!(s.contains("4 sockets"), "{s}");
+        assert!(s.contains("12 cores"), "{s}");
+    }
+}

@@ -1,0 +1,200 @@
+//! Empirical cumulative distribution functions.
+//!
+//! Figures 1c and 1d of the paper are lifespan CDFs; [`Cdf`] is the exact
+//! (sample-based) counterpart used when full traces are retained, and can
+//! also be extracted from a [`LogHistogram`](crate::LogHistogram) at bucket
+//! resolution.
+
+use std::fmt;
+
+use crate::histogram::LogHistogram;
+
+/// An empirical CDF over `u64` samples.
+///
+/// # Examples
+///
+/// ```
+/// use scalesim_metrics::Cdf;
+///
+/// let cdf = Cdf::from_samples(vec![10, 20, 30, 40]);
+/// assert_eq!(cdf.fraction_at_most(20), 0.5);
+/// assert_eq!(cdf.quantile(0.75), Some(30));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Cdf {
+    sorted: Vec<u64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from raw samples (takes ownership, sorts once).
+    #[must_use]
+    pub fn from_samples(mut samples: Vec<u64>) -> Self {
+        samples.sort_unstable();
+        Cdf { sorted: samples }
+    }
+
+    /// Builds a bucket-resolution CDF from a log histogram: one point per
+    /// non-empty bucket, placed at the bucket's lower bound.
+    #[must_use]
+    pub fn from_histogram(hist: &LogHistogram) -> Self {
+        let mut sorted = Vec::new();
+        for (lo, n) in hist.iter() {
+            sorted.extend(std::iter::repeat_n(lo, n as usize));
+        }
+        Cdf { sorted }
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the CDF has no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `P(X <= x)`; 0.0 when empty.
+    #[must_use]
+    pub fn fraction_at_most(&self, x: u64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// `P(X < x)`; 0.0 when empty.
+    #[must_use]
+    pub fn fraction_below(&self, x: u64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&v| v < x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// The smallest sample `v` with `P(X <= v) >= q`, or `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let rank = ((q * self.sorted.len() as f64).ceil() as usize).clamp(1, self.sorted.len());
+        Some(self.sorted[rank - 1])
+    }
+
+    /// Samples the CDF at each threshold, returning `(threshold, fraction
+    /// at most threshold)` pairs — the series a plotted figure needs.
+    #[must_use]
+    pub fn series(&self, thresholds: &[u64]) -> Vec<(u64, f64)> {
+        thresholds
+            .iter()
+            .map(|&t| (t, self.fraction_at_most(t)))
+            .collect()
+    }
+
+    /// Largest absolute vertical distance to another CDF evaluated at both
+    /// sample sets (the Kolmogorov–Smirnov statistic). Useful to quantify
+    /// "the eclipse CDF barely moves, the xalan CDF moves a lot".
+    #[must_use]
+    pub fn ks_distance(&self, other: &Cdf) -> f64 {
+        let mut max = 0.0f64;
+        for &x in self.sorted.iter().chain(other.sorted.iter()) {
+            let d = (self.fraction_at_most(x) - other.fraction_at_most(x)).abs();
+            max = max.max(d);
+        }
+        max
+    }
+}
+
+impl FromIterator<u64> for Cdf {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        Cdf::from_samples(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Display for Cdf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Cdf(n={}", self.len())?;
+        if let (Some(p50), Some(p90)) = (self.quantile(0.5), self.quantile(0.9)) {
+            write!(f, ", p50={p50}, p90={p90}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_and_quantiles() {
+        let cdf = Cdf::from_samples(vec![30, 10, 20, 40]);
+        assert_eq!(cdf.fraction_at_most(9), 0.0);
+        assert_eq!(cdf.fraction_at_most(10), 0.25);
+        assert_eq!(cdf.fraction_below(10), 0.0);
+        assert_eq!(cdf.fraction_at_most(40), 1.0);
+        assert_eq!(cdf.quantile(0.0), Some(10));
+        assert_eq!(cdf.quantile(0.5), Some(20));
+        assert_eq!(cdf.quantile(1.0), Some(40));
+    }
+
+    #[test]
+    fn empty_cdf_is_safe() {
+        let cdf = Cdf::default();
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.fraction_at_most(5), 0.0);
+        assert_eq!(cdf.quantile(0.5), None);
+    }
+
+    #[test]
+    fn from_histogram_round_trips_bucket_bounds() {
+        let mut h = LogHistogram::new();
+        h.record_n(1, 3); // bucket lower bound 0
+        h.record_n(700, 2); // bucket [512,1024) -> lower bound 512
+        let cdf = Cdf::from_histogram(&h);
+        assert_eq!(cdf.len(), 5);
+        assert_eq!(cdf.fraction_at_most(0), 0.6);
+        assert_eq!(cdf.fraction_at_most(512), 1.0);
+    }
+
+    #[test]
+    fn series_samples_thresholds() {
+        let cdf: Cdf = [1u64, 2, 3, 4].into_iter().collect();
+        assert_eq!(
+            cdf.series(&[2, 4]),
+            vec![(2, 0.5), (4, 1.0)]
+        );
+    }
+
+    #[test]
+    fn ks_distance_zero_for_identical_and_positive_for_shifted() {
+        let a: Cdf = (0..100u64).collect();
+        let b: Cdf = (0..100u64).collect();
+        assert_eq!(a.ks_distance(&b), 0.0);
+        let shifted: Cdf = (50..150u64).collect();
+        assert!(a.ks_distance(&shifted) >= 0.49);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in [0,1]")]
+    fn quantile_rejects_bad_q() {
+        let cdf: Cdf = [1u64].into_iter().collect();
+        let _ = cdf.quantile(-0.1);
+    }
+
+    #[test]
+    fn display_mentions_medians() {
+        let cdf: Cdf = (1..=100u64).collect();
+        let s = cdf.to_string();
+        assert!(s.contains("p50=50"), "{s}");
+    }
+}

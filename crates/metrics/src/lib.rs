@@ -1,0 +1,37 @@
+//! # scalesim-metrics
+//!
+//! Statistics toolkit shared by every `scalesim` crate: log-bucketed
+//! [`LogHistogram`]s for lifespan distributions, exact [`Cdf`]s (Figures
+//! 1c/1d of the paper are lifespan CDFs), scalar [`Summary`] statistics
+//! with workload-imbalance measures, labelled [`Series`] for figure lines,
+//! and a [`Table`] renderer (terminal + CSV) for the experiment drivers.
+//!
+//! No serialization dependency is needed: tables render themselves as CSV.
+//!
+//! ```
+//! use scalesim_metrics::{Cdf, LogHistogram};
+//!
+//! let mut lifespans = LogHistogram::new();
+//! for l in [100u64, 200, 5_000, 80_000] {
+//!     lifespans.record(l);
+//! }
+//! // "what fraction of objects die within 1 KiB of allocation?"
+//! assert_eq!(lifespans.fraction_below(1024), 0.5);
+//! let cdf = Cdf::from_histogram(&lifespans);
+//! assert_eq!(cdf.len(), 4);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cdf;
+mod histogram;
+mod series;
+mod summary;
+mod table;
+
+pub use cdf::Cdf;
+pub use histogram::LogHistogram;
+pub use series::Series;
+pub use summary::Summary;
+pub use table::{fmt2, fmt_bytes, fmt_pct, Table};

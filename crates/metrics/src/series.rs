@@ -1,0 +1,175 @@
+//! Labelled `(x, y)` series — the unit of "one line in a figure".
+
+use std::fmt;
+
+/// One plotted line: a label plus `(x, y)` points, e.g. *xalan's lock
+/// contentions vs. thread count*.
+///
+/// # Examples
+///
+/// ```
+/// use scalesim_metrics::Series;
+///
+/// let mut s = Series::new("xalan");
+/// s.push(4.0, 100.0);
+/// s.push(48.0, 900.0);
+/// assert_eq!(s.growth_ratio(), Some(9.0));
+/// assert!(s.is_increasing());
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Series {
+    label: String,
+    points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series with a label.
+    #[must_use]
+    pub fn new<S: Into<String>>(label: S) -> Self {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// The series label.
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Appends a point. X values should be pushed in increasing order.
+    pub fn push(&mut self, x: f64, y: f64) -> &mut Self {
+        if let Some(&(px, _)) = self.points.last() {
+            assert!(x > px, "series x values must be strictly increasing");
+        }
+        self.points.push((x, y));
+        self
+    }
+
+    /// The points in insertion order.
+    #[must_use]
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Number of points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series has no points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The y value at the first point.
+    #[must_use]
+    pub fn first_y(&self) -> Option<f64> {
+        self.points.first().map(|&(_, y)| y)
+    }
+
+    /// The y value at the last point.
+    #[must_use]
+    pub fn last_y(&self) -> Option<f64> {
+        self.points.last().map(|&(_, y)| y)
+    }
+
+    /// `last_y / first_y` — how much the curve grew across the sweep.
+    /// `None` if fewer than 2 points or the first y is 0.
+    #[must_use]
+    pub fn growth_ratio(&self) -> Option<f64> {
+        if self.points.len() < 2 {
+            return None;
+        }
+        let first = self.first_y()?;
+        if first == 0.0 {
+            return None;
+        }
+        Some(self.last_y()? / first)
+    }
+
+    /// Whether y is non-decreasing across the whole series.
+    #[must_use]
+    pub fn is_increasing(&self) -> bool {
+        self.points.windows(2).all(|w| w[1].1 >= w[0].1)
+    }
+
+    /// Whether y is non-increasing across the whole series.
+    #[must_use]
+    pub fn is_decreasing(&self) -> bool {
+        self.points.windows(2).all(|w| w[1].1 <= w[0].1)
+    }
+}
+
+impl fmt::Display for Series {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: ", self.label)?;
+        for (i, (x, y)) in self.points.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "({x:.0}, {y:.3})")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_accessors() {
+        let mut s = Series::new("a");
+        s.push(1.0, 10.0).push(2.0, 5.0);
+        assert_eq!(s.label(), "a");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.first_y(), Some(10.0));
+        assert_eq!(s.last_y(), Some(5.0));
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn non_monotone_x_panics() {
+        let mut s = Series::new("a");
+        s.push(2.0, 1.0).push(2.0, 2.0);
+    }
+
+    #[test]
+    fn growth_ratio_edge_cases() {
+        let mut s = Series::new("a");
+        assert_eq!(s.growth_ratio(), None);
+        s.push(1.0, 0.0);
+        s.push(2.0, 5.0);
+        assert_eq!(s.growth_ratio(), None, "zero first y");
+        let mut t = Series::new("b");
+        t.push(1.0, 2.0).push(2.0, 8.0);
+        assert_eq!(t.growth_ratio(), Some(4.0));
+    }
+
+    #[test]
+    fn monotonicity_checks() {
+        let mut up = Series::new("up");
+        up.push(1.0, 1.0).push(2.0, 2.0).push(3.0, 2.0);
+        assert!(up.is_increasing());
+        assert!(!up.is_decreasing());
+
+        let mut down = Series::new("down");
+        down.push(1.0, 3.0).push(2.0, 1.0);
+        assert!(down.is_decreasing());
+
+        let empty = Series::new("e");
+        assert!(empty.is_increasing() && empty.is_decreasing());
+    }
+
+    #[test]
+    fn display_lists_points() {
+        let mut s = Series::new("xalan");
+        s.push(4.0, 1.5);
+        assert_eq!(s.to_string(), "xalan: (4, 1.500)");
+    }
+}

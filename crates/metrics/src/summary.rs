@@ -1,0 +1,205 @@
+//! Scalar summaries of float samples (means, percentiles, imbalance).
+
+use std::fmt;
+
+/// Summary statistics over a set of `f64` samples.
+///
+/// # Examples
+///
+/// ```
+/// use scalesim_metrics::Summary;
+///
+/// let s = Summary::from_samples(&[1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(s.mean(), 2.5);
+/// assert_eq!(s.max(), 4.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    sorted: Vec<f64>,
+    sum: f64,
+}
+
+impl Summary {
+    /// Builds a summary from samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or contains NaN — a summary of nothing
+    /// (or of not-a-number) has no meaningful statistics.
+    #[must_use]
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "cannot summarize zero samples");
+        assert!(
+            samples.iter().all(|v| !v.is_nan()),
+            "samples must not contain NaN"
+        );
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN after check"));
+        let sum = sorted.iter().sum();
+        Summary { sorted, sum }
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Always false: empty summaries cannot be constructed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Arithmetic mean.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.sum / self.sorted.len() as f64
+    }
+
+    /// Sum of samples.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest sample.
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Largest sample.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("nonempty")
+    }
+
+    /// Percentile `p` in `[0, 100]` (nearest-rank).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile must be in [0,100]");
+        let rank = ((p / 100.0 * self.sorted.len() as f64).ceil() as usize)
+            .clamp(1, self.sorted.len());
+        self.sorted[rank - 1]
+    }
+
+    /// Population standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        let m = self.mean();
+        let var = self
+            .sorted
+            .iter()
+            .map(|v| (v - m) * (v - m))
+            .sum::<f64>()
+            / self.sorted.len() as f64;
+        var.sqrt()
+    }
+
+    /// Coefficient of variation (`std_dev / mean`); 0.0 when the mean is 0.
+    ///
+    /// Used as the *workload-imbalance* metric: per-thread work shares with
+    /// CV near 0 are "nearly uniform" (xalan/lusearch/sunflow in the paper),
+    /// large CV means a few threads do most of the work (jython/eclipse).
+    #[must_use]
+    pub fn coefficient_of_variation(&self) -> f64 {
+        let m = self.mean();
+        if m == 0.0 {
+            0.0
+        } else {
+            self.std_dev() / m
+        }
+    }
+
+    /// Max sample divided by mean — another imbalance view: 1.0 is perfect
+    /// balance, `len()` means one sample holds everything.
+    #[must_use]
+    pub fn max_over_mean(&self) -> f64 {
+        let m = self.mean();
+        if m == 0.0 {
+            1.0
+        } else {
+            self.max() / m
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Summary(n={}, mean={:.3}, min={:.3}, max={:.3}, sd={:.3})",
+            self.len(),
+            self.mean(),
+            self.min(),
+            self.max(),
+            self.std_dev()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_stats() {
+        let s = Summary::from_samples(&[4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.mean(), 2.5);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 4.0);
+        assert_eq!(s.sum(), 10.0);
+        assert!((s.std_dev() - 1.118033988749895).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let s = Summary::from_samples(&[10.0, 20.0, 30.0, 40.0, 50.0]);
+        assert_eq!(s.percentile(0.0), 10.0);
+        assert_eq!(s.percentile(50.0), 30.0);
+        assert_eq!(s.percentile(90.0), 50.0);
+        assert_eq!(s.percentile(100.0), 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero samples")]
+    fn empty_panics() {
+        let _ = Summary::from_samples(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_panics() {
+        let _ = Summary::from_samples(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn imbalance_metrics() {
+        let balanced = Summary::from_samples(&[5.0, 5.0, 5.0, 5.0]);
+        assert_eq!(balanced.coefficient_of_variation(), 0.0);
+        assert_eq!(balanced.max_over_mean(), 1.0);
+
+        let skewed = Summary::from_samples(&[20.0, 0.0, 0.0, 0.0]);
+        assert!(skewed.coefficient_of_variation() > 1.0);
+        assert_eq!(skewed.max_over_mean(), 4.0);
+    }
+
+    #[test]
+    fn zero_mean_is_guarded() {
+        let s = Summary::from_samples(&[0.0, 0.0]);
+        assert_eq!(s.coefficient_of_variation(), 0.0);
+        assert_eq!(s.max_over_mean(), 1.0);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        let s = Summary::from_samples(&[1.0]);
+        assert!(s.to_string().contains("mean=1.000"));
+    }
+}

@@ -1,0 +1,202 @@
+//! Plain-text tables and CSV output for experiment results.
+//!
+//! The experiment drivers print the same rows/series the paper's figures
+//! report; [`Table`] renders them aligned for the terminal and as CSV for
+//! downstream plotting.
+
+use std::fmt;
+
+/// A simple column-aligned table.
+///
+/// # Examples
+///
+/// ```
+/// use scalesim_metrics::Table;
+///
+/// let mut t = Table::new(vec!["app", "threads", "speedup"]);
+/// t.row(vec!["xalan".into(), "48".into(), "17.2".into()]);
+/// let text = t.to_string();
+/// assert!(text.contains("xalan"));
+/// assert!(t.to_csv().starts_with("app,threads,speedup\n"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Column headers.
+    #[must_use]
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// Data rows.
+    #[must_use]
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Renders as CSV (RFC-4180-style quoting for cells containing commas,
+    /// quotes, or newlines).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        fn quote(cell: &str) -> String {
+            if cell.contains([',', '"', '\n']) {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_owned()
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String]| {
+            let joined: Vec<String> = cells.iter().map(|c| quote(c)).collect();
+            joined.join(",") + "\n"
+        };
+        out.push_str(&line(&self.headers));
+        for r in &self.rows {
+            out.push_str(&line(r));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, (cell, w)) in cells.iter().zip(widths.iter()).enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:<w$}")?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with 2 decimal places for table cells.
+#[must_use]
+pub fn fmt2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a fraction as a percentage with one decimal, e.g. `0.825` →
+/// `"82.5%"`.
+#[must_use]
+pub fn fmt_pct(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+/// Formats a byte count using binary units (`1536` → `"1.5KiB"`).
+#[must_use]
+pub fn fmt_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = bytes as f64;
+    let mut unit = 0;
+    while v >= 1024.0 && unit < UNITS.len() - 1 {
+        v /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes}B")
+    } else {
+        format!("{v:.1}{}", UNITS[unit])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_align_under_headers() {
+        let mut t = Table::new(vec!["name", "n"]);
+        t.row(vec!["a-long-name".into(), "1".into()]);
+        t.row(vec!["b".into(), "22".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        Table::new(vec!["a", "b"]).row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_quotes_special_cells() {
+        let mut t = Table::new(vec!["k", "v"]);
+        t.row(vec!["x,y".into(), "he said \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "k,v\n\"x,y\",\"he said \"\"hi\"\"\"\n");
+    }
+
+    #[test]
+    fn accessors() {
+        let mut t = Table::new(vec!["a"]);
+        t.row(vec!["1".into()]);
+        assert_eq!(t.num_rows(), 1);
+        assert_eq!(t.headers(), ["a"]);
+        assert_eq!(t.rows()[0], ["1"]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt2(1.234), "1.23");
+        assert_eq!(fmt_pct(0.825), "82.5%");
+        assert_eq!(fmt_bytes(512), "512B");
+        assert_eq!(fmt_bytes(1536), "1.5KiB");
+        assert_eq!(fmt_bytes(3 * 1024 * 1024), "3.0MiB");
+        assert_eq!(fmt_bytes(5 * 1024 * 1024 * 1024), "5.0GiB");
+    }
+}

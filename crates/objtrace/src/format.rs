@@ -1,0 +1,204 @@
+//! Elephant-Tracks-style text trace format.
+//!
+//! Elephant Tracks emits a line-oriented trace of object events; this
+//! module provides a faithful-in-spirit writer and parser so traces can
+//! be exported for external analysis (or imported from other tools):
+//!
+//! ```text
+//! A <obj> <size> <thread> <clock>    # allocation
+//! D <obj> <lifespan> <clock>         # death
+//! ```
+//!
+//! All values are decimal; one event per line; `#` starts a comment.
+
+use std::fmt::Write as _;
+
+use crate::TraceEvent;
+
+/// Renders events in the text format. Inverse of [`parse_trace`].
+///
+/// # Examples
+///
+/// ```
+/// use scalesim_objtrace::{format_trace, parse_trace, TraceEvent};
+///
+/// let events = vec![
+///     TraceEvent::Alloc { obj: 0, thread: 2, size: 64, clock: 64 },
+///     TraceEvent::Death { obj: 0, lifespan: 128, clock: 192 },
+/// ];
+/// let text = format_trace(&events);
+/// assert_eq!(parse_trace(&text).unwrap(), events);
+/// ```
+#[must_use]
+pub fn format_trace(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 24);
+    for event in events {
+        match *event {
+            TraceEvent::Alloc {
+                obj,
+                thread,
+                size,
+                clock,
+            } => {
+                writeln!(out, "A {obj} {size} {thread} {clock}").expect("string write");
+            }
+            TraceEvent::Death {
+                obj,
+                lifespan,
+                clock,
+            } => {
+                writeln!(out, "D {obj} {lifespan} {clock}").expect("string write");
+            }
+        }
+    }
+    out
+}
+
+/// A malformed line in a text trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+/// Parses the text format produced by [`format_trace`].
+///
+/// Blank lines and `#` comments are ignored.
+///
+/// # Errors
+///
+/// Returns a [`ParseTraceError`] naming the first malformed line.
+pub fn parse_trace(text: &str) -> Result<Vec<TraceEvent>, ParseTraceError> {
+    let mut events = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let content = raw.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let mut fields = content.split_whitespace();
+        let kind = fields.next().expect("nonempty after trim");
+        let mut num = |name: &str| -> Result<u64, ParseTraceError> {
+            let field = fields.next().ok_or_else(|| ParseTraceError {
+                line,
+                message: format!("missing field {name}"),
+            })?;
+            field.parse().map_err(|_| ParseTraceError {
+                line,
+                message: format!("bad {name}: {field:?}"),
+            })
+        };
+        let event = match kind {
+            "A" => TraceEvent::Alloc {
+                obj: num("obj")?,
+                size: num("size")?,
+                thread: num("thread")? as usize,
+                clock: num("clock")?,
+            },
+            "D" => TraceEvent::Death {
+                obj: num("obj")?,
+                lifespan: num("lifespan")?,
+                clock: num("clock")?,
+            },
+            other => {
+                return Err(ParseTraceError {
+                    line,
+                    message: format!("unknown event kind {other:?}"),
+                })
+            }
+        };
+        if fields.next().is_some() {
+            return Err(ParseTraceError {
+                line,
+                message: "trailing fields".to_owned(),
+            });
+        }
+        events.push(event);
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::Alloc {
+                obj: 0,
+                thread: 1,
+                size: 128,
+                clock: 128,
+            },
+            TraceEvent::Alloc {
+                obj: 1,
+                thread: 2,
+                size: 64,
+                clock: 192,
+            },
+            TraceEvent::Death {
+                obj: 0,
+                lifespan: 64,
+                clock: 192,
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trip() {
+        let text = format_trace(&sample());
+        assert_eq!(parse_trace(&text).unwrap(), sample());
+    }
+
+    #[test]
+    fn format_is_line_oriented() {
+        let text = format_trace(&sample());
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.starts_with("A 0 128 1 128\n"));
+        assert!(text.contains("D 0 64 192\n"));
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let text = "# header\n\nA 5 10 0 10   # inline comment\n";
+        let events = parse_trace(text).unwrap();
+        assert_eq!(events.len(), 1);
+        assert!(matches!(events[0], TraceEvent::Alloc { obj: 5, .. }));
+    }
+
+    #[test]
+    fn errors_name_the_line() {
+        let err = parse_trace("A 1 2 3 4\nX 9\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("unknown event kind"));
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn missing_and_bad_fields_error() {
+        assert!(parse_trace("A 1 2").unwrap_err().message.contains("missing"));
+        assert!(parse_trace("D 1 x 3").unwrap_err().message.contains("bad"));
+        assert!(parse_trace("A 1 2 3 4 5").unwrap_err().message.contains("trailing"));
+    }
+
+    #[test]
+    fn tracer_events_export_directly() {
+        use crate::{ObjectTracer, Retention};
+        let mut t = ObjectTracer::new(Retention::Full);
+        let o = t.on_alloc(0, 100, 100);
+        t.on_death(o, 50, 150);
+        let text = format_trace(t.events().unwrap());
+        let back = parse_trace(&text).unwrap();
+        assert_eq!(back, t.events().unwrap());
+    }
+}

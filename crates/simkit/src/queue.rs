@@ -1,0 +1,391 @@
+//! The discrete-event queue at the heart of every simulation.
+//!
+//! [`EventQueue`] is a priority queue of `(time, payload)` pairs with three
+//! properties the rest of `scalesim` relies on:
+//!
+//! 1. **Determinism** — events at equal times pop in the order they were
+//!    scheduled (FIFO tie-break by sequence number).
+//! 2. **Cancellation** — scheduling returns an [`EventId`] that can later be
+//!    cancelled in O(1) (tombstoning), which is how pre-emption timers are
+//!    retired when a thread blocks voluntarily first.
+//! 3. **Time shifting** — [`EventQueue::shift_all`] moves every pending
+//!    event later by a fixed amount, which is how stop-the-world GC pauses
+//!    freeze the mutator world without re-scheduling each event by hand.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies a scheduled event so it can be cancelled.
+///
+/// Ids are unique for the lifetime of the queue and never reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(u64);
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+// Ordering is (time, seq); BinaryHeap is a max-heap so entries are wrapped
+// in `Reverse` at the call sites.
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// A deterministic discrete-event queue with a built-in clock.
+///
+/// Popping an event advances the clock to that event's timestamp; the clock
+/// never moves backwards.
+///
+/// # Examples
+///
+/// ```
+/// use scalesim_simkit::{EventQueue, SimDuration, SimTime};
+///
+/// let mut q: EventQueue<&str> = EventQueue::new();
+/// q.schedule_after(SimDuration::from_nanos(20), "late");
+/// q.schedule_after(SimDuration::from_nanos(10), "early");
+///
+/// let (t, ev) = q.pop().unwrap();
+/// assert_eq!((t, ev), (SimTime::from_nanos(10), "early"));
+/// assert_eq!(q.now(), SimTime::from_nanos(10));
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<(EventId, E)>>>,
+    cancelled: HashSet<EventId>,
+    /// Ids currently pending (scheduled, not yet fired or cancelled).
+    live: HashSet<EventId>,
+    now: SimTime,
+    next_seq: u64,
+    scheduled_total: u64,
+    popped_total: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            live: HashSet::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+            scheduled_total: 0,
+            popped_total: 0,
+        }
+    }
+
+    /// The current simulated time (timestamp of the last popped event).
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `payload` to fire at absolute time `at`.
+    ///
+    /// Returns an [`EventId`] usable with [`cancel`](Self::cancel).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current clock: scheduling into the past
+    /// is always a logic error in the caller.
+    pub fn schedule_at(&mut self, at: SimTime, payload: E) -> EventId {
+        assert!(
+            at >= self.now,
+            "scheduled event at {at} is in the past (now = {now})",
+            now = self.now
+        );
+        let id = EventId(self.next_seq);
+        self.heap.push(Reverse(Entry {
+            time: at,
+            seq: self.next_seq,
+            payload: (id, payload),
+        }));
+        self.live.insert(id);
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        id
+    }
+
+    /// Schedules `payload` to fire `after` from now.
+    pub fn schedule_after(&mut self, after: SimDuration, payload: E) -> EventId {
+        self.schedule_at(self.now + after, payload)
+    }
+
+    /// Schedules `payload` to fire at the current instant (after any events
+    /// already pending at this instant, preserving FIFO order).
+    pub fn schedule_now(&mut self, payload: E) -> EventId {
+        self.schedule_at(self.now, payload)
+    }
+
+    /// Cancels a pending event.
+    ///
+    /// Returns `true` if the event was still pending (it will now never be
+    /// delivered), `false` if it had already fired or been cancelled.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if !self.live.remove(&id) {
+            return false; // unknown, already fired, or already cancelled
+        }
+        // Tombstone; the entry is skipped and dropped when it reaches the top.
+        self.cancelled.insert(id)
+    }
+
+    /// Removes and returns the earliest pending event, advancing the clock
+    /// to its timestamp. Returns `None` when no events remain.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            let (id, payload) = entry.payload;
+            if self.cancelled.remove(&id) {
+                continue;
+            }
+            self.live.remove(&id);
+            debug_assert!(entry.time >= self.now, "event queue clock went backwards");
+            self.now = entry.time;
+            self.popped_total += 1;
+            return Some((entry.time, payload));
+        }
+        None
+    }
+
+    /// The timestamp of the earliest pending event, if any.
+    ///
+    /// Does not advance the clock.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap
+            .iter()
+            .filter(|Reverse(e)| !self.cancelled.contains(&e.payload.0))
+            .map(|Reverse(e)| (e.time, e.seq))
+            .min()
+            .map(|(t, _)| t)
+    }
+
+    /// Number of live (non-cancelled) pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Whether no live events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total events scheduled over the queue's lifetime (diagnostics).
+    #[must_use]
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+
+    /// Total events delivered over the queue's lifetime (diagnostics).
+    #[must_use]
+    pub fn popped_total(&self) -> u64 {
+        self.popped_total
+    }
+
+    /// Moves every pending event later by `delta` and advances the clock by
+    /// the same amount.
+    ///
+    /// This models a stop-the-world pause: from the mutators' point of view
+    /// the world freezes for `delta` and resumes exactly where it was.
+    /// Relative ordering (including FIFO ties) is preserved.
+    pub fn shift_all(&mut self, delta: SimDuration) {
+        if delta.is_zero() {
+            return;
+        }
+        let old = std::mem::take(&mut self.heap);
+        self.heap = old
+            .into_iter()
+            .map(|Reverse(mut e)| {
+                e.time += delta;
+                Reverse(e)
+            })
+            .collect();
+        self.now += delta;
+    }
+}
+
+impl<E> fmt::Display for EventQueue<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "EventQueue(now={}, pending={}, scheduled={}, popped={})",
+            self.now,
+            self.len(),
+            self.scheduled_total,
+            self.popped_total
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(n: u64) -> SimTime {
+        SimTime::from_nanos(n)
+    }
+    fn dur(n: u64) -> SimDuration {
+        SimDuration::from_nanos(n)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(ns(30), "c");
+        q.schedule_at(ns(10), "a");
+        q.schedule_at(ns(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule_at(ns(5), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.schedule_at(ns(42), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), ns(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_at(ns(10), ());
+        q.pop();
+        q.schedule_at(ns(5), ());
+    }
+
+    #[test]
+    fn cancel_prevents_delivery() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(ns(10), "a");
+        q.schedule_at(ns(20), "b");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double-cancel reports false");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventId(999)));
+    }
+
+    #[test]
+    fn cancelled_events_do_not_count_in_len() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(ns(10), ());
+        q.schedule_at(ns(20), ());
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(ns(10), ());
+        q.schedule_at(ns(20), ());
+        assert_eq!(q.peek_time(), Some(ns(10)));
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(ns(20)));
+    }
+
+    #[test]
+    fn schedule_after_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_at(ns(100), "first");
+        q.pop();
+        q.schedule_after(dur(50), "second");
+        assert_eq!(q.pop(), Some((ns(150), "second")));
+    }
+
+    #[test]
+    fn schedule_now_preserves_fifo_at_current_instant() {
+        let mut q = EventQueue::new();
+        q.schedule_now("a");
+        q.schedule_now("b");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("a"));
+        assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+    }
+
+    #[test]
+    fn shift_all_moves_everything_and_the_clock() {
+        let mut q = EventQueue::new();
+        q.schedule_at(ns(10), "a");
+        q.schedule_at(ns(10), "b");
+        q.schedule_at(ns(30), "c");
+        q.shift_all(dur(100));
+        assert_eq!(q.now(), ns(100));
+        assert_eq!(q.pop(), Some((ns(110), "a")));
+        assert_eq!(q.pop(), Some((ns(110), "b")));
+        assert_eq!(q.pop(), Some((ns(130), "c")));
+    }
+
+    #[test]
+    fn shift_all_zero_is_a_noop() {
+        let mut q = EventQueue::new();
+        q.schedule_at(ns(10), ());
+        q.shift_all(SimDuration::ZERO);
+        assert_eq!(q.now(), SimTime::ZERO);
+        assert_eq!(q.peek_time(), Some(ns(10)));
+    }
+
+    #[test]
+    fn lifetime_counters_track_activity() {
+        let mut q = EventQueue::new();
+        q.schedule_at(ns(1), ());
+        q.schedule_at(ns(2), ());
+        q.pop();
+        assert_eq!(q.scheduled_total(), 2);
+        assert_eq!(q.popped_total(), 1);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let q: EventQueue<()> = EventQueue::new();
+        assert!(q.to_string().contains("EventQueue"));
+    }
+}

@@ -1,0 +1,287 @@
+//! Java-style monitors with per-lock statistics.
+//!
+//! A [`Monitor`] models an object monitor under the JVM's inflated-lock
+//! slow path: one owner, a FIFO wait queue, and direct handoff on release.
+//! Every acquisition and every *contention instance* (an acquire attempt
+//! that finds the monitor held — the quantity DTrace's lockstat probes
+//! count, and the y-axis of the paper's Figure 1b) is recorded.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use scalesim_sched::ThreadId;
+use scalesim_simkit::{SimDuration, SimTime};
+
+/// Identifies a monitor within a [`LockTable`](crate::LockTable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MonitorId(pub(crate) usize);
+
+impl MonitorId {
+    /// The raw index within the owning table.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for MonitorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "monitor{}", self.0)
+    }
+}
+
+/// Outcome of an acquire attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcquireOutcome {
+    /// The monitor was free; the caller now owns it (fast path).
+    Acquired,
+    /// The monitor was held; the caller was enqueued and must block until
+    /// a release hands the monitor over.
+    Contended,
+}
+
+/// A completed handoff returned by [`LockTable::release`].
+///
+/// [`LockTable::release`]: crate::LockTable::release
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grant {
+    /// The thread that now owns the monitor.
+    pub next: ThreadId,
+    /// How long that thread waited in the queue.
+    pub waited: SimDuration,
+}
+
+/// Cumulative statistics for one monitor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MonitorStats {
+    /// Successful lock acquisitions (fast path + granted handoffs) —
+    /// Figure 1a's quantity.
+    pub acquisitions: u64,
+    /// Acquire attempts that found the monitor held — Figure 1b's
+    /// quantity.
+    pub contentions: u64,
+    /// Total time threads spent waiting in this monitor's queue.
+    pub total_wait: SimDuration,
+    /// Longest single wait.
+    pub max_wait: SimDuration,
+    /// Total time the monitor was held.
+    pub total_hold: SimDuration,
+}
+
+impl MonitorStats {
+    /// Fraction of acquisitions that were contended (0 when never
+    /// acquired).
+    #[must_use]
+    pub fn contention_rate(&self) -> f64 {
+        if self.acquisitions == 0 {
+            0.0
+        } else {
+            self.contentions as f64 / self.acquisitions as f64
+        }
+    }
+
+    /// Adds another monitor's statistics into this one (class and global
+    /// aggregation).
+    pub fn merge(&mut self, other: &MonitorStats) {
+        self.acquisitions += other.acquisitions;
+        self.contentions += other.contentions;
+        self.total_wait += other.total_wait;
+        self.max_wait = self.max_wait.max(other.max_wait);
+        self.total_hold += other.total_hold;
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Monitor {
+    pub class: String,
+    owner: Option<ThreadId>,
+    held_since: SimTime,
+    waiters: VecDeque<(ThreadId, SimTime)>,
+    pub stats: MonitorStats,
+}
+
+impl Monitor {
+    pub fn new(class: &str) -> Self {
+        Monitor {
+            class: class.to_owned(),
+            owner: None,
+            held_since: SimTime::ZERO,
+            waiters: VecDeque::new(),
+            stats: MonitorStats::default(),
+        }
+    }
+
+    pub fn owner(&self) -> Option<ThreadId> {
+        self.owner
+    }
+
+    pub fn queue_len(&self) -> usize {
+        self.waiters.len()
+    }
+
+    /// Attempts to acquire for `tid` at `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on re-entrant acquisition (the workload models never
+    /// re-enter a monitor they hold) and on double-enqueue.
+    pub fn acquire(&mut self, tid: ThreadId, now: SimTime) -> AcquireOutcome {
+        assert_ne!(self.owner, Some(tid), "{tid} re-entered a held monitor");
+        match self.owner {
+            None => {
+                self.owner = Some(tid);
+                self.held_since = now;
+                self.stats.acquisitions += 1;
+                AcquireOutcome::Acquired
+            }
+            Some(_) => {
+                assert!(
+                    !self.waiters.iter().any(|&(w, _)| w == tid),
+                    "{tid} enqueued twice on one monitor"
+                );
+                self.waiters.push_back((tid, now));
+                self.stats.contentions += 1;
+                AcquireOutcome::Contended
+            }
+        }
+    }
+
+    /// Releases the monitor, handing it directly to the oldest waiter if
+    /// one exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is not the current owner.
+    pub fn release(&mut self, tid: ThreadId, now: SimTime) -> Option<Grant> {
+        assert_eq!(
+            self.owner,
+            Some(tid),
+            "{tid} released a monitor it does not own"
+        );
+        self.stats.total_hold += now.saturating_since(self.held_since);
+        match self.waiters.pop_front() {
+            None => {
+                self.owner = None;
+                None
+            }
+            Some((next, enqueued_at)) => {
+                let waited = now.saturating_since(enqueued_at);
+                self.owner = Some(next);
+                self.held_since = now;
+                self.stats.acquisitions += 1;
+                self.stats.total_wait += waited;
+                self.stats.max_wait = self.stats.max_wait.max(waited);
+                Some(Grant { next, waited })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u64) -> SimTime {
+        SimTime::from_nanos(n)
+    }
+    fn tid(n: usize) -> ThreadId {
+        ThreadId::new(n)
+    }
+
+    #[test]
+    fn fast_path_acquire_release() {
+        let mut m = Monitor::new("q");
+        assert_eq!(m.acquire(tid(0), t(0)), AcquireOutcome::Acquired);
+        assert_eq!(m.owner(), Some(tid(0)));
+        assert_eq!(m.release(tid(0), t(10)), None);
+        assert_eq!(m.owner(), None);
+        assert_eq!(m.stats.acquisitions, 1);
+        assert_eq!(m.stats.contentions, 0);
+        assert_eq!(m.stats.total_hold, SimDuration::from_nanos(10));
+    }
+
+    #[test]
+    fn contended_acquire_queues_fifo_and_hands_off() {
+        let mut m = Monitor::new("q");
+        m.acquire(tid(0), t(0));
+        assert_eq!(m.acquire(tid(1), t(2)), AcquireOutcome::Contended);
+        assert_eq!(m.acquire(tid(2), t(3)), AcquireOutcome::Contended);
+        assert_eq!(m.queue_len(), 2);
+        assert_eq!(m.stats.contentions, 2);
+
+        let g = m.release(tid(0), t(10)).expect("handoff");
+        assert_eq!(g.next, tid(1));
+        assert_eq!(g.waited, SimDuration::from_nanos(8));
+        assert_eq!(m.owner(), Some(tid(1)));
+        assert_eq!(m.stats.acquisitions, 2);
+
+        let g = m.release(tid(1), t(20)).expect("handoff");
+        assert_eq!(g.next, tid(2));
+        assert_eq!(g.waited, SimDuration::from_nanos(17));
+        assert_eq!(m.release(tid(2), t(25)), None);
+        assert_eq!(m.stats.total_wait, SimDuration::from_nanos(8 + 17));
+        assert_eq!(m.stats.max_wait, SimDuration::from_nanos(17));
+    }
+
+    #[test]
+    #[should_panic(expected = "re-entered")]
+    fn reentrant_acquire_panics() {
+        let mut m = Monitor::new("q");
+        m.acquire(tid(0), t(0));
+        m.acquire(tid(0), t(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not own")]
+    fn release_by_non_owner_panics() {
+        let mut m = Monitor::new("q");
+        m.acquire(tid(0), t(0));
+        m.release(tid(1), t(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "enqueued twice")]
+    fn double_enqueue_panics() {
+        let mut m = Monitor::new("q");
+        m.acquire(tid(0), t(0));
+        m.acquire(tid(1), t(1));
+        m.acquire(tid(1), t(2));
+    }
+
+    #[test]
+    fn contention_rate() {
+        let mut s = MonitorStats::default();
+        assert_eq!(s.contention_rate(), 0.0);
+        s.acquisitions = 10;
+        s.contentions = 3;
+        assert!((s.contention_rate() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_merge_accumulates() {
+        let mut a = MonitorStats {
+            acquisitions: 1,
+            contentions: 1,
+            total_wait: SimDuration::from_nanos(5),
+            max_wait: SimDuration::from_nanos(5),
+            total_hold: SimDuration::from_nanos(9),
+        };
+        let b = MonitorStats {
+            acquisitions: 2,
+            contentions: 0,
+            total_wait: SimDuration::from_nanos(1),
+            max_wait: SimDuration::from_nanos(1),
+            total_hold: SimDuration::from_nanos(2),
+        };
+        a.merge(&b);
+        assert_eq!(a.acquisitions, 3);
+        assert_eq!(a.max_wait, SimDuration::from_nanos(5));
+        assert_eq!(a.total_hold, SimDuration::from_nanos(11));
+    }
+
+    #[test]
+    fn monitor_id_display() {
+        assert_eq!(MonitorId(4).to_string(), "monitor4");
+        assert_eq!(MonitorId(4).index(), 4);
+    }
+}

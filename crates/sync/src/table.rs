@@ -1,0 +1,245 @@
+//! The lock table and the DTrace-analog profiler report.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use scalesim_sched::ThreadId;
+use scalesim_simkit::SimTime;
+
+use crate::monitor::{AcquireOutcome, Grant, Monitor, MonitorId, MonitorStats};
+
+/// Owns every monitor in a simulated JVM and aggregates their statistics.
+///
+/// Monitors are created with a *class* label (e.g. `"workqueue"`,
+/// `"dtm-cache"`) so the profiler can report per-class breakdowns the way
+/// a DTrace lockstat script groups probes by call site.
+///
+/// # Examples
+///
+/// ```
+/// use scalesim_sync::{AcquireOutcome, LockTable};
+/// use scalesim_sched::ThreadId;
+/// use scalesim_simkit::SimTime;
+///
+/// let mut locks = LockTable::new();
+/// let q = locks.create("workqueue");
+/// let t0 = ThreadId::new(0);
+/// assert_eq!(locks.acquire(q, t0, SimTime::ZERO), AcquireOutcome::Acquired);
+/// locks.release(q, t0, SimTime::from_nanos(100));
+/// assert_eq!(locks.report().total.acquisitions, 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct LockTable {
+    monitors: Vec<Monitor>,
+}
+
+impl LockTable {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        LockTable::default()
+    }
+
+    /// Creates a monitor with a class label and returns its id.
+    pub fn create(&mut self, class: &str) -> MonitorId {
+        let id = MonitorId(self.monitors.len());
+        self.monitors.push(Monitor::new(class));
+        id
+    }
+
+    /// Number of monitors.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.monitors.len()
+    }
+
+    /// Whether the table holds no monitors.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.monitors.is_empty()
+    }
+
+    /// Attempts to acquire monitor `m` for `tid`.
+    ///
+    /// On [`AcquireOutcome::Contended`] the caller must block the thread;
+    /// it will be granted ownership by a future release.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is out of range or on re-entrant acquisition.
+    pub fn acquire(&mut self, m: MonitorId, tid: ThreadId, now: SimTime) -> AcquireOutcome {
+        self.monitors[m.0].acquire(tid, now)
+    }
+
+    /// Releases monitor `m`; returns the handoff grant if a waiter took
+    /// over.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is out of range or `tid` is not the owner.
+    pub fn release(&mut self, m: MonitorId, tid: ThreadId, now: SimTime) -> Option<Grant> {
+        self.monitors[m.0].release(tid, now)
+    }
+
+    /// The current owner of monitor `m`.
+    #[must_use]
+    pub fn owner(&self, m: MonitorId) -> Option<ThreadId> {
+        self.monitors[m.0].owner()
+    }
+
+    /// Number of threads queued on monitor `m`.
+    #[must_use]
+    pub fn queue_len(&self, m: MonitorId) -> usize {
+        self.monitors[m.0].queue_len()
+    }
+
+    /// Statistics for a single monitor.
+    #[must_use]
+    pub fn stats(&self, m: MonitorId) -> &MonitorStats {
+        &self.monitors[m.0].stats
+    }
+
+    /// The class label of monitor `m`.
+    #[must_use]
+    pub fn class(&self, m: MonitorId) -> &str {
+        &self.monitors[m.0].class
+    }
+
+    /// Builds the profiler report: per-class and global aggregates.
+    #[must_use]
+    pub fn report(&self) -> LockReport {
+        let mut by_class: BTreeMap<String, MonitorStats> = BTreeMap::new();
+        let mut total = MonitorStats::default();
+        for mon in &self.monitors {
+            by_class
+                .entry(mon.class.clone())
+                .or_default()
+                .merge(&mon.stats);
+            total.merge(&mon.stats);
+        }
+        LockReport { by_class, total }
+    }
+}
+
+/// The DTrace-analog lock-usage report: what Figures 1a/1b are plotted
+/// from.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LockReport {
+    /// Aggregated statistics per lock class, sorted by class name.
+    pub by_class: BTreeMap<String, MonitorStats>,
+    /// Statistics over every monitor in the VM.
+    pub total: MonitorStats,
+}
+
+impl LockReport {
+    /// Acquisition count for one class (0 if the class never appeared).
+    #[must_use]
+    pub fn acquisitions_of(&self, class: &str) -> u64 {
+        self.by_class.get(class).map_or(0, |s| s.acquisitions)
+    }
+
+    /// Contention count for one class (0 if the class never appeared).
+    #[must_use]
+    pub fn contentions_of(&self, class: &str) -> u64 {
+        self.by_class.get(class).map_or(0, |s| s.contentions)
+    }
+}
+
+impl fmt::Display for LockReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "locks: {} acquisitions, {} contentions ({:.1}% contended)",
+            self.total.acquisitions,
+            self.total.contentions,
+            self.total.contention_rate() * 100.0
+        )?;
+        for (class, s) in &self.by_class {
+            writeln!(
+                f,
+                "  {class}: acq={} cont={} wait={} hold={}",
+                s.acquisitions, s.contentions, s.total_wait, s.total_hold
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scalesim_simkit::SimDuration;
+
+    fn t(n: u64) -> SimTime {
+        SimTime::from_nanos(n)
+    }
+    fn tid(n: usize) -> ThreadId {
+        ThreadId::new(n)
+    }
+
+    #[test]
+    fn create_and_query() {
+        let mut lt = LockTable::new();
+        assert!(lt.is_empty());
+        let a = lt.create("queue");
+        let b = lt.create("cache");
+        assert_eq!(lt.len(), 2);
+        assert_eq!(lt.class(a), "queue");
+        assert_eq!(lt.class(b), "cache");
+        assert_eq!(lt.owner(a), None);
+        assert_eq!(lt.queue_len(a), 0);
+    }
+
+    #[test]
+    fn report_aggregates_by_class_and_total() {
+        let mut lt = LockTable::new();
+        let q1 = lt.create("queue");
+        let q2 = lt.create("queue");
+        let c = lt.create("cache");
+
+        lt.acquire(q1, tid(0), t(0));
+        lt.acquire(q1, tid(1), t(1)); // contention
+        lt.release(q1, tid(0), t(5)); // handoff -> acquisition 2
+        lt.release(q1, tid(1), t(6));
+        lt.acquire(q2, tid(2), t(2));
+        lt.release(q2, tid(2), t(3));
+        lt.acquire(c, tid(3), t(4));
+        lt.release(c, tid(3), t(9));
+
+        let r = lt.report();
+        assert_eq!(r.acquisitions_of("queue"), 3);
+        assert_eq!(r.contentions_of("queue"), 1);
+        assert_eq!(r.acquisitions_of("cache"), 1);
+        assert_eq!(r.contentions_of("cache"), 0);
+        assert_eq!(r.acquisitions_of("nope"), 0);
+        assert_eq!(r.total.acquisitions, 4);
+        assert_eq!(r.total.contentions, 1);
+        assert_eq!(
+            r.by_class["queue"].total_wait,
+            SimDuration::from_nanos(4) // tid1 waited 1..5
+        );
+    }
+
+    #[test]
+    fn handoff_grant_propagates_through_table() {
+        let mut lt = LockTable::new();
+        let m = lt.create("db");
+        lt.acquire(m, tid(0), t(0));
+        assert_eq!(lt.acquire(m, tid(1), t(10)), AcquireOutcome::Contended);
+        let g = lt.release(m, tid(0), t(30)).expect("grant");
+        assert_eq!(g.next, tid(1));
+        assert_eq!(g.waited, SimDuration::from_nanos(20));
+        assert_eq!(lt.owner(m), Some(tid(1)));
+    }
+
+    #[test]
+    fn display_report_is_readable() {
+        let mut lt = LockTable::new();
+        let m = lt.create("db");
+        lt.acquire(m, tid(0), t(0));
+        lt.release(m, tid(0), t(5));
+        let text = lt.report().to_string();
+        assert!(text.contains("1 acquisitions"), "{text}");
+        assert!(text.contains("db:"), "{text}");
+    }
+}

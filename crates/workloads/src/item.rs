@@ -1,0 +1,343 @@
+//! Work items: the unit of application work a mutator thread executes.
+//!
+//! A [`WorkItem`] is an interpretable step stream — compute bursts, object
+//! allocations with explicit death points, and critical sections. The
+//! runtime executes steps in order on the simulated CPU; the *shape* of
+//! the stream (how far an allocation sits from its death, how long locks
+//! are held) is what produces the paper's lock and lifespan observables.
+
+use std::fmt;
+
+use scalesim_simkit::SimDuration;
+
+/// Index into an application's lock-class list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LockClassId(pub usize);
+
+/// A class of application locks (e.g. `"workqueue"`, `"db-latch"`).
+///
+/// Each class materializes as `instances` monitor(s) in the VM; threads
+/// touching the class pick an instance (instance 0 unless sharded).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockClass {
+    /// Human-readable class name (appears in the lock profiler report).
+    pub name: String,
+    /// Number of monitor instances backing the class.
+    pub instances: usize,
+}
+
+impl LockClass {
+    /// Creates a lock class with one instance.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        LockClass {
+            name: name.to_owned(),
+            instances: 1,
+        }
+    }
+
+    /// Creates a sharded lock class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instances` is zero.
+    #[must_use]
+    pub fn sharded(name: &str, instances: usize) -> Self {
+        assert!(instances >= 1, "lock class needs at least one instance");
+        LockClass {
+            name: name.to_owned(),
+            instances,
+        }
+    }
+}
+
+/// When an allocated object dies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeathPoint {
+    /// Dies when the matching [`Step::KillSlot`] executes within the same
+    /// item (a temporary).
+    Slot(u8),
+    /// Dies when the item's last step completes (per-item state).
+    ItemEnd,
+    /// Dies after the owning thread completes this many further items
+    /// (caches, carried results).
+    CarryItems(u32),
+    /// Lives until VM shutdown (right-censored in the trace).
+    Permanent,
+}
+
+/// One step of a work item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// Execute on-CPU for the duration.
+    Compute(SimDuration),
+    /// Allocate `bytes` with the given death point.
+    Alloc {
+        /// Object size in bytes.
+        bytes: u64,
+        /// When the object dies.
+        death: DeathPoint,
+    },
+    /// Last use of the slot allocated earlier in this item: the object
+    /// dies here.
+    KillSlot(u8),
+    /// Acquire a lock of the class, stay on-CPU for `held`, release.
+    Critical {
+        /// Which lock class to acquire.
+        class: LockClassId,
+        /// How long the lock is held (critical-section work).
+        held: SimDuration,
+    },
+}
+
+/// A validated sequence of steps.
+///
+/// # Examples
+///
+/// ```
+/// use scalesim_workloads::{DeathPoint, Step, WorkItem};
+/// use scalesim_simkit::SimDuration;
+///
+/// let item = WorkItem::new(vec![
+///     Step::Alloc { bytes: 64, death: DeathPoint::Slot(0) },
+///     Step::Compute(SimDuration::from_nanos(200)),
+///     Step::KillSlot(0),
+/// ]);
+/// assert_eq!(item.alloc_bytes(), 64);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WorkItem {
+    steps: Vec<Step>,
+}
+
+impl WorkItem {
+    /// Creates an item after validating slot discipline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `KillSlot` precedes its `Alloc`, targets a never-
+    /// allocated slot, a slot is allocated or killed twice, or a slot
+    /// allocation is never killed (use [`DeathPoint::ItemEnd`] for that).
+    #[must_use]
+    pub fn new(steps: Vec<Step>) -> Self {
+        let mut allocated = [false; 256];
+        let mut killed = [false; 256];
+        for step in &steps {
+            match *step {
+                Step::Alloc {
+                    death: DeathPoint::Slot(s),
+                    ..
+                } => {
+                    assert!(!allocated[s as usize], "slot {s} allocated twice");
+                    allocated[s as usize] = true;
+                }
+                Step::KillSlot(s) => {
+                    assert!(
+                        allocated[s as usize],
+                        "KillSlot({s}) without a prior Alloc"
+                    );
+                    assert!(!killed[s as usize], "slot {s} killed twice");
+                    killed[s as usize] = true;
+                }
+                _ => {}
+            }
+        }
+        for s in 0..256 {
+            assert!(
+                allocated[s] == killed[s],
+                "slot {s} allocated but never killed (use DeathPoint::ItemEnd instead)"
+            );
+        }
+        WorkItem { steps }
+    }
+
+    /// The steps in execution order.
+    #[must_use]
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// Number of steps.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the item has no steps.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Total on-CPU time of the item (compute + critical sections),
+    /// ignoring scheduling and lock waits.
+    #[must_use]
+    pub fn cpu_time(&self) -> SimDuration {
+        self.steps
+            .iter()
+            .map(|s| match s {
+                Step::Compute(d) => *d,
+                Step::Critical { held, .. } => *held,
+                _ => SimDuration::ZERO,
+            })
+            .sum()
+    }
+
+    /// Total bytes allocated by the item.
+    #[must_use]
+    pub fn alloc_bytes(&self) -> u64 {
+        self.steps
+            .iter()
+            .map(|s| match s {
+                Step::Alloc { bytes, .. } => *bytes,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Number of objects the item allocates.
+    #[must_use]
+    pub fn alloc_count(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| matches!(s, Step::Alloc { .. }))
+            .count()
+    }
+
+    /// Number of critical sections in the item.
+    #[must_use]
+    pub fn critical_count(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| matches!(s, Step::Critical { .. }))
+            .count()
+    }
+}
+
+impl fmt::Display for WorkItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "WorkItem({} steps, {} cpu, {} B, {} locks)",
+            self.len(),
+            self.cpu_time(),
+            self.alloc_bytes(),
+            self.critical_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(n: u64) -> SimDuration {
+        SimDuration::from_nanos(n)
+    }
+
+    #[test]
+    fn aggregates() {
+        let item = WorkItem::new(vec![
+            Step::Alloc {
+                bytes: 100,
+                death: DeathPoint::Slot(0),
+            },
+            Step::Compute(ns(500)),
+            Step::KillSlot(0),
+            Step::Critical {
+                class: LockClassId(0),
+                held: ns(200),
+            },
+            Step::Alloc {
+                bytes: 50,
+                death: DeathPoint::ItemEnd,
+            },
+        ]);
+        assert_eq!(item.len(), 5);
+        assert_eq!(item.cpu_time(), ns(700));
+        assert_eq!(item.alloc_bytes(), 150);
+        assert_eq!(item.alloc_count(), 2);
+        assert_eq!(item.critical_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "without a prior Alloc")]
+    fn kill_before_alloc_panics() {
+        let _ = WorkItem::new(vec![Step::KillSlot(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "never killed")]
+    fn unkilled_slot_panics() {
+        let _ = WorkItem::new(vec![Step::Alloc {
+            bytes: 1,
+            death: DeathPoint::Slot(3),
+        }]);
+    }
+
+    #[test]
+    #[should_panic(expected = "allocated twice")]
+    fn double_alloc_slot_panics() {
+        let _ = WorkItem::new(vec![
+            Step::Alloc {
+                bytes: 1,
+                death: DeathPoint::Slot(0),
+            },
+            Step::KillSlot(0),
+            Step::Alloc {
+                bytes: 1,
+                death: DeathPoint::Slot(0),
+            },
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "killed twice")]
+    fn double_kill_panics() {
+        let _ = WorkItem::new(vec![
+            Step::Alloc {
+                bytes: 1,
+                death: DeathPoint::Slot(0),
+            },
+            Step::KillSlot(0),
+            Step::KillSlot(0),
+        ]);
+    }
+
+    #[test]
+    fn non_slot_deaths_require_no_kill() {
+        let item = WorkItem::new(vec![
+            Step::Alloc {
+                bytes: 1,
+                death: DeathPoint::ItemEnd,
+            },
+            Step::Alloc {
+                bytes: 2,
+                death: DeathPoint::CarryItems(3),
+            },
+            Step::Alloc {
+                bytes: 3,
+                death: DeathPoint::Permanent,
+            },
+        ]);
+        assert_eq!(item.alloc_count(), 3);
+    }
+
+    #[test]
+    fn lock_class_constructors() {
+        assert_eq!(LockClass::new("q").instances, 1);
+        assert_eq!(LockClass::sharded("c", 4).instances, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one instance")]
+    fn zero_shards_panics() {
+        let _ = LockClass::sharded("c", 0);
+    }
+
+    #[test]
+    fn display_mentions_shape() {
+        let item = WorkItem::new(vec![Step::Compute(ns(100))]);
+        assert!(item.to_string().contains("1 steps"));
+    }
+}

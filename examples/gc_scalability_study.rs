@@ -1,0 +1,48 @@
+//! Figure 2 study: the mutator/GC decomposition of execution time for
+//! the three scalable benchmarks, 4 → 48 threads.
+//!
+//! The paper's two take-aways (§III-C), both visible here:
+//! 1. GC overhead keeps increasing with thread count, even though heap
+//!    usage and allocation volume are fixed;
+//! 2. pure mutator time keeps shrinking all the way to 48 threads — so
+//!    GC is what caps the overall scalability of these applications.
+//!
+//! ```sh
+//! cargo run --release --example gc_scalability_study
+//! ```
+
+use scalesim::experiments::{run_fig2, ExpParams};
+use scalesim::metrics::fmt2;
+
+fn main() {
+    let params = ExpParams::paper()
+        .with_scale(0.5)
+        .with_threads(vec![4, 8, 16, 32, 48]);
+    let fig2 = run_fig2(&params);
+    println!("Figure 2 — mutator vs GC time (scalable apps):");
+    println!("{}", fig2.table());
+
+    for app in fig2.apps() {
+        let gc = fig2.gc_series(&app);
+        let mutator = fig2.mutator_series(&app);
+        let rows = fig2.rows_of(&app);
+        let (first, last) = (rows.first().expect("rows"), rows.last().expect("rows"));
+        println!(
+            "{app}: mutator {} -> {} ({}x faster), GC {} -> {} ({}x more), \
+             GC share {} -> {}",
+            first.mutator,
+            last.mutator,
+            fmt2(mutator.growth_ratio().map_or(0.0, |g| 1.0 / g)),
+            first.gc,
+            last.gc,
+            fmt2(gc.growth_ratio().unwrap_or(0.0)),
+            fmt2(first.gc_share() * 100.0) + "%",
+            fmt2(last.gc_share() * 100.0) + "%",
+        );
+    }
+
+    println!();
+    println!("if GC time is ignored, all three apps keep speeding up through 48");
+    println!("threads; with GC included, rising pause time erodes the gains —");
+    println!("the paper's conclusion that GC limits scalability.");
+}

@@ -1,0 +1,63 @@
+//! Quickstart: run one benchmark at two thread counts and print the
+//! observables the ISPASS'15 paper is built on.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use scalesim::metrics::{fmt_pct, Table};
+use scalesim::runtime::{Jvm, JvmConfig, RunReport};
+use scalesim::workloads::xalan;
+
+fn run(threads: usize, scale: f64) -> RunReport {
+    let app = xalan().scaled(scale);
+    let config = JvmConfig::builder().threads(threads).seed(42).build();
+    Jvm::new(config).run(&app)
+}
+
+fn main() {
+    // A slice of xalan's standard workload keeps this example snappy.
+    let scale = 0.25;
+    println!("xalan @ {:.0}% of standard work, cores = threads\n", scale * 100.0);
+
+    let mut table = Table::new(vec![
+        "threads",
+        "wall",
+        "mutator",
+        "gc",
+        "gc%",
+        "minor",
+        "full",
+        "lock acq",
+        "contentions",
+        "<1KiB lifespan",
+    ]);
+    for threads in [1, 4, 16, 48] {
+        let r = run(threads, scale);
+        table.row(vec![
+            r.threads.to_string(),
+            r.wall_time.to_string(),
+            r.mutator_wall().to_string(),
+            r.gc_time.to_string(),
+            fmt_pct(r.gc_share()),
+            r.gc.count(scalesim::gc::GcKind::Minor).to_string(),
+            r.gc.count(scalesim::gc::GcKind::Full).to_string(),
+            r.locks.total.acquisitions.to_string(),
+            r.locks.total.contentions.to_string(),
+            fmt_pct(r.trace.fraction_below(1024)),
+        ]);
+    }
+    println!("{table}");
+
+    let r4 = run(4, scale);
+    let r48 = run(48, scale);
+    println!(
+        "speedup 4->48 threads: {:.2}x",
+        r4.wall_time.as_secs_f64() / r48.wall_time.as_secs_f64()
+    );
+    println!(
+        "lifespan shift: {} of objects die within 1 KiB at 4 threads, {} at 48",
+        fmt_pct(r4.trace.fraction_below(1024)),
+        fmt_pct(r48.trace.fraction_below(1024)),
+    );
+}

@@ -1,0 +1,60 @@
+//! Exporting the raw measurement streams: the Elephant-Tracks-style
+//! object trace and the `-verbose:gc`-style collection log.
+//!
+//! Useful for feeding external analysis tooling, or simply for eyeballing
+//! what the simulated VM did.
+//!
+//! ```sh
+//! cargo run --release --example trace_export
+//! ```
+
+use scalesim::objtrace::{format_trace, parse_trace, Retention};
+use scalesim::runtime::{Jvm, JvmConfig};
+use scalesim::workloads::lusearch;
+
+fn main() {
+    // Full retention keeps the in-order event list (memory-heavy; use a
+    // small run).
+    let app = lusearch().scaled(0.02);
+    let config = JvmConfig::builder()
+        .threads(4)
+        .retention(Retention::Full)
+        .seed(42)
+        .build();
+    let report = Jvm::new(config).run(&app);
+
+    let events = report.trace.events().expect("full retention keeps events");
+    let text = format_trace(events);
+    println!(
+        "object trace: {} events, first ten lines:",
+        events.len()
+    );
+    for line in text.lines().take(10) {
+        println!("  {line}");
+    }
+    // The format round-trips losslessly.
+    assert_eq!(parse_trace(&text).expect("own output parses"), events);
+
+    println!("\nverbose GC log:");
+    for line in report.gc.to_verbose_gc().lines() {
+        println!("  {line}");
+    }
+
+    if let Some(pauses) = report.gc.pause_summary() {
+        println!(
+            "\npause stats: mean {:.3}ms, p100 {:.3}ms over {} collections",
+            pauses.mean() * 1e3,
+            pauses.max() * 1e3,
+            pauses.len()
+        );
+    }
+
+    if let Some(per_thread) = report.trace.per_thread_histograms() {
+        println!("\nper-thread median lifespans (allocation bytes):");
+        for (thread, hist) in per_thread.iter().enumerate() {
+            if let Some(p50) = hist.quantile(0.5) {
+                println!("  thread {thread}: ~{p50} B over {} objects", hist.count());
+            }
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! # scalesim
+//!
+//! A discrete-event simulation laboratory reproducing **"Factors Affecting
+//! Scalability of Multithreaded Java Applications on Manycore Systems"**
+//! (Qian, Li, Srisa-an, Jiang, Seth — ISPASS 2015).
+//!
+//! This meta-crate re-exports the whole workspace under one roof:
+//!
+//! * [`simkit`] — deterministic discrete-event engine,
+//! * [`machine`] — manycore NUMA topology (the paper's 4×12-core AMD box),
+//! * [`sched`] — simulated OS scheduler with suspension accounting,
+//! * [`sync`] — Java-monitor model plus a DTrace-style lock profiler,
+//! * [`heap`] — generational heap with TLABs and an allocation clock,
+//! * [`gc`] — stop-the-world parallel generational collector,
+//! * [`objtrace`] — Elephant-Tracks-style object lifetime tracing,
+//! * [`workloads`] — six DaCapo-inspired synthetic applications,
+//! * [`runtime`] — the JVM-like runtime tying it all together,
+//! * [`experiments`] — drivers that regenerate every figure in the paper,
+//! * [`metrics`] — histograms, CDFs and table rendering.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use scalesim::runtime::{Jvm, JvmConfig};
+//! use scalesim::workloads::xalan;
+//!
+//! let app = xalan().scaled(0.05); // 5% of standard work for a fast demo
+//! let config = JvmConfig::builder().threads(4).build();
+//! let report = Jvm::new(config).run(&app);
+//! assert!(report.wall_time.as_secs_f64() > 0.0);
+//! assert!(report.gc.collections() > 0);
+//! ```
+
+pub use scalesim_core as runtime;
+pub use scalesim_experiments as experiments;
+pub use scalesim_gc as gc;
+pub use scalesim_heap as heap;
+pub use scalesim_machine as machine;
+pub use scalesim_metrics as metrics;
+pub use scalesim_objtrace as objtrace;
+pub use scalesim_sched as sched;
+pub use scalesim_simkit as simkit;
+pub use scalesim_sync as sync;
+pub use scalesim_workloads as workloads;

@@ -1,0 +1,99 @@
+//! Shape tests for the §IV future-work ablations.
+
+use scalesim::experiments::{run_biased_sched, run_heaplets, ExpParams};
+
+fn params() -> ExpParams {
+    ExpParams::paper().with_scale(0.1).with_threads(vec![48])
+}
+
+#[test]
+fn biased_scheduling_reduces_lifetime_interference() {
+    let study = run_biased_sched("xalan", &params());
+    let baseline = study.row("baseline", 48).expect("baseline row");
+    let biased = study.row("biased-4", 48).expect("biased-4 row");
+    assert!(
+        biased.frac_below_1k > baseline.frac_below_1k + 0.1,
+        "cohort scheduling should restore short lifespans: {:.2} vs {:.2}",
+        biased.frac_below_1k,
+        baseline.frac_below_1k
+    );
+}
+
+#[test]
+fn biased_scheduling_costs_wall_time() {
+    // Restricting concurrency idles cores when threads == cores; the
+    // benefit is bought with wall time, and the ablation reports it
+    // honestly.
+    let study = run_biased_sched("xalan", &params());
+    let baseline = study.row("baseline", 48).expect("baseline row");
+    let biased = study.row("biased-2", 48).expect("biased-2 row");
+    assert!(biased.wall > baseline.wall);
+}
+
+#[test]
+fn heaplets_improve_wall_time_at_high_thread_counts() {
+    let study = run_heaplets("xalan", &params());
+    let baseline = study.row("baseline", 48).expect("baseline row");
+    let heaplets = study.row("heaplets", 48).expect("heaplets row");
+    assert!(
+        heaplets.wall.as_secs_f64() < baseline.wall.as_secs_f64() * 0.95,
+        "thread-local collection should beat stop-the-world: {} vs {}",
+        heaplets.wall,
+        baseline.wall
+    );
+}
+
+#[test]
+fn heaplets_shorten_individual_pauses() {
+    // "shortening garbage collection pause time" — the paper's predicted
+    // benefit. Compare the largest *minor* pause; full collections remain
+    // global in both modes.
+    use scalesim::gc::GcKind;
+    use scalesim::runtime::{Jvm, JvmConfig};
+    use scalesim::workloads::xalan;
+
+    let app = xalan().scaled(0.1);
+    let base = Jvm::new(JvmConfig::builder().threads(48).seed(42).build()).run(&app);
+    let heap = Jvm::new(
+        JvmConfig::builder()
+            .threads(48)
+            .heaplets(true)
+            .seed(42)
+            .build(),
+    )
+    .run(&app);
+
+    let max_minor = |r: &scalesim::runtime::RunReport| {
+        r.gc
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, GcKind::Minor | GcKind::LocalMinor))
+            .map(|e| e.pause)
+            .max()
+            .expect("at least one minor collection")
+    };
+    let base_pause = max_minor(&base);
+    let heap_pause = max_minor(&heap);
+    assert!(
+        heap_pause.as_nanos() * 4 < base_pause.as_nanos(),
+        "local pauses ({heap_pause}) should be far below STW pauses ({base_pause})"
+    );
+}
+
+#[test]
+fn heaplets_never_run_global_minor_collections() {
+    use scalesim::gc::GcKind;
+    use scalesim::runtime::{Jvm, JvmConfig};
+    use scalesim::workloads::lusearch;
+
+    let report = Jvm::new(
+        JvmConfig::builder()
+            .threads(16)
+            .heaplets(true)
+            .seed(1)
+            .build(),
+    )
+    .run(&lusearch().scaled(0.05));
+    assert_eq!(report.gc.count(GcKind::Minor), 0);
+    assert!(report.gc.count(GcKind::LocalMinor) > 0);
+}

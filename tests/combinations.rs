@@ -1,0 +1,146 @@
+//! Feature-interaction tests: configuration corners that no single
+//! experiment exercises together.
+
+use scalesim::gc::GcKind;
+use scalesim::machine::{MachineTopology, Placement};
+use scalesim::runtime::{Jvm, JvmConfig, OldGenPolicy, RunReport};
+use scalesim::sched::SchedPolicy;
+use scalesim::workloads::{xalan, AppModel};
+
+fn items_complete(report: &RunReport, expected: u64) {
+    assert_eq!(report.total_items(), expected);
+    assert_eq!(
+        report.trace.allocations(),
+        report.trace.deaths() + report.trace.censored()
+    );
+}
+
+#[test]
+fn heaplets_with_biased_scheduling() {
+    let app = xalan().scaled(0.02);
+    let report = Jvm::new(
+        JvmConfig::builder()
+            .threads(8)
+            .heaplets(true)
+            .policy(SchedPolicy::Biased { cohorts: 2 })
+            .seed(3)
+            .build(),
+    )
+    .run(&app);
+    items_complete(&report, app.total_items());
+    assert!(report.gc.count(GcKind::LocalMinor) > 0);
+    assert_eq!(report.gc.count(GcKind::Minor), 0);
+}
+
+#[test]
+fn heaplets_with_concurrent_old_gen() {
+    let app = xalan().scaled(0.25);
+    let report = Jvm::new(
+        JvmConfig::builder()
+            .threads(16)
+            .heaplets(true)
+            .old_gen(OldGenPolicy::MostlyConcurrent)
+            .seed(3)
+            .build(),
+    )
+    .run(&app);
+    items_complete(&report, app.total_items());
+    // local minors always; old-gen activity only if promotion pressure
+    // materialized at this scale
+    assert!(report.gc.count(GcKind::LocalMinor) > 0);
+}
+
+#[test]
+fn concurrent_old_gen_with_adaptive_sizing() {
+    use scalesim::simkit::SimDuration;
+    let app = xalan().scaled(0.1);
+    let report = Jvm::new(
+        JvmConfig::builder()
+            .threads(16)
+            .old_gen(OldGenPolicy::MostlyConcurrent)
+            .pause_goal(SimDuration::from_millis(2))
+            .seed(3)
+            .build(),
+    )
+    .run(&app);
+    items_complete(&report, app.total_items());
+    assert_eq!(report.mutator_wall() + report.gc_time, report.wall_time);
+}
+
+#[test]
+fn scatter_placement_with_oversubscription() {
+    let app = xalan().scaled(0.02);
+    let report = Jvm::new(
+        JvmConfig::builder()
+            .threads(24)
+            .cores(8)
+            .placement(Placement::Scatter)
+            .seed(3)
+            .build(),
+    )
+    .run(&app);
+    items_complete(&report, app.total_items());
+    assert_eq!(report.cores, 8);
+}
+
+#[test]
+fn runs_on_the_xeon_preset() {
+    let machine = MachineTopology::xeon_2s_32c();
+    let app = xalan().scaled(0.05);
+    let t4 = Jvm::new(
+        JvmConfig::builder()
+            .machine(machine.clone())
+            .threads(4)
+            .seed(3)
+            .build(),
+    )
+    .run(&app);
+    let t32 = Jvm::new(
+        JvmConfig::builder()
+            .machine(machine)
+            .threads(32)
+            .seed(3)
+            .build(),
+    )
+    .run(&app);
+    items_complete(&t32, app.total_items());
+    // the paper's qualitative conclusions carry over to a different box:
+    let speedup = t4.wall_time.as_secs_f64() / t32.wall_time.as_secs_f64();
+    assert!(speedup > 3.0, "xalan speedup on xeon: {speedup:.2}");
+    assert!(
+        t32.gc_share() > t4.gc_share(),
+        "GC share must still grow with threads: {:.3} vs {:.3}",
+        t32.gc_share(),
+        t4.gc_share()
+    );
+    assert!(
+        t32.trace.fraction_below(1 << 10) < t4.trace.fraction_below(1 << 10),
+        "lifespan inflation must still appear"
+    );
+}
+
+#[test]
+fn cores_beyond_machine_are_clamped() {
+    let cfg = JvmConfig::builder()
+        .machine(MachineTopology::xeon_2s_32c())
+        .threads(64)
+        .build();
+    assert_eq!(cfg.cores(), 32);
+    let app = xalan().scaled(0.01);
+    let report = Jvm::new(cfg).run(&app);
+    items_complete(&report, app.total_items());
+    assert_eq!(report.per_thread.len(), 64);
+}
+
+#[test]
+fn zero_helper_threads_is_leaner_but_equivalent_in_work() {
+    let app = xalan().scaled(0.02);
+    let base = JvmConfig::builder().threads(4).seed(9).build();
+    let mut no_helpers = JvmConfig::builder();
+    no_helpers.threads(4).seed(9).helper_threads(0);
+    let a = Jvm::new(base).run(&app);
+    let b = Jvm::new(no_helpers.build()).run(&app);
+    items_complete(&a, app.total_items());
+    items_complete(&b, app.total_items());
+    assert!(b.wall_time <= a.wall_time, "helpers can only slow mutators");
+}

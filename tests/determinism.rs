@@ -1,0 +1,75 @@
+//! A run is a pure function of (configuration, application): identical
+//! inputs produce bit-identical measurements; seeds and thread counts
+//! perturb them.
+
+use scalesim::runtime::{Jvm, JvmConfig, RunReport};
+use scalesim::workloads::{all_apps, AppModel, SyntheticApp};
+
+fn run(app: &SyntheticApp, threads: usize, seed: u64) -> RunReport {
+    Jvm::new(JvmConfig::builder().threads(threads).seed(seed).build()).run(app)
+}
+
+fn fingerprints(r: &RunReport) -> (u64, u64, u64, u64, u64) {
+    (
+        r.wall_time.as_nanos(),
+        r.gc_time.as_nanos(),
+        r.locks.total.acquisitions + r.locks.total.contentions,
+        r.trace.allocations(),
+        r.events_processed,
+    )
+}
+
+#[test]
+fn identical_inputs_give_identical_measurements_for_all_apps() {
+    for app in all_apps() {
+        let scaled = app.scaled(0.005);
+        let a = run(&scaled, 6, 11);
+        let b = run(&scaled, 6, 11);
+        assert_eq!(
+            fingerprints(&a),
+            fingerprints(&b),
+            "{} is nondeterministic",
+            app.name()
+        );
+        assert_eq!(a.trace.histogram(), b.trace.histogram());
+        assert_eq!(a.gc.events(), b.gc.events());
+    }
+}
+
+#[test]
+fn different_seeds_perturb_the_run() {
+    let app = scalesim::workloads::lusearch().scaled(0.005);
+    let a = run(&app, 6, 1);
+    let b = run(&app, 6, 2);
+    assert_ne!(fingerprints(&a), fingerprints(&b));
+    // ... but not the amount of work done.
+    assert_eq!(a.total_items(), b.total_items());
+}
+
+#[test]
+fn sweep_order_does_not_leak_between_runs() {
+    // Running T=4 then T=8 must give the same T=8 result as running T=8
+    // alone (no hidden global state).
+    let app = scalesim::workloads::xalan().scaled(0.005);
+    let _warmup = run(&app, 4, 9);
+    let after = run(&app, 8, 9);
+    let fresh = run(&app, 8, 9);
+    assert_eq!(fingerprints(&after), fingerprints(&fresh));
+}
+
+#[test]
+fn parallel_sweep_is_deterministic() {
+    use scalesim::experiments::{run_all, RunSpec};
+    let specs: Vec<RunSpec> = (0..8)
+        .map(|i| {
+            RunSpec::new(
+                scalesim::workloads::sunflow().scaled(0.003),
+                2 + i % 4,
+                33,
+            )
+        })
+        .collect();
+    let first: Vec<_> = run_all(&specs).iter().map(fingerprints).collect();
+    let second: Vec<_> = run_all(&specs).iter().map(fingerprints).collect();
+    assert_eq!(first, second);
+}

@@ -1,0 +1,449 @@
+//! Property-based tests over the core data structures and, at small
+//! scale, whole simulations.
+
+use proptest::prelude::*;
+
+use scalesim::metrics::{Cdf, LogHistogram};
+use scalesim::simkit::{EventQueue, SimTime};
+
+// ---------------------------------------------------------------------
+// Event queue vs. a reference model
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum QueueOp {
+    Schedule(u64),
+    Cancel(usize),
+    Pop,
+}
+
+fn queue_ops() -> impl Strategy<Value = Vec<QueueOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u64..1000).prop_map(QueueOp::Schedule),
+            (0usize..64).prop_map(QueueOp::Cancel),
+            Just(QueueOp::Pop),
+        ],
+        0..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn event_queue_matches_reference_model(ops in queue_ops()) {
+        let mut queue: EventQueue<usize> = EventQueue::new();
+        // Reference: (absolute time, insertion order, payload), popped in
+        // lexicographic order.
+        let mut model: Vec<(u64, usize, usize)> = Vec::new();
+        let mut issued = Vec::new();
+        let mut now = 0u64;
+        let mut next_payload = 0usize;
+
+        for op in ops {
+            match op {
+                QueueOp::Schedule(delta) => {
+                    let at = now + delta;
+                    let id = queue.schedule_at(SimTime::from_nanos(at), next_payload);
+                    model.push((at, issued.len(), next_payload));
+                    issued.push(Some(id));
+                    next_payload += 1;
+                }
+                QueueOp::Cancel(i) => {
+                    if let Some(slot) = issued.get_mut(i) {
+                        if let Some(id) = slot.take() {
+                            let was_pending =
+                                model.iter().any(|&(_, ord, _)| ord == i);
+                            prop_assert_eq!(queue.cancel(id), was_pending);
+                            model.retain(|&(_, ord, _)| ord != i);
+                        }
+                    }
+                }
+                QueueOp::Pop => {
+                    model.sort_unstable();
+                    let expected = if model.is_empty() {
+                        None
+                    } else {
+                        Some(model.remove(0))
+                    };
+                    let got = queue.pop();
+                    match (expected, got) {
+                        (None, None) => {}
+                        (Some((at, _, payload)), Some((t, p))) => {
+                            prop_assert_eq!(t, SimTime::from_nanos(at));
+                            prop_assert_eq!(p, payload);
+                            now = at;
+                        }
+                        (e, g) => prop_assert!(false, "model {e:?} vs queue {g:?}"),
+                    }
+                }
+            }
+            prop_assert_eq!(queue.len(), model.len());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Histogram / CDF invariants
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn histogram_fraction_below_is_exact_at_powers_of_two(
+        values in prop::collection::vec(0u64..1_000_000, 1..500),
+        shift in 1u32..20,
+    ) {
+        let hist: LogHistogram = values.iter().copied().collect();
+        let threshold = 1u64 << shift;
+        let exact = values.iter().filter(|&&v| v < threshold).count() as f64
+            / values.len() as f64;
+        // Bucket 0 holds {0, 1} jointly, so thresholds >= 2 are exact.
+        prop_assert!((hist.fraction_below(threshold) - exact).abs() < 1e-9,
+            "threshold {threshold}: {} vs {exact}", hist.fraction_below(threshold));
+    }
+
+    #[test]
+    fn histogram_merge_equals_pooled(
+        a in prop::collection::vec(0u64..1_000_000, 0..200),
+        b in prop::collection::vec(0u64..1_000_000, 0..200),
+    ) {
+        let mut merged: LogHistogram = a.iter().copied().collect();
+        merged.merge(&b.iter().copied().collect());
+        let pooled: LogHistogram = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(merged, pooled);
+    }
+
+    #[test]
+    fn histogram_stats_match_exact(
+        values in prop::collection::vec(0u64..1_000_000, 1..300),
+    ) {
+        let hist: LogHistogram = values.iter().copied().collect();
+        prop_assert_eq!(hist.count(), values.len() as u64);
+        prop_assert_eq!(hist.min(), values.iter().copied().min());
+        prop_assert_eq!(hist.max(), values.iter().copied().max());
+        let mean = values.iter().sum::<u64>() as f64 / values.len() as f64;
+        prop_assert!((hist.mean().unwrap() - mean).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cdf_quantile_and_fraction_are_consistent(
+        values in prop::collection::vec(0u64..1_000_000, 1..300),
+        q in 0.0f64..1.0,
+    ) {
+        let cdf = Cdf::from_samples(values.clone());
+        let v = cdf.quantile(q).unwrap();
+        // At least q of the mass lies at or below the q-quantile.
+        prop_assert!(cdf.fraction_at_most(v) >= q - 1e-9);
+        // CDF is monotone.
+        prop_assert!(cdf.fraction_at_most(v) >= cdf.fraction_below(v));
+    }
+
+    #[test]
+    fn cdf_ks_distance_is_a_metric_ish(
+        a in prop::collection::vec(0u64..1000, 1..100),
+        b in prop::collection::vec(0u64..1000, 1..100),
+    ) {
+        let ca = Cdf::from_samples(a);
+        let cb = Cdf::from_samples(b);
+        let d = ca.ks_distance(&cb);
+        prop_assert!((0.0..=1.0).contains(&d));
+        prop_assert!((ca.ks_distance(&ca)).abs() < 1e-12);
+        prop_assert!((d - cb.ks_distance(&ca)).abs() < 1e-12, "symmetry");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Monitor mutual exclusion under random schedules
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn monitors_preserve_mutual_exclusion_and_fifo(
+        ops in prop::collection::vec((0usize..6, prop::bool::ANY), 1..300),
+    ) {
+        use scalesim::sched::ThreadId;
+        use scalesim::sync::{AcquireOutcome, LockTable};
+
+        let mut locks = LockTable::new();
+        let m = locks.create("prop");
+        let mut holder: Option<usize> = None;
+        let mut waiting: Vec<usize> = Vec::new();
+        let mut t = 0u64;
+
+        for (thread, wants_acquire) in ops {
+            t += 1;
+            let now = SimTime::from_nanos(t);
+            if wants_acquire {
+                // skip threads already involved
+                if holder == Some(thread) || waiting.contains(&thread) {
+                    continue;
+                }
+                match locks.acquire(m, ThreadId::new(thread), now) {
+                    AcquireOutcome::Acquired => {
+                        prop_assert!(holder.is_none(), "mutual exclusion violated");
+                        holder = Some(thread);
+                    }
+                    AcquireOutcome::Contended => {
+                        prop_assert!(holder.is_some());
+                        waiting.push(thread);
+                    }
+                }
+            } else if let Some(h) = holder {
+                let grant = locks.release(m, ThreadId::new(h), now);
+                match grant {
+                    None => {
+                        prop_assert!(waiting.is_empty(), "grant skipped a waiter");
+                        holder = None;
+                    }
+                    Some(g) => {
+                        // FIFO: the longest waiter gets the monitor.
+                        prop_assert_eq!(g.next, ThreadId::new(waiting.remove(0)));
+                        holder = Some(g.next.index());
+                    }
+                }
+            }
+        }
+
+        let stats = locks.stats(m);
+        prop_assert!(stats.acquisitions >= stats.contentions.saturating_sub(waiting.len() as u64));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Heap conservation under random alloc/kill interleavings
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn heap_occupancy_is_conserved(
+        ops in prop::collection::vec((1u64..2000, prop::bool::ANY), 1..300),
+    ) {
+        use scalesim::heap::{AllocResult, Heap, HeapConfig, NurseryLayout};
+        use scalesim::sched::ThreadId;
+
+        let mut heap = Heap::new(HeapConfig::new(3 << 20, 1.0 / 3.0, NurseryLayout::Shared));
+        let mut live: Vec<(scalesim::heap::ObjectId, u64)> = Vec::new();
+        let mut allocated = 0u64;
+
+        for (size, kill_one) in ops {
+            if kill_one && !live.is_empty() {
+                let (obj, sz) = live.swap_remove(live.len() / 2);
+                let death = heap.kill(obj);
+                prop_assert_eq!(death.size, sz);
+                prop_assert!(death.lifespan <= allocated);
+            } else {
+                match heap.alloc(ThreadId::new(0), size) {
+                    AllocResult::Ok(obj) => {
+                        live.push((obj, size));
+                        allocated += size;
+                    }
+                    AllocResult::NurseryFull { region } => {
+                        // reclaim dead space the way a collection would
+                        heap.reset_region_to_survivors(region);
+                    }
+                }
+            }
+            // occupancy >= live bytes (dead space may linger)
+            let live_bytes: u64 = live.iter().map(|&(_, s)| s).sum();
+            prop_assert!(heap.region_used(0) >= live_bytes);
+            prop_assert_eq!(heap.clock(), allocated);
+            prop_assert_eq!(heap.live_objects(), live.len());
+        }
+
+        heap.reset_region_to_survivors(0);
+        let live_bytes: u64 = live.iter().map(|&(_, s)| s).sum();
+        prop_assert_eq!(heap.region_used(0), live_bytes);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Whole-simulation properties at tiny scale
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn any_small_run_conserves_work_and_objects(
+        app_idx in 0usize..6,
+        threads in 1usize..10,
+        seed in 0u64..1000,
+    ) {
+        use scalesim::runtime::{Jvm, JvmConfig};
+        use scalesim::workloads::{all_apps, AppModel};
+
+        let app = all_apps().swap_remove(app_idx).scaled(0.002);
+        let report = Jvm::new(JvmConfig::builder().threads(threads).seed(seed).build())
+            .run(&app);
+        prop_assert_eq!(report.total_items(), app.total_items());
+        prop_assert_eq!(
+            report.trace.allocations(),
+            report.trace.deaths() + report.trace.censored()
+        );
+        prop_assert!(report.locks.total.acquisitions >= report.locks.total.contentions);
+        prop_assert_eq!(report.mutator_wall() + report.gc_time, report.wall_time);
+    }
+}
+
+// ---------------------------------------------------------------------
+// CPU scheduler vs. a reference model
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn scheduler_matches_reference_model(
+        cores in 1usize..5,
+        ops in prop::collection::vec((0usize..8, 0u8..5), 1..250),
+    ) {
+        use scalesim::machine::CoreId;
+        use scalesim::sched::{BlockReason, CpuScheduler, QuantumOutcome, SchedPolicy, ThreadId};
+        use scalesim::simkit::SimDuration;
+
+        #[derive(Clone, Copy, PartialEq, Debug)]
+        enum M { New, Ready, Running, Blocked, Dead }
+
+        let mut sched = CpuScheduler::new(
+            (0..cores).map(CoreId::new).collect(),
+            SimDuration::from_millis(1),
+            SchedPolicy::Fair,
+        );
+        // register 8 threads
+        let tids: Vec<ThreadId> = (0..8).map(|_| sched.register(SimTime::ZERO)).collect();
+        let mut model = [M::New; 8];
+        let mut ready: Vec<usize> = Vec::new();
+        let mut on_core: Vec<Option<usize>> = vec![None; cores];
+        let mut t = 0u64;
+
+        for (i, action) in ops {
+            t += 1;
+            let now = SimTime::from_nanos(t);
+            let tid = tids[i];
+            match action {
+                // start
+                0 => {
+                    if model[i] == M::New {
+                        sched.start(tid, now);
+                        model[i] = M::Ready;
+                        ready.push(i);
+                    }
+                }
+                // dispatch
+                1 => {
+                    let placed = sched.dispatch(now);
+                    for d in &placed {
+                        let idx = d.thread.index();
+                        prop_assert_eq!(ready.remove(0), idx, "dispatch order");
+                        model[idx] = M::Running;
+                        let slot = on_core.iter().position(Option::is_none)
+                            .expect("model has a free core");
+                        on_core[slot] = Some(idx);
+                    }
+                    // a free core and a ready thread cannot coexist after dispatch
+                    let free = on_core.iter().filter(|c| c.is_none()).count();
+                    prop_assert!(free == 0 || ready.is_empty());
+                }
+                // block
+                2 => {
+                    if model[i] == M::Running {
+                        sched.block(tid, now, BlockReason::Monitor);
+                        model[i] = M::Blocked;
+                        let slot = on_core.iter().position(|&c| c == Some(i)).expect("on core");
+                        on_core[slot] = None;
+                    }
+                }
+                // unblock
+                3 => {
+                    if model[i] == M::Blocked {
+                        sched.unblock(tid, now);
+                        model[i] = M::Ready;
+                        ready.push(i);
+                    }
+                }
+                // quantum expiry / terminate
+                _ => {
+                    if model[i] == M::Running {
+                        let outcome = sched.quantum_expired(tid, now);
+                        if ready.is_empty() {
+                            prop_assert_eq!(outcome, QuantumOutcome::Continued);
+                        } else {
+                            prop_assert_eq!(outcome, QuantumOutcome::Preempted);
+                            model[i] = M::Ready;
+                            ready.push(i);
+                            let slot = on_core.iter().position(|&c| c == Some(i)).expect("on core");
+                            on_core[slot] = None;
+                        }
+                    } else if model[i] != M::Dead && model[i] != M::New {
+                        sched.terminate(tid, now);
+                        if model[i] == M::Running {
+                            let slot = on_core.iter().position(|&c| c == Some(i)).expect("on core");
+                            on_core[slot] = None;
+                        }
+                        ready.retain(|&r| r != i);
+                        model[i] = M::Dead;
+                    }
+                }
+            }
+
+            // cross-check aggregate state after every op
+            prop_assert_eq!(sched.running_count(),
+                on_core.iter().filter(|c| c.is_some()).count());
+            prop_assert_eq!(sched.runnable_count(), ready.len());
+            for (k, &tid) in tids.iter().enumerate() {
+                use scalesim::sched::ThreadState;
+                let expected_running = matches!(model[k], M::Running);
+                prop_assert_eq!(sched.core_of(tid).is_some(), expected_running);
+                prop_assert_eq!(
+                    matches!(sched.state(tid), ThreadState::Terminated),
+                    model[k] == M::Dead
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Work-item generator invariants
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn generated_items_are_always_well_formed(
+        app_idx in 0usize..6,
+        seed in 0u64..10_000,
+    ) {
+        use rand::SeedableRng;
+        use scalesim::workloads::{all_apps, AppModel, Step};
+
+        let app = all_apps().swap_remove(app_idx);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..10 {
+            // WorkItem::new() inside the generator validates slot
+            // discipline; here we check the coarser contracts.
+            let item = app.make_item(&mut rng);
+            prop_assert!(!item.is_empty());
+            prop_assert!(item.alloc_bytes() > 0);
+            prop_assert!(item.cpu_time().as_nanos() > 0);
+            // every critical references a declared class
+            for step in item.steps() {
+                if let Step::Critical { class, .. } = step {
+                    prop_assert!(class.0 < app.lock_classes().len());
+                }
+            }
+            // compute time lands within the spec's target plus hold times
+            let max_target = app.spec().compute_ns.1
+                + app.spec().criticals.iter().map(|c| c.held_ns.1).sum::<u64>();
+            prop_assert!(item.cpu_time().as_nanos() <= max_target + 1);
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Cross-crate invariants that must hold for every run, regardless of
+//! application, thread count, policy or heap layout.
+
+use scalesim::runtime::{Jvm, JvmConfig, RunReport};
+use scalesim::sched::SchedPolicy;
+use scalesim::simkit::SimDuration;
+use scalesim::workloads::{all_apps, AppModel};
+
+fn configs() -> Vec<(String, JvmConfig)> {
+    vec![
+        ("fair-4".into(), JvmConfig::builder().threads(4).seed(3).build()),
+        ("fair-32".into(), JvmConfig::builder().threads(32).seed(3).build()),
+        (
+            "oversubscribed".into(),
+            JvmConfig::builder().threads(12).cores(4).seed(3).build(),
+        ),
+        (
+            "biased".into(),
+            JvmConfig::builder()
+                .threads(8)
+                .policy(SchedPolicy::Biased { cohorts: 2 })
+                .seed(3)
+                .build(),
+        ),
+        (
+            "heaplets".into(),
+            JvmConfig::builder().threads(8).heaplets(true).seed(3).build(),
+        ),
+    ]
+}
+
+fn check_invariants(label: &str, report: &RunReport, expected_items: u64) {
+    // 1. Work conservation: every item completes exactly once.
+    assert_eq!(
+        report.total_items(),
+        expected_items,
+        "{label}: item count mismatch"
+    );
+
+    // 2. Object conservation: every allocation eventually dies or is
+    //    censored at shutdown.
+    assert_eq!(
+        report.trace.allocations(),
+        report.trace.deaths() + report.trace.censored(),
+        "{label}: object leak"
+    );
+    assert_eq!(
+        report.trace.allocations(),
+        report.heap.objects_allocated,
+        "{label}: tracer/heap disagree on allocations"
+    );
+
+    // 3. Time conservation per thread: state times sum to at most the
+    //    wall clock (threads may start late / finish early).
+    for (i, t) in report.per_thread.iter().enumerate() {
+        assert!(
+            t.times.total() <= report.wall_time + SimDuration::from_nanos(1),
+            "{label}: thread {i} accounted {} of {} wall",
+            t.times.total(),
+            report.wall_time
+        );
+    }
+
+    // 4. Mutator/GC decomposition: mutator_wall + gc_time == wall
+    //    (for shared-nursery STW mode).
+    if label != "heaplets" {
+        assert_eq!(
+            report.mutator_wall() + report.gc_time,
+            report.wall_time,
+            "{label}: decomposition broken"
+        );
+    }
+
+    // 5. Lock sanity: contentions never exceed acquisitions + queue
+    //    lengths; every contended acquire eventually acquired (no thread
+    //    terminates while waiting), so acquisitions >= contentions.
+    assert!(
+        report.locks.total.acquisitions >= report.locks.total.contentions,
+        "{label}: more contentions than acquisitions"
+    );
+
+    // 6. GC sanity: collected + survived bytes never exceed allocated.
+    assert!(
+        report.gc.collected_bytes() <= report.heap.bytes_allocated,
+        "{label}: collected more than allocated"
+    );
+
+    // 7. CPU capacity: aggregate mutator CPU cannot exceed cores × wall.
+    let capacity = report.wall_time.as_secs_f64() * report.cores as f64;
+    assert!(
+        report.mutator_cpu.as_secs_f64() <= capacity * 1.0001,
+        "{label}: mutator CPU {} exceeds capacity {capacity}s",
+        report.mutator_cpu
+    );
+}
+
+#[test]
+fn invariants_hold_for_every_app_and_config() {
+    for app in all_apps() {
+        let scaled = app.scaled(0.01);
+        for (label, config) in configs() {
+            let report = Jvm::new(config).run(&scaled);
+            check_invariants(
+                &format!("{}/{label}", app.name()),
+                &report,
+                scaled.total_items(),
+            );
+        }
+    }
+}
+
+#[test]
+fn single_thread_run_has_no_contention_and_no_waiting() {
+    let report = Jvm::new(JvmConfig::builder().threads(1).seed(5).build())
+        .run(&scalesim::workloads::sunflow().scaled(0.01));
+    assert_eq!(report.locks.total.contentions, 0);
+    assert_eq!(
+        report.per_thread[0].times.blocked_monitor,
+        SimDuration::ZERO
+    );
+}
+
+#[test]
+fn helper_threads_do_not_complete_application_work() {
+    let app = scalesim::workloads::xalan().scaled(0.01);
+    let with = Jvm::new(JvmConfig::builder().threads(4).helper_threads(4).seed(5).build())
+        .run(&app);
+    let without = Jvm::new(JvmConfig::builder().threads(4).helper_threads(0).seed(5).build())
+        .run(&app);
+    assert_eq!(with.total_items(), without.total_items());
+    assert_eq!(with.per_thread.len(), 4);
+    assert_eq!(without.per_thread.len(), 4);
+}
+
+#[test]
+fn helper_threads_increase_mutator_suspension() {
+    let app = scalesim::workloads::xalan().scaled(0.02);
+    let noisy = Jvm::new(
+        JvmConfig::builder()
+            .threads(8)
+            .cores(8)
+            .helper_threads(6)
+            .helper_profile(
+                SimDuration::from_micros(500),
+                SimDuration::from_millis(1),
+            )
+            .seed(5)
+            .build(),
+    )
+    .run(&app);
+    let quiet = Jvm::new(
+        JvmConfig::builder()
+            .threads(8)
+            .cores(8)
+            .helper_threads(0)
+            .seed(5)
+            .build(),
+    )
+    .run(&app);
+    assert!(
+        noisy.total_suspension() > quiet.total_suspension(),
+        "helper interference should suspend mutators: {} vs {}",
+        noisy.total_suspension(),
+        quiet.total_suspension()
+    );
+}
+
+#[test]
+fn heap_is_sized_at_three_times_the_minimum() {
+    for app in all_apps() {
+        let config = JvmConfig::default();
+        assert_eq!(
+            config.heap_bytes(app.min_heap_bytes()),
+            3 * app.min_heap_bytes(),
+            "{}",
+            app.name()
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! Cost-model sensitivity: the reproduced *shapes* must not depend on
+//! the exact constants in the GC cost model. Each test re-checks a
+//! headline claim with key constants halved and doubled.
+
+use scalesim::gc::GcCostModel;
+use scalesim::runtime::{Jvm, JvmConfig};
+use scalesim::workloads::xalan;
+
+/// A HotSpot-like model with copy cost and worker-sync overhead scaled.
+fn scaled_model(threads: usize, copy_scale: f64, alpha_scale: f64) -> GcCostModel {
+    let machine = scalesim::machine::MachineTopology::amd_6168();
+    let mut m = GcCostModel::hotspot_like(threads, machine.mean_numa_factor(threads));
+    m.copy_ns_per_byte *= copy_scale;
+    m.worker_sync_alpha *= alpha_scale;
+    m
+}
+
+fn gc_share(threads: usize, copy_scale: f64, alpha_scale: f64) -> f64 {
+    let app = xalan().scaled(0.1);
+    let report = Jvm::new(
+        JvmConfig::builder()
+            .threads(threads)
+            .seed(42)
+            .gc_model(scaled_model(threads, copy_scale, alpha_scale))
+            .build(),
+    )
+    .run(&app);
+    report.gc_share()
+}
+
+#[test]
+fn gc_share_growth_is_robust_to_copy_cost() {
+    for copy_scale in [0.5, 1.0, 2.0] {
+        let low = gc_share(4, copy_scale, 1.0);
+        let high = gc_share(48, copy_scale, 1.0);
+        assert!(
+            high > low * 3.0,
+            "copy x{copy_scale}: GC share must grow sharply, got {low:.4} -> {high:.4}"
+        );
+    }
+}
+
+#[test]
+fn gc_share_growth_is_robust_to_worker_sync_overhead() {
+    for alpha_scale in [0.5, 1.0, 2.0] {
+        let low = gc_share(4, 1.0, alpha_scale);
+        let high = gc_share(48, 1.0, alpha_scale);
+        assert!(
+            high > low * 3.0,
+            "alpha x{alpha_scale}: GC share must grow sharply, got {low:.4} -> {high:.4}"
+        );
+    }
+}
+
+#[test]
+fn lifespan_shift_does_not_depend_on_the_gc_model_at_all() {
+    // Figure 1d's CDF shift is a mutator-side phenomenon; an extreme GC
+    // cost model must not change the measured lifespans qualitatively.
+    let app = xalan().scaled(0.1);
+    let frac = |copy_scale: f64, threads: usize| {
+        Jvm::new(
+            JvmConfig::builder()
+                .threads(threads)
+                .seed(42)
+                .gc_model(scaled_model(threads, copy_scale, 1.0))
+                .build(),
+        )
+        .run(&app)
+        .trace
+        .fraction_below(1 << 10)
+    };
+    for copy_scale in [0.25, 4.0] {
+        let at4 = frac(copy_scale, 4);
+        let at48 = frac(copy_scale, 48);
+        assert!(
+            at4 - at48 > 0.2,
+            "copy x{copy_scale}: shift {at4:.2} -> {at48:.2} must persist"
+        );
+    }
+}
+
+#[test]
+fn classification_is_robust_to_seed() {
+    use scalesim::workloads::h2;
+    for seed in [1u64, 7, 99] {
+        let fast = |app: &scalesim::workloads::SyntheticApp, threads: usize| {
+            Jvm::new(JvmConfig::builder().threads(threads).seed(seed).build())
+                .run(&app.scaled(0.02))
+                .wall_time
+                .as_secs_f64()
+        };
+        let xa = xalan();
+        let speedup = fast(&xa, 4) / fast(&xa, 32);
+        assert!(speedup > 3.0, "seed {seed}: xalan speedup {speedup:.2}");
+        let db = h2();
+        let speedup = fast(&db, 4) / fast(&db, 32);
+        assert!(speedup < 1.5, "seed {seed}: h2 speedup {speedup:.2}");
+    }
+}

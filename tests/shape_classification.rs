@@ -1,0 +1,82 @@
+//! Shape tests for the §II-C classification and the §III workload
+//! distribution analysis.
+
+use scalesim::experiments::{run_scalability, run_workdist, ExpParams};
+use scalesim::workloads::ScalabilityClass;
+
+#[test]
+fn all_six_apps_classify_as_the_paper_says() {
+    let params = ExpParams::paper()
+        .with_scale(0.05)
+        .with_threads(vec![4, 16, 48]);
+    let table = run_scalability(&params);
+    assert_eq!(table.rows.len(), 6);
+    for row in &table.rows {
+        assert!(
+            row.matches_paper(),
+            "{} measured {} (speedup {:.2}x) but the paper says {}",
+            row.app,
+            row.measured().label(),
+            row.speedup(),
+            row.expected.label()
+        );
+    }
+}
+
+#[test]
+fn scalable_apps_keep_improving_to_48_threads() {
+    let params = ExpParams::paper()
+        .with_scale(0.05)
+        .with_threads(vec![16, 32, 48]);
+    let table = run_scalability(&params);
+    for row in &table.rows {
+        if row.expected == ScalabilityClass::Scalable {
+            assert!(
+                row.series().is_decreasing(),
+                "{}: wall time should still shrink beyond 16 threads",
+                row.app
+            );
+        }
+    }
+}
+
+#[test]
+fn workload_distribution_separates_the_classes() {
+    let params = ExpParams::paper().with_scale(0.05).with_threads(vec![16, 48]);
+    let dist = run_workdist(&params);
+
+    for row in &dist.rows {
+        match row.app.as_str() {
+            // "nearly a uniform distribution of workload among threads"
+            "sunflow" | "lusearch" | "xalan" | "h2" => {
+                assert!(row.cv < 0.3, "{}: cv {:.2} not uniform", row.app, row.cv);
+            }
+            // "jython mainly uses three to four threads to do most of the
+            // work even when we set the number ... larger than 16"
+            "jython" | "eclipse" => {
+                assert!(
+                    row.threads_for_90pct <= 4,
+                    "{} at T={}: {} threads carry 90% of work",
+                    row.app,
+                    row.threads,
+                    row.threads_for_90pct
+                );
+                assert!(row.cv > 0.5, "{}: cv {:.2} too uniform", row.app, row.cv);
+            }
+            other => panic!("unexpected app {other}"),
+        }
+    }
+}
+
+#[test]
+fn jython_concentration_is_independent_of_configured_threads() {
+    let params = ExpParams::paper().with_scale(0.05).with_threads(vec![16, 48]);
+    let dist = run_workdist(&params);
+    let rows = dist.rows_of("jython");
+    assert_eq!(rows.len(), 2);
+    assert_eq!(
+        rows[0].threads_for_90pct, rows[1].threads_for_90pct,
+        "the set of working jython threads should not change from 16 to 48"
+    );
+    assert!((rows[0].max_share - rows[1].max_share).abs() < 0.02);
+}

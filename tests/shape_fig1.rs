@@ -1,0 +1,105 @@
+//! Shape tests for Figures 1a–1d: the qualitative claims of the paper's
+//! §III-A and §III-B must hold in the reproduction.
+
+use scalesim::experiments::{run_fig1_locks, run_fig1c, run_fig1d, ExpParams};
+
+fn params() -> ExpParams {
+    ExpParams::paper()
+        .with_scale(0.05)
+        .with_threads(vec![4, 16, 48])
+}
+
+#[test]
+fn fig1a_scalable_lock_acquisitions_grow_with_threads() {
+    let fig1 = run_fig1_locks(&params());
+    for app in ["sunflow", "lusearch", "xalan"] {
+        let s = fig1.acquisitions_of(app).expect("series exists");
+        assert!(s.is_increasing(), "{app} acquisitions not increasing: {s}");
+        let growth = s.growth_ratio().expect("nonzero base");
+        assert!(
+            growth > 1.15,
+            "{app} acquisitions grew only {growth:.2}x from 4 to 48 threads"
+        );
+    }
+}
+
+#[test]
+fn fig1a_non_scalable_lock_acquisitions_stay_flat() {
+    let fig1 = run_fig1_locks(&params());
+    for app in ["h2", "eclipse", "jython"] {
+        let s = fig1.acquisitions_of(app).expect("series exists");
+        let growth = s.growth_ratio().expect("nonzero base");
+        assert!(
+            (0.9..=1.1).contains(&growth),
+            "{app} acquisitions changed {growth:.2}x — should be flat"
+        );
+    }
+}
+
+#[test]
+fn fig1b_scalable_contention_grows_sharply() {
+    let fig1 = run_fig1_locks(&params());
+    for app in ["sunflow", "lusearch", "xalan"] {
+        let s = fig1.contentions_of(app).expect("series exists");
+        assert!(s.is_increasing(), "{app} contentions not increasing: {s}");
+        let growth = s.growth_ratio().expect("nonzero base");
+        assert!(
+            growth > 3.0,
+            "{app} contentions grew only {growth:.2}x from 4 to 48 threads"
+        );
+    }
+}
+
+#[test]
+fn fig1b_non_scalable_contention_is_insensitive_to_threads() {
+    let fig1 = run_fig1_locks(&params());
+    for app in ["h2", "jython", "eclipse"] {
+        let s = fig1.contentions_of(app).expect("series exists");
+        let growth = s.growth_ratio().unwrap_or(1.0);
+        assert!(
+            growth < 1.5,
+            "{app} contentions grew {growth:.2}x — should be near-flat"
+        );
+    }
+}
+
+#[test]
+fn fig1b_scalable_apps_out_contend_despite_scaling_better() {
+    // The paper's headline: apps that scale BETTER may have MORE
+    // contention instances at high thread counts.
+    let fig1 = run_fig1_locks(&params());
+    let xalan = fig1.contentions_of("xalan").expect("xalan").last_y().unwrap();
+    let eclipse = fig1
+        .contentions_of("eclipse")
+        .expect("eclipse")
+        .last_y()
+        .unwrap();
+    assert!(
+        xalan > eclipse,
+        "xalan ({xalan}) should contend more than eclipse ({eclipse}) at 48T"
+    );
+}
+
+#[test]
+fn fig1d_xalan_lifespans_stretch_with_threads() {
+    let fig1d = run_fig1d(&params());
+    let at4 = fig1d.frac_below_1k(4).expect("T=4 swept");
+    let at48 = fig1d.frac_below_1k(48).expect("T=48 swept");
+    // Paper: >80% below 1KB at 4 threads, ~50% at 48.
+    assert!(at4 > 0.7, "xalan at 4T: {at4:.2} of objects below 1KiB");
+    assert!(at48 < 0.6, "xalan at 48T: {at48:.2} should drop toward ~0.5");
+    assert!(
+        at4 - at48 > 0.2,
+        "xalan CDF should shift by >20 points, got {at4:.2} -> {at48:.2}"
+    );
+}
+
+#[test]
+fn fig1c_eclipse_lifespans_are_insensitive_to_threads() {
+    let fig1c = run_fig1c(&params());
+    let shift = fig1c.max_shift();
+    assert!(
+        shift < 0.05,
+        "eclipse CDF shifted {shift:.3} between 4 and 48 threads — paper says almost none"
+    );
+}

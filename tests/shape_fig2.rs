@@ -1,0 +1,84 @@
+//! Shape tests for Figure 2 (§III-C): GC time grows with threads while
+//! pure mutator time keeps shrinking through 48 threads.
+
+use scalesim::experiments::{run_fig2, ExpParams};
+
+fn params() -> ExpParams {
+    ExpParams::paper()
+        .with_scale(0.1)
+        .with_threads(vec![4, 16, 48])
+}
+
+#[test]
+fn gc_time_increases_with_threads_for_every_scalable_app() {
+    let fig2 = run_fig2(&params());
+    for app in fig2.apps() {
+        let gc = fig2.gc_series(&app);
+        assert!(gc.is_increasing(), "{app} GC time not increasing: {gc}");
+        let growth = gc.growth_ratio().expect("nonzero GC at 4 threads");
+        assert!(growth > 1.5, "{app} GC time grew only {growth:.2}x");
+    }
+}
+
+#[test]
+fn mutator_time_decreases_through_48_threads() {
+    let fig2 = run_fig2(&params());
+    for app in fig2.apps() {
+        let m = fig2.mutator_series(&app);
+        assert!(m.is_decreasing(), "{app} mutator time not decreasing: {m}");
+        let shrink = 1.0 / m.growth_ratio().expect("nonzero");
+        assert!(
+            shrink > 5.0,
+            "{app} mutator only {shrink:.2}x faster at 48 vs 4 threads"
+        );
+    }
+}
+
+#[test]
+fn gc_share_of_execution_rises_monotonically() {
+    let fig2 = run_fig2(&params());
+    for app in fig2.apps() {
+        let share = fig2.gc_share_series(&app);
+        assert!(share.is_increasing(), "{app} GC share not increasing: {share}");
+        let last = share.last_y().expect("non-empty");
+        assert!(
+            last > 0.05,
+            "{app} GC share at 48T is only {last:.3} — should be substantial"
+        );
+    }
+}
+
+#[test]
+fn minor_collection_count_is_insensitive_to_threads() {
+    // Fixed total allocation through a fixed nursery: the number of minor
+    // GCs barely moves; their per-pause cost is what grows.
+    let fig2 = run_fig2(&params());
+    for app in fig2.apps() {
+        let rows = fig2.rows_of(&app);
+        let (lo, hi) = (
+            rows.iter().map(|r| r.minor).min().expect("rows"),
+            rows.iter().map(|r| r.minor).max().expect("rows"),
+        );
+        assert!(
+            hi - lo <= lo / 2 + 2,
+            "{app} minor GC count varies too much across threads: {lo}..{hi}"
+        );
+    }
+}
+
+#[test]
+fn full_collections_appear_only_under_thread_scaling() {
+    // Prolonged lifespans promote more; the paper predicts "more full GC
+    // invocations" at high thread counts. At this scale full GCs may be
+    // rare, so assert monotonicity rather than presence.
+    let fig2 = run_fig2(&params());
+    for app in fig2.apps() {
+        let rows = fig2.rows_of(&app);
+        let first = rows.first().expect("rows").full;
+        let last = rows.last().expect("rows").full;
+        assert!(
+            last >= first,
+            "{app}: fewer full GCs at 48T ({last}) than at 4T ({first})"
+        );
+    }
+}
