@@ -1,6 +1,6 @@
-//! One Criterion bench per paper artifact: each measurement regenerates
-//! the table/figure end to end (workload generation, full simulation
-//! sweep, statistics extraction).
+//! One bench per paper artifact: each measurement regenerates the
+//! table/figure end to end (workload generation, full simulation sweep,
+//! statistics extraction).
 //!
 //! Artifact ↔ bench mapping (see DESIGN.md §4):
 //!
@@ -12,47 +12,54 @@
 //! * `fig2`       — Figure 2 (mutator vs. GC decomposition)
 //! * `abl_sched`  — §IV future work 1 (biased scheduling)
 //! * `abl_heap`   — §IV future work 2 (compartmentalized heaplets)
+//!
+//! The run memo cache is cleared before every iteration so each
+//! measurement is a true cold regeneration, not a cache hit.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use scalesim_bench::bench_params;
+use scalesim_bench::{bench_params, timing};
 use scalesim_experiments::{
-    run_biased_sched, run_fig1_locks, run_fig1c, run_fig1d, run_fig2, run_heaplets,
-    run_scalability, run_workdist,
+    clear_run_cache, run_biased_sched, run_fig1_locks, run_fig1c, run_fig1d, run_fig2,
+    run_heaplets, run_scalability, run_workdist,
 };
 
-fn paper_artifacts(c: &mut Criterion) {
+fn main() {
     let params = bench_params();
-    let mut group = c.benchmark_group("paper");
-    group.sample_size(10);
+    const WARMUP: u32 = 1;
+    const ITERS: u32 = 5;
 
-    group.bench_function("workdist", |b| {
-        b.iter(|| black_box(run_workdist(&params)));
+    println!("paper artifacts (cold cache per iteration)");
+    timing::bench("paper/workdist", WARMUP, ITERS, || {
+        clear_run_cache();
+        black_box(run_workdist(&params))
     });
-    group.bench_function("scaletable", |b| {
-        b.iter(|| black_box(run_scalability(&params)));
+    timing::bench("paper/scaletable", WARMUP, ITERS, || {
+        clear_run_cache();
+        black_box(run_scalability(&params))
     });
-    group.bench_function("fig1_locks", |b| {
-        b.iter(|| black_box(run_fig1_locks(&params)));
+    timing::bench("paper/fig1_locks", WARMUP, ITERS, || {
+        clear_run_cache();
+        black_box(run_fig1_locks(&params))
     });
-    group.bench_function("fig1c", |b| {
-        b.iter(|| black_box(run_fig1c(&params)));
+    timing::bench("paper/fig1c", WARMUP, ITERS, || {
+        clear_run_cache();
+        black_box(run_fig1c(&params))
     });
-    group.bench_function("fig1d", |b| {
-        b.iter(|| black_box(run_fig1d(&params)));
+    timing::bench("paper/fig1d", WARMUP, ITERS, || {
+        clear_run_cache();
+        black_box(run_fig1d(&params))
     });
-    group.bench_function("fig2", |b| {
-        b.iter(|| black_box(run_fig2(&params)));
+    timing::bench("paper/fig2", WARMUP, ITERS, || {
+        clear_run_cache();
+        black_box(run_fig2(&params))
     });
-    group.bench_function("abl_sched", |b| {
-        b.iter(|| black_box(run_biased_sched("xalan", &params)));
+    timing::bench("paper/abl_sched", WARMUP, ITERS, || {
+        clear_run_cache();
+        black_box(run_biased_sched("xalan", &params))
     });
-    group.bench_function("abl_heap", |b| {
-        b.iter(|| black_box(run_heaplets("xalan", &params)));
+    timing::bench("paper/abl_heap", WARMUP, ITERS, || {
+        clear_run_cache();
+        black_box(run_heaplets("xalan", &params))
     });
-    group.finish();
 }
-
-criterion_group!(benches, paper_artifacts);
-criterion_main!(benches);

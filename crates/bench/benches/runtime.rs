@@ -3,60 +3,50 @@
 //!
 //! These are performance benches for `scalesim` itself (not paper
 //! artifacts): they catch regressions in the event loop, the scheduler,
-//! the monitor table and the collector.
+//! the monitor table and the collector. Each line also reports simulated
+//! events per second of host wall time.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
+use scalesim_bench::timing;
 use scalesim_core::{Jvm, JvmConfig};
 use scalesim_workloads::{h2, xalan, SyntheticApp};
 
-fn events_of(app: &SyntheticApp, threads: usize) -> u64 {
-    let cfg = JvmConfig::builder().threads(threads).build();
-    Jvm::new(cfg).run(app).events_processed
+const WARMUP: u32 = 1;
+const ITERS: u32 = 5;
+
+fn events_of(app: &SyntheticApp, cfg: &JvmConfig) -> u64 {
+    Jvm::new(cfg.clone()).run(app).events_processed
 }
 
-fn single_runs(c: &mut Criterion) {
-    let mut group = c.benchmark_group("runtime");
-    group.sample_size(10);
+fn bench_run(name: &str, app: &SyntheticApp, cfg: &JvmConfig) {
+    let events = events_of(app, cfg);
+    let sample = timing::bench(name, WARMUP, ITERS, || {
+        black_box(Jvm::new(cfg.clone()).run(app))
+    });
+    let per_sec = events as f64 / (sample.median_ns as f64 / 1e9);
+    println!(
+        "    {events} events -> {:.2} M events/s (median)",
+        per_sec / 1e6
+    );
+}
+
+fn main() {
+    println!("single-run throughput");
 
     // Scalable, queue + GC heavy.
     let app = xalan().scaled(0.02);
     for threads in [1usize, 16, 48] {
-        let events = events_of(&app, threads);
-        group.throughput(Throughput::Elements(events));
-        group.bench_with_input(
-            BenchmarkId::new("xalan", threads),
-            &threads,
-            |b, &threads| {
-                let cfg = JvmConfig::builder().threads(threads).build();
-                b.iter(|| black_box(Jvm::new(cfg.clone()).run(&app)));
-            },
-        );
+        let cfg = JvmConfig::builder().threads(threads).build();
+        bench_run(&format!("runtime/xalan/{threads}"), &app, &cfg);
     }
 
     // Lock-convoy heavy (coarse latch, long waits).
     let db = h2().scaled(0.02);
-    let events = events_of(&db, 32);
-    group.throughput(Throughput::Elements(events));
-    group.bench_function("h2/32", |b| {
-        let cfg = JvmConfig::builder().threads(32).build();
-        b.iter(|| black_box(Jvm::new(cfg.clone()).run(&db)));
-    });
+    let cfg = JvmConfig::builder().threads(32).build();
+    bench_run("runtime/h2/32", &db, &cfg);
 
     // Heaplet mode (per-thread collections).
-    let events = {
-        let cfg = JvmConfig::builder().threads(16).heaplets(true).build();
-        Jvm::new(cfg).run(&app).events_processed
-    };
-    group.throughput(Throughput::Elements(events));
-    group.bench_function("xalan-heaplets/16", |b| {
-        let cfg = JvmConfig::builder().threads(16).heaplets(true).build();
-        b.iter(|| black_box(Jvm::new(cfg.clone()).run(&app)));
-    });
-
-    group.finish();
+    let cfg = JvmConfig::builder().threads(16).heaplets(true).build();
+    bench_run("runtime/xalan-heaplets/16", &app, &cfg);
 }
-
-criterion_group!(benches, single_runs);
-criterion_main!(benches);

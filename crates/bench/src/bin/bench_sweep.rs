@@ -1,0 +1,155 @@
+//! The headline benchmark: times the full figure sweep at the pinned
+//! paper seed and writes `BENCH_sweep.json`.
+//!
+//! Three measurements, all on one process:
+//!
+//! 1. **Queue microbench** — the slab [`EventQueue`] vs. the retained
+//!    [`BaselineQueue`] (the pre-overhaul `BinaryHeap` + `HashSet`
+//!    implementation) on an identical schedule/cancel/pop/`shift_all`
+//!    churn, reported as events per second each.
+//! 2. **Memoized sweep** — every figure driver back to back on a cold
+//!    cache, the production configuration. `sweep_wall_ms` and
+//!    `events_per_sec` (unique simulated events / wall) come from here.
+//! 3. **Unmemoized sweep** — the same drivers with `SCALESIM_NO_MEMO=1`,
+//!    i.e. what the harness did before runs were shared across figures.
+//!
+//! Usage: `bench_sweep [OUTPUT.json]` (default `BENCH_sweep.json`).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use scalesim_bench::bench_params;
+use scalesim_experiments::{
+    cached_event_total, clear_run_cache, run_biased_sched, run_cache_size, run_fig1_locks,
+    run_fig1c, run_fig1d, run_fig2, run_heaplets, run_scalability, run_workdist, ExpParams,
+};
+use scalesim_simkit::baseline::BaselineQueue;
+use scalesim_simkit::{EventQueue, SimDuration};
+
+/// Events delivered by the queue churn below (identical for both
+/// implementations).
+const CHURN_EVENTS: u64 = 2_000_000;
+
+/// One schedule/cancel/pop/shift churn step, generic over the queue via
+/// closures so both implementations run byte-identical op sequences.
+macro_rules! churn {
+    ($queue:expr) => {{
+        let q = &mut $queue;
+        // Keep ~1k events pending; cancel every 8th; STW-shift every 64
+        // pops — the mix the simulator's GC safepoints produce.
+        let mut ids = Vec::with_capacity(1024);
+        let mut x = 0x9e37_79b9_7f4a_7c15u64; // splitmix-ish op stream
+        let mut delivered = 0u64;
+        for i in 0..1024u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ids.push(q.schedule_at(q.now() + SimDuration::from_nanos(x % 10_000), i));
+        }
+        while delivered < CHURN_EVENTS {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            if x % 8 == 0 && q.len() > 512 {
+                if let Some(id) = ids.pop() {
+                    black_box(q.cancel(id));
+                }
+            }
+            let (_, payload) = q.pop().expect("queue kept topped up");
+            delivered += 1;
+            if delivered % 64 == 0 {
+                q.shift_all(SimDuration::from_nanos(x % 500));
+            }
+            ids.push(q.schedule_at(q.now() + SimDuration::from_nanos(x % 10_000), payload));
+        }
+        black_box(q.now());
+    }};
+}
+
+fn queue_events_per_sec_slab() -> f64 {
+    let mut q: EventQueue<u64> = EventQueue::new();
+    let start = Instant::now();
+    churn!(q);
+    CHURN_EVENTS as f64 / start.elapsed().as_secs_f64()
+}
+
+fn queue_events_per_sec_baseline() -> f64 {
+    let mut q: BaselineQueue<u64> = BaselineQueue::new();
+    let start = Instant::now();
+    churn!(q);
+    CHURN_EVENTS as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Every figure driver, back to back — "the full figure sweep".
+fn figure_sweep(params: &ExpParams) {
+    black_box(run_workdist(params));
+    black_box(run_scalability(params));
+    black_box(run_fig1_locks(params));
+    black_box(run_fig1c(params));
+    black_box(run_fig1d(params));
+    black_box(run_fig2(params));
+    black_box(run_biased_sched("xalan", params));
+    black_box(run_heaplets("xalan", params));
+}
+
+fn sweep_wall_ms(params: &ExpParams) -> f64 {
+    clear_run_cache();
+    let start = Instant::now();
+    figure_sweep(params);
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_sweep.json".to_string());
+    let params = bench_params();
+    assert_eq!(params.seed, 42, "benchmark seed must stay pinned");
+
+    eprintln!("queue churn: {CHURN_EVENTS} events each on slab and baseline queues");
+    let slab = queue_events_per_sec_slab();
+    let base = queue_events_per_sec_baseline();
+    eprintln!("  slab     {:.2} M events/s", slab / 1e6);
+    eprintln!(
+        "  baseline {:.2} M events/s  (speedup {:.2}x)",
+        base / 1e6,
+        slab / base
+    );
+
+    eprintln!("figure sweep (memoized, cold cache)...");
+    std::env::remove_var("SCALESIM_NO_MEMO");
+    let memo_ms = sweep_wall_ms(&params);
+    let runs = run_cache_size();
+    let events = cached_event_total();
+    let events_per_sec = events as f64 / (memo_ms / 1e3);
+    eprintln!(
+        "  {memo_ms:.0} ms, {runs} unique runs, {events} events, {:.2} M events/s",
+        events_per_sec / 1e6
+    );
+
+    eprintln!("figure sweep (memoization disabled)...");
+    std::env::set_var("SCALESIM_NO_MEMO", "1");
+    let nomemo_ms = sweep_wall_ms(&params);
+    std::env::remove_var("SCALESIM_NO_MEMO");
+    eprintln!(
+        "  {nomemo_ms:.0} ms  (memo speedup {:.2}x)",
+        nomemo_ms / memo_ms
+    );
+
+    let json = format!(
+        "{{\n  \"seed\": {seed},\n  \"events_per_sec\": {eps:.0},\n  \"sweep_wall_ms\": {memo:.1},\n  \"sweep_wall_ms_nomemo\": {nomemo:.1},\n  \"memo_speedup\": {mspeed:.2},\n  \"unique_runs\": {runs},\n  \"events_simulated\": {events},\n  \"queue_events_per_sec_slab\": {qslab:.0},\n  \"queue_events_per_sec_baseline\": {qbase:.0},\n  \"queue_speedup\": {qspeed:.2}\n}}\n",
+        seed = params.seed,
+        eps = events_per_sec,
+        memo = memo_ms,
+        nomemo = nomemo_ms,
+        mspeed = nomemo_ms / memo_ms,
+        runs = runs,
+        events = events,
+        qslab = slab,
+        qbase = base,
+        qspeed = slab / base,
+    );
+    std::fs::write(&out, &json).expect("write benchmark report");
+    println!("{json}");
+    eprintln!("wrote {out}");
+}

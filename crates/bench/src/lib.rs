@@ -1,19 +1,21 @@
 //! # scalesim-bench
 //!
-//! Criterion benchmarks regenerating every table and figure of the
-//! ISPASS'15 evaluation, plus raw simulator-throughput benches.
+//! Benchmarks regenerating every table and figure of the ISPASS'15
+//! evaluation, plus raw simulator-throughput benches.
 //!
-//! Run with:
+//! Criterion cannot be built in this repository's offline environment, so
+//! the benches run on the in-crate [`timing`] harness: fixed warmup,
+//! fixed iteration count, min/median/mean wall time per iteration. Run
+//! with:
 //!
 //! ```sh
 //! cargo bench -p scalesim-bench            # everything
-//! cargo bench -p scalesim-bench fig1       # one figure family
+//! scripts/bench.sh                         # the headline sweep → BENCH_sweep.json
 //! ```
 //!
 //! Each figure bench executes the corresponding
 //! [`scalesim_experiments`] driver at a reduced-but-representative scale
-//! (Criterion repeats each run many times; the paper-sized single run is
-//! the `scalesim-experiments` CLI's job).
+//! (the paper-sized single run is the `scalesim-experiments` CLI's job).
 
 #![warn(missing_docs)]
 
@@ -21,12 +23,85 @@ use scalesim_experiments::ExpParams;
 
 /// The scale and sweep used by the figure benches: large enough that GC,
 /// contention and lifespan effects all materialize, small enough for
-/// Criterion's repetitions.
+/// repeated timing.
 #[must_use]
 pub fn bench_params() -> ExpParams {
     ExpParams::paper()
         .with_scale(0.05)
         .with_threads(vec![4, 16, 48])
+}
+
+/// A minimal fixed-iteration timing harness (Criterion replacement).
+pub mod timing {
+    use std::time::Instant;
+
+    /// Wall-time statistics for one benchmark, in nanoseconds per
+    /// iteration.
+    #[derive(Debug, Clone)]
+    pub struct Sample {
+        /// Benchmark label.
+        pub name: String,
+        /// Timed iterations (after warmup).
+        pub iters: u32,
+        /// Fastest iteration.
+        pub min_ns: u128,
+        /// Median iteration.
+        pub median_ns: u128,
+        /// Mean iteration.
+        pub mean_ns: u128,
+    }
+
+    impl Sample {
+        /// Renders one aligned report line.
+        #[must_use]
+        pub fn line(&self) -> String {
+            format!(
+                "{:<28} min {:>12}  median {:>12}  mean {:>12}  ({} iters)",
+                self.name,
+                fmt_ns(self.min_ns),
+                fmt_ns(self.median_ns),
+                fmt_ns(self.mean_ns),
+                self.iters
+            )
+        }
+    }
+
+    fn fmt_ns(ns: u128) -> String {
+        if ns >= 1_000_000_000 {
+            format!("{:.3} s", ns as f64 / 1e9)
+        } else if ns >= 1_000_000 {
+            format!("{:.3} ms", ns as f64 / 1e6)
+        } else if ns >= 1_000 {
+            format!("{:.3} µs", ns as f64 / 1e3)
+        } else {
+            format!("{ns} ns")
+        }
+    }
+
+    /// Runs `f` for `warmup` untimed and `iters` timed iterations and
+    /// prints + returns the per-iteration statistics.
+    pub fn bench<T>(name: &str, warmup: u32, iters: u32, mut f: impl FnMut() -> T) -> Sample {
+        assert!(iters > 0, "need at least one timed iteration");
+        for _ in 0..warmup {
+            std::hint::black_box(f());
+        }
+        let mut times: Vec<u128> = Vec::with_capacity(iters as usize);
+        for _ in 0..iters {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            times.push(start.elapsed().as_nanos());
+        }
+        times.sort_unstable();
+        let sample = Sample {
+            name: name.to_string(),
+            iters,
+            min_ns: times[0],
+            median_ns: times[times.len() / 2],
+            mean_ns: times.iter().sum::<u128>() / u128::from(iters),
+        };
+        println!("{}", sample.line());
+        sample
+    }
 }
 
 #[cfg(test)]
@@ -38,5 +113,17 @@ mod tests {
         let p = bench_params();
         assert!(p.scale <= 0.1);
         assert_eq!(p.max_threads(), 48);
+    }
+
+    #[test]
+    fn timing_harness_reports_ordered_stats() {
+        let mut n = 0u64;
+        let s = timing::bench("busy", 1, 5, || {
+            n += 1;
+            std::hint::black_box((0..1000u64).sum::<u64>())
+        });
+        assert_eq!(n, 6); // warmup + timed
+        assert!(s.min_ns <= s.median_ns);
+        assert!(!s.line().is_empty());
     }
 }

@@ -109,7 +109,9 @@ impl JvmConfig {
     /// GC worker count after resolving the default (= enabled cores).
     #[must_use]
     pub fn gc_workers(&self) -> usize {
-        self.gc_workers_override.unwrap_or_else(|| self.cores()).max(1)
+        self.gc_workers_override
+            .unwrap_or_else(|| self.cores())
+            .max(1)
     }
 
     /// Heap size for an app with the given minimum requirement: the

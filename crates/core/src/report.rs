@@ -55,6 +55,11 @@ pub struct RunReport {
     pub per_thread: Vec<ThreadReport>,
     /// Total simulation events processed (diagnostics).
     pub events_processed: u64,
+    /// Host-side wall-clock nanoseconds the simulation took, as measured
+    /// by the runner (0 when not measured). Purely diagnostic: never part
+    /// of determinism fingerprints, and memoized sweeps report the timing
+    /// of the one simulation that actually ran.
+    pub host_ns: u64,
 }
 
 impl RunReport {
@@ -182,6 +187,7 @@ mod tests {
                 })
                 .collect(),
             events_processed: 0,
+            host_ns: 0,
         }
     }
 

@@ -447,6 +447,7 @@ impl<'a> Sim<'a> {
             heap: *self.heap.stats(),
             per_thread,
             events_processed: self.queue.popped_total(),
+            host_ns: 0,
         }
     }
 
@@ -606,10 +607,7 @@ impl<'a> Sim<'a> {
         }
         // A monitor granted while we waited?
         if let Some(p) = self.ctxs[tid.index()].pending {
-            assert!(
-                p.granted,
-                "{tid} resumed with an ungranted pending acquire"
-            );
+            assert!(p.granted, "{tid} resumed with an ungranted pending acquire");
             self.ctxs[tid.index()].pending = None;
             match p.purpose {
                 Purpose::Fetch => {
@@ -645,8 +643,7 @@ impl<'a> Sim<'a> {
                     "background thread without a cycle"
                 );
                 // the cycle's CPU work was stashed as pause debt at spawn
-                let duration =
-                    std::mem::take(&mut self.ctxs[tid.index()].local_pause_debt);
+                let duration = std::mem::take(&mut self.ctxs[tid.index()].local_pause_debt);
                 self.begin_step(tid, StepKind::CycleWork, duration);
                 return;
             }
@@ -931,9 +928,7 @@ impl<'a> Sim<'a> {
             // Feed the observed pause back into the nursery size
             // (HotSpot AdaptiveSizePolicy), discounting the irreducible
             // safepoint floor that nursery size cannot influence.
-            let floor = SimDuration::from_nanos(
-                self.collector.model().pause_floor_ns(live) as u64,
-            );
+            let floor = SimDuration::from_nanos(self.collector.model().pause_floor_ns(live) as u64);
             let sizer = AdaptiveSizer::new(goal);
             let next = sizer.next_capacity(self.heap.region_capacity(region), pause, floor);
             // Cap growth at half the heap (HotSpot's NewRatio-style bound)
@@ -1184,15 +1179,16 @@ mod tests {
     #[test]
     fn mutator_wall_plus_gc_equals_wall() {
         let report = quick(&xalan(), 4);
-        assert_eq!(
-            report.mutator_wall() + report.gc_time,
-            report.wall_time
-        );
+        assert_eq!(report.mutator_wall() + report.gc_time, report.wall_time);
     }
 
     #[test]
     fn heaplets_mode_runs_and_collects_per_region() {
-        let cfg = JvmConfig::builder().threads(4).heaplets(true).seed(1).build();
+        let cfg = JvmConfig::builder()
+            .threads(4)
+            .heaplets(true)
+            .seed(1)
+            .build();
         let report = Jvm::new(cfg).run(&xalan().scaled(0.02));
         assert!(report.gc.collections() > 0);
         let regions: std::collections::HashSet<usize> = report
@@ -1257,8 +1253,7 @@ mod tests {
         // The win is the worst old-gen pause: each concurrent STW phase
         // (initial mark / remark) is far shorter than a full collection.
         let max_of = |r: &crate::RunReport, kind: GcKind| {
-            r.gc
-                .events()
+            r.gc.events()
                 .iter()
                 .filter(|e| e.kind == kind)
                 .map(|e| e.pause)
@@ -1294,8 +1289,7 @@ mod tests {
             .build();
         let app = xalan().scaled(0.05);
         let biased = Jvm::new(cfg).run(&app);
-        let fair =
-            Jvm::new(JvmConfig::builder().threads(8).seed(1).build()).run(&app);
+        let fair = Jvm::new(JvmConfig::builder().threads(8).seed(1).build()).run(&app);
         // parked threads accumulate sleep-state time that fair never has
         let sleep: SimDuration = biased
             .per_thread
@@ -1310,7 +1304,11 @@ mod tests {
 
     #[test]
     fn heaplet_local_pause_debt_is_charged_to_the_allocating_thread() {
-        let cfg = JvmConfig::builder().threads(4).heaplets(true).seed(1).build();
+        let cfg = JvmConfig::builder()
+            .threads(4)
+            .heaplets(true)
+            .seed(1)
+            .build();
         let app = xalan().scaled(0.05);
         let report = Jvm::new(cfg).run(&app);
         let local_pause = report.gc.pause_of(GcKind::LocalMinor);

@@ -92,7 +92,14 @@ impl Ablation {
     #[must_use]
     pub fn table(&self) -> Table {
         let mut t = Table::new(vec![
-            "app", "threads", "variant", "wall", "gc", "max pause", "<1KiB", "survival",
+            "app",
+            "threads",
+            "variant",
+            "wall",
+            "gc",
+            "max pause",
+            "<1KiB",
+            "survival",
             "promoted",
         ]);
         for r in &self.rows {
@@ -165,8 +172,15 @@ pub fn run_biased_sched(app: &str, params: &ExpParams) -> Ablation {
 #[must_use]
 pub fn run_heaplets(app: &str, params: &ExpParams) -> Ablation {
     let baseline = JvmConfig::builder().seed(params.seed).build();
-    let heaplets = JvmConfig::builder().seed(params.seed).heaplets(true).build();
-    run_variants(app, params, &[("baseline", baseline), ("heaplets", heaplets)])
+    let heaplets = JvmConfig::builder()
+        .seed(params.seed)
+        .heaplets(true)
+        .build();
+    run_variants(
+        app,
+        params,
+        &[("baseline", baseline), ("heaplets", heaplets)],
+    )
 }
 
 #[cfg(test)]

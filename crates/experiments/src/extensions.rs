@@ -22,11 +22,11 @@
 //!   collector change the paper's conclusion that GC limits scalability?
 
 use scalesim_core::{replay_gc, Jvm, JvmConfig, OldGenPolicy, RunReport};
-use scalesim_heap::{HeapConfig, NurseryLayout};
-use scalesim_objtrace::Retention;
 use scalesim_gc::{GcCostModel, GcKind};
+use scalesim_heap::{HeapConfig, NurseryLayout};
 use scalesim_machine::Placement;
 use scalesim_metrics::{fmt2, fmt_pct, Table};
+use scalesim_objtrace::Retention;
 use scalesim_simkit::SimDuration;
 use scalesim_workloads::app_by_name;
 
@@ -129,8 +129,7 @@ pub fn run_ergonomics(app: &str, params: &ExpParams) -> Ergonomics {
             fixed.machine.mean_numa_factor(fixed.cores()),
         );
         let live_threads = threads + fixed.helper_threads;
-        let floor =
-            SimDuration::from_nanos(cost.pause_floor_ns(live_threads) as u64);
+        let floor = SimDuration::from_nanos(cost.pause_floor_ns(live_threads) as u64);
         specs.push(RunSpec {
             app: model.scaled(params.scale),
             config: fixed.clone(),
@@ -227,7 +226,10 @@ impl NumaStudy {
 #[must_use]
 pub fn run_numa_placement(app: &str, params: &ExpParams) -> NumaStudy {
     let model = app_by_name(app).unwrap_or_else(|| panic!("unknown app {app}"));
-    let placements = [(Placement::Compact, "compact"), (Placement::Scatter, "scatter")];
+    let placements = [
+        (Placement::Compact, "compact"),
+        (Placement::Scatter, "scatter"),
+    ];
     let mut specs = Vec::new();
     let mut meta = Vec::new();
     for &threads in &params.thread_counts {
@@ -294,7 +296,15 @@ impl Sharding {
     /// Renders the table.
     #[must_use]
     pub fn table(&self) -> Table {
-        let mut t = Table::new(vec!["app", "lock", "threads", "shards", "contentions", "rate", "wall"]);
+        let mut t = Table::new(vec![
+            "app",
+            "lock",
+            "threads",
+            "shards",
+            "contentions",
+            "rate",
+            "wall",
+        ]);
         for r in &self.rows {
             t.row(vec![
                 self.app.clone(),
@@ -433,7 +443,6 @@ mod tests {
     }
 }
 
-
 // ---------------------------------------------------------------------
 // ext-gcworkers: parallel GC worker scaling
 // ---------------------------------------------------------------------
@@ -464,7 +473,13 @@ impl GcWorkers {
     /// Renders the table.
     #[must_use]
     pub fn table(&self) -> Table {
-        let mut t = Table::new(vec!["threads", "gc workers", "gc", "max minor pause", "wall"]);
+        let mut t = Table::new(vec![
+            "threads",
+            "gc workers",
+            "gc",
+            "max minor pause",
+            "wall",
+        ]);
         for r in &self.rows {
             t.row(vec![
                 self.threads.to_string(),
@@ -664,7 +679,6 @@ mod more_tests {
     }
 }
 
-
 // ---------------------------------------------------------------------
 // ext-heapsize: trace-driven heap-size sweep
 // ---------------------------------------------------------------------
@@ -824,7 +838,6 @@ mod heapsize_tests {
     }
 }
 
-
 // ---------------------------------------------------------------------
 // ext-concurrent: mostly-concurrent old generation
 // ---------------------------------------------------------------------
@@ -895,8 +908,7 @@ impl ConcurrentStudy {
 
 fn concurrent_row(policy: &str, r: &RunReport) -> ConcurrentRow {
     let max_of = |kind: GcKind| {
-        r.gc
-            .events()
+        r.gc.events()
             .iter()
             .filter(|e| e.kind == kind)
             .map(|e| e.pause)

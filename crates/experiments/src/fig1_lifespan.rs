@@ -68,7 +68,11 @@ impl LifespanCurves {
     #[must_use]
     pub fn table(&self) -> Table {
         let mut headers = vec!["app".to_owned(), "threads".to_owned()];
-        headers.extend(self.thresholds.iter().map(|&t| format!("<{}", fmt_bytes(t))));
+        headers.extend(
+            self.thresholds
+                .iter()
+                .map(|&t| format!("<{}", fmt_bytes(t))),
+        );
         let mut table = Table::new(headers);
         for (threads, fracs) in &self.curves {
             let mut row = vec![self.app.clone(), threads.to_string()];
@@ -132,7 +136,9 @@ mod tests {
     use super::*;
 
     fn tiny() -> ExpParams {
-        ExpParams::quick().with_scale(0.01).with_threads(vec![4, 16])
+        ExpParams::quick()
+            .with_scale(0.01)
+            .with_threads(vec![4, 16])
     }
 
     #[test]

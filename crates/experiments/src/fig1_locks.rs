@@ -111,7 +111,9 @@ mod tests {
     use super::*;
 
     fn tiny() -> ExpParams {
-        ExpParams::quick().with_scale(0.01).with_threads(vec![4, 16])
+        ExpParams::quick()
+            .with_scale(0.01)
+            .with_threads(vec![4, 16])
     }
 
     #[test]

@@ -152,7 +152,9 @@ mod tests {
     use super::*;
 
     fn tiny() -> ExpParams {
-        ExpParams::quick().with_scale(0.01).with_threads(vec![4, 16])
+        ExpParams::quick()
+            .with_scale(0.01)
+            .with_threads(vec![4, 16])
     }
 
     #[test]
@@ -171,7 +173,10 @@ mod tests {
         let m = f.mutator_series("xalan");
         assert!(m.first_y().unwrap() > 0.0);
         let share = f.gc_share_series("xalan");
-        assert!(share.points().iter().all(|&(_, y)| (0.0..=1.0).contains(&y)));
+        assert!(share
+            .points()
+            .iter()
+            .all(|&(_, y)| (0.0..=1.0).contains(&y)));
     }
 
     #[test]

@@ -49,10 +49,10 @@ mod workdist;
 
 pub use ablation::{run_biased_sched, run_heaplets, Ablation, AblationRow};
 pub use extensions::{
-    run_concurrent_old_gen, run_ergonomics, run_gc_workers, run_heap_size,
-    run_lock_sharding, run_numa_placement, run_oversubscription, ConcurrentRow,
-    ConcurrentStudy, ErgoRow, Ergonomics, GcWorkers, GcWorkersRow, HeapSizeRow,
-    HeapSizeStudy, NumaRow, NumaStudy, Oversub, OversubRow, Sharding, ShardingRow,
+    run_concurrent_old_gen, run_ergonomics, run_gc_workers, run_heap_size, run_lock_sharding,
+    run_numa_placement, run_oversubscription, ConcurrentRow, ConcurrentStudy, ErgoRow, Ergonomics,
+    GcWorkers, GcWorkersRow, HeapSizeRow, HeapSizeStudy, NumaRow, NumaStudy, Oversub, OversubRow,
+    Sharding, ShardingRow,
 };
 pub use fig1_lifespan::{
     run_fig1c, run_fig1d, run_lifespan_curves, LifespanCurves, DEFAULT_THRESHOLDS,
@@ -60,8 +60,6 @@ pub use fig1_lifespan::{
 pub use fig1_locks::{run_fig1_locks, Fig1Locks};
 pub use fig2_gc::{run_fig2, Fig2, Fig2Row};
 pub use params::ExpParams;
-pub use scalability::{
-    run_scalability, Scalability, ScalabilityRow, SCALABLE_SPEEDUP_THRESHOLD,
-};
-pub use sweep::{run_all, RunSpec};
+pub use scalability::{run_scalability, Scalability, ScalabilityRow, SCALABLE_SPEEDUP_THRESHOLD};
+pub use sweep::{cached_event_total, clear_run_cache, run_all, run_cache_size, RunSpec};
 pub use workdist::{run_workdist, Workdist, WorkdistRow};

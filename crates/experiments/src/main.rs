@@ -10,9 +10,9 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use scalesim_experiments::{
-    run_biased_sched, run_concurrent_old_gen, run_ergonomics, run_fig1_locks, run_fig1c,
-    run_fig1d, run_fig2, run_gc_workers, run_heap_size, run_heaplets, run_lock_sharding,
-    run_numa_placement, run_oversubscription, run_scalability, run_workdist, ExpParams,
+    run_biased_sched, run_concurrent_old_gen, run_ergonomics, run_fig1_locks, run_fig1c, run_fig1d,
+    run_fig2, run_gc_workers, run_heap_size, run_heaplets, run_lock_sharding, run_numa_placement,
+    run_oversubscription, run_scalability, run_workdist, ExpParams,
 };
 use scalesim_metrics::Table;
 
@@ -72,8 +72,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             }
             "--threads" => {
                 let v = it.next().ok_or("--threads needs a value")?;
-                let threads: Result<Vec<usize>, _> =
-                    v.split(',').map(str::parse).collect();
+                let threads: Result<Vec<usize>, _> = v.split(',').map(str::parse).collect();
                 let threads = threads.map_err(|_| format!("bad thread list {v}"))?;
                 if threads.is_empty() || !threads.windows(2).all(|w| w[0] < w[1]) {
                     return Err("thread list must be strictly increasing".to_owned());
@@ -261,8 +260,16 @@ mod tests {
 
     #[test]
     fn parses_artifact_and_options() {
-        let cli = parse_args(&s(&["fig2", "--scale", "0.5", "--seed", "7", "--threads", "2,4"]))
-            .unwrap();
+        let cli = parse_args(&s(&[
+            "fig2",
+            "--scale",
+            "0.5",
+            "--seed",
+            "7",
+            "--threads",
+            "2,4",
+        ]))
+        .unwrap();
         assert_eq!(cli.artifact, "fig2");
         assert_eq!(cli.params.scale, 0.5);
         assert_eq!(cli.params.seed, 7);

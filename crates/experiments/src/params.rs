@@ -109,7 +109,9 @@ mod tests {
 
     #[test]
     fn with_helpers_validate() {
-        let p = ExpParams::default().with_scale(0.1).with_threads(vec![2, 4]);
+        let p = ExpParams::default()
+            .with_scale(0.1)
+            .with_threads(vec![2, 4]);
         assert_eq!(p.scale, 0.1);
         assert_eq!(p.max_threads(), 4);
     }

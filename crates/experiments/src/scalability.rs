@@ -136,7 +136,10 @@ pub fn run_scalability(params: &ExpParams) -> Scalability {
                 .iter()
                 .enumerate()
                 .map(|(t, &threads)| {
-                    (threads, reports[a * params.thread_counts.len() + t].wall_time)
+                    (
+                        threads,
+                        reports[a * params.thread_counts.len() + t].wall_time,
+                    )
                 })
                 .collect(),
         })
@@ -179,7 +182,9 @@ mod tests {
 
     #[test]
     fn sweep_produces_six_rows() {
-        let params = ExpParams::quick().with_scale(0.005).with_threads(vec![2, 8]);
+        let params = ExpParams::quick()
+            .with_scale(0.005)
+            .with_threads(vec![2, 8]);
         let s = run_scalability(&params);
         assert_eq!(s.rows.len(), 6);
         assert!(s.row_of("jython").is_some());

@@ -1,16 +1,34 @@
-//! Parallel execution of independent simulation runs.
+//! Parallel, memoizing execution of independent simulation runs.
 //!
 //! A figure is a sweep over (application × thread count). Each run is an
 //! independent, deterministic, single-threaded simulation, so the sweep
-//! parallelizes embarrassingly across host cores with crossbeam's scoped
-//! threads. Results come back in input order regardless of completion
-//! order.
+//! parallelizes embarrassingly across host cores with `std::thread::scope`.
+//! Results come back in input order regardless of completion order.
+//!
+//! Two properties keep full-figure regeneration cheap:
+//!
+//! * **Memoization.** Runs are keyed by a hash of `(app spec, JvmConfig)`
+//!   (the config includes the seed). Since a run is a pure function of that
+//!   key, drivers that re-simulate identical points — `fig1a`/`fig1b` and
+//!   the scalability table sweep the same grid, ablations re-run baselines —
+//!   share one [`RunReport`] through a process-wide cache. Set
+//!   `SCALESIM_NO_MEMO=1` to force re-simulation (benchmarks do).
+//! * **Bounded fan-out.** Workers are capped at *physical* core count
+//!   (SMT siblings share execution units, and oversubscribed fan-out is
+//!   exactly the anti-pattern the paper's related work warns about), and
+//!   each worker's result travels over a channel and is reordered by input
+//!   index — no per-slot locks.
 
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{mpsc, Arc, Mutex, OnceLock};
+use std::time::Instant;
 
 use scalesim_core::{Jvm, JvmConfig, RunReport};
-use scalesim_workloads::SyntheticApp;
+use scalesim_workloads::{AppModel, SyntheticApp};
 
 /// One run request: an application and the VM configuration to run it
 /// under.
@@ -33,52 +51,205 @@ impl RunSpec {
         }
     }
 
-    /// Executes this run.
+    /// Executes this run (bypassing the cache), recording host wall time
+    /// in [`RunReport::host_ns`].
     #[must_use]
     pub fn run(&self) -> RunReport {
-        Jvm::new(self.config.clone()).run(&self.app)
+        let start = Instant::now();
+        let mut report = Jvm::new(self.config.clone()).run(&self.app);
+        report.host_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        report
+    }
+
+    /// The memoization key: a hash of the full `(app spec, config)` pair.
+    ///
+    /// Both types expose every simulation-relevant field through `Debug`
+    /// (the config includes the master seed), and a run is a pure function
+    /// of them, so equal keys imply bit-identical reports.
+    #[must_use]
+    pub fn memo_key(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        format!("{:?}|{:?}", self.app, self.config).hash(&mut h);
+        h.finish()
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "app={} threads={} seed={}",
+            self.app.name(),
+            self.config.threads,
+            self.config.seed
+        )
     }
 }
 
-/// Executes all runs, using up to `available_parallelism` host threads,
-/// and returns reports in input order.
+/// The process-wide run cache, keyed by [`RunSpec::memo_key`].
+fn cache() -> &'static Mutex<HashMap<u64, Arc<RunReport>>> {
+    static CACHE: OnceLock<Mutex<HashMap<u64, Arc<RunReport>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Drops every memoized [`RunReport`] (used by benchmarks to measure cold
+/// sweeps, and available to long-lived processes to bound memory).
+pub fn clear_run_cache() {
+    cache().lock().expect("run cache poisoned").clear();
+}
+
+/// Number of memoized runs currently held.
+#[must_use]
+pub fn run_cache_size() -> usize {
+    cache().lock().expect("run cache poisoned").len()
+}
+
+/// Total simulated events across every memoized run.
+///
+/// Benchmarks divide this by the sweep's wall time to report engine
+/// throughput: each cached report counts once no matter how many figure
+/// drivers consumed it.
+#[must_use]
+pub fn cached_event_total() -> u64 {
+    cache()
+        .lock()
+        .expect("run cache poisoned")
+        .values()
+        .map(|r| r.events_processed)
+        .sum()
+}
+
+fn memo_disabled() -> bool {
+    std::env::var_os("SCALESIM_NO_MEMO").is_some_and(|v| v == "1")
+}
+
+/// Number of physical cores, falling back to logical parallelism where
+/// the sysfs topology is unavailable. `SCALESIM_WORKERS` overrides both.
+fn worker_budget() -> usize {
+    if let Some(v) = std::env::var_os("SCALESIM_WORKERS") {
+        if let Some(n) = v.to_str().and_then(|s| s.parse::<usize>().ok()) {
+            return n.max(1);
+        }
+    }
+    let logical = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4);
+    physical_cores().map_or(logical, |p| p.min(logical))
+}
+
+/// Counts distinct `(package, core)` pairs from the Linux sysfs topology.
+fn physical_cores() -> Option<usize> {
+    let mut cores = HashSet::new();
+    let cpus = std::fs::read_dir("/sys/devices/system/cpu").ok()?;
+    for entry in cpus.flatten() {
+        let name = entry.file_name();
+        let name = name.to_str().unwrap_or("");
+        if !name.starts_with("cpu") || !name[3..].bytes().all(|b| b.is_ascii_digit()) {
+            continue;
+        }
+        let topo = entry.path().join("topology");
+        let pkg = std::fs::read_to_string(topo.join("physical_package_id")).ok()?;
+        let core = std::fs::read_to_string(topo.join("core_id")).ok()?;
+        cores.insert((pkg.trim().to_owned(), core.trim().to_owned()));
+    }
+    (!cores.is_empty()).then_some(cores.len())
+}
+
+/// Executes all runs and returns reports in input order.
+///
+/// Previously-cached runs are served from the memo; the remainder execute
+/// on up to [physical-core-count] worker threads. Duplicate specs within
+/// one call are simulated once.
 ///
 /// # Panics
 ///
-/// Panics if any individual simulation panics (the panic is propagated).
+/// Panics if any individual simulation panics, identifying the failing
+/// spec (app, threads, seed) in the message.
 #[must_use]
 pub fn run_all(specs: &[RunSpec]) -> Vec<RunReport> {
     if specs.is_empty() {
         return Vec::new();
     }
-    let workers = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(4)
-        .min(specs.len());
-    let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<RunReport>>> =
-        specs.iter().map(|_| Mutex::new(None)).collect();
+    let use_memo = !memo_disabled();
+    let keys: Vec<u64> = specs.iter().map(RunSpec::memo_key).collect();
 
-    crossbeam::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= specs.len() {
-                    break;
-                }
-                let report = specs[i].run();
-                *results[i].lock().expect("result slot poisoned") = Some(report);
-            });
+    // Resolve what is already known and deduplicate the remainder.
+    let mut resolved: HashMap<u64, Arc<RunReport>> = HashMap::new();
+    if use_memo {
+        let cached = cache().lock().expect("run cache poisoned");
+        for &k in &keys {
+            if let Some(r) = cached.get(&k) {
+                resolved.insert(k, Arc::clone(r));
+            }
         }
-    })
-    .expect("a simulation worker panicked");
+    }
+    let mut pending: Vec<usize> = Vec::new(); // indices into `specs`
+    let mut queued: HashSet<u64> = HashSet::new();
+    for (i, &k) in keys.iter().enumerate() {
+        if !resolved.contains_key(&k) && queued.insert(k) {
+            pending.push(i);
+        }
+    }
 
-    results
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("worker completed without storing a result")
+    if !pending.is_empty() {
+        let workers = worker_budget().min(pending.len());
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(u64, Result<RunReport, String>)>();
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                let pending = &pending;
+                let keys = &keys;
+                scope.spawn(move || loop {
+                    let n = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&i) = pending.get(n) else { break };
+                    let outcome =
+                        catch_unwind(AssertUnwindSafe(|| specs[i].run())).map_err(|payload| {
+                            let msg = payload
+                                .downcast_ref::<String>()
+                                .map(String::as_str)
+                                .or_else(|| payload.downcast_ref::<&str>().copied())
+                                .unwrap_or("<non-string panic payload>");
+                            format!(
+                                "simulation worker panicked ({}): {msg}",
+                                specs[i].describe()
+                            )
+                        });
+                    // The receiver outlives the scope; a send cannot fail.
+                    tx.send((keys[i], outcome)).expect("result channel closed");
+                });
+            }
+        });
+        drop(tx);
+
+        // All workers have exited; drain the (buffered) channel and fail
+        // loudly on the first worker panic, re-raising its description.
+        for (key, outcome) in rx {
+            match outcome {
+                Ok(report) => {
+                    resolved.insert(key, Arc::new(report));
+                }
+                Err(described) => panic!("{described}"),
+            }
+        }
+
+        if use_memo {
+            let mut cached = cache().lock().expect("run cache poisoned");
+            for &i in &pending {
+                let k = keys[i];
+                if let Some(r) = resolved.get(&k) {
+                    cached.entry(k).or_insert_with(|| Arc::clone(r));
+                }
+            }
+        }
+    }
+
+    keys.iter()
+        .map(|k| {
+            RunReport::clone(
+                resolved
+                    .get(k)
+                    .expect("every requested run resolved by cache or worker"),
+            )
         })
         .collect()
 }
@@ -115,5 +286,69 @@ mod tests {
     #[test]
     fn empty_sweep_is_fine() {
         assert!(run_all(&[]).is_empty());
+    }
+
+    #[test]
+    fn memo_keys_separate_app_threads_and_seed() {
+        let base = RunSpec::new(xalan().scaled(0.002), 4, 7);
+        assert_eq!(
+            base.memo_key(),
+            RunSpec::new(xalan().scaled(0.002), 4, 7).memo_key()
+        );
+        assert_ne!(
+            base.memo_key(),
+            RunSpec::new(xalan().scaled(0.002), 8, 7).memo_key()
+        );
+        assert_ne!(
+            base.memo_key(),
+            RunSpec::new(xalan().scaled(0.002), 4, 8).memo_key()
+        );
+        assert_ne!(
+            base.memo_key(),
+            RunSpec::new(sunflow().scaled(0.002), 4, 7).memo_key()
+        );
+        assert_ne!(
+            base.memo_key(),
+            RunSpec::new(xalan().scaled(0.003), 4, 7).memo_key()
+        );
+    }
+
+    #[test]
+    fn duplicate_specs_share_one_simulation() {
+        let spec = RunSpec::new(sunflow().scaled(0.002), 3, 21);
+        let reports = run_all(&[spec.clone(), spec.clone(), spec]);
+        assert_eq!(reports.len(), 3);
+        assert_eq!(reports[0].wall_time, reports[1].wall_time);
+        assert_eq!(reports[1].events_processed, reports[2].events_processed);
+        // Deduplicated runs clone the same simulation, including its
+        // host-side timing.
+        assert_eq!(reports[0].host_ns, reports[1].host_ns);
+    }
+
+    #[test]
+    fn memoized_rerun_matches_cold_run() {
+        let spec = RunSpec::new(xalan().scaled(0.002), 5, 13);
+        let cold = spec.run();
+        let first = run_all(std::slice::from_ref(&spec));
+        let second = run_all(std::slice::from_ref(&spec)); // served by memo
+        for r in [&first[0], &second[0]] {
+            assert_eq!(r.wall_time, cold.wall_time);
+            assert_eq!(r.events_processed, cold.events_processed);
+            assert_eq!(r.gc_time, cold.gc_time);
+        }
+    }
+
+    #[test]
+    fn run_records_host_wall_time() {
+        let report = RunSpec::new(xalan().scaled(0.002), 2, 5).run();
+        assert!(report.host_ns > 0);
+    }
+
+    #[test]
+    fn cache_introspection_works() {
+        clear_run_cache();
+        let before = run_cache_size();
+        let _ = run_all(&[RunSpec::new(sunflow().scaled(0.002), 2, 77)]);
+        assert!(run_cache_size() > before || memo_disabled());
     }
 }

@@ -180,12 +180,14 @@ impl Collector {
         mutator_threads: usize,
         at: SimTime,
     ) -> (SimDuration, SimDuration) {
-        let live: u64 = heap.mature_live().iter().map(|&o| heap.object(o).size).sum();
-        let initial = SimDuration::from_nanos(
-            self.model.concurrent_initial_mark_ns(mutator_threads) as u64,
-        );
-        let work =
-            SimDuration::from_nanos(self.model.concurrent_background_ns(live) as u64);
+        let live: u64 = heap
+            .mature_live()
+            .iter()
+            .map(|&o| heap.object(o).size)
+            .sum();
+        let initial =
+            SimDuration::from_nanos(self.model.concurrent_initial_mark_ns(mutator_threads) as u64);
+        let work = SimDuration::from_nanos(self.model.concurrent_background_ns(live) as u64);
         self.log.push(GcEvent {
             kind: GcKind::ConcurrentOld,
             at,
@@ -208,11 +210,14 @@ impl Collector {
         at: SimTime,
     ) -> SimDuration {
         let pre = heap.mature_used();
-        let live: u64 = heap.mature_live().iter().map(|&o| heap.object(o).size).sum();
+        let live: u64 = heap
+            .mature_live()
+            .iter()
+            .map(|&o| heap.object(o).size)
+            .sum();
         heap.compact_mature();
-        let remark = SimDuration::from_nanos(
-            self.model.concurrent_remark_ns(live, mutator_threads) as u64,
-        );
+        let remark =
+            SimDuration::from_nanos(self.model.concurrent_remark_ns(live, mutator_threads) as u64);
         self.log.push(GcEvent {
             kind: GcKind::ConcurrentOld,
             at,
@@ -263,8 +268,7 @@ impl Collector {
         heap.reset_region_to_survivors(region);
 
         let survived = kept_bytes + promoted_bytes;
-        let local_pause =
-            SimDuration::from_nanos(self.model.local_minor_pause_ns(survived) as u64);
+        let local_pause = SimDuration::from_nanos(self.model.local_minor_pause_ns(survived) as u64);
         self.log.push(GcEvent {
             kind: GcKind::LocalMinor,
             at,
@@ -275,8 +279,7 @@ impl Collector {
             promoted_bytes,
         });
 
-        if heap.mature_used() as f64 > self.model.full_gc_trigger * heap.mature_capacity() as f64
-        {
+        if heap.mature_used() as f64 > self.model.full_gc_trigger * heap.mature_capacity() as f64 {
             stw_pause += self.collect_full(heap, mutator_threads, at);
         }
         LocalGcOutcome {
@@ -294,7 +297,11 @@ impl Collector {
         at: SimTime,
     ) -> SimDuration {
         let pre = heap.mature_used();
-        let live_bytes: u64 = heap.mature_live().iter().map(|&o| heap.object(o).size).sum();
+        let live_bytes: u64 = heap
+            .mature_live()
+            .iter()
+            .map(|&o| heap.object(o).size)
+            .sum();
         heap.compact_mature();
         debug_assert_eq!(heap.mature_used(), live_bytes);
 

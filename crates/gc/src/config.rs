@@ -79,11 +79,11 @@ impl GcCostModel {
             copy_ns_per_byte: 1.0,
             mark_ns_per_byte: 0.5,
             compact_ns_per_byte: 1.0,
-            fixed_pause_ns: 150_000.0,          // 150 us VM-stop overhead
-            safepoint_ns_per_thread: 15_000.0,  // 15 us per mutator thread
+            fixed_pause_ns: 150_000.0,         // 150 us VM-stop overhead
+            safepoint_ns_per_thread: 15_000.0, // 15 us per mutator thread
             full_gc_trigger: 0.9,
-            concurrent_trigger: 0.7,            // start cycles with headroom
-            local_fixed_pause_ns: 15_000.0,     // 15 us, owner thread only
+            concurrent_trigger: 0.7,        // start cycles with headroom
+            local_fixed_pause_ns: 15_000.0, // 15 us, owner thread only
         }
     }
 
@@ -134,8 +134,7 @@ impl GcCostModel {
     pub fn concurrent_remark_ns(&self, live_mature_bytes: u64, mutator_threads: usize) -> f64 {
         self.fixed_pause_ns / 3.0
             + self.safepoint_ns_per_thread * mutator_threads as f64
-            + 0.05 * self.mark_ns_per_byte * live_mature_bytes as f64
-                / self.effective_workers()
+            + 0.05 * self.mark_ns_per_byte * live_mature_bytes as f64 / self.effective_workers()
     }
 
     /// CPU work of the concurrent phase (single background thread marking

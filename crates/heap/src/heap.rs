@@ -549,9 +549,8 @@ mod tests {
 
     #[test]
     fn tlab_refills_are_counted() {
-        let mut h = Heap::new(
-            HeapConfig::new(1 << 20, 0.5, NurseryLayout::Shared).with_tlab_bytes(256),
-        );
+        let mut h =
+            Heap::new(HeapConfig::new(1 << 20, 0.5, NurseryLayout::Shared).with_tlab_bytes(256));
         for _ in 0..4 {
             ok(h.alloc(tid(0), 100));
         }

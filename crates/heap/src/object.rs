@@ -132,7 +132,9 @@ impl ObjectTable {
     pub fn get(&self, id: ObjectId) -> &ObjectRecord {
         let s = &self.slots[id.slot as usize];
         assert_eq!(s.tag, id.tag, "stale handle {id}");
-        s.record.as_ref().unwrap_or_else(|| panic!("dead object {id}"))
+        s.record
+            .as_ref()
+            .unwrap_or_else(|| panic!("dead object {id}"))
     }
 
     /// Mutably borrows a live object's record.
@@ -143,7 +145,9 @@ impl ObjectTable {
     pub fn get_mut(&mut self, id: ObjectId) -> &mut ObjectRecord {
         let s = &mut self.slots[id.slot as usize];
         assert_eq!(s.tag, id.tag, "stale handle {id}");
-        s.record.as_mut().unwrap_or_else(|| panic!("dead object {id}"))
+        s.record
+            .as_mut()
+            .unwrap_or_else(|| panic!("dead object {id}"))
     }
 
     /// Removes a live object, returning its final record. The slot is

@@ -306,7 +306,10 @@ impl MachineBuilder {
     #[must_use]
     pub fn build(&self) -> MachineTopology {
         assert!(self.sockets >= 1, "need at least one socket");
-        assert!(self.cores_per_socket >= 1, "need at least one core per socket");
+        assert!(
+            self.cores_per_socket >= 1,
+            "need at least one core per socket"
+        );
         assert!(
             self.remote_factor >= 1.0,
             "remote NUMA factor must be >= 1.0, got {}",
@@ -419,7 +422,10 @@ mod tests {
         let compact = m.mean_numa_factor_of(&m.enabled(8));
         let scatter = m.mean_numa_factor_of(&m.enabled_scatter(8));
         assert_eq!(compact, 1.0, "8 compact cores fit one socket");
-        assert!(scatter > 1.3, "8 scattered cores span all sockets: {scatter}");
+        assert!(
+            scatter > 1.3,
+            "8 scattered cores span all sockets: {scatter}"
+        );
     }
 
     #[test]

@@ -83,7 +83,10 @@ impl Cdf {
     /// Panics if `q` is outside `[0, 1]`.
     #[must_use]
     pub fn quantile(&self, q: f64) -> Option<u64> {
-        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile must be in [0,1], got {q}"
+        );
         if self.sorted.is_empty() {
             return None;
         }
@@ -169,10 +172,7 @@ mod tests {
     #[test]
     fn series_samples_thresholds() {
         let cdf: Cdf = [1u64, 2, 3, 4].into_iter().collect();
-        assert_eq!(
-            cdf.series(&[2, 4]),
-            vec![(2, 0.5), (4, 1.0)]
-        );
+        assert_eq!(cdf.series(&[2, 4]), vec![(2, 0.5), (4, 1.0)]);
     }
 
     #[test]

@@ -83,8 +83,8 @@ impl Summary {
     #[must_use]
     pub fn percentile(&self, p: f64) -> f64 {
         assert!((0.0..=100.0).contains(&p), "percentile must be in [0,100]");
-        let rank = ((p / 100.0 * self.sorted.len() as f64).ceil() as usize)
-            .clamp(1, self.sorted.len());
+        let rank =
+            ((p / 100.0 * self.sorted.len() as f64).ceil() as usize).clamp(1, self.sorted.len());
         self.sorted[rank - 1]
     }
 
@@ -92,12 +92,8 @@ impl Summary {
     #[must_use]
     pub fn std_dev(&self) -> f64 {
         let m = self.mean();
-        let var = self
-            .sorted
-            .iter()
-            .map(|v| (v - m) * (v - m))
-            .sum::<f64>()
-            / self.sorted.len() as f64;
+        let var =
+            self.sorted.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / self.sorted.len() as f64;
         var.sqrt()
     }
 

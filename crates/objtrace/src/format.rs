@@ -186,9 +186,15 @@ mod tests {
 
     #[test]
     fn missing_and_bad_fields_error() {
-        assert!(parse_trace("A 1 2").unwrap_err().message.contains("missing"));
+        assert!(parse_trace("A 1 2")
+            .unwrap_err()
+            .message
+            .contains("missing"));
         assert!(parse_trace("D 1 x 3").unwrap_err().message.contains("bad"));
-        assert!(parse_trace("A 1 2 3 4 5").unwrap_err().message.contains("trailing"));
+        assert!(parse_trace("A 1 2 3 4 5")
+            .unwrap_err()
+            .message
+            .contains("trailing"));
     }
 
     #[test]

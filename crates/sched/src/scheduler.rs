@@ -108,7 +108,10 @@ impl CpuScheduler {
     pub fn new(cores: Vec<CoreId>, quantum: SimDuration, policy: SchedPolicy) -> Self {
         assert!(!cores.is_empty(), "scheduler needs at least one core");
         assert!(!quantum.is_zero(), "quantum must be positive");
-        assert!(policy.cohorts() >= 1, "biased policy needs at least one cohort");
+        assert!(
+            policy.cohorts() >= 1,
+            "biased policy needs at least one cohort"
+        );
         let n = cores.len();
         CpuScheduler {
             cores,
@@ -192,7 +195,8 @@ impl CpuScheduler {
             .core_of(tid)
             .unwrap_or_else(|| panic!("block() on non-running {tid}"));
         self.vacate(tid);
-        self.rec_mut(tid).transition(ThreadState::Blocked(reason), now);
+        self.rec_mut(tid)
+            .transition(ThreadState::Blocked(reason), now);
         core
     }
 

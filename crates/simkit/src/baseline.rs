@@ -1,0 +1,217 @@
+//! The pre-slab event queue, kept as an executable specification.
+//!
+//! [`BaselineQueue`] is the original `BinaryHeap` + two-`HashSet`
+//! implementation of the event queue (O(pending) `shift_all`, hashing on
+//! every schedule/cancel/pop). It is **not** used by the simulator; it
+//! exists so that
+//!
+//! * property tests can check the production [`crate::EventQueue`] against
+//!   an independently-written model under random interleavings, and
+//! * benches can report the slab queue's speedup against a faithful
+//!   before-image instead of a guess.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies an event scheduled on a [`BaselineQueue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BaselineEventId(u64);
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// The original deterministic event queue (reference implementation).
+///
+/// Semantically equivalent to [`crate::EventQueue`]; see the module docs
+/// for why it is retained.
+#[derive(Debug, Default)]
+pub struct BaselineQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<(BaselineEventId, E)>>>,
+    cancelled: HashSet<BaselineEventId>,
+    live: HashSet<BaselineEventId>,
+    now: SimTime,
+    next_seq: u64,
+    scheduled_total: u64,
+    popped_total: u64,
+}
+
+impl<E> BaselineQueue<E> {
+    /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+    #[must_use]
+    pub fn new() -> Self {
+        BaselineQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            live: HashSet::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+            scheduled_total: 0,
+            popped_total: 0,
+        }
+    }
+
+    /// The current simulated time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `payload` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current clock.
+    pub fn schedule_at(&mut self, at: SimTime, payload: E) -> BaselineEventId {
+        assert!(
+            at >= self.now,
+            "scheduled event at {at} is in the past (now = {now})",
+            now = self.now
+        );
+        let id = BaselineEventId(self.next_seq);
+        self.heap.push(Reverse(Entry {
+            time: at,
+            seq: self.next_seq,
+            payload: (id, payload),
+        }));
+        self.live.insert(id);
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        id
+    }
+
+    /// Schedules `payload` to fire `after` from now.
+    pub fn schedule_after(&mut self, after: SimDuration, payload: E) -> BaselineEventId {
+        self.schedule_at(self.now + after, payload)
+    }
+
+    /// Schedules `payload` at the current instant (FIFO after pending
+    /// same-time events).
+    pub fn schedule_now(&mut self, payload: E) -> BaselineEventId {
+        self.schedule_at(self.now, payload)
+    }
+
+    /// Cancels a pending event; `true` if it was still pending.
+    pub fn cancel(&mut self, id: BaselineEventId) -> bool {
+        if !self.live.remove(&id) {
+            return false;
+        }
+        self.cancelled.insert(id)
+    }
+
+    /// Removes and returns the earliest pending event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            let (id, payload) = entry.payload;
+            if self.cancelled.remove(&id) {
+                continue;
+            }
+            self.live.remove(&id);
+            debug_assert!(entry.time >= self.now, "event queue clock went backwards");
+            self.now = entry.time;
+            self.popped_total += 1;
+            return Some((entry.time, payload));
+        }
+        None
+    }
+
+    /// The timestamp of the earliest pending event, if any.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap
+            .iter()
+            .filter(|Reverse(e)| !self.cancelled.contains(&e.payload.0))
+            .map(|Reverse(e)| (e.time, e.seq))
+            .min()
+            .map(|(t, _)| t)
+    }
+
+    /// Number of live pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Whether no live events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total events scheduled over the queue's lifetime.
+    #[must_use]
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+
+    /// Total events delivered over the queue's lifetime.
+    #[must_use]
+    pub fn popped_total(&self) -> u64 {
+        self.popped_total
+    }
+
+    /// Moves every pending event later by `delta` — O(pending), rebuilding
+    /// the heap (the cost the slab queue's epoch offset eliminates).
+    pub fn shift_all(&mut self, delta: SimDuration) {
+        if delta.is_zero() {
+            return;
+        }
+        let old = std::mem::take(&mut self.heap);
+        self.heap = old
+            .into_iter()
+            .map(|Reverse(mut e)| {
+                e.time += delta;
+                Reverse(e)
+            })
+            .collect();
+        self.now += delta;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(n: u64) -> SimTime {
+        SimTime::from_nanos(n)
+    }
+
+    #[test]
+    fn baseline_still_behaves_like_a_queue() {
+        let mut q = BaselineQueue::new();
+        let a = q.schedule_at(ns(10), "a");
+        q.schedule_at(ns(5), "b");
+        q.schedule_at(ns(10), "c");
+        assert_eq!(q.len(), 3);
+        assert!(q.cancel(a));
+        q.shift_all(SimDuration::from_nanos(100));
+        assert_eq!(q.pop(), Some((ns(105), "b")));
+        assert_eq!(q.pop(), Some((ns(110), "c")));
+        assert!(q.pop().is_none());
+        assert_eq!(q.scheduled_total(), 3);
+        assert_eq!(q.popped_total(), 2);
+    }
+}

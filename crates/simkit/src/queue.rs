@@ -11,24 +11,56 @@
 //! 3. **Time shifting** — [`EventQueue::shift_all`] moves every pending
 //!    event later by a fixed amount, which is how stop-the-world GC pauses
 //!    freeze the mutator world without re-scheduling each event by hand.
+//!
+//! # Hot-path design
+//!
+//! Every simulated metric is produced by popping millions of events, so
+//! the schedule/cancel/pop path avoids hashing entirely:
+//!
+//! * **Generation-stamped slab.** An [`EventId`] is a `(slot, generation)`
+//!   pair into a slab of `u32` generation stamps. An id is live exactly
+//!   when its slot's stamp equals its generation; cancelling or delivering
+//!   bumps the stamp, so liveness checks, cancellation, and the tombstone
+//!   filter on pop are all single array reads — no `HashSet`, no hashing.
+//!   Slots are recycled through a free list while generations keep retired
+//!   ids from ever matching again.
+//! * **Epoch-offset time shifting.** The heap orders entries by *internal*
+//!   time (external time minus the accumulated shift at schedule time).
+//!   [`EventQueue::shift_all`] just advances the queue-global offset and
+//!   the clock — O(1) instead of rewriting every pending entry, which
+//!   matters because stop-the-world GC pauses call it once per collection.
+//!   Relative order (including FIFO ties) is untouched because internal
+//!   times never change.
+//!
+//! The previous `BinaryHeap` + two-`HashSet` implementation survives as
+//! [`crate::baseline::BaselineQueue`], serving as the reference model for
+//! differential tests and the before/after comparator in benches.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::collections::HashSet;
 use std::fmt;
 
 use crate::time::{SimDuration, SimTime};
 
 /// Identifies a scheduled event so it can be cancelled.
 ///
-/// Ids are unique for the lifetime of the queue and never reused.
+/// An id is a `(slot, generation)` pair: slots are recycled, generations
+/// are not, so ids never alias for the lifetime of the queue (until a
+/// slot's 2³²-generation wrap, far beyond any real run).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct EventId(u64);
+pub struct EventId {
+    slot: u32,
+    generation: u32,
+}
 
 #[derive(Debug)]
 struct Entry<E> {
+    /// Internal (epoch-relative) time: external time minus the offset
+    /// accumulated at schedule time.
     time: SimTime,
     seq: u64,
+    slot: u32,
+    generation: u32,
     payload: E,
 }
 
@@ -71,11 +103,18 @@ impl<E> Ord for Entry<E> {
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<Entry<(EventId, E)>>>,
-    cancelled: HashSet<EventId>,
-    /// Ids currently pending (scheduled, not yet fired or cancelled).
-    live: HashSet<EventId>,
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    /// Generation stamp per slot. `stamps[s] == g` ⇔ event `(s, g)` is
+    /// pending; any other relation means fired, cancelled, or not issued.
+    stamps: Vec<u32>,
+    /// Slots available for reuse.
+    free: Vec<u32>,
+    /// Live (non-cancelled) pending events.
+    live: usize,
+    /// External simulated time of the last popped event (plus shifts).
     now: SimTime,
+    /// Total time shifted so far; external = internal + offset.
+    offset: SimDuration,
     next_seq: u64,
     scheduled_total: u64,
     popped_total: u64,
@@ -93,9 +132,11 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
-            live: HashSet::new(),
+            stamps: Vec::new(),
+            free: Vec::new(),
+            live: 0,
             now: SimTime::ZERO,
+            offset: SimDuration::ZERO,
             next_seq: 0,
             scheduled_total: 0,
             popped_total: 0,
@@ -122,13 +163,26 @@ impl<E> EventQueue<E> {
             "scheduled event at {at} is in the past (now = {now})",
             now = self.now
         );
-        let id = EventId(self.next_seq);
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                let s = u32::try_from(self.stamps.len()).expect("more than 2^32 event slots");
+                self.stamps.push(0);
+                s
+            }
+        };
+        let generation = self.stamps[slot as usize];
+        let id = EventId { slot, generation };
+        // `now >= offset` always (both advance together in shift_all and
+        // `now` also advances on pops), so `at - offset` cannot underflow.
         self.heap.push(Reverse(Entry {
-            time: at,
+            time: at - self.offset,
             seq: self.next_seq,
-            payload: (id, payload),
+            slot,
+            generation,
+            payload,
         }));
-        self.live.insert(id);
+        self.live += 1;
         self.next_seq += 1;
         self.scheduled_total += 1;
         id
@@ -145,31 +199,45 @@ impl<E> EventQueue<E> {
         self.schedule_at(self.now, payload)
     }
 
+    /// Whether `id` is still pending — one array read.
+    fn is_live(&self, slot: u32, generation: u32) -> bool {
+        self.stamps[slot as usize] == generation
+    }
+
+    /// Retires a slot: stale ids stop matching, the slot becomes reusable.
+    fn retire(&mut self, slot: u32) {
+        self.stamps[slot as usize] = self.stamps[slot as usize].wrapping_add(1);
+        self.free.push(slot);
+        self.live -= 1;
+    }
+
     /// Cancels a pending event.
     ///
     /// Returns `true` if the event was still pending (it will now never be
     /// delivered), `false` if it had already fired or been cancelled.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if !self.live.remove(&id) {
-            return false; // unknown, already fired, or already cancelled
+        if !self.is_live(id.slot, id.generation) {
+            return false; // already fired, or already cancelled
         }
-        // Tombstone; the entry is skipped and dropped when it reaches the top.
-        self.cancelled.insert(id)
+        // Tombstone; the heap entry is skipped and dropped when it reaches
+        // the top.
+        self.retire(id.slot);
+        true
     }
 
     /// Removes and returns the earliest pending event, advancing the clock
     /// to its timestamp. Returns `None` when no events remain.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         while let Some(Reverse(entry)) = self.heap.pop() {
-            let (id, payload) = entry.payload;
-            if self.cancelled.remove(&id) {
-                continue;
+            if !self.is_live(entry.slot, entry.generation) {
+                continue; // lazily drop tombstone
             }
-            self.live.remove(&id);
-            debug_assert!(entry.time >= self.now, "event queue clock went backwards");
-            self.now = entry.time;
+            self.retire(entry.slot);
+            let at = entry.time + self.offset;
+            debug_assert!(at >= self.now, "event queue clock went backwards");
+            self.now = at;
             self.popped_total += 1;
-            return Some((entry.time, payload));
+            return Some((at, entry.payload));
         }
         None
     }
@@ -181,16 +249,16 @@ impl<E> EventQueue<E> {
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap
             .iter()
-            .filter(|Reverse(e)| !self.cancelled.contains(&e.payload.0))
+            .filter(|Reverse(e)| self.is_live(e.slot, e.generation))
             .map(|Reverse(e)| (e.time, e.seq))
             .min()
-            .map(|(t, _)| t)
+            .map(|(t, _)| t + self.offset)
     }
 
     /// Number of live (non-cancelled) pending events.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.live.len()
+        self.live
     }
 
     /// Whether no live events are pending.
@@ -212,23 +280,18 @@ impl<E> EventQueue<E> {
     }
 
     /// Moves every pending event later by `delta` and advances the clock by
-    /// the same amount.
+    /// the same amount, in O(1).
     ///
     /// This models a stop-the-world pause: from the mutators' point of view
     /// the world freezes for `delta` and resumes exactly where it was.
-    /// Relative ordering (including FIFO ties) is preserved.
+    /// Relative ordering (including FIFO ties) is preserved — pending
+    /// entries are ordered by shift-invariant internal times, so a pause
+    /// can never reorder same-time events.
     pub fn shift_all(&mut self, delta: SimDuration) {
         if delta.is_zero() {
             return;
         }
-        let old = std::mem::take(&mut self.heap);
-        self.heap = old
-            .into_iter()
-            .map(|Reverse(mut e)| {
-                e.time += delta;
-                Reverse(e)
-            })
-            .collect();
+        self.offset += delta;
         self.now += delta;
     }
 }
@@ -307,9 +370,39 @@ mod tests {
     }
 
     #[test]
-    fn cancel_unknown_id_is_false() {
-        let mut q: EventQueue<()> = EventQueue::new();
-        assert!(!q.cancel(EventId(999)));
+    fn cancel_fired_id_is_false() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(ns(10), ());
+        assert!(q.pop().is_some());
+        assert!(!q.cancel(a), "fired events cannot be cancelled");
+    }
+
+    #[test]
+    fn recycled_slot_does_not_alias_old_id() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(ns(10), "a");
+        assert!(q.cancel(a));
+        // The slot is recycled for "b", but under a fresh generation: the
+        // stale id must not cancel the new event.
+        let b = q.schedule_at(ns(20), "b");
+        assert_ne!(a, b, "EventIds are never reused");
+        assert!(!q.cancel(a));
+        assert_eq!(q.pop(), Some((ns(20), "b")));
+    }
+
+    #[test]
+    fn ids_stay_distinct_across_heavy_recycling() {
+        let mut q = EventQueue::new();
+        let mut seen = std::collections::HashSet::new();
+        for round in 0..100u64 {
+            let id = q.schedule_at(ns(round), round);
+            assert!(seen.insert(id), "EventId reused at round {round}");
+            if round % 2 == 0 {
+                q.cancel(id);
+            } else {
+                q.pop();
+            }
+        }
     }
 
     #[test]
@@ -371,6 +464,46 @@ mod tests {
         q.shift_all(SimDuration::ZERO);
         assert_eq!(q.now(), SimTime::ZERO);
         assert_eq!(q.peek_time(), Some(ns(10)));
+    }
+
+    #[test]
+    fn shift_all_never_reorders_same_time_events() {
+        // A GC pause between schedules must keep the FIFO tie-break: the
+        // events pending across the shift keep their order, and an event
+        // scheduled *after* the shift for the same (shifted) instant still
+        // pops last.
+        let mut q = EventQueue::new();
+        q.schedule_at(ns(10), "a");
+        q.schedule_at(ns(10), "b");
+        q.shift_all(dur(5));
+        q.schedule_at(ns(15), "c"); // same external instant as shifted a/b
+        assert_eq!(q.pop(), Some((ns(15), "a")));
+        assert_eq!(q.pop(), Some((ns(15), "b")));
+        assert_eq!(q.pop(), Some((ns(15), "c")));
+    }
+
+    #[test]
+    fn repeated_shifts_accumulate() {
+        let mut q = EventQueue::new();
+        q.schedule_at(ns(10), "a");
+        q.shift_all(dur(5));
+        q.shift_all(dur(7));
+        assert_eq!(q.now(), ns(12));
+        assert_eq!(q.peek_time(), Some(ns(22)));
+        assert_eq!(q.pop(), Some((ns(22), "a")));
+        // Scheduling keeps working in shifted time.
+        q.schedule_after(dur(3), "b");
+        assert_eq!(q.pop(), Some((ns(25), "b")));
+    }
+
+    #[test]
+    fn cancel_of_pre_shift_id_still_works_after_shift() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(ns(10), "a");
+        q.schedule_at(ns(20), "b");
+        q.shift_all(dur(100));
+        assert!(q.cancel(a));
+        assert_eq!(q.pop(), Some((ns(120), "b")));
     }
 
     #[test]

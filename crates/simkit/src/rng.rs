@@ -84,8 +84,14 @@ mod tests {
     #[test]
     fn same_inputs_same_stream() {
         let f = RngFactory::new(7);
-        let xs: Vec<u64> = (0..8).map(|_| 0).scan(f.stream("a", 3), |r, _| Some(r.gen())).collect();
-        let ys: Vec<u64> = (0..8).map(|_| 0).scan(f.stream("a", 3), |r, _| Some(r.gen())).collect();
+        let xs: Vec<u64> = (0..8)
+            .map(|_| 0)
+            .scan(f.stream("a", 3), |r, _| Some(r.gen()))
+            .collect();
+        let ys: Vec<u64> = (0..8)
+            .map(|_| 0)
+            .scan(f.stream("a", 3), |r, _| Some(r.gen()))
+            .collect();
         assert_eq!(xs, ys);
     }
 

@@ -69,8 +69,7 @@ impl SyntheticApp {
         );
         assert!(instances >= 1, "need at least one lock instance");
         let mut spec = self.spec.clone();
-        spec.lock_classes[class] =
-            LockClass::sharded(&spec.lock_classes[class].name, instances);
+        spec.lock_classes[class] = LockClass::sharded(&spec.lock_classes[class].name, instances);
         SyntheticApp { spec }
     }
 }
@@ -252,7 +251,10 @@ pub fn sunflow() -> SyntheticApp {
                 held_ns: (1_500, 3_000),
             }),
         },
-        lock_classes: vec![LockClass::new("bundle-queue"), LockClass::new("image-merge")],
+        lock_classes: vec![
+            LockClass::new("bundle-queue"),
+            LockClass::new("image-merge"),
+        ],
         compute_ns: (100_000, 140_000),
         temps: vec![
             TempClass {

@@ -132,10 +132,7 @@ impl WorkItem {
                     allocated[s as usize] = true;
                 }
                 Step::KillSlot(s) => {
-                    assert!(
-                        allocated[s as usize],
-                        "KillSlot({s}) without a prior Alloc"
-                    );
+                    assert!(allocated[s as usize], "KillSlot({s}) without a prior Alloc");
                     assert!(!killed[s as usize], "slot {s} killed twice");
                     killed[s as usize] = true;
                 }

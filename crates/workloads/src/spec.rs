@@ -263,7 +263,9 @@ impl AppSpec {
                 steps.push(Step::Compute(gap));
                 steps.push(Step::KillSlot(slot));
                 used += gap;
-                slot = slot.checked_add(1).expect("more than 256 temporaries per item");
+                slot = slot
+                    .checked_add(1)
+                    .expect("more than 256 temporaries per item");
                 since_crit += 1;
                 if since_crit >= crit_stride {
                     since_crit = 0;

@@ -89,8 +89,7 @@ fn main() {
     ]);
     let mut walls = Vec::new();
     for threads in [1usize, 4, 16, 48] {
-        let report =
-            Jvm::new(JvmConfig::builder().threads(threads).seed(7).build()).run(&app);
+        let report = Jvm::new(JvmConfig::builder().threads(threads).seed(7).build()).run(&app);
         walls.push((threads, report.wall_time));
         table.row(vec![
             threads.to_string(),
@@ -103,8 +102,7 @@ fn main() {
     }
     println!("{table}");
 
-    let speedup =
-        walls[0].1.as_secs_f64() / walls.last().expect("non-empty").1.as_secs_f64();
+    let speedup = walls[0].1.as_secs_f64() / walls.last().expect("non-empty").1.as_secs_f64();
     println!("1 -> 48 thread speedup: {speedup:.1}x");
     println!("\nthe same factors the paper identified apply: queue traffic and");
     println!("contention grow with threads, lifespans stretch, GC share climbs.");

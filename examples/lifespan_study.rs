@@ -50,8 +50,7 @@ fn main() {
     for threads in [4usize, 48] {
         let report = Jvm::new(JvmConfig::builder().threads(threads).seed(42).build())
             .run(&xalan().scaled(0.25));
-        let per_item =
-            report.total_suspension().as_secs_f64() * 1e9 / report.total_items() as f64;
+        let per_item = report.total_suspension().as_secs_f64() * 1e9 / report.total_items() as f64;
         println!(
             "  T={threads:<2}: total suspension {}  ({per_item:.0} ns per item)",
             report.total_suspension()

@@ -24,7 +24,11 @@ fn main() {
     let fig1 = run_fig1_locks(&params);
     println!("{}", fig1.table());
 
-    println!("growth from T={} to T={}:", params.min_threads(), params.max_threads());
+    println!(
+        "growth from T={} to T={}:",
+        params.min_threads(),
+        params.max_threads()
+    );
     for series in fig1.acquisitions.iter().chain(fig1.contentions.iter()) {
         let metric = if fig1.acquisitions.iter().any(|s| std::ptr::eq(s, series)) {
             "acquisitions"

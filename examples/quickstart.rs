@@ -18,7 +18,10 @@ fn run(threads: usize, scale: f64) -> RunReport {
 fn main() {
     // A slice of xalan's standard workload keeps this example snappy.
     let scale = 0.25;
-    println!("xalan @ {:.0}% of standard work, cores = threads\n", scale * 100.0);
+    println!(
+        "xalan @ {:.0}% of standard work, cores = threads\n",
+        scale * 100.0
+    );
 
     let mut table = Table::new(vec![
         "threads",

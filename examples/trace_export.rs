@@ -25,10 +25,7 @@ fn main() {
 
     let events = report.trace.events().expect("full retention keeps events");
     let text = format_trace(events);
-    println!(
-        "object trace: {} events, first ten lines:",
-        events.len()
-    );
+    println!("object trace: {} events, first ten lines:", events.len());
     for line in text.lines().take(10) {
         println!("  {line}");
     }

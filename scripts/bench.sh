@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Times the full figure sweep at the pinned paper seed and writes
+# BENCH_sweep.json ({events_per_sec, sweep_wall_ms, ...}) at the repo
+# root. Pass an alternative output path as $1.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p scalesim-bench --bin bench_sweep
+exec ./target/release/bench_sweep "${1:-BENCH_sweep.json}"

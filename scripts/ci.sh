@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Tier-1 verification: format, lints, release build, full test suite.
+# Everything here must pass before a change lands.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo '== cargo fmt --check'
+cargo fmt --all -- --check
+echo '== cargo clippy (-D warnings)'
+cargo clippy --workspace --all-targets -- -D warnings
+echo '== cargo build --release'
+cargo build --release --workspace
+echo '== cargo test -q'
+cargo test -q
+echo 'CI OK'

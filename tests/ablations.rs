@@ -64,8 +64,7 @@ fn heaplets_shorten_individual_pauses() {
     .run(&app);
 
     let max_minor = |r: &scalesim::runtime::RunReport| {
-        r.gc
-            .events()
+        r.gc.events()
             .iter()
             .filter(|e| matches!(e.kind, GcKind::Minor | GcKind::LocalMinor))
             .map(|e| e.pause)

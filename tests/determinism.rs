@@ -61,13 +61,7 @@ fn sweep_order_does_not_leak_between_runs() {
 fn parallel_sweep_is_deterministic() {
     use scalesim::experiments::{run_all, RunSpec};
     let specs: Vec<RunSpec> = (0..8)
-        .map(|i| {
-            RunSpec::new(
-                scalesim::workloads::sunflow().scaled(0.003),
-                2 + i % 4,
-                33,
-            )
-        })
+        .map(|i| RunSpec::new(scalesim::workloads::sunflow().scaled(0.003), 2 + i % 4, 33))
         .collect();
     let first: Vec<_> = run_all(&specs).iter().map(fingerprints).collect();
     let second: Vec<_> = run_all(&specs).iter().map(fingerprints).collect();

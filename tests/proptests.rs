@@ -1,66 +1,80 @@
 //! Property-based tests over the core data structures and, at small
 //! scale, whole simulations.
+//!
+//! `proptest` cannot be built in this repository's offline environment,
+//! so these run on a small in-file harness: each property is checked for
+//! many deterministically-seeded random cases, and a failure reports the
+//! case seed to rerun. There is no shrinking — cases are kept small
+//! enough to debug directly.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use scalesim::metrics::{Cdf, LogHistogram};
-use scalesim::simkit::{EventQueue, SimTime};
+use scalesim::simkit::baseline::BaselineQueue;
+use scalesim::simkit::{EventQueue, SimDuration, SimTime};
 
-// ---------------------------------------------------------------------
-// Event queue vs. a reference model
-// ---------------------------------------------------------------------
-
-#[derive(Debug, Clone)]
-enum QueueOp {
-    Schedule(u64),
-    Cancel(usize),
-    Pop,
+/// Runs `check` once per case, each with an independent deterministic
+/// RNG, attributing any failure to its case seed.
+fn for_cases(cases: u64, check: impl Fn(&mut StdRng) + std::panic::RefUnwindSafe) {
+    for case in 0..cases {
+        let seed = 0xC0FF_EE00 ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let outcome = std::panic::catch_unwind(|| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            check(&mut rng);
+        });
+        if let Err(payload) = outcome {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic>");
+            panic!("property failed for case {case} (seed {seed:#x}): {msg}");
+        }
+    }
 }
 
-fn queue_ops() -> impl Strategy<Value = Vec<QueueOp>> {
-    prop::collection::vec(
-        prop_oneof![
-            (0u64..1000).prop_map(QueueOp::Schedule),
-            (0usize..64).prop_map(QueueOp::Cancel),
-            Just(QueueOp::Pop),
-        ],
-        0..200,
-    )
+fn sample_vec(rng: &mut StdRng, max_value: u64, len: std::ops::Range<usize>) -> Vec<u64> {
+    let n = rng.gen_range(len);
+    (0..n).map(|_| rng.gen_range(0..max_value)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+// ---------------------------------------------------------------------
+// Event queue vs. two reference models
+// ---------------------------------------------------------------------
 
-    #[test]
-    fn event_queue_matches_reference_model(ops in queue_ops()) {
+/// The slab queue against a plain sorted-`Vec` model (no shifting):
+/// schedule/cancel/pop agree with `(time, insertion order)` semantics.
+#[test]
+fn event_queue_matches_vec_model() {
+    for_cases(256, |rng| {
         let mut queue: EventQueue<usize> = EventQueue::new();
         // Reference: (absolute time, insertion order, payload), popped in
         // lexicographic order.
         let mut model: Vec<(u64, usize, usize)> = Vec::new();
         let mut issued = Vec::new();
         let mut now = 0u64;
-        let mut next_payload = 0usize;
 
-        for op in ops {
-            match op {
-                QueueOp::Schedule(delta) => {
-                    let at = now + delta;
-                    let id = queue.schedule_at(SimTime::from_nanos(at), next_payload);
-                    model.push((at, issued.len(), next_payload));
-                    issued.push(Some(id));
-                    next_payload += 1;
+        for op in 0..rng.gen_range(0usize..200) {
+            match rng.gen_range(0u32..3) {
+                0 => {
+                    let at = now + rng.gen_range(0u64..1000);
+                    let id = queue.schedule_at(SimTime::from_nanos(at), op);
+                    model.push((at, issued.len(), op));
+                    issued.push(Some((id, issued.len())));
                 }
-                QueueOp::Cancel(i) => {
-                    if let Some(slot) = issued.get_mut(i) {
-                        if let Some(id) = slot.take() {
-                            let was_pending =
-                                model.iter().any(|&(_, ord, _)| ord == i);
-                            prop_assert_eq!(queue.cancel(id), was_pending);
-                            model.retain(|&(_, ord, _)| ord != i);
-                        }
+                1 => {
+                    if issued.is_empty() {
+                        continue;
+                    }
+                    let i = rng.gen_range(0..issued.len());
+                    if let Some((id, ord)) = issued[i].take() {
+                        let was_pending = model.iter().any(|&(_, o, _)| o == ord);
+                        assert_eq!(queue.cancel(id), was_pending);
+                        model.retain(|&(_, o, _)| o != ord);
                     }
                 }
-                QueueOp::Pop => {
+                _ => {
                     model.sort_unstable();
                     let expected = if model.is_empty() {
                         None
@@ -71,101 +85,167 @@ proptest! {
                     match (expected, got) {
                         (None, None) => {}
                         (Some((at, _, payload)), Some((t, p))) => {
-                            prop_assert_eq!(t, SimTime::from_nanos(at));
-                            prop_assert_eq!(p, payload);
+                            assert_eq!(t, SimTime::from_nanos(at));
+                            assert_eq!(p, payload);
                             now = at;
                         }
-                        (e, g) => prop_assert!(false, "model {e:?} vs queue {g:?}"),
+                        (e, g) => panic!("model {e:?} vs queue {g:?}"),
                     }
                 }
             }
-            prop_assert_eq!(queue.len(), model.len());
+            assert_eq!(queue.len(), model.len());
         }
-    }
+    });
+}
+
+/// The slab queue against the retired `BinaryHeap`+`HashSet`
+/// implementation under random schedule/cancel/pop/`shift_all`
+/// interleavings — every observable (pops, clock, length, peek,
+/// cancellation results, lifetime counters) must agree, and `EventId`s
+/// must never repeat across slot recycling.
+#[test]
+fn event_queue_matches_baseline_under_shifts() {
+    for_cases(256, |rng| {
+        let mut queue: EventQueue<u64> = EventQueue::new();
+        let mut base: BaselineQueue<u64> = BaselineQueue::new();
+        let mut ids = Vec::new(); // (slab id, baseline id), in issue order
+        let mut ever_issued = std::collections::HashSet::new();
+
+        for payload in 0..rng.gen_range(0u64..250) {
+            match rng.gen_range(0u32..8) {
+                // schedule (weighted: half of all ops)
+                0..=3 => {
+                    let delta = SimDuration::from_nanos(rng.gen_range(0u64..500));
+                    let at = queue.now() + delta;
+                    let q_id = queue.schedule_at(at, payload);
+                    let b_id = base.schedule_at(at, payload);
+                    assert!(
+                        ever_issued.insert(q_id),
+                        "EventId reused across generations: {q_id:?}"
+                    );
+                    ids.push((q_id, b_id));
+                }
+                // cancel a random id from the whole history
+                4 => {
+                    if ids.is_empty() {
+                        continue;
+                    }
+                    let i = rng.gen_range(0..ids.len());
+                    let (q_id, b_id) = ids[i];
+                    assert_eq!(queue.cancel(q_id), base.cancel(b_id));
+                }
+                // pop
+                5..=6 => {
+                    assert_eq!(queue.pop(), base.pop());
+                }
+                // shift (a stop-the-world pause)
+                _ => {
+                    let pause = SimDuration::from_nanos(rng.gen_range(0u64..300));
+                    queue.shift_all(pause);
+                    base.shift_all(pause);
+                }
+            }
+            assert_eq!(queue.now(), base.now());
+            assert_eq!(queue.len(), base.len());
+            assert_eq!(queue.is_empty(), base.is_empty());
+            assert_eq!(queue.peek_time(), base.peek_time());
+            assert_eq!(queue.scheduled_total(), base.scheduled_total());
+            assert_eq!(queue.popped_total(), base.popped_total());
+        }
+
+        // Drain to the end: the remaining event sequences must be
+        // identical, including FIFO ties.
+        loop {
+            let (q, b) = (queue.pop(), base.pop());
+            assert_eq!(q, b);
+            if q.is_none() {
+                break;
+            }
+        }
+    });
 }
 
 // ---------------------------------------------------------------------
 // Histogram / CDF invariants
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn histogram_fraction_below_is_exact_at_powers_of_two(
-        values in prop::collection::vec(0u64..1_000_000, 1..500),
-        shift in 1u32..20,
-    ) {
+#[test]
+fn histogram_fraction_below_is_exact_at_powers_of_two() {
+    for_cases(256, |rng| {
+        let values = sample_vec(rng, 1_000_000, 1..500);
+        let shift = rng.gen_range(1u32..20);
         let hist: LogHistogram = values.iter().copied().collect();
         let threshold = 1u64 << shift;
-        let exact = values.iter().filter(|&&v| v < threshold).count() as f64
-            / values.len() as f64;
+        let exact = values.iter().filter(|&&v| v < threshold).count() as f64 / values.len() as f64;
         // Bucket 0 holds {0, 1} jointly, so thresholds >= 2 are exact.
-        prop_assert!((hist.fraction_below(threshold) - exact).abs() < 1e-9,
-            "threshold {threshold}: {} vs {exact}", hist.fraction_below(threshold));
-    }
+        assert!(
+            (hist.fraction_below(threshold) - exact).abs() < 1e-9,
+            "threshold {threshold}: {} vs {exact}",
+            hist.fraction_below(threshold)
+        );
+    });
+}
 
-    #[test]
-    fn histogram_merge_equals_pooled(
-        a in prop::collection::vec(0u64..1_000_000, 0..200),
-        b in prop::collection::vec(0u64..1_000_000, 0..200),
-    ) {
+#[test]
+fn histogram_merge_equals_pooled() {
+    for_cases(256, |rng| {
+        let a = sample_vec(rng, 1_000_000, 0..200);
+        let b = sample_vec(rng, 1_000_000, 0..200);
         let mut merged: LogHistogram = a.iter().copied().collect();
         merged.merge(&b.iter().copied().collect());
         let pooled: LogHistogram = a.iter().chain(b.iter()).copied().collect();
-        prop_assert_eq!(merged, pooled);
-    }
+        assert_eq!(merged, pooled);
+    });
+}
 
-    #[test]
-    fn histogram_stats_match_exact(
-        values in prop::collection::vec(0u64..1_000_000, 1..300),
-    ) {
+#[test]
+fn histogram_stats_match_exact() {
+    for_cases(256, |rng| {
+        let values = sample_vec(rng, 1_000_000, 1..300);
         let hist: LogHistogram = values.iter().copied().collect();
-        prop_assert_eq!(hist.count(), values.len() as u64);
-        prop_assert_eq!(hist.min(), values.iter().copied().min());
-        prop_assert_eq!(hist.max(), values.iter().copied().max());
+        assert_eq!(hist.count(), values.len() as u64);
+        assert_eq!(hist.min(), values.iter().copied().min());
+        assert_eq!(hist.max(), values.iter().copied().max());
         let mean = values.iter().sum::<u64>() as f64 / values.len() as f64;
-        prop_assert!((hist.mean().unwrap() - mean).abs() < 1e-6);
-    }
+        assert!((hist.mean().unwrap() - mean).abs() < 1e-6);
+    });
+}
 
-    #[test]
-    fn cdf_quantile_and_fraction_are_consistent(
-        values in prop::collection::vec(0u64..1_000_000, 1..300),
-        q in 0.0f64..1.0,
-    ) {
-        let cdf = Cdf::from_samples(values.clone());
+#[test]
+fn cdf_quantile_and_fraction_are_consistent() {
+    for_cases(256, |rng| {
+        let values = sample_vec(rng, 1_000_000, 1..300);
+        let q = rng.gen_range(0.0f64..1.0);
+        let cdf = Cdf::from_samples(values);
         let v = cdf.quantile(q).unwrap();
         // At least q of the mass lies at or below the q-quantile.
-        prop_assert!(cdf.fraction_at_most(v) >= q - 1e-9);
+        assert!(cdf.fraction_at_most(v) >= q - 1e-9);
         // CDF is monotone.
-        prop_assert!(cdf.fraction_at_most(v) >= cdf.fraction_below(v));
-    }
+        assert!(cdf.fraction_at_most(v) >= cdf.fraction_below(v));
+    });
+}
 
-    #[test]
-    fn cdf_ks_distance_is_a_metric_ish(
-        a in prop::collection::vec(0u64..1000, 1..100),
-        b in prop::collection::vec(0u64..1000, 1..100),
-    ) {
+#[test]
+fn cdf_ks_distance_is_a_metric_ish() {
+    for_cases(256, |rng| {
+        let a = sample_vec(rng, 1000, 1..100);
+        let b = sample_vec(rng, 1000, 1..100);
         let ca = Cdf::from_samples(a);
         let cb = Cdf::from_samples(b);
         let d = ca.ks_distance(&cb);
-        prop_assert!((0.0..=1.0).contains(&d));
-        prop_assert!((ca.ks_distance(&ca)).abs() < 1e-12);
-        prop_assert!((d - cb.ks_distance(&ca)).abs() < 1e-12, "symmetry");
-    }
+        assert!((0.0..=1.0).contains(&d));
+        assert!((ca.ks_distance(&ca)).abs() < 1e-12);
+        assert!((d - cb.ks_distance(&ca)).abs() < 1e-12, "symmetry");
+    });
 }
 
 // ---------------------------------------------------------------------
 // Monitor mutual exclusion under random schedules
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn monitors_preserve_mutual_exclusion_and_fifo(
-        ops in prop::collection::vec((0usize..6, prop::bool::ANY), 1..300),
-    ) {
+#[test]
+fn monitors_preserve_mutual_exclusion_and_fifo() {
+    for_cases(128, |rng| {
         use scalesim::sched::ThreadId;
         use scalesim::sync::{AcquireOutcome, LockTable};
 
@@ -175,7 +255,9 @@ proptest! {
         let mut waiting: Vec<usize> = Vec::new();
         let mut t = 0u64;
 
-        for (thread, wants_acquire) in ops {
+        for _ in 0..rng.gen_range(1usize..300) {
+            let thread = rng.gen_range(0usize..6);
+            let wants_acquire: bool = rng.gen_bool(0.5);
             t += 1;
             let now = SimTime::from_nanos(t);
             if wants_acquire {
@@ -185,11 +267,11 @@ proptest! {
                 }
                 match locks.acquire(m, ThreadId::new(thread), now) {
                     AcquireOutcome::Acquired => {
-                        prop_assert!(holder.is_none(), "mutual exclusion violated");
+                        assert!(holder.is_none(), "mutual exclusion violated");
                         holder = Some(thread);
                     }
                     AcquireOutcome::Contended => {
-                        prop_assert!(holder.is_some());
+                        assert!(holder.is_some());
                         waiting.push(thread);
                     }
                 }
@@ -197,12 +279,12 @@ proptest! {
                 let grant = locks.release(m, ThreadId::new(h), now);
                 match grant {
                     None => {
-                        prop_assert!(waiting.is_empty(), "grant skipped a waiter");
+                        assert!(waiting.is_empty(), "grant skipped a waiter");
                         holder = None;
                     }
                     Some(g) => {
                         // FIFO: the longest waiter gets the monitor.
-                        prop_assert_eq!(g.next, ThreadId::new(waiting.remove(0)));
+                        assert_eq!(g.next, ThreadId::new(waiting.remove(0)));
                         holder = Some(g.next.index());
                     }
                 }
@@ -210,21 +292,17 @@ proptest! {
         }
 
         let stats = locks.stats(m);
-        prop_assert!(stats.acquisitions >= stats.contentions.saturating_sub(waiting.len() as u64));
-    }
+        assert!(stats.acquisitions >= stats.contentions.saturating_sub(waiting.len() as u64));
+    });
 }
 
 // ---------------------------------------------------------------------
 // Heap conservation under random alloc/kill interleavings
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn heap_occupancy_is_conserved(
-        ops in prop::collection::vec((1u64..2000, prop::bool::ANY), 1..300),
-    ) {
+#[test]
+fn heap_occupancy_is_conserved() {
+    for_cases(64, |rng| {
         use scalesim::heap::{AllocResult, Heap, HeapConfig, NurseryLayout};
         use scalesim::sched::ThreadId;
 
@@ -232,12 +310,14 @@ proptest! {
         let mut live: Vec<(scalesim::heap::ObjectId, u64)> = Vec::new();
         let mut allocated = 0u64;
 
-        for (size, kill_one) in ops {
+        for _ in 0..rng.gen_range(1usize..300) {
+            let size = rng.gen_range(1u64..2000);
+            let kill_one: bool = rng.gen_bool(0.5);
             if kill_one && !live.is_empty() {
                 let (obj, sz) = live.swap_remove(live.len() / 2);
                 let death = heap.kill(obj);
-                prop_assert_eq!(death.size, sz);
-                prop_assert!(death.lifespan <= allocated);
+                assert_eq!(death.size, sz);
+                assert!(death.lifespan <= allocated);
             } else {
                 match heap.alloc(ThreadId::new(0), size) {
                     AllocResult::Ok(obj) => {
@@ -252,65 +332,64 @@ proptest! {
             }
             // occupancy >= live bytes (dead space may linger)
             let live_bytes: u64 = live.iter().map(|&(_, s)| s).sum();
-            prop_assert!(heap.region_used(0) >= live_bytes);
-            prop_assert_eq!(heap.clock(), allocated);
-            prop_assert_eq!(heap.live_objects(), live.len());
+            assert!(heap.region_used(0) >= live_bytes);
+            assert_eq!(heap.clock(), allocated);
+            assert_eq!(heap.live_objects(), live.len());
         }
 
         heap.reset_region_to_survivors(0);
         let live_bytes: u64 = live.iter().map(|&(_, s)| s).sum();
-        prop_assert_eq!(heap.region_used(0), live_bytes);
-    }
+        assert_eq!(heap.region_used(0), live_bytes);
+    });
 }
 
 // ---------------------------------------------------------------------
 // Whole-simulation properties at tiny scale
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn any_small_run_conserves_work_and_objects(
-        app_idx in 0usize..6,
-        threads in 1usize..10,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn any_small_run_conserves_work_and_objects() {
+    for_cases(12, |rng| {
         use scalesim::runtime::{Jvm, JvmConfig};
         use scalesim::workloads::{all_apps, AppModel};
 
+        let app_idx = rng.gen_range(0usize..6);
+        let threads = rng.gen_range(1usize..10);
+        let seed = rng.gen_range(0u64..1000);
+
         let app = all_apps().swap_remove(app_idx).scaled(0.002);
-        let report = Jvm::new(JvmConfig::builder().threads(threads).seed(seed).build())
-            .run(&app);
-        prop_assert_eq!(report.total_items(), app.total_items());
-        prop_assert_eq!(
+        let report = Jvm::new(JvmConfig::builder().threads(threads).seed(seed).build()).run(&app);
+        assert_eq!(report.total_items(), app.total_items());
+        assert_eq!(
             report.trace.allocations(),
             report.trace.deaths() + report.trace.censored()
         );
-        prop_assert!(report.locks.total.acquisitions >= report.locks.total.contentions);
-        prop_assert_eq!(report.mutator_wall() + report.gc_time, report.wall_time);
-    }
+        assert!(report.locks.total.acquisitions >= report.locks.total.contentions);
+        assert_eq!(report.mutator_wall() + report.gc_time, report.wall_time);
+    });
 }
 
 // ---------------------------------------------------------------------
 // CPU scheduler vs. a reference model
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn scheduler_matches_reference_model(
-        cores in 1usize..5,
-        ops in prop::collection::vec((0usize..8, 0u8..5), 1..250),
-    ) {
+#[test]
+fn scheduler_matches_reference_model() {
+    for_cases(128, |rng| {
         use scalesim::machine::CoreId;
         use scalesim::sched::{BlockReason, CpuScheduler, QuantumOutcome, SchedPolicy, ThreadId};
         use scalesim::simkit::SimDuration;
 
         #[derive(Clone, Copy, PartialEq, Debug)]
-        enum M { New, Ready, Running, Blocked, Dead }
+        enum M {
+            New,
+            Ready,
+            Running,
+            Blocked,
+            Dead,
+        }
 
+        let cores = rng.gen_range(1usize..5);
         let mut sched = CpuScheduler::new(
             (0..cores).map(CoreId::new).collect(),
             SimDuration::from_millis(1),
@@ -323,7 +402,9 @@ proptest! {
         let mut on_core: Vec<Option<usize>> = vec![None; cores];
         let mut t = 0u64;
 
-        for (i, action) in ops {
+        for _ in 0..rng.gen_range(1usize..250) {
+            let i = rng.gen_range(0usize..8);
+            let action = rng.gen_range(0u8..5);
             t += 1;
             let now = SimTime::from_nanos(t);
             let tid = tids[i];
@@ -341,15 +422,17 @@ proptest! {
                     let placed = sched.dispatch(now);
                     for d in &placed {
                         let idx = d.thread.index();
-                        prop_assert_eq!(ready.remove(0), idx, "dispatch order");
+                        assert_eq!(ready.remove(0), idx, "dispatch order");
                         model[idx] = M::Running;
-                        let slot = on_core.iter().position(Option::is_none)
+                        let slot = on_core
+                            .iter()
+                            .position(Option::is_none)
                             .expect("model has a free core");
                         on_core[slot] = Some(idx);
                     }
                     // a free core and a ready thread cannot coexist after dispatch
                     let free = on_core.iter().filter(|c| c.is_none()).count();
-                    prop_assert!(free == 0 || ready.is_empty());
+                    assert!(free == 0 || ready.is_empty());
                 }
                 // block
                 2 => {
@@ -373,9 +456,9 @@ proptest! {
                     if model[i] == M::Running {
                         let outcome = sched.quantum_expired(tid, now);
                         if ready.is_empty() {
-                            prop_assert_eq!(outcome, QuantumOutcome::Continued);
+                            assert_eq!(outcome, QuantumOutcome::Continued);
                         } else {
-                            prop_assert_eq!(outcome, QuantumOutcome::Preempted);
+                            assert_eq!(outcome, QuantumOutcome::Preempted);
                             model[i] = M::Ready;
                             ready.push(i);
                             let slot = on_core.iter().position(|&c| c == Some(i)).expect("on core");
@@ -394,56 +477,59 @@ proptest! {
             }
 
             // cross-check aggregate state after every op
-            prop_assert_eq!(sched.running_count(),
-                on_core.iter().filter(|c| c.is_some()).count());
-            prop_assert_eq!(sched.runnable_count(), ready.len());
+            assert_eq!(
+                sched.running_count(),
+                on_core.iter().filter(|c| c.is_some()).count()
+            );
+            assert_eq!(sched.runnable_count(), ready.len());
             for (k, &tid) in tids.iter().enumerate() {
                 use scalesim::sched::ThreadState;
                 let expected_running = matches!(model[k], M::Running);
-                prop_assert_eq!(sched.core_of(tid).is_some(), expected_running);
-                prop_assert_eq!(
+                assert_eq!(sched.core_of(tid).is_some(), expected_running);
+                assert_eq!(
                     matches!(sched.state(tid), ThreadState::Terminated),
                     model[k] == M::Dead
                 );
             }
         }
-    }
+    });
 }
 
 // ---------------------------------------------------------------------
 // Work-item generator invariants
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn generated_items_are_always_well_formed(
-        app_idx in 0usize..6,
-        seed in 0u64..10_000,
-    ) {
-        use rand::SeedableRng;
+#[test]
+fn generated_items_are_always_well_formed() {
+    for_cases(64, |rng| {
         use scalesim::workloads::{all_apps, AppModel, Step};
 
+        let app_idx = rng.gen_range(0usize..6);
+        let seed = rng.gen_range(0u64..10_000);
         let app = all_apps().swap_remove(app_idx);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut item_rng = StdRng::seed_from_u64(seed);
         for _ in 0..10 {
             // WorkItem::new() inside the generator validates slot
             // discipline; here we check the coarser contracts.
-            let item = app.make_item(&mut rng);
-            prop_assert!(!item.is_empty());
-            prop_assert!(item.alloc_bytes() > 0);
-            prop_assert!(item.cpu_time().as_nanos() > 0);
+            let item = app.make_item(&mut item_rng);
+            assert!(!item.is_empty());
+            assert!(item.alloc_bytes() > 0);
+            assert!(item.cpu_time().as_nanos() > 0);
             // every critical references a declared class
             for step in item.steps() {
                 if let Step::Critical { class, .. } = step {
-                    prop_assert!(class.0 < app.lock_classes().len());
+                    assert!(class.0 < app.lock_classes().len());
                 }
             }
             // compute time lands within the spec's target plus hold times
             let max_target = app.spec().compute_ns.1
-                + app.spec().criticals.iter().map(|c| c.held_ns.1).sum::<u64>();
-            prop_assert!(item.cpu_time().as_nanos() <= max_target + 1);
+                + app
+                    .spec()
+                    .criticals
+                    .iter()
+                    .map(|c| c.held_ns.1)
+                    .sum::<u64>();
+            assert!(item.cpu_time().as_nanos() <= max_target + 1);
         }
-    }
+    });
 }

@@ -8,8 +8,14 @@ use scalesim::workloads::{all_apps, AppModel};
 
 fn configs() -> Vec<(String, JvmConfig)> {
     vec![
-        ("fair-4".into(), JvmConfig::builder().threads(4).seed(3).build()),
-        ("fair-32".into(), JvmConfig::builder().threads(32).seed(3).build()),
+        (
+            "fair-4".into(),
+            JvmConfig::builder().threads(4).seed(3).build(),
+        ),
+        (
+            "fair-32".into(),
+            JvmConfig::builder().threads(32).seed(3).build(),
+        ),
         (
             "oversubscribed".into(),
             JvmConfig::builder().threads(12).cores(4).seed(3).build(),
@@ -24,7 +30,11 @@ fn configs() -> Vec<(String, JvmConfig)> {
         ),
         (
             "heaplets".into(),
-            JvmConfig::builder().threads(8).heaplets(true).seed(3).build(),
+            JvmConfig::builder()
+                .threads(8)
+                .heaplets(true)
+                .seed(3)
+                .build(),
         ),
     ]
 }
@@ -123,10 +133,22 @@ fn single_thread_run_has_no_contention_and_no_waiting() {
 #[test]
 fn helper_threads_do_not_complete_application_work() {
     let app = scalesim::workloads::xalan().scaled(0.01);
-    let with = Jvm::new(JvmConfig::builder().threads(4).helper_threads(4).seed(5).build())
-        .run(&app);
-    let without = Jvm::new(JvmConfig::builder().threads(4).helper_threads(0).seed(5).build())
-        .run(&app);
+    let with = Jvm::new(
+        JvmConfig::builder()
+            .threads(4)
+            .helper_threads(4)
+            .seed(5)
+            .build(),
+    )
+    .run(&app);
+    let without = Jvm::new(
+        JvmConfig::builder()
+            .threads(4)
+            .helper_threads(0)
+            .seed(5)
+            .build(),
+    )
+    .run(&app);
     assert_eq!(with.total_items(), without.total_items());
     assert_eq!(with.per_thread.len(), 4);
     assert_eq!(without.per_thread.len(), 4);
@@ -140,10 +162,7 @@ fn helper_threads_increase_mutator_suspension() {
             .threads(8)
             .cores(8)
             .helper_threads(6)
-            .helper_profile(
-                SimDuration::from_micros(500),
-                SimDuration::from_millis(1),
-            )
+            .helper_profile(SimDuration::from_micros(500), SimDuration::from_millis(1))
             .seed(5)
             .build(),
     )

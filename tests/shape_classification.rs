@@ -42,7 +42,9 @@ fn scalable_apps_keep_improving_to_48_threads() {
 
 #[test]
 fn workload_distribution_separates_the_classes() {
-    let params = ExpParams::paper().with_scale(0.05).with_threads(vec![16, 48]);
+    let params = ExpParams::paper()
+        .with_scale(0.05)
+        .with_threads(vec![16, 48]);
     let dist = run_workdist(&params);
 
     for row in &dist.rows {
@@ -70,7 +72,9 @@ fn workload_distribution_separates_the_classes() {
 
 #[test]
 fn jython_concentration_is_independent_of_configured_threads() {
-    let params = ExpParams::paper().with_scale(0.05).with_threads(vec![16, 48]);
+    let params = ExpParams::paper()
+        .with_scale(0.05)
+        .with_threads(vec![16, 48]);
     let dist = run_workdist(&params);
     let rows = dist.rows_of("jython");
     assert_eq!(rows.len(), 2);

@@ -68,7 +68,11 @@ fn fig1b_scalable_apps_out_contend_despite_scaling_better() {
     // The paper's headline: apps that scale BETTER may have MORE
     // contention instances at high thread counts.
     let fig1 = run_fig1_locks(&params());
-    let xalan = fig1.contentions_of("xalan").expect("xalan").last_y().unwrap();
+    let xalan = fig1
+        .contentions_of("xalan")
+        .expect("xalan")
+        .last_y()
+        .unwrap();
     let eclipse = fig1
         .contentions_of("eclipse")
         .expect("eclipse")
@@ -87,7 +91,10 @@ fn fig1d_xalan_lifespans_stretch_with_threads() {
     let at48 = fig1d.frac_below_1k(48).expect("T=48 swept");
     // Paper: >80% below 1KB at 4 threads, ~50% at 48.
     assert!(at4 > 0.7, "xalan at 4T: {at4:.2} of objects below 1KiB");
-    assert!(at48 < 0.6, "xalan at 48T: {at48:.2} should drop toward ~0.5");
+    assert!(
+        at48 < 0.6,
+        "xalan at 48T: {at48:.2} should drop toward ~0.5"
+    );
     assert!(
         at4 - at48 > 0.2,
         "xalan CDF should shift by >20 points, got {at4:.2} -> {at48:.2}"

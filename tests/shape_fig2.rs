@@ -39,7 +39,10 @@ fn gc_share_of_execution_rises_monotonically() {
     let fig2 = run_fig2(&params());
     for app in fig2.apps() {
         let share = fig2.gc_share_series(&app);
-        assert!(share.is_increasing(), "{app} GC share not increasing: {share}");
+        assert!(
+            share.is_increasing(),
+            "{app} GC share not increasing: {share}"
+        );
         let last = share.last_y().expect("non-empty");
         assert!(
             last > 0.05,
