@@ -16,13 +16,16 @@ const WARMUP: u32 = 1;
 const ITERS: u32 = 5;
 
 fn events_of(app: &SyntheticApp, cfg: &JvmConfig) -> u64 {
-    Jvm::new(cfg.clone()).run(app).events_processed
+    Jvm::new(cfg.clone())
+        .run(app)
+        .expect("bench run")
+        .events_processed
 }
 
 fn bench_run(name: &str, app: &SyntheticApp, cfg: &JvmConfig) {
     let events = events_of(app, cfg);
     let sample = timing::bench(name, WARMUP, ITERS, || {
-        black_box(Jvm::new(cfg.clone()).run(app))
+        black_box(Jvm::new(cfg.clone()).run(app).expect("bench run"))
     });
     let per_sec = events as f64 / (sample.median_ns as f64 / 1e9);
     println!(
@@ -37,16 +40,23 @@ fn main() {
     // Scalable, queue + GC heavy.
     let app = xalan().scaled(0.02);
     for threads in [1usize, 16, 48] {
-        let cfg = JvmConfig::builder().threads(threads).build();
+        let cfg = JvmConfig::builder()
+            .threads(threads)
+            .build()
+            .expect("config");
         bench_run(&format!("runtime/xalan/{threads}"), &app, &cfg);
     }
 
     // Lock-convoy heavy (coarse latch, long waits).
     let db = h2().scaled(0.02);
-    let cfg = JvmConfig::builder().threads(32).build();
+    let cfg = JvmConfig::builder().threads(32).build().expect("config");
     bench_run("runtime/h2/32", &db, &cfg);
 
     // Heaplet mode (per-thread collections).
-    let cfg = JvmConfig::builder().threads(16).heaplets(true).build();
+    let cfg = JvmConfig::builder()
+        .threads(16)
+        .heaplets(true)
+        .build()
+        .expect("config");
     bench_run("runtime/xalan-heaplets/16", &app, &cfg);
 }

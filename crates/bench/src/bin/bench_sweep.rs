@@ -12,19 +12,24 @@
 //!    `events_per_sec` (unique simulated events / wall) come from here.
 //! 3. **Unmemoized sweep** — the same drivers with `SCALESIM_NO_MEMO=1`,
 //!    i.e. what the harness did before runs were shared across figures.
+//! 4. **Invariant-monitor overhead** — one xalan run timed with the
+//!    always-on monitors enabled and disabled, reported as events per
+//!    second each plus the relative slowdown (budgeted at < 10%).
 //!
 //! Usage: `bench_sweep [OUTPUT.json]` (default `BENCH_sweep.json`).
 
 use std::hint::black_box;
 use std::time::Instant;
 
-use scalesim_bench::bench_params;
+use scalesim_bench::{bench_params, timing};
+use scalesim_core::{Jvm, JvmConfig};
 use scalesim_experiments::{
     cached_event_total, clear_run_cache, run_biased_sched, run_cache_size, run_fig1_locks,
     run_fig1c, run_fig1d, run_fig2, run_heaplets, run_scalability, run_workdist, ExpParams,
 };
 use scalesim_simkit::baseline::BaselineQueue;
 use scalesim_simkit::{EventQueue, SimDuration};
+use scalesim_workloads::xalan;
 
 /// Events delivered by the queue churn below (identical for both
 /// implementations).
@@ -82,14 +87,14 @@ fn queue_events_per_sec_baseline() -> f64 {
 
 /// Every figure driver, back to back — "the full figure sweep".
 fn figure_sweep(params: &ExpParams) {
-    black_box(run_workdist(params));
-    black_box(run_scalability(params));
-    black_box(run_fig1_locks(params));
-    black_box(run_fig1c(params));
-    black_box(run_fig1d(params));
-    black_box(run_fig2(params));
-    black_box(run_biased_sched("xalan", params));
-    black_box(run_heaplets("xalan", params));
+    black_box(run_workdist(params).expect("workdist"));
+    black_box(run_scalability(params).expect("scaletable"));
+    black_box(run_fig1_locks(params).expect("fig1ab"));
+    black_box(run_fig1c(params).expect("fig1c"));
+    black_box(run_fig1d(params).expect("fig1d"));
+    black_box(run_fig2(params).expect("fig2"));
+    black_box(run_biased_sched("xalan", params).expect("abl-sched"));
+    black_box(run_heaplets("xalan", params).expect("abl-heap"));
 }
 
 fn sweep_wall_ms(params: &ExpParams) -> f64 {
@@ -97,6 +102,32 @@ fn sweep_wall_ms(params: &ExpParams) -> f64 {
     let start = Instant::now();
     figure_sweep(params);
     start.elapsed().as_secs_f64() * 1e3
+}
+
+/// Events per second of one xalan run with the invariant monitors
+/// toggled. Same config either way, so the event count is identical and
+/// the ratio is pure checking overhead.
+fn monitor_events_per_sec(monitors: bool) -> f64 {
+    let app = xalan().scaled(0.05);
+    let cfg = JvmConfig::builder()
+        .threads(16)
+        .seed(42)
+        .monitors(monitors)
+        .build()
+        .expect("bench config");
+    let events = Jvm::new(cfg.clone())
+        .run(&app)
+        .expect("bench run")
+        .events_processed;
+    let label = if monitors {
+        "monitors/on"
+    } else {
+        "monitors/off"
+    };
+    let sample = timing::bench(label, 1, 5, || {
+        black_box(Jvm::new(cfg.clone()).run(&app).expect("bench run"))
+    });
+    events as f64 / (sample.median_ns as f64 / 1e9)
 }
 
 fn main() {
@@ -136,8 +167,19 @@ fn main() {
         nomemo_ms / memo_ms
     );
 
+    eprintln!("invariant-monitor overhead (xalan, 16 threads)...");
+    let mon_on = monitor_events_per_sec(true);
+    let mon_off = monitor_events_per_sec(false);
+    let mon_overhead_pct = (mon_off / mon_on - 1.0) * 100.0;
+    eprintln!(
+        "  on {:.2} M events/s, off {:.2} M events/s, overhead {:.1}%",
+        mon_on / 1e6,
+        mon_off / 1e6,
+        mon_overhead_pct
+    );
+
     let json = format!(
-        "{{\n  \"seed\": {seed},\n  \"events_per_sec\": {eps:.0},\n  \"sweep_wall_ms\": {memo:.1},\n  \"sweep_wall_ms_nomemo\": {nomemo:.1},\n  \"memo_speedup\": {mspeed:.2},\n  \"unique_runs\": {runs},\n  \"events_simulated\": {events},\n  \"queue_events_per_sec_slab\": {qslab:.0},\n  \"queue_events_per_sec_baseline\": {qbase:.0},\n  \"queue_speedup\": {qspeed:.2}\n}}\n",
+        "{{\n  \"seed\": {seed},\n  \"events_per_sec\": {eps:.0},\n  \"sweep_wall_ms\": {memo:.1},\n  \"sweep_wall_ms_nomemo\": {nomemo:.1},\n  \"memo_speedup\": {mspeed:.2},\n  \"unique_runs\": {runs},\n  \"events_simulated\": {events},\n  \"queue_events_per_sec_slab\": {qslab:.0},\n  \"queue_events_per_sec_baseline\": {qbase:.0},\n  \"queue_speedup\": {qspeed:.2},\n  \"events_per_sec_monitors_on\": {mon_on:.0},\n  \"events_per_sec_monitors_off\": {mon_off:.0},\n  \"monitor_overhead_pct\": {mon_pct:.2}\n}}\n",
         seed = params.seed,
         eps = events_per_sec,
         memo = memo_ms,
@@ -148,6 +190,9 @@ fn main() {
         qslab = slab,
         qbase = base,
         qspeed = slab / base,
+        mon_on = mon_on,
+        mon_off = mon_off,
+        mon_pct = mon_overhead_pct,
     );
     std::fs::write(&out, &json).expect("write benchmark report");
     println!("{json}");

@@ -23,7 +23,9 @@ pub enum OldGenPolicy {
 use scalesim_machine::{MachineTopology, Placement};
 use scalesim_objtrace::Retention;
 use scalesim_sched::SchedPolicy;
-use scalesim_simkit::SimDuration;
+use scalesim_simkit::{ChaosConfig, RunBudget, SimDuration};
+
+use crate::error::ConfigError;
 
 /// Complete configuration for one simulated JVM run.
 ///
@@ -34,7 +36,7 @@ use scalesim_simkit::SimDuration;
 /// ```
 /// use scalesim_core::JvmConfig;
 ///
-/// let cfg = JvmConfig::builder().threads(16).seed(7).build();
+/// let cfg = JvmConfig::builder().threads(16).seed(7).build().unwrap();
 /// assert_eq!(cfg.threads, 16);
 /// assert_eq!(cfg.cores(), 16); // paper methodology: cores = threads
 /// ```
@@ -86,6 +88,15 @@ pub struct JvmConfig {
     pub pause_goal: Option<SimDuration>,
     /// Object-trace retention mode.
     pub retention: Retention,
+    /// Hard limits on events, simulated time and host time for one run;
+    /// exceeding any of them truncates the run cleanly.
+    pub budget: RunBudget,
+    /// Deterministic fault injection; all-off by default.
+    pub chaos: ChaosConfig,
+    /// Run the periodic invariant monitors (scheduler, heap conservation,
+    /// monitor protocol scans). Cheap inline protocol checks are always
+    /// on; this flag gates only the periodic full scans.
+    pub monitors: bool,
     /// Master random seed; a run is a pure function of (config, app).
     pub seed: u64,
 }
@@ -121,11 +132,44 @@ impl JvmConfig {
         self.heap_bytes_override
             .unwrap_or_else(|| scalesim_heap::HeapSizer::three_times_min(app_min_heap))
     }
+
+    /// Checks the configuration for structural errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first rejection: zero threads, a nursery fraction
+    /// outside `(0, 1)`, a zero scheduling quantum, more GC workers than
+    /// enabled cores, or a zero heap override.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.threads == 0 {
+            return Err(ConfigError::ZeroThreads);
+        }
+        if !(self.nursery_fraction > 0.0 && self.nursery_fraction < 1.0) {
+            return Err(ConfigError::NurseryOutOfRange {
+                fraction_millis: (self.nursery_fraction * 1000.0).round() as i64,
+            });
+        }
+        if self.quantum.is_zero() {
+            return Err(ConfigError::ZeroQuantum);
+        }
+        if let Some(workers) = self.gc_workers_override {
+            if workers > self.cores() {
+                return Err(ConfigError::GcWorkersExceedCores {
+                    workers,
+                    cores: self.cores(),
+                });
+            }
+        }
+        if self.heap_bytes_override == Some(0) {
+            return Err(ConfigError::ZeroHeap);
+        }
+        Ok(())
+    }
 }
 
 impl Default for JvmConfig {
     fn default() -> Self {
-        JvmConfig::builder().build()
+        JvmConfig::builder().build().expect("defaults are valid")
     }
 }
 
@@ -144,6 +188,11 @@ impl Default for JvmConfigBuilder {
 impl JvmConfigBuilder {
     /// Starts from the paper's defaults: the 48-core AMD testbed, 4
     /// threads, fair scheduling, shared nursery, 2 helper threads.
+    ///
+    /// Budgets and chaos default from the environment (`SCALESIM_CHAOS`,
+    /// `SCALESIM_MAX_EVENTS`, `SCALESIM_MAX_SIM_MS`, `SCALESIM_MAX_HOST_MS`,
+    /// `SCALESIM_MONITORS`), read fresh on every call so tests can toggle
+    /// them; the all-off / monitors-on defaults apply when unset.
     #[must_use]
     pub fn new() -> Self {
         JvmConfigBuilder {
@@ -166,6 +215,12 @@ impl JvmConfigBuilder {
                 gc_model_override: None,
                 pause_goal: None,
                 retention: Retention::HistogramOnly,
+                budget: RunBudget::from_env(),
+                chaos: ChaosConfig::from_env(),
+                monitors: !matches!(
+                    std::env::var("SCALESIM_MONITORS").as_deref(),
+                    Ok("0") | Ok("off")
+                ),
                 seed: 42,
             },
         }
@@ -275,28 +330,39 @@ impl JvmConfigBuilder {
         self
     }
 
+    /// Sets the run budget (event / sim-time / host-time limits).
+    pub fn budget(&mut self, budget: RunBudget) -> &mut Self {
+        self.config.budget = budget;
+        self
+    }
+
+    /// Sets the deterministic fault-injection config.
+    pub fn chaos(&mut self, chaos: ChaosConfig) -> &mut Self {
+        self.config.chaos = chaos;
+        self
+    }
+
+    /// Enables or disables the periodic invariant monitors.
+    pub fn monitors(&mut self, on: bool) -> &mut Self {
+        self.config.monitors = on;
+        self
+    }
+
     /// Sets the master seed.
     pub fn seed(&mut self, seed: u64) -> &mut Self {
         self.config.seed = seed;
         self
     }
 
-    /// Finishes the build.
+    /// Validates and finishes the build.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if threads is zero, the nursery fraction is outside (0, 1),
-    /// or the quantum is zero.
-    #[must_use]
-    pub fn build(&self) -> JvmConfig {
-        let c = &self.config;
-        assert!(c.threads >= 1, "need at least one mutator thread");
-        assert!(
-            c.nursery_fraction > 0.0 && c.nursery_fraction < 1.0,
-            "nursery fraction must be in (0,1)"
-        );
-        assert!(!c.quantum.is_zero(), "quantum must be positive");
-        c.clone()
+    /// Returns the first structural rejection — see
+    /// [`JvmConfig::validate`].
+    pub fn build(&self) -> Result<JvmConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config.clone())
     }
 }
 
@@ -317,7 +383,7 @@ mod tests {
 
     #[test]
     fn cores_cap_at_machine() {
-        let cfg = JvmConfig::builder().threads(96).build();
+        let cfg = JvmConfig::builder().threads(96).build().unwrap();
         assert_eq!(cfg.cores(), 48);
     }
 
@@ -330,7 +396,8 @@ mod tests {
             .heap_bytes(12345)
             .heaplets(true)
             .seed(9)
-            .build();
+            .build()
+            .unwrap();
         assert_eq!(cfg.cores(), 4);
         assert_eq!(cfg.gc_workers(), 2);
         assert_eq!(cfg.heap_bytes(1), 12345);
@@ -339,14 +406,72 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one mutator thread")]
-    fn zero_threads_panics() {
-        let _ = JvmConfig::builder().threads(0).build();
+    fn defaults_have_monitors_on_and_chaos_off() {
+        let cfg = JvmConfig::default();
+        assert!(cfg.monitors);
+        assert!(cfg.chaos.is_off());
+        assert_eq!(cfg.budget.max_events, 2_000_000_000);
     }
 
     #[test]
-    #[should_panic(expected = "nursery fraction")]
-    fn bad_nursery_fraction_panics() {
-        let _ = JvmConfig::builder().nursery_fraction(0.0).build();
+    fn rejects_zero_threads() {
+        assert_eq!(
+            JvmConfig::builder().threads(0).build().unwrap_err(),
+            ConfigError::ZeroThreads
+        );
+    }
+
+    #[test]
+    fn rejects_bad_nursery_fraction() {
+        for bad in [0.0, 1.0, 1.5, -0.2] {
+            let err = JvmConfig::builder()
+                .nursery_fraction(bad)
+                .build()
+                .unwrap_err();
+            assert!(
+                matches!(err, ConfigError::NurseryOutOfRange { .. }),
+                "fraction {bad} gave {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_zero_quantum() {
+        assert_eq!(
+            JvmConfig::builder()
+                .quantum(SimDuration::ZERO)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroQuantum
+        );
+    }
+
+    #[test]
+    fn rejects_gc_workers_beyond_cores() {
+        assert_eq!(
+            JvmConfig::builder()
+                .threads(4)
+                .gc_workers(8)
+                .build()
+                .unwrap_err(),
+            ConfigError::GcWorkersExceedCores {
+                workers: 8,
+                cores: 4
+            }
+        );
+        // Exactly as many workers as cores is fine.
+        assert!(JvmConfig::builder()
+            .threads(4)
+            .gc_workers(4)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn rejects_zero_heap_override() {
+        assert_eq!(
+            JvmConfig::builder().heap_bytes(0).build().unwrap_err(),
+            ConfigError::ZeroHeap
+        );
     }
 }

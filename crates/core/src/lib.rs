@@ -29,8 +29,8 @@
 //! use scalesim_core::{Jvm, JvmConfig};
 //! use scalesim_workloads::lusearch;
 //!
-//! let report = Jvm::new(JvmConfig::builder().threads(8).build())
-//!     .run(&lusearch().scaled(0.01));
+//! let config = JvmConfig::builder().threads(8).build().unwrap();
+//! let report = Jvm::new(config).run(&lusearch().scaled(0.01)).unwrap();
 //! println!("{report}");
 //! assert!(report.gc_share() < 1.0);
 //! ```
@@ -39,11 +39,13 @@
 #![warn(missing_debug_implementations)]
 
 mod config;
+mod error;
 mod replay;
 mod report;
 mod runtime;
 
 pub use config::{JvmConfig, JvmConfigBuilder, OldGenPolicy};
+pub use error::{ConfigError, InvariantViolation, MonitorKind, SimError};
 pub use replay::{replay_gc, ReplayOutcome};
-pub use report::{RunReport, ThreadReport};
+pub use report::{RunOutcome, RunReport, ThreadReport};
 pub use runtime::Jvm;

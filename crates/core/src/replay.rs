@@ -202,9 +202,11 @@ mod tests {
                 .threads(4)
                 .retention(Retention::Full)
                 .seed(42)
-                .build(),
+                .build()
+                .unwrap(),
         )
-        .run(&app);
+        .run(&app)
+        .unwrap();
         let events = report.trace.events().expect("full retention");
         let cfg = config(3 * app.min_heap_bytes());
         let out = replay_gc(events, cfg, model(), 4);

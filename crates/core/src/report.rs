@@ -7,8 +7,51 @@ use scalesim_heap::HeapStats;
 use scalesim_metrics::Summary;
 use scalesim_objtrace::ObjectTracer;
 use scalesim_sched::StateTimes;
-use scalesim_simkit::SimDuration;
+use scalesim_simkit::{AbortReason, SimDuration};
 use scalesim_sync::LockReport;
+
+/// How a run ended.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum RunOutcome {
+    /// The run executed to completion.
+    #[default]
+    Ok,
+    /// A run budget expired; the report carries partial metrics up to the
+    /// truncation point.
+    Truncated(AbortReason),
+    /// The run crashed or kept failing; the sweep harness quarantined it
+    /// and the report carries no metrics.
+    Quarantined(String),
+}
+
+impl RunOutcome {
+    /// True for a clean, complete run.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        matches!(self, RunOutcome::Ok)
+    }
+
+    /// Short marker for table cells: empty when ok, `trunc`/`quar`
+    /// otherwise.
+    #[must_use]
+    pub fn marker(&self) -> &'static str {
+        match self {
+            RunOutcome::Ok => "",
+            RunOutcome::Truncated(_) => "trunc",
+            RunOutcome::Quarantined(_) => "quar",
+        }
+    }
+}
+
+impl fmt::Display for RunOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunOutcome::Ok => write!(f, "ok"),
+            RunOutcome::Truncated(reason) => write!(f, "truncated: {reason}"),
+            RunOutcome::Quarantined(why) => write!(f, "quarantined: {why}"),
+        }
+    }
+}
 
 /// Per-mutator-thread results.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -60,9 +103,34 @@ pub struct RunReport {
     /// of determinism fingerprints, and memoized sweeps report the timing
     /// of the one simulation that actually ran.
     pub host_ns: u64,
+    /// How the run ended: complete, budget-truncated, or quarantined by
+    /// the sweep harness.
+    pub outcome: RunOutcome,
 }
 
 impl RunReport {
+    /// Builds the metric-less placeholder report the sweep harness emits
+    /// for a quarantined `(app, config, seed)` combination.
+    #[must_use]
+    pub fn quarantined(app: &str, threads: usize, cores: usize, why: String) -> RunReport {
+        RunReport {
+            app: app.to_owned(),
+            threads,
+            cores,
+            wall_time: SimDuration::ZERO,
+            gc_time: SimDuration::ZERO,
+            mutator_cpu: SimDuration::ZERO,
+            gc: GcLog::new(),
+            locks: LockReport::default(),
+            trace: ObjectTracer::new(scalesim_objtrace::Retention::HistogramOnly),
+            heap: HeapStats::default(),
+            per_thread: Vec::new(),
+            events_processed: 0,
+            host_ns: 0,
+            outcome: RunOutcome::Quarantined(why),
+        }
+    }
+
     /// Wall time minus GC pauses — the paper's "mutator time" component
     /// of total execution.
     #[must_use]
@@ -142,6 +210,9 @@ impl fmt::Display for RunReport {
             "{} with {} threads on {} cores:",
             self.app, self.threads, self.cores
         )?;
+        if !self.outcome.is_ok() {
+            writeln!(f, "  outcome: {}", self.outcome)?;
+        }
         writeln!(
             f,
             "  wall {}  (mutator {}, gc {} = {:.1}%)",
@@ -188,6 +259,7 @@ mod tests {
                 .collect(),
             events_processed: 0,
             host_ns: 0,
+            outcome: RunOutcome::Ok,
         }
     }
 
@@ -231,5 +303,29 @@ mod tests {
         let s = r.to_string();
         assert!(s.contains("test with 1 threads"), "{s}");
         assert!(s.contains("gc"), "{s}");
+        assert!(!s.contains("outcome"), "clean runs stay terse: {s}");
+    }
+
+    #[test]
+    fn quarantined_report_is_marked_and_metricless() {
+        let r = RunReport::quarantined("xalan", 8, 8, "worker panicked".to_owned());
+        assert!(!r.outcome.is_ok());
+        assert_eq!(r.outcome.marker(), "quar");
+        assert_eq!(r.total_items(), 0);
+        let s = r.to_string();
+        assert!(s.contains("quarantined: worker panicked"), "{s}");
+    }
+
+    #[test]
+    fn outcome_markers() {
+        use scalesim_simkit::AbortReason;
+        assert_eq!(RunOutcome::Ok.marker(), "");
+        assert_eq!(
+            RunOutcome::Truncated(AbortReason::MaxEvents(7)).marker(),
+            "trunc"
+        );
+        assert!(RunOutcome::Truncated(AbortReason::MaxEvents(7))
+            .to_string()
+            .contains("event budget"));
     }
 }

@@ -26,17 +26,24 @@ use rand::Rng;
 use scalesim_gc::{AdaptiveSizer, Collector, GcCostModel};
 use scalesim_heap::{AllocResult, Heap, HeapConfig, NurseryLayout, ObjectId};
 use scalesim_objtrace::{ObjSeq, ObjectTracer};
-use scalesim_sched::{BlockReason, CpuScheduler, SchedPolicy, ThreadId};
-use scalesim_simkit::{EventId, EventQueue, RngFactory, SimDuration, SimTime};
+use scalesim_sched::{BlockReason, CpuScheduler, SchedPolicy, ThreadId, ThreadState};
+use scalesim_simkit::{
+    ChaosPlan, EventId, EventQueue, FaultClass, RngFactory, SimDuration, SimTime,
+};
 use scalesim_sync::{AcquireOutcome, LockTable, MonitorId};
 use scalesim_workloads::{AppModel, DeathPoint, Distribution, Step, WorkItem};
 
 use crate::config::{JvmConfig, OldGenPolicy};
-use crate::report::{RunReport, ThreadReport};
+use crate::error::{InvariantViolation, MonitorKind, SimError};
+use crate::report::{RunOutcome, RunReport, ThreadReport};
 
-/// Hard ceiling on simulation events — a runaway-loop backstop far above
-/// any legitimate run in this workspace.
-const MAX_EVENTS: u64 = 2_000_000_000;
+/// Period, in events, of the full invariant scan (scheduler + monitor
+/// cross-checks) when `JvmConfig::monitors` is on.
+const MONITOR_SCAN_PERIOD: u64 = 1 << 16;
+
+/// Period, in events, of the sim-time / host-time budget checks (the
+/// event-count check is a plain compare and runs on every event).
+const BUDGET_CHECK_PERIOD: u64 = 1 << 10;
 
 /// The simulated JVM. Construct with a [`JvmConfig`], then [`Jvm::run`]
 /// an application; each run is independent and deterministic.
@@ -47,8 +54,8 @@ const MAX_EVENTS: u64 = 2_000_000_000;
 /// use scalesim_core::{Jvm, JvmConfig};
 /// use scalesim_workloads::xalan;
 ///
-/// let report = Jvm::new(JvmConfig::builder().threads(4).build())
-///     .run(&xalan().scaled(0.01));
+/// let config = JvmConfig::builder().threads(4).build().unwrap();
+/// let report = Jvm::new(config).run(&xalan().scaled(0.01)).unwrap();
 /// assert!(report.total_items() > 0);
 /// ```
 #[derive(Debug, Clone)]
@@ -70,8 +77,17 @@ impl Jvm {
     }
 
     /// Executes `app` to completion and returns the measurements.
-    #[must_use]
-    pub fn run(&self, app: &dyn AppModel) -> RunReport {
+    ///
+    /// A run that exhausts its [`JvmConfig::budget`] still returns `Ok`,
+    /// with the report's outcome marked [`RunOutcome::Truncated`] and
+    /// metrics covering the portion that did execute.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Invariant`] when an invariant monitor detects
+    /// inconsistent runtime state (which injected chaos faults are
+    /// designed to provoke).
+    pub fn run(&self, app: &dyn AppModel) -> Result<RunReport, SimError> {
         Sim::new(&self.config, app).run()
     }
 }
@@ -226,6 +242,11 @@ struct Sim<'a> {
     /// A mostly-concurrent old-gen cycle in flight: (background thread,
     /// initial-mark pause to report at the end, remaining work).
     concurrent_cycle: Option<(ThreadId, SimDuration)>,
+    /// Seed-derived fault-injection schedule.
+    chaos: ChaosPlan,
+    /// First invariant violation detected; aborts the run after the
+    /// current event.
+    violation: Option<InvariantViolation>,
 }
 
 impl<'a> Sim<'a> {
@@ -295,6 +316,16 @@ impl<'a> Sim<'a> {
             cohorts,
             active_cohort: 0,
             concurrent_cycle: None,
+            chaos: ChaosPlan::new(config.chaos, config.seed),
+            violation: None,
+        }
+    }
+
+    /// Records the first invariant violation; the main loop aborts after
+    /// the current event.
+    fn flag_violation(&mut self, kind: MonitorKind, detail: String) {
+        if self.violation.is_none() {
+            self.violation = Some(InvariantViolation { kind, detail });
         }
     }
 
@@ -380,24 +411,53 @@ impl<'a> Sim<'a> {
     // Main loop
     // ------------------------------------------------------------------
 
-    fn run(mut self) -> RunReport {
+    fn run(mut self) -> Result<RunReport, SimError> {
+        let host_start = std::time::Instant::now();
         self.spawn_threads();
         self.dispatch_and_resume();
 
+        let budget = self.config.budget;
+        let timed_budget = budget.max_sim_time.is_some() || budget.max_host_ms.is_some();
         let mut wall = SimTime::ZERO;
+        let mut outcome = RunOutcome::Ok;
         while self.mutators_left > 0 {
             let Some((_, event)) = self.queue.pop() else {
-                panic!(
-                    "simulation deadlock: {} mutators unfinished with no pending events",
-                    self.mutators_left
-                );
+                return Err(SimError::Invariant(InvariantViolation {
+                    kind: MonitorKind::QueueLiveness,
+                    detail: format!(
+                        "simulation deadlock: {} mutators unfinished with no pending events",
+                        self.mutators_left
+                    ),
+                }));
             };
-            assert!(
-                self.queue.popped_total() < MAX_EVENTS,
-                "event budget exceeded — runaway simulation"
-            );
+            let processed = self.queue.popped_total();
+            if processed > budget.max_events {
+                outcome = RunOutcome::Truncated(scalesim_simkit::AbortReason::MaxEvents(
+                    budget.max_events,
+                ));
+                break;
+            }
+            if self.chaos.panics_at(processed) {
+                panic!("chaos: deliberate panic at event {processed}");
+            }
             self.handle(event);
             wall = self.now();
+            if let Some(v) = self.violation.take() {
+                return Err(SimError::Invariant(v));
+            }
+            if timed_budget && processed.is_multiple_of(BUDGET_CHECK_PERIOD) {
+                let host_ms = host_start.elapsed().as_millis() as u64;
+                if let Some(reason) = budget.check(processed, wall, host_ms) {
+                    outcome = RunOutcome::Truncated(reason);
+                    break;
+                }
+            }
+            if self.config.monitors && processed.is_multiple_of(MONITOR_SCAN_PERIOD) {
+                self.scan_invariants();
+                if let Some(v) = self.violation.take() {
+                    return Err(SimError::Invariant(v));
+                }
+            }
         }
 
         // Helpers (and an unfinished concurrent-GC background thread)
@@ -434,7 +494,7 @@ impl<'a> Sim<'a> {
             .collect();
         let mutator_cpu: SimDuration = per_thread.iter().map(|t| t.times.running).sum();
 
-        RunReport {
+        Ok(RunReport {
             app: self.app.name().to_owned(),
             threads: self.config.threads,
             cores: self.config.cores(),
@@ -448,7 +508,8 @@ impl<'a> Sim<'a> {
             per_thread,
             events_processed: self.queue.popped_total(),
             host_ns: 0,
-        }
+            outcome,
+        })
     }
 
     fn handle(&mut self, event: Event) {
@@ -607,7 +668,19 @@ impl<'a> Sim<'a> {
         }
         // A monitor granted while we waited?
         if let Some(p) = self.ctxs[tid.index()].pending {
-            assert!(p.granted, "{tid} resumed with an ungranted pending acquire");
+            if !p.granted {
+                // A spurious wakeup: the thread reached a core without the
+                // monitor handoff. Always checked inline — this is the
+                // mutual-exclusion boundary.
+                self.flag_violation(
+                    MonitorKind::MonitorProtocol,
+                    format!(
+                        "{tid} resumed with an ungranted pending acquire on {}",
+                        p.monitor
+                    ),
+                );
+                return;
+            }
             self.ctxs[tid.index()].pending = None;
             match p.purpose {
                 Purpose::Fetch => {
@@ -919,9 +992,16 @@ impl<'a> Sim<'a> {
     fn run_gc(&mut self, region: usize) {
         let live = self.sched.live_count();
         let now = self.now();
-        let pause = self
+        let mut pause = self
             .collector
             .collect_minor(&mut self.heap, region, live, now);
+        if self.chaos.fires(FaultClass::GcStall) {
+            // Injected fault: a GC worker stalls at the safepoint and the
+            // whole pause stretches. The pause-bound monitor must catch
+            // it (at test-sized stall factors).
+            pause += pause.mul_f64(self.chaos.config().gc_stall_factor);
+        }
+        self.check_collection_invariants(pause, live);
         self.apply_stw(pause);
         self.maybe_start_concurrent_cycle();
         if let Some(goal) = self.config.pause_goal {
@@ -938,6 +1018,35 @@ impl<'a> Sim<'a> {
         }
     }
 
+    /// Collection-boundary invariant checks: heap conservation (allocated
+    /// = live + collected, consistent per-space accounting) and the GC
+    /// pause bound — no stop-the-world pause can exceed twice the model
+    /// cost of evacuating *and* compacting the entire heap, so a stalled
+    /// GC worker shows up immediately.
+    fn check_collection_invariants(&mut self, pause: SimDuration, live_threads: usize) {
+        if !self.config.monitors || self.violation.is_some() {
+            return;
+        }
+        if let Err(detail) = self.heap.check_conservation() {
+            self.flag_violation(MonitorKind::HeapConservation, detail);
+            return;
+        }
+        let model = self.collector.model();
+        let total = self.heap.config().total_bytes();
+        let ceiling_ns = 2.0
+            * (model.minor_pause_ns(total, live_threads)
+                + model.full_pause_ns(total, live_threads));
+        if pause.as_nanos() as f64 > ceiling_ns {
+            self.flag_violation(
+                MonitorKind::GcPauseBound,
+                format!(
+                    "GC pause {pause} exceeds the physical ceiling {} for a {total}-byte heap",
+                    SimDuration::from_nanos(ceiling_ns as u64)
+                ),
+            );
+        }
+    }
+
     /// Thread-local heaplet collection: the owner absorbs the pause as
     /// compute-time debt; only an escalated full collection stops the
     /// world.
@@ -947,6 +1056,7 @@ impl<'a> Sim<'a> {
         let out = self
             .collector
             .collect_minor_local(&mut self.heap, region, live, now);
+        self.check_collection_invariants(out.local_pause.max(out.stw_pause), live);
         self.ctxs[tid.index()].local_pause_debt += out.local_pause;
         if !out.stw_pause.is_zero() {
             self.apply_stw(out.stw_pause);
@@ -1013,6 +1123,12 @@ impl<'a> Sim<'a> {
                 r.deadline = r.deadline.saturating_add(pause);
             }
         }
+        // A stop-the-world pause is a safepoint: every mutator is parked at
+        // a known boundary, so this is the cheapest moment to cross-check
+        // scheduler and monitor state.
+        if self.config.monitors {
+            self.scan_invariants();
+        }
     }
 
     /// Whether the thread still has (or can still get) work.
@@ -1048,6 +1164,12 @@ impl<'a> Sim<'a> {
     fn block_on_monitor(&mut self, tid: ThreadId) {
         self.disarm_quantum(tid);
         self.sched.block(tid, self.now(), BlockReason::Monitor);
+        if self.chaos.fires(FaultClass::SpuriousWakeup) {
+            // Injected fault: the waiter becomes runnable without the
+            // monitor handoff, as a broken park/unpark would produce. The
+            // inline protocol check in `next_action` must catch it.
+            self.sched.unblock(tid, self.now());
+        }
         self.dispatch_and_resume();
     }
 
@@ -1060,8 +1182,109 @@ impl<'a> Sim<'a> {
                 .expect("granted thread has a pending acquire");
             debug_assert_eq!(p.monitor, mon);
             p.granted = true;
-            self.sched.unblock(next, self.now());
+            if self.chaos.fires(FaultClass::DropWakeup) {
+                // Injected fault: the handoff is recorded but the waiter
+                // is never made runnable — a classic lost wakeup. The
+                // scheduler monitor (or the run budget) must catch it.
+                return;
+            }
+            // A prior spurious wakeup may have made the thread runnable
+            // already; only a still-blocked waiter needs the unblock.
+            if matches!(self.sched.state(next), ThreadState::Blocked(_)) {
+                self.sched.unblock(next, self.now());
+            }
             self.dispatch_and_resume();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Invariant monitors
+    // ------------------------------------------------------------------
+
+    /// The periodic full scan: scheduler cross-structure consistency plus
+    /// scheduler↔monitor-table agreement. Runs every
+    /// [`MONITOR_SCAN_PERIOD`] events and at stop-the-world safepoints
+    /// when `JvmConfig::monitors` is on.
+    fn scan_invariants(&mut self) {
+        if self.violation.is_some() {
+            return;
+        }
+        if let Err(detail) = self.sched.sanity_check() {
+            self.flag_violation(MonitorKind::Scheduler, detail);
+            return;
+        }
+        for i in 0..self.ctxs.len() {
+            let tid = ThreadId::new(i);
+            let Some(p) = self.ctxs[i].pending else {
+                continue;
+            };
+            let state = self.sched.state(tid);
+            if p.granted {
+                // A granted waiter is unblocked in the same event that
+                // granted it; still being blocked means a lost wakeup.
+                if matches!(state, ThreadState::Blocked(_)) {
+                    self.flag_violation(
+                        MonitorKind::Scheduler,
+                        format!(
+                            "lost wakeup: {tid} was granted {} but is still blocked",
+                            p.monitor
+                        ),
+                    );
+                    return;
+                }
+                // The handoff made the thread the owner.
+                if self.locks.owner(p.monitor) != Some(tid) {
+                    self.flag_violation(
+                        MonitorKind::MonitorProtocol,
+                        format!("{tid} holds a grant for {} it does not own", p.monitor),
+                    );
+                    return;
+                }
+            } else {
+                // An ungranted waiter stays blocked until the handoff; any
+                // other state means a spurious wakeup slipped through.
+                if !matches!(state, ThreadState::Blocked(_)) {
+                    self.flag_violation(
+                        MonitorKind::MonitorProtocol,
+                        format!(
+                            "spurious wakeup: {tid} is {state} while waiting ungranted on {}",
+                            p.monitor
+                        ),
+                    );
+                    return;
+                }
+                // An ungranted waiter must sit in the monitor's FIFO queue
+                // behind a live owner.
+                if !self.locks.is_waiting(p.monitor, tid) {
+                    self.flag_violation(
+                        MonitorKind::MonitorProtocol,
+                        format!("{tid} blocks on {} but is not in its wait queue", p.monitor),
+                    );
+                    return;
+                }
+                if self.locks.owner(p.monitor).is_none() {
+                    self.flag_violation(
+                        MonitorKind::MonitorProtocol,
+                        format!("{tid} waits on {} although it is unowned", p.monitor),
+                    );
+                    return;
+                }
+            }
+        }
+        // Mutual exclusion: a thread inside a critical step owns the lock.
+        for i in 0..self.ctxs.len() {
+            let tid = ThreadId::new(i);
+            if let Some(r) = &self.ctxs[i].running {
+                if let StepKind::Critical(mon) | StepKind::Fetch(mon) = r.kind {
+                    if self.locks.owner(mon) != Some(tid) {
+                        self.flag_violation(
+                            MonitorKind::MonitorProtocol,
+                            format!("{tid} executes a critical section without owning {mon}"),
+                        );
+                        return;
+                    }
+                }
+            }
         }
     }
 }
@@ -1080,14 +1303,20 @@ mod tests {
     use scalesim_workloads::{eclipse, h2, jython, xalan, SyntheticApp};
 
     fn quick(app: &SyntheticApp, threads: usize) -> RunReport {
-        let cfg = JvmConfig::builder().threads(threads).seed(1).build();
-        Jvm::new(cfg).run(&app.scaled(0.02))
+        let cfg = JvmConfig::builder()
+            .threads(threads)
+            .seed(1)
+            .build()
+            .unwrap();
+        Jvm::new(cfg).run(&app.scaled(0.02)).unwrap()
     }
 
     #[test]
     fn single_thread_run_completes_all_items() {
         let app = xalan().scaled(0.02);
-        let report = Jvm::new(JvmConfig::builder().threads(1).build()).run(&app);
+        let report = Jvm::new(JvmConfig::builder().threads(1).build().unwrap())
+            .run(&app)
+            .unwrap();
         assert_eq!(report.total_items(), app.total_items());
         assert!(report.wall_time.as_nanos() > 0);
         assert!(report.mutator_cpu.as_nanos() > 0);
@@ -1156,8 +1385,12 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let app = xalan().scaled(0.02);
-        let a = Jvm::new(JvmConfig::builder().threads(4).seed(1).build()).run(&app);
-        let b = Jvm::new(JvmConfig::builder().threads(4).seed(2).build()).run(&app);
+        let a = Jvm::new(JvmConfig::builder().threads(4).seed(1).build().unwrap())
+            .run(&app)
+            .unwrap();
+        let b = Jvm::new(JvmConfig::builder().threads(4).seed(2).build().unwrap())
+            .run(&app)
+            .unwrap();
         assert_ne!(a.wall_time, b.wall_time);
     }
 
@@ -1188,8 +1421,9 @@ mod tests {
             .threads(4)
             .heaplets(true)
             .seed(1)
-            .build();
-        let report = Jvm::new(cfg).run(&xalan().scaled(0.02));
+            .build()
+            .unwrap();
+        let report = Jvm::new(cfg).run(&xalan().scaled(0.02)).unwrap();
         assert!(report.gc.collections() > 0);
         let regions: std::collections::HashSet<usize> = report
             .gc
@@ -1212,9 +1446,10 @@ mod tests {
             .threads(8)
             .policy(SchedPolicy::Biased { cohorts: 2 })
             .seed(1)
-            .build();
+            .build()
+            .unwrap();
         let app = xalan().scaled(0.02);
-        let report = Jvm::new(cfg).run(&app);
+        let report = Jvm::new(cfg).run(&app).unwrap();
         assert_eq!(report.total_items(), app.total_items());
     }
 
@@ -1230,15 +1465,19 @@ mod tests {
         // full-scale xalan at 48 threads: promotion pressure produces
         // full GCs in the baseline (see Figure 2)
         let app = xalan();
-        let stw = Jvm::new(JvmConfig::builder().threads(48).seed(1).build()).run(&app);
+        let stw = Jvm::new(JvmConfig::builder().threads(48).seed(1).build().unwrap())
+            .run(&app)
+            .unwrap();
         let conc = Jvm::new(
             JvmConfig::builder()
                 .threads(48)
                 .seed(1)
                 .old_gen(OldGenPolicy::MostlyConcurrent)
-                .build(),
+                .build()
+                .unwrap(),
         )
-        .run(&app);
+        .run(&app)
+        .unwrap();
         assert_eq!(conc.total_items(), app.total_items());
         assert!(
             stw.gc.count(GcKind::Full) > 0,
@@ -1286,10 +1525,13 @@ mod tests {
             .threads(8)
             .policy(SchedPolicy::Biased { cohorts: 2 })
             .seed(1)
-            .build();
+            .build()
+            .unwrap();
         let app = xalan().scaled(0.05);
-        let biased = Jvm::new(cfg).run(&app);
-        let fair = Jvm::new(JvmConfig::builder().threads(8).seed(1).build()).run(&app);
+        let biased = Jvm::new(cfg).run(&app).unwrap();
+        let fair = Jvm::new(JvmConfig::builder().threads(8).seed(1).build().unwrap())
+            .run(&app)
+            .unwrap();
         // parked threads accumulate sleep-state time that fair never has
         let sleep: SimDuration = biased
             .per_thread
@@ -1308,9 +1550,10 @@ mod tests {
             .threads(4)
             .heaplets(true)
             .seed(1)
-            .build();
+            .build()
+            .unwrap();
         let app = xalan().scaled(0.05);
-        let report = Jvm::new(cfg).run(&app);
+        let report = Jvm::new(cfg).run(&app).unwrap();
         let local_pause = report.gc.pause_of(GcKind::LocalMinor);
         assert!(local_pause.as_nanos() > 0);
         // local collection time rides inside mutator running time (the
@@ -1331,9 +1574,14 @@ mod tests {
 
     #[test]
     fn more_threads_than_cores_still_completes() {
-        let cfg = JvmConfig::builder().threads(6).cores(2).seed(1).build();
+        let cfg = JvmConfig::builder()
+            .threads(6)
+            .cores(2)
+            .seed(1)
+            .build()
+            .unwrap();
         let app = xalan().scaled(0.01);
-        let report = Jvm::new(cfg).run(&app);
+        let report = Jvm::new(cfg).run(&app).unwrap();
         assert_eq!(report.total_items(), app.total_items());
         let runnable_wait: SimDuration = report
             .per_thread

@@ -14,14 +14,14 @@
 //! thread counts, potentially at some wall-time cost (biased scheduling
 //! deliberately idles cores).
 
-use scalesim_core::{JvmConfig, RunReport};
+use scalesim_core::{JvmConfig, RunOutcome, RunReport, SimError};
 use scalesim_metrics::{fmt2, fmt_pct, Table};
 use scalesim_sched::SchedPolicy;
 use scalesim_simkit::SimDuration;
 use scalesim_workloads::app_by_name;
 
 use crate::params::ExpParams;
-use crate::sweep::{run_all, RunSpec};
+use crate::sweep::{outcome_cell, run_all, RunSpec};
 
 /// One measured configuration in an ablation.
 #[derive(Debug, Clone, PartialEq)]
@@ -45,6 +45,8 @@ pub struct AblationRow {
     pub survival: f64,
     /// Bytes promoted to the mature generation.
     pub promoted: u64,
+    /// How the run behind this row ended.
+    pub outcome: RunOutcome,
 }
 
 impl AblationRow {
@@ -59,6 +61,7 @@ impl AblationRow {
             frac_below_1k: r.trace.fraction_below(1 << 10),
             survival: r.gc.minor_survival_rate().unwrap_or(0.0),
             promoted: r.gc.promoted_bytes(),
+            outcome: r.outcome.clone(),
         }
     }
 }
@@ -101,6 +104,7 @@ impl Ablation {
             "<1KiB",
             "survival",
             "promoted",
+            "outcome",
         ]);
         for r in &self.rows {
             t.row(vec![
@@ -113,14 +117,19 @@ impl Ablation {
                 fmt_pct(r.frac_below_1k),
                 fmt2(r.survival * 100.0) + "%",
                 r.promoted.to_string(),
+                outcome_cell(&r.outcome),
             ]);
         }
         t
     }
 }
 
-fn run_variants(app: &str, params: &ExpParams, variants: &[(&str, JvmConfig)]) -> Ablation {
-    let model = app_by_name(app).unwrap_or_else(|| panic!("unknown app {app}"));
+fn run_variants(
+    app: &str,
+    params: &ExpParams,
+    variants: &[(&str, JvmConfig)],
+) -> Result<Ablation, SimError> {
+    let model = app_by_name(app).ok_or_else(|| SimError::UnknownApp(app.to_owned()))?;
     let mut specs = Vec::new();
     let mut labels = Vec::new();
     for &threads in &params.thread_counts {
@@ -135,28 +144,32 @@ fn run_variants(app: &str, params: &ExpParams, variants: &[(&str, JvmConfig)]) -
         }
     }
     let reports = run_all(&specs);
-    Ablation {
+    Ok(Ablation {
         rows: labels
             .iter()
             .zip(reports.iter())
             .map(|(label, r)| AblationRow::from_report(label, r))
             .collect(),
-    }
+    })
 }
 
 /// Ablation `abl-sched`: fair scheduling vs. biased cohort scheduling
 /// (2 and 4 cohorts) on `app`.
-#[must_use]
-pub fn run_biased_sched(app: &str, params: &ExpParams) -> Ablation {
-    let baseline = JvmConfig::builder().seed(params.seed).build();
+///
+/// # Errors
+///
+/// Returns [`SimError::UnknownApp`] for an unknown `app` and propagates
+/// configuration errors.
+pub fn run_biased_sched(app: &str, params: &ExpParams) -> Result<Ablation, SimError> {
+    let baseline = JvmConfig::builder().seed(params.seed).build()?;
     let biased2 = JvmConfig::builder()
         .seed(params.seed)
         .policy(SchedPolicy::Biased { cohorts: 2 })
-        .build();
+        .build()?;
     let biased4 = JvmConfig::builder()
         .seed(params.seed)
         .policy(SchedPolicy::Biased { cohorts: 4 })
-        .build();
+        .build()?;
     run_variants(
         app,
         params,
@@ -169,13 +182,17 @@ pub fn run_biased_sched(app: &str, params: &ExpParams) -> Ablation {
 }
 
 /// Ablation `abl-heap`: shared nursery vs. per-thread heaplets on `app`.
-#[must_use]
-pub fn run_heaplets(app: &str, params: &ExpParams) -> Ablation {
-    let baseline = JvmConfig::builder().seed(params.seed).build();
+///
+/// # Errors
+///
+/// Returns [`SimError::UnknownApp`] for an unknown `app` and propagates
+/// configuration errors.
+pub fn run_heaplets(app: &str, params: &ExpParams) -> Result<Ablation, SimError> {
+    let baseline = JvmConfig::builder().seed(params.seed).build()?;
     let heaplets = JvmConfig::builder()
         .seed(params.seed)
         .heaplets(true)
-        .build();
+        .build()?;
     run_variants(
         app,
         params,
@@ -193,7 +210,7 @@ mod tests {
 
     #[test]
     fn biased_study_produces_three_variants() {
-        let a = run_biased_sched("xalan", &tiny());
+        let a = run_biased_sched("xalan", &tiny()).unwrap();
         assert_eq!(a.rows.len(), 3);
         assert!(a.row("baseline", 8).is_some());
         assert!(a.row("biased-2", 8).is_some());
@@ -203,7 +220,7 @@ mod tests {
 
     #[test]
     fn heaplets_study_produces_two_variants() {
-        let a = run_heaplets("xalan", &tiny());
+        let a = run_heaplets("xalan", &tiny()).unwrap();
         assert_eq!(a.rows.len(), 2);
         let t = a.table();
         assert_eq!(t.num_rows(), 2);
@@ -211,7 +228,7 @@ mod tests {
 
     #[test]
     fn gc_ratio_compares_to_baseline() {
-        let a = run_heaplets("xalan", &tiny());
+        let a = run_heaplets("xalan", &tiny()).unwrap();
         if let Some(ratio) = a.gc_ratio("heaplets", 8) {
             assert!(ratio > 0.0);
         }

@@ -21,7 +21,7 @@
 //! * `ext-concurrent` — would a CMS-like mostly-concurrent old-generation
 //!   collector change the paper's conclusion that GC limits scalability?
 
-use scalesim_core::{replay_gc, Jvm, JvmConfig, OldGenPolicy, RunReport};
+use scalesim_core::{replay_gc, Jvm, JvmConfig, OldGenPolicy, RunOutcome, RunReport, SimError};
 use scalesim_gc::{GcCostModel, GcKind};
 use scalesim_heap::{HeapConfig, NurseryLayout};
 use scalesim_machine::Placement;
@@ -31,7 +31,7 @@ use scalesim_simkit::SimDuration;
 use scalesim_workloads::app_by_name;
 
 use crate::params::ExpParams;
-use crate::sweep::{run_all, RunSpec};
+use crate::sweep::{outcome_cell, run_all, RunSpec};
 
 // ---------------------------------------------------------------------
 // ext-ergo: adaptive nursery sizing
@@ -52,6 +52,8 @@ pub struct ErgoRow {
     pub max_minor_pause: SimDuration,
     /// Minor collections.
     pub minors: usize,
+    /// How the run behind this row ended.
+    pub outcome: RunOutcome,
 }
 
 /// The adaptive-sizing study.
@@ -80,6 +82,7 @@ impl Ergonomics {
             "gc",
             "max minor pause",
             "minors",
+            "outcome",
         ]);
         for r in &self.rows {
             t.row(vec![
@@ -89,6 +92,7 @@ impl Ergonomics {
                 r.gc.to_string(),
                 r.max_minor_pause.to_string(),
                 r.minors.to_string(),
+                outcome_cell(&r.outcome),
             ]);
         }
         t
@@ -111,18 +115,18 @@ fn max_minor_pause(report: &RunReport) -> SimDuration {
 /// a *tight* goal of 1.1× the floor leaves almost no copy budget, a
 /// *relaxed* goal of 4× the floor lets the nursery grow for throughput.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `app` is unknown.
-#[must_use]
-pub fn run_ergonomics(app: &str, params: &ExpParams) -> Ergonomics {
-    let model = app_by_name(app).unwrap_or_else(|| panic!("unknown app {app}"));
+/// Returns [`SimError::UnknownApp`] for an unknown `app` and propagates
+/// configuration errors.
+pub fn run_ergonomics(app: &str, params: &ExpParams) -> Result<Ergonomics, SimError> {
+    let model = app_by_name(app).ok_or_else(|| SimError::UnknownApp(app.to_owned()))?;
     let mut specs = Vec::new();
     let mut labels = Vec::new();
     for &threads in &params.thread_counts {
         let mut fixed = JvmConfig::builder();
         fixed.threads(threads).seed(params.seed);
-        let fixed = fixed.build();
+        let fixed = fixed.build()?;
         // The floor this configuration's minor pauses cannot go below.
         let cost = GcCostModel::hotspot_like(
             fixed.gc_workers(),
@@ -142,13 +146,13 @@ pub fn run_ergonomics(app: &str, params: &ExpParams) -> Ergonomics {
                 .pause_goal(floor.mul_f64(factor));
             specs.push(RunSpec {
                 app: model.scaled(params.scale),
-                config: cfg.build(),
+                config: cfg.build()?,
             });
             labels.push(label.to_owned());
         }
     }
     let reports = run_all(&specs);
-    Ergonomics {
+    Ok(Ergonomics {
         rows: labels
             .iter()
             .zip(reports.iter())
@@ -159,9 +163,10 @@ pub fn run_ergonomics(app: &str, params: &ExpParams) -> Ergonomics {
                 gc: r.gc_time,
                 max_minor_pause: max_minor_pause(r),
                 minors: r.gc.count(GcKind::Minor),
+                outcome: r.outcome.clone(),
             })
             .collect(),
-    }
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -181,6 +186,8 @@ pub struct NumaRow {
     pub wall: SimDuration,
     /// Total GC pause time.
     pub gc: SimDuration,
+    /// How the run behind this row ended.
+    pub outcome: RunOutcome,
 }
 
 /// The placement study.
@@ -202,7 +209,14 @@ impl NumaStudy {
     /// Renders the table.
     #[must_use]
     pub fn table(&self) -> Table {
-        let mut t = Table::new(vec!["threads", "placement", "numa factor", "wall", "gc"]);
+        let mut t = Table::new(vec![
+            "threads",
+            "placement",
+            "numa factor",
+            "wall",
+            "gc",
+            "outcome",
+        ]);
         for r in &self.rows {
             t.row(vec![
                 r.threads.to_string(),
@@ -210,6 +224,7 @@ impl NumaStudy {
                 fmt2(r.numa_factor),
                 r.wall.to_string(),
                 r.gc.to_string(),
+                outcome_cell(&r.outcome),
             ]);
         }
         t
@@ -220,12 +235,12 @@ impl NumaStudy {
 /// is largest at thread counts below one socket's worth of cores, where
 /// compact placement stays NUMA-local.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `app` is unknown.
-#[must_use]
-pub fn run_numa_placement(app: &str, params: &ExpParams) -> NumaStudy {
-    let model = app_by_name(app).unwrap_or_else(|| panic!("unknown app {app}"));
+/// Returns [`SimError::UnknownApp`] for an unknown `app` and propagates
+/// configuration errors.
+pub fn run_numa_placement(app: &str, params: &ExpParams) -> Result<NumaStudy, SimError> {
+    let model = app_by_name(app).ok_or_else(|| SimError::UnknownApp(app.to_owned()))?;
     let placements = [
         (Placement::Compact, "compact"),
         (Placement::Scatter, "scatter"),
@@ -236,7 +251,7 @@ pub fn run_numa_placement(app: &str, params: &ExpParams) -> NumaStudy {
         for (placement, label) in placements {
             let mut cfg = JvmConfig::builder();
             cfg.threads(threads).seed(params.seed).placement(placement);
-            let cfg = cfg.build();
+            let cfg = cfg.build()?;
             let cores = placement.enabled(&cfg.machine, cfg.cores());
             let factor = cfg.machine.mean_numa_factor_of(&cores);
             specs.push(RunSpec {
@@ -247,7 +262,7 @@ pub fn run_numa_placement(app: &str, params: &ExpParams) -> NumaStudy {
         }
     }
     let reports = run_all(&specs);
-    NumaStudy {
+    Ok(NumaStudy {
         rows: meta
             .iter()
             .zip(reports.iter())
@@ -257,9 +272,10 @@ pub fn run_numa_placement(app: &str, params: &ExpParams) -> NumaStudy {
                 numa_factor: *factor,
                 wall: r.wall_time,
                 gc: r.gc_time,
+                outcome: r.outcome.clone(),
             })
             .collect(),
-    }
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -277,6 +293,8 @@ pub struct ShardingRow {
     pub contention_rate: f64,
     /// End-to-end wall time.
     pub wall: SimDuration,
+    /// How the run behind this row ended.
+    pub outcome: RunOutcome,
 }
 
 /// The sharding study (fixed thread count, varying shard counts).
@@ -304,6 +322,7 @@ impl Sharding {
             "contentions",
             "rate",
             "wall",
+            "outcome",
         ]);
         for r in &self.rows {
             t.row(vec![
@@ -314,6 +333,7 @@ impl Sharding {
                 r.contentions.to_string(),
                 fmt_pct(r.contention_rate),
                 r.wall.to_string(),
+                outcome_cell(&r.outcome),
             ]);
         }
         t
@@ -323,12 +343,19 @@ impl Sharding {
 /// Runs `ext-sharding`: shard `app`'s lock class `class_idx` 1/2/4/8
 /// ways at the sweep's largest thread count.
 ///
+/// # Errors
+///
+/// Returns [`SimError::UnknownApp`] for an unknown `app`.
+///
 /// # Panics
 ///
-/// Panics if `app` is unknown or `class_idx` is out of range.
-#[must_use]
-pub fn run_lock_sharding(app: &str, class_idx: usize, params: &ExpParams) -> Sharding {
-    let model = app_by_name(app).unwrap_or_else(|| panic!("unknown app {app}"));
+/// Panics if `class_idx` is out of range.
+pub fn run_lock_sharding(
+    app: &str,
+    class_idx: usize,
+    params: &ExpParams,
+) -> Result<Sharding, SimError> {
+    let model = app_by_name(app).ok_or_else(|| SimError::UnknownApp(app.to_owned()))?;
     let class = model.spec().lock_classes[class_idx].name.clone();
     let threads = params.max_threads();
     let shard_counts = [1usize, 2, 4, 8];
@@ -343,7 +370,7 @@ pub fn run_lock_sharding(app: &str, class_idx: usize, params: &ExpParams) -> Sha
         })
         .collect();
     let reports = run_all(&specs);
-    Sharding {
+    Ok(Sharding {
         app: app.to_owned(),
         class: class.clone(),
         threads,
@@ -351,16 +378,19 @@ pub fn run_lock_sharding(app: &str, class_idx: usize, params: &ExpParams) -> Sha
             .iter()
             .zip(reports.iter())
             .map(|(&shards, r)| {
-                let stats = &r.locks.by_class[&class];
+                // A quarantined stub has no lock report at all; render
+                // zeros under its `quar` marker rather than panicking.
+                let stats = r.locks.by_class.get(&class).copied().unwrap_or_default();
                 ShardingRow {
                     shards,
                     contentions: stats.contentions,
                     contention_rate: stats.contention_rate(),
                     wall: r.wall_time,
+                    outcome: r.outcome.clone(),
                 }
             })
             .collect(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -373,7 +403,7 @@ mod tests {
 
     #[test]
     fn ergonomics_produces_three_variants_per_thread_count() {
-        let e = run_ergonomics("xalan", &tiny());
+        let e = run_ergonomics("xalan", &tiny()).unwrap();
         assert_eq!(e.rows.len(), 3);
         assert!(e.row("fixed", 16).is_some());
         assert!(e.row("tight", 16).is_some());
@@ -387,7 +417,7 @@ mod tests {
         // nursery into a collection storm. With floor-aware control, GC
         // time under any goal stays within a small factor of fixed.
         let params = ExpParams::quick().with_scale(0.1).with_threads(vec![32]);
-        let e = run_ergonomics("xalan", &params);
+        let e = run_ergonomics("xalan", &params).unwrap();
         let fixed = e.row("fixed", 32).expect("fixed");
         for variant in ["tight", "relaxed"] {
             let v = e.row(variant, 32).expect(variant);
@@ -403,7 +433,7 @@ mod tests {
     #[test]
     fn relaxed_goal_trades_pause_for_fewer_collections() {
         let params = ExpParams::quick().with_scale(0.1).with_threads(vec![8]);
-        let e = run_ergonomics("xalan", &params);
+        let e = run_ergonomics("xalan", &params).unwrap();
         let fixed = e.row("fixed", 8).expect("fixed");
         let relaxed = e.row("relaxed", 8).expect("relaxed");
         assert!(
@@ -417,7 +447,7 @@ mod tests {
     #[test]
     fn numa_scatter_is_more_exposed_and_slower_gc() {
         let params = ExpParams::quick().with_scale(0.05).with_threads(vec![8]);
-        let n = run_numa_placement("xalan", &params);
+        let n = run_numa_placement("xalan", &params).unwrap();
         let compact = n.row("compact", 8).expect("compact");
         let scatter = n.row("scatter", 8).expect("scatter");
         assert_eq!(compact.numa_factor, 1.0);
@@ -429,7 +459,7 @@ mod tests {
     fn sharding_reduces_contention_on_the_hot_class() {
         let params = ExpParams::quick().with_scale(0.05).with_threads(vec![32]);
         // xalan lock class 1 = dtm-cache
-        let s = run_lock_sharding("xalan", 1, &params);
+        let s = run_lock_sharding("xalan", 1, &params).unwrap();
         assert_eq!(s.class, "dtm-cache");
         assert_eq!(s.rows.len(), 4);
         let one = &s.rows[0];
@@ -458,6 +488,8 @@ pub struct GcWorkersRow {
     pub max_minor_pause: SimDuration,
     /// End-to-end wall time.
     pub wall: SimDuration,
+    /// How the run behind this row ended.
+    pub outcome: RunOutcome,
 }
 
 /// The GC-worker scaling study (fixed mutator thread count).
@@ -479,6 +511,7 @@ impl GcWorkers {
             "gc",
             "max minor pause",
             "wall",
+            "outcome",
         ]);
         for r in &self.rows {
             t.row(vec![
@@ -487,6 +520,7 @@ impl GcWorkers {
                 r.gc.to_string(),
                 r.max_minor_pause.to_string(),
                 r.wall.to_string(),
+                outcome_cell(&r.outcome),
             ]);
         }
         t
@@ -496,12 +530,12 @@ impl GcWorkers {
 /// Runs `ext-gcworkers`: sweeps the parallel GC worker count (1, 2, 4,
 /// …, cores) at the sweep's largest thread count.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `app` is unknown.
-#[must_use]
-pub fn run_gc_workers(app: &str, params: &ExpParams) -> GcWorkers {
-    let model = app_by_name(app).unwrap_or_else(|| panic!("unknown app {app}"));
+/// Returns [`SimError::UnknownApp`] for an unknown `app` and propagates
+/// configuration errors.
+pub fn run_gc_workers(app: &str, params: &ExpParams) -> Result<GcWorkers, SimError> {
+    let model = app_by_name(app).ok_or_else(|| SimError::UnknownApp(app.to_owned()))?;
     let threads = params.max_threads();
     let mut worker_counts = Vec::new();
     let mut w = 1;
@@ -515,14 +549,14 @@ pub fn run_gc_workers(app: &str, params: &ExpParams) -> GcWorkers {
         .map(|&workers| {
             let mut cfg = JvmConfig::builder();
             cfg.threads(threads).seed(params.seed).gc_workers(workers);
-            RunSpec {
+            Ok(RunSpec {
                 app: model.scaled(params.scale),
-                config: cfg.build(),
-            }
+                config: cfg.build()?,
+            })
         })
-        .collect();
+        .collect::<Result<_, scalesim_core::ConfigError>>()?;
     let reports = run_all(&specs);
-    GcWorkers {
+    Ok(GcWorkers {
         threads,
         rows: worker_counts
             .iter()
@@ -532,9 +566,10 @@ pub fn run_gc_workers(app: &str, params: &ExpParams) -> GcWorkers {
                 gc: r.gc_time,
                 max_minor_pause: max_minor_pause(r),
                 wall: r.wall_time,
+                outcome: r.outcome.clone(),
             })
             .collect(),
-    }
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -554,6 +589,8 @@ pub struct OversubRow {
     pub gc: SimDuration,
     /// End-to-end wall time.
     pub wall: SimDuration,
+    /// How the run behind this row ended.
+    pub outcome: RunOutcome,
 }
 
 /// The oversubscription study: a fixed fully-enabled machine with
@@ -577,6 +614,7 @@ impl Oversub {
             "<1KiB",
             "gc",
             "wall",
+            "outcome",
         ]);
         for r in &self.rows {
             t.row(vec![
@@ -586,6 +624,7 @@ impl Oversub {
                 fmt_pct(r.frac_below_1k),
                 r.gc.to_string(),
                 r.wall.to_string(),
+                outcome_cell(&r.outcome),
             ]);
         }
         t
@@ -598,12 +637,12 @@ impl Oversub {
 /// threads time-share cores and quantum preemption suspends them
 /// mid-item.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `app` is unknown.
-#[must_use]
-pub fn run_oversubscription(app: &str, params: &ExpParams) -> Oversub {
-    let model = app_by_name(app).unwrap_or_else(|| panic!("unknown app {app}"));
+/// Returns [`SimError::UnknownApp`] for an unknown `app` and propagates
+/// configuration errors.
+pub fn run_oversubscription(app: &str, params: &ExpParams) -> Result<Oversub, SimError> {
+    let model = app_by_name(app).ok_or_else(|| SimError::UnknownApp(app.to_owned()))?;
     let cores = 48;
     let thread_counts = [cores, 2 * cores, 4 * cores];
     let specs: Vec<RunSpec> = thread_counts
@@ -611,14 +650,14 @@ pub fn run_oversubscription(app: &str, params: &ExpParams) -> Oversub {
         .map(|&threads| {
             let mut cfg = JvmConfig::builder();
             cfg.threads(threads).cores(cores).seed(params.seed);
-            RunSpec {
+            Ok(RunSpec {
                 app: model.scaled(params.scale),
-                config: cfg.build(),
-            }
+                config: cfg.build()?,
+            })
         })
-        .collect();
+        .collect::<Result<_, scalesim_core::ConfigError>>()?;
     let reports = run_all(&specs);
-    Oversub {
+    Ok(Oversub {
         cores,
         rows: thread_counts
             .iter()
@@ -629,9 +668,10 @@ pub fn run_oversubscription(app: &str, params: &ExpParams) -> Oversub {
                 frac_below_1k: r.trace.fraction_below(1 << 10),
                 gc: r.gc_time,
                 wall: r.wall_time,
+                outcome: r.outcome.clone(),
             })
             .collect(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -641,7 +681,7 @@ mod more_tests {
     #[test]
     fn gc_workers_help_but_saturate() {
         let params = ExpParams::quick().with_scale(0.1).with_threads(vec![32]);
-        let g = run_gc_workers("xalan", &params);
+        let g = run_gc_workers("xalan", &params).unwrap();
         assert_eq!(g.threads, 32);
         assert!(g.rows.len() >= 5);
         let one = &g.rows[0];
@@ -660,7 +700,7 @@ mod more_tests {
     #[test]
     fn oversubscription_hurts_gc_disproportionately() {
         let params = ExpParams::quick().with_scale(0.1);
-        let o = run_oversubscription("xalan", &params);
+        let o = run_oversubscription("xalan", &params).unwrap();
         assert_eq!(o.rows.len(), 3);
         let matched = &o.rows[0];
         let four_x = &o.rows[2];
@@ -755,12 +795,12 @@ impl HeapSizeStudy {
 /// Note: full-trace retention is memory-proportional to the object
 /// count; prefer `--scale` ≤ 0.5 for paper-sized workloads.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `app` is unknown.
-#[must_use]
-pub fn run_heap_size(app: &str, params: &ExpParams) -> HeapSizeStudy {
-    let model = app_by_name(app).unwrap_or_else(|| panic!("unknown app {app}"));
+/// Returns [`SimError::UnknownApp`] for an unknown `app` and propagates
+/// configuration errors or an engine failure in the recording run.
+pub fn run_heap_size(app: &str, params: &ExpParams) -> Result<HeapSizeStudy, SimError> {
+    let model = app_by_name(app).ok_or_else(|| SimError::UnknownApp(app.to_owned()))?;
     let threads = params.max_threads();
     let scaled = model.scaled(params.scale);
 
@@ -768,7 +808,7 @@ pub fn run_heap_size(app: &str, params: &ExpParams) -> HeapSizeStudy {
     cfg.threads(threads)
         .seed(params.seed)
         .retention(Retention::Full);
-    let report = Jvm::new(cfg.build()).run(&scaled);
+    let report = Jvm::new(cfg.build()?).run(&scaled)?;
     let events = report.trace.events().expect("full retention");
 
     let min_heap = scaled.spec().min_heap_bytes;
@@ -792,12 +832,12 @@ pub fn run_heap_size(app: &str, params: &ExpParams) -> HeapSizeStudy {
             }
         })
         .collect();
-    HeapSizeStudy {
+    Ok(HeapSizeStudy {
         app: app.to_owned(),
         threads,
         objects: report.trace.allocations(),
         rows,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -807,7 +847,7 @@ mod heapsize_tests {
     #[test]
     fn gc_time_falls_with_heap_size_with_diminishing_returns() {
         let params = ExpParams::quick().with_scale(0.05).with_threads(vec![16]);
-        let study = run_heap_size("xalan", &params);
+        let study = run_heap_size("xalan", &params).unwrap();
         assert_eq!(study.rows.len(), 5);
         assert!(study.objects > 0);
 
@@ -826,7 +866,7 @@ mod heapsize_tests {
     #[test]
     fn minor_count_scales_inversely_with_nursery() {
         let params = ExpParams::quick().with_scale(0.02).with_threads(vec![8]);
-        let study = run_heap_size("lusearch", &params);
+        let study = run_heap_size("lusearch", &params).unwrap();
         let small = study.row(1.5).expect("1.5x");
         let large = study.row(6.0).expect("6x");
         assert!(
@@ -861,6 +901,8 @@ pub struct ConcurrentRow {
     /// STW full GCs under the concurrent policy — "concurrent mode
     /// failures".
     pub failures: usize,
+    /// How the run behind this row ended.
+    pub outcome: RunOutcome,
 }
 
 /// The concurrent-collector study.
@@ -890,6 +932,7 @@ impl ConcurrentStudy {
             "worst old pause",
             "old collections",
             "cmf",
+            "outcome",
         ]);
         for r in &self.rows {
             t.row(vec![
@@ -900,6 +943,7 @@ impl ConcurrentStudy {
                 r.worst_old_pause.to_string(),
                 r.old_collections.to_string(),
                 r.failures.to_string(),
+                outcome_cell(&r.outcome),
             ]);
         }
         t
@@ -932,6 +976,7 @@ fn concurrent_row(policy: &str, r: &RunReport) -> ConcurrentRow {
         worst_old_pause: worst_old,
         old_collections,
         failures,
+        outcome: r.outcome.clone(),
     }
 }
 
@@ -939,12 +984,12 @@ fn concurrent_row(policy: &str, r: &RunReport) -> ConcurrentRow {
 /// vs. a CMS-like mostly-concurrent old generation, across the thread
 /// sweep.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `app` is unknown.
-#[must_use]
-pub fn run_concurrent_old_gen(app: &str, params: &ExpParams) -> ConcurrentStudy {
-    let model = app_by_name(app).unwrap_or_else(|| panic!("unknown app {app}"));
+/// Returns [`SimError::UnknownApp`] for an unknown `app` and propagates
+/// configuration errors.
+pub fn run_concurrent_old_gen(app: &str, params: &ExpParams) -> Result<ConcurrentStudy, SimError> {
+    let model = app_by_name(app).ok_or_else(|| SimError::UnknownApp(app.to_owned()))?;
     let mut specs = Vec::new();
     let mut labels = Vec::new();
     for &threads in &params.thread_counts {
@@ -956,19 +1001,19 @@ pub fn run_concurrent_old_gen(app: &str, params: &ExpParams) -> ConcurrentStudy 
             cfg.threads(threads).seed(params.seed).old_gen(policy);
             specs.push(RunSpec {
                 app: model.scaled(params.scale),
-                config: cfg.build(),
+                config: cfg.build()?,
             });
             labels.push(label);
         }
     }
     let reports = run_all(&specs);
-    ConcurrentStudy {
+    Ok(ConcurrentStudy {
         rows: labels
             .iter()
             .zip(reports.iter())
             .map(|(label, r)| concurrent_row(label, r))
             .collect(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -980,7 +1025,7 @@ mod concurrent_tests {
         // Needs enough promotion pressure for old-gen collections: full
         // scale at 48 threads (see Figure 2's full-GC column).
         let params = ExpParams::paper().with_threads(vec![48]);
-        let study = run_concurrent_old_gen("xalan", &params);
+        let study = run_concurrent_old_gen("xalan", &params).unwrap();
         let stw = study.row("stw-full", 48).expect("stw row");
         let conc = study.row("concurrent", 48).expect("concurrent row");
         assert!(stw.old_collections > 0, "baseline needs full GCs");

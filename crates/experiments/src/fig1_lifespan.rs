@@ -6,11 +6,12 @@
 //! eclipse (Figure 1c) "shows almost no change in object lifespans as we
 //! changed the numbers of threads from 4 to 48".
 
+use scalesim_core::{RunOutcome, SimError};
 use scalesim_metrics::{fmt_bytes, fmt_pct, Table};
 use scalesim_workloads::{app_by_name, AppModel};
 
 use crate::params::ExpParams;
-use crate::sweep::{run_all, RunSpec};
+use crate::sweep::{mark_cell, run_all, RunSpec};
 
 /// Default CDF sampling thresholds (bytes of allocation), log-spaced the
 /// way the paper's x-axes are.
@@ -36,6 +37,8 @@ pub struct LifespanCurves {
     /// Per thread count: `(threads, fraction of objects with lifespan <
     /// threshold)` for each threshold.
     pub curves: Vec<(usize, Vec<f64>)>,
+    /// Outcome of the run behind each curve, parallel to `curves`.
+    pub outcomes: Vec<RunOutcome>,
 }
 
 impl LifespanCurves {
@@ -74,8 +77,12 @@ impl LifespanCurves {
                 .map(|&t| format!("<{}", fmt_bytes(t))),
         );
         let mut table = Table::new(headers);
-        for (threads, fracs) in &self.curves {
-            let mut row = vec![self.app.clone(), threads.to_string()];
+        for (i, (threads, fracs)) in self.curves.iter().enumerate() {
+            let threads_cell = match self.outcomes.get(i) {
+                Some(outcome) => mark_cell(threads.to_string(), outcome),
+                None => threads.to_string(),
+            };
+            let mut row = vec![self.app.clone(), threads_cell];
             row.extend(fracs.iter().map(|&f| fmt_pct(f)));
             table.row(row);
         }
@@ -85,12 +92,12 @@ impl LifespanCurves {
 
 /// Runs a lifespan-CDF figure for one app over `thread_counts`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `app` is not one of the six benchmarks.
-#[must_use]
-pub fn run_lifespan_curves(app: &str, params: &ExpParams) -> LifespanCurves {
-    let model = app_by_name(app).unwrap_or_else(|| panic!("unknown app {app}"));
+/// Returns [`SimError::UnknownApp`] if `app` is not one of the six
+/// benchmarks.
+pub fn run_lifespan_curves(app: &str, params: &ExpParams) -> Result<LifespanCurves, SimError> {
+    let model = app_by_name(app).ok_or_else(|| SimError::UnknownApp(app.to_owned()))?;
     let specs: Vec<RunSpec> = params
         .thread_counts
         .iter()
@@ -110,24 +117,31 @@ pub fn run_lifespan_curves(app: &str, params: &ExpParams) -> LifespanCurves {
             (threads, fracs)
         })
         .collect();
-    LifespanCurves {
+    Ok(LifespanCurves {
         app: model.name().to_owned(),
         thresholds,
         curves,
-    }
+        outcomes: reports.iter().map(|r| r.outcome.clone()).collect(),
+    })
 }
 
 /// Figure 1c: eclipse's lifespan CDF — expected to barely move with
 /// thread count.
-#[must_use]
-pub fn run_fig1c(params: &ExpParams) -> LifespanCurves {
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from the sweep.
+pub fn run_fig1c(params: &ExpParams) -> Result<LifespanCurves, SimError> {
     run_lifespan_curves("eclipse", params)
 }
 
 /// Figure 1d: xalan's lifespan CDF — expected to shift right markedly at
 /// high thread counts.
-#[must_use]
-pub fn run_fig1d(params: &ExpParams) -> LifespanCurves {
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from the sweep.
+pub fn run_fig1d(params: &ExpParams) -> Result<LifespanCurves, SimError> {
     run_lifespan_curves("xalan", params)
 }
 
@@ -143,7 +157,7 @@ mod tests {
 
     #[test]
     fn curves_cover_thread_counts_and_thresholds() {
-        let c = run_fig1d(&tiny());
+        let c = run_fig1d(&tiny()).unwrap();
         assert_eq!(c.app, "xalan");
         assert_eq!(c.curves.len(), 2);
         assert_eq!(c.curves[0].1.len(), DEFAULT_THRESHOLDS.len());
@@ -153,7 +167,7 @@ mod tests {
 
     #[test]
     fn cdf_rows_are_monotone_in_threshold() {
-        let c = run_fig1d(&tiny());
+        let c = run_fig1d(&tiny()).unwrap();
         for (_, fracs) in &c.curves {
             assert!(fracs.windows(2).all(|w| w[0] <= w[1] + 1e-9), "{fracs:?}");
         }
@@ -161,15 +175,18 @@ mod tests {
 
     #[test]
     fn table_shape() {
-        let c = run_fig1c(&tiny());
+        let c = run_fig1c(&tiny()).unwrap();
         let t = c.table();
         assert_eq!(t.num_rows(), 2);
         assert_eq!(t.headers().len(), 2 + DEFAULT_THRESHOLDS.len());
     }
 
     #[test]
-    #[should_panic(expected = "unknown app")]
-    fn unknown_app_panics() {
-        let _ = run_lifespan_curves("nope", &tiny());
+    fn unknown_app_is_a_structured_error() {
+        let err = run_lifespan_curves("nope", &tiny()).unwrap_err();
+        assert!(
+            matches!(&err, SimError::UnknownApp(name) if name == "nope"),
+            "{err}"
+        );
     }
 }

@@ -6,11 +6,12 @@
 //! hand, lock usage and contention in non-scalable applications remain
 //! unaffected by the number of threads."
 
+use scalesim_core::{RunOutcome, SimError};
 use scalesim_metrics::{Series, Table};
 use scalesim_workloads::{all_apps, AppModel, ScalabilityClass};
 
 use crate::params::ExpParams;
-use crate::sweep::{run_all, RunSpec};
+use crate::sweep::{mark_cell, run_all, RunSpec};
 
 /// Results for Figures 1a (acquisitions) and 1b (contentions): one series
 /// per application, x = thread count.
@@ -22,6 +23,8 @@ pub struct Fig1Locks {
     pub contentions: Vec<Series>,
     /// Parallel to the series: each app's paper classification.
     pub classes: Vec<(String, ScalabilityClass)>,
+    /// Per app, per thread point: how the underlying run ended.
+    pub outcomes: Vec<Vec<RunOutcome>>,
 }
 
 impl Fig1Locks {
@@ -58,13 +61,24 @@ impl Fig1Locks {
                 .iter()
                 .find(|(name, _)| name == series.label())
                 .map_or("?", |(_, c)| c.label());
+            let app_idx = self
+                .classes
+                .iter()
+                .position(|(name, _)| name == series.label());
             let mut row = vec![
                 series.label().to_owned(),
                 class.to_owned(),
                 metric.to_owned(),
             ];
-            for (_, y) in series.points() {
-                row.push(format!("{y:.0}"));
+            for (i, (_, y)) in series.points().iter().enumerate() {
+                let cell = app_idx
+                    .and_then(|a| self.outcomes.get(a))
+                    .and_then(|per_app| per_app.get(i))
+                    .map_or_else(
+                        || format!("{y:.0}"),
+                        |outcome| mark_cell(format!("{y:.0}"), outcome),
+                    );
+                row.push(cell);
             }
             t.row(row);
         }
@@ -73,8 +87,12 @@ impl Fig1Locks {
 }
 
 /// Runs the Figure 1a/1b sweep: every app at every thread count.
-#[must_use]
-pub fn run_fig1_locks(params: &ExpParams) -> Fig1Locks {
+///
+/// # Errors
+///
+/// Currently infallible (the sweep quarantines failing runs), but shares
+/// the drivers' common `Result` signature.
+pub fn run_fig1_locks(params: &ExpParams) -> Result<Fig1Locks, SimError> {
     let apps = all_apps();
     let mut specs = Vec::new();
     for app in &apps {
@@ -87,23 +105,28 @@ pub fn run_fig1_locks(params: &ExpParams) -> Fig1Locks {
     let mut acquisitions = Vec::new();
     let mut contentions = Vec::new();
     let mut classes = Vec::new();
+    let mut outcomes = Vec::new();
     for (a, app) in apps.iter().enumerate() {
         let mut acq = Series::new(app.name());
         let mut con = Series::new(app.name());
+        let mut outs = Vec::new();
         for (t, &threads) in params.thread_counts.iter().enumerate() {
             let r = &reports[a * params.thread_counts.len() + t];
             acq.push(threads as f64, r.locks.total.acquisitions as f64);
             con.push(threads as f64, r.locks.total.contentions as f64);
+            outs.push(r.outcome.clone());
         }
         acquisitions.push(acq);
         contentions.push(con);
         classes.push((app.name().to_owned(), app.class()));
+        outcomes.push(outs);
     }
-    Fig1Locks {
+    Ok(Fig1Locks {
         acquisitions,
         contentions,
         classes,
-    }
+        outcomes,
+    })
 }
 
 #[cfg(test)]
@@ -118,7 +141,7 @@ mod tests {
 
     #[test]
     fn sweep_covers_all_apps_and_threads() {
-        let f = run_fig1_locks(&tiny());
+        let f = run_fig1_locks(&tiny()).unwrap();
         assert_eq!(f.acquisitions.len(), 6);
         assert_eq!(f.contentions.len(), 6);
         assert!(f.acquisitions.iter().all(|s| s.len() == 2));
@@ -128,7 +151,7 @@ mod tests {
 
     #[test]
     fn table_has_a_row_per_app_per_metric() {
-        let f = run_fig1_locks(&tiny());
+        let f = run_fig1_locks(&tiny()).unwrap();
         let t = f.table();
         assert_eq!(t.num_rows(), 12);
         assert_eq!(t.headers().len(), 3 + 2);

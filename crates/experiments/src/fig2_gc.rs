@@ -6,13 +6,14 @@
 //! would continue to be reduced as we scaled up the numbers of threads
 //! and cores all the way to 48".
 
+use scalesim_core::{RunOutcome, SimError};
 use scalesim_gc::GcKind;
 use scalesim_metrics::{fmt_pct, Series, Table};
 use scalesim_simkit::SimDuration;
 use scalesim_workloads::scalable_apps;
 
 use crate::params::ExpParams;
-use crate::sweep::{run_all, RunSpec};
+use crate::sweep::{outcome_cell, run_all, RunSpec};
 
 /// One bar of Figure 2.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -29,6 +30,8 @@ pub struct Fig2Row {
     pub minor: usize,
     /// Full collections.
     pub full: usize,
+    /// How the run behind this row ended.
+    pub outcome: RunOutcome,
 }
 
 impl Fig2Row {
@@ -104,7 +107,7 @@ impl Fig2 {
     #[must_use]
     pub fn table(&self) -> Table {
         let mut t = Table::new(vec![
-            "app", "threads", "mutator", "gc", "gc share", "minor", "full",
+            "app", "threads", "mutator", "gc", "gc share", "minor", "full", "outcome",
         ]);
         for r in &self.rows {
             t.row(vec![
@@ -115,6 +118,7 @@ impl Fig2 {
                 fmt_pct(r.gc_share()),
                 r.minor.to_string(),
                 r.full.to_string(),
+                outcome_cell(&r.outcome),
             ]);
         }
         t
@@ -123,8 +127,12 @@ impl Fig2 {
 
 /// Runs the Figure 2 sweep: the three scalable apps at every thread
 /// count.
-#[must_use]
-pub fn run_fig2(params: &ExpParams) -> Fig2 {
+///
+/// # Errors
+///
+/// Currently infallible (the sweep quarantines failing runs), but shares
+/// the drivers' common `Result` signature.
+pub fn run_fig2(params: &ExpParams) -> Result<Fig2, SimError> {
     let apps = scalable_apps();
     let mut specs = Vec::new();
     for app in &apps {
@@ -142,9 +150,10 @@ pub fn run_fig2(params: &ExpParams) -> Fig2 {
             gc: r.gc_time,
             minor: r.gc.count(GcKind::Minor),
             full: r.gc.count(GcKind::Full),
+            outcome: r.outcome.clone(),
         })
         .collect();
-    Fig2 { rows }
+    Ok(Fig2 { rows })
 }
 
 #[cfg(test)]
@@ -159,7 +168,7 @@ mod tests {
 
     #[test]
     fn covers_three_scalable_apps() {
-        let f = run_fig2(&tiny());
+        let f = run_fig2(&tiny()).unwrap();
         assert_eq!(f.apps(), vec!["sunflow", "lusearch", "xalan"]);
         assert_eq!(f.rows.len(), 6);
         assert_eq!(f.rows_of("xalan").len(), 2);
@@ -167,7 +176,7 @@ mod tests {
 
     #[test]
     fn series_extraction() {
-        let f = run_fig2(&tiny());
+        let f = run_fig2(&tiny()).unwrap();
         let gc = f.gc_series("xalan");
         assert_eq!(gc.len(), 2);
         let m = f.mutator_series("xalan");
@@ -181,7 +190,7 @@ mod tests {
 
     #[test]
     fn table_shape() {
-        let f = run_fig2(&tiny());
+        let f = run_fig2(&tiny()).unwrap();
         assert_eq!(f.table().num_rows(), 6);
     }
 
@@ -194,6 +203,7 @@ mod tests {
             gc: SimDuration::ZERO,
             minor: 0,
             full: 0,
+            outcome: RunOutcome::Ok,
         };
         assert_eq!(r.gc_share(), 0.0);
     }

@@ -29,7 +29,7 @@
 //! use scalesim_experiments::{run_fig1d, ExpParams};
 //!
 //! let params = ExpParams::quick().with_scale(0.01).with_threads(vec![4, 16]);
-//! let fig1d = run_fig1d(&params);
+//! let fig1d = run_fig1d(&params).unwrap();
 //! println!("{}", fig1d.table());
 //! assert!(fig1d.frac_below_1k(4).unwrap() > fig1d.frac_below_1k(16).unwrap());
 //! ```
@@ -61,5 +61,8 @@ pub use fig1_locks::{run_fig1_locks, Fig1Locks};
 pub use fig2_gc::{run_fig2, Fig2, Fig2Row};
 pub use params::ExpParams;
 pub use scalability::{run_scalability, Scalability, ScalabilityRow, SCALABLE_SPEEDUP_THRESHOLD};
-pub use sweep::{cached_event_total, clear_run_cache, run_all, run_cache_size, RunSpec};
+pub use sweep::{
+    cached_event_total, clear_run_cache, run_all, run_cache_size, take_sweep_failures, RunSpec,
+    SweepFailure, SweepFailureKind,
+};
 pub use workdist::{run_workdist, Workdist, WorkdistRow};

@@ -12,7 +12,7 @@ use std::process::ExitCode;
 use scalesim_experiments::{
     run_biased_sched, run_concurrent_old_gen, run_ergonomics, run_fig1_locks, run_fig1c, run_fig1d,
     run_fig2, run_gc_workers, run_heap_size, run_heaplets, run_lock_sharding, run_numa_placement,
-    run_oversubscription, run_scalability, run_workdist, ExpParams,
+    run_oversubscription, run_scalability, run_workdist, take_sweep_failures, ExpParams,
 };
 use scalesim_metrics::Table;
 
@@ -116,91 +116,107 @@ fn run_artifact(cli: &Cli, artifact: &str) -> Result<(), String> {
             &cli.out,
             "workdist",
             "Workload distribution across threads (paper SIII)",
-            &run_workdist(p).table(),
+            &run_workdist(p).map_err(|e| e.to_string())?.table(),
         ),
         "scaletable" => emit(
             &cli.out,
             "scaletable",
             "Scalability classification (paper SII-C)",
-            &run_scalability(p).table(),
+            &run_scalability(p).map_err(|e| e.to_string())?.table(),
         ),
         "fig1a" | "fig1b" => emit(
             &cli.out,
             "fig1_locks",
             "Fig 1a/1b: lock acquisitions & contentions vs threads",
-            &run_fig1_locks(p).table(),
+            &run_fig1_locks(p).map_err(|e| e.to_string())?.table(),
         ),
         "fig1c" => emit(
             &cli.out,
             "fig1c",
             "Fig 1c: eclipse object-lifespan CDF",
-            &run_fig1c(p).table(),
+            &run_fig1c(p).map_err(|e| e.to_string())?.table(),
         ),
         "fig1d" => emit(
             &cli.out,
             "fig1d",
             "Fig 1d: xalan object-lifespan CDF",
-            &run_fig1d(p).table(),
+            &run_fig1d(p).map_err(|e| e.to_string())?.table(),
         ),
         "fig2" => emit(
             &cli.out,
             "fig2",
             "Fig 2: mutator vs GC time decomposition (scalable apps)",
-            &run_fig2(p).table(),
+            &run_fig2(p).map_err(|e| e.to_string())?.table(),
         ),
         "abl-sched" => emit(
             &cli.out,
             "abl_sched",
             "Ablation: biased (cohort) scheduling on xalan (paper SIV.1)",
-            &run_biased_sched("xalan", p).table(),
+            &run_biased_sched("xalan", p)
+                .map_err(|e| e.to_string())?
+                .table(),
         ),
         "abl-heap" => emit(
             &cli.out,
             "abl_heap",
             "Ablation: compartmentalized heaplets on xalan (paper SIV.2)",
-            &run_heaplets("xalan", p).table(),
+            &run_heaplets("xalan", p).map_err(|e| e.to_string())?.table(),
         ),
         "ext-ergo" => emit(
             &cli.out,
             "ext_ergo",
             "Extension: adaptive nursery sizing on xalan (HotSpot ergonomics)",
-            &run_ergonomics("xalan", p).table(),
+            &run_ergonomics("xalan", p)
+                .map_err(|e| e.to_string())?
+                .table(),
         ),
         "ext-numa" => emit(
             &cli.out,
             "ext_numa",
             "Extension: NUMA placement sensitivity on xalan",
-            &run_numa_placement("xalan", p).table(),
+            &run_numa_placement("xalan", p)
+                .map_err(|e| e.to_string())?
+                .table(),
         ),
         "ext-sharding" => emit(
             &cli.out,
             "ext_sharding",
             "Extension: sharding xalan's dtm-cache lock",
-            &run_lock_sharding("xalan", 1, p).table(),
+            &run_lock_sharding("xalan", 1, p)
+                .map_err(|e| e.to_string())?
+                .table(),
         ),
         "ext-gcworkers" => emit(
             &cli.out,
             "ext_gcworkers",
             "Extension: parallel GC worker scaling on xalan",
-            &run_gc_workers("xalan", p).table(),
+            &run_gc_workers("xalan", p)
+                .map_err(|e| e.to_string())?
+                .table(),
         ),
         "ext-oversub" => emit(
             &cli.out,
             "ext_oversub",
             "Extension: oversubscription (threads beyond 48 cores) on xalan",
-            &run_oversubscription("xalan", p).table(),
+            &run_oversubscription("xalan", p)
+                .map_err(|e| e.to_string())?
+                .table(),
         ),
         "ext-heapsize" => emit(
             &cli.out,
             "ext_heapsize",
             "Extension: trace-replay heap-size sweep on xalan (3x-min-heap rule)",
-            &run_heap_size("xalan", p).table(),
+            &run_heap_size("xalan", p)
+                .map_err(|e| e.to_string())?
+                .table(),
         ),
         "ext-concurrent" => emit(
             &cli.out,
             "ext_concurrent",
             "Extension: mostly-concurrent old generation on xalan",
-            &run_concurrent_old_gen("xalan", p).table(),
+            &run_concurrent_old_gen("xalan", p)
+                .map_err(|e| e.to_string())?
+                .table(),
         ),
         "all" => {
             for a in [
@@ -240,7 +256,17 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match run_artifact(&cli, &cli.artifact.clone()) {
+    let result = run_artifact(&cli, &cli.artifact.clone());
+    // Quarantined or corrupted runs do not fail the artifact (their rows
+    // are marked in the tables), but the digest belongs in the output.
+    let failures = take_sweep_failures();
+    if !failures.is_empty() {
+        eprintln!("sweep failure digest ({} entries):", failures.len());
+        for f in &failures {
+            eprintln!("  [{}] {}: {}", f.kind, f.spec, f.detail);
+        }
+    }
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("error: {msg}\n");

@@ -6,12 +6,13 @@
 //! [h2, eclipse, jython] as non-scalable. In a scalable application, its
 //! execution time would reduce with more threads and more cores."
 
+use scalesim_core::{RunOutcome, SimError};
 use scalesim_metrics::{fmt2, Series, Table};
 use scalesim_simkit::SimDuration;
 use scalesim_workloads::{all_apps, AppModel, ScalabilityClass};
 
 use crate::params::ExpParams;
-use crate::sweep::{run_all, RunSpec};
+use crate::sweep::{mark_cell, run_all, RunSpec};
 
 /// Speedup (vs. the smallest thread count) above which an application is
 /// classified scalable at the largest thread count. With a 4→48 sweep a
@@ -27,6 +28,9 @@ pub struct ScalabilityRow {
     pub expected: ScalabilityClass,
     /// `(threads, wall time)` per sweep point.
     pub walls: Vec<(usize, SimDuration)>,
+    /// Outcome of each sweep point, parallel to `walls` (empty means all
+    /// points completed normally).
+    pub outcomes: Vec<RunOutcome>,
 }
 
 impl ScalabilityRow {
@@ -103,8 +107,12 @@ impl Scalability {
         let mut table = Table::new(headers);
         for r in &self.rows {
             let mut row = vec![r.app.clone(), r.expected.label().to_owned()];
-            for &(_, w) in &r.walls {
-                row.push(w.to_string());
+            for (i, &(_, w)) in r.walls.iter().enumerate() {
+                let cell = match r.outcomes.get(i) {
+                    Some(outcome) => mark_cell(w.to_string(), outcome),
+                    None => w.to_string(),
+                };
+                row.push(cell);
             }
             row.push(format!("{}x", fmt2(r.speedup())));
             row.push(r.measured().label().to_owned());
@@ -115,8 +123,12 @@ impl Scalability {
 }
 
 /// Runs the scalability sweep over all six apps.
-#[must_use]
-pub fn run_scalability(params: &ExpParams) -> Scalability {
+///
+/// # Errors
+///
+/// Currently infallible (the sweep quarantines failing runs), but shares
+/// the drivers' common `Result` signature.
+pub fn run_scalability(params: &ExpParams) -> Result<Scalability, SimError> {
     let apps = all_apps();
     let mut specs = Vec::new();
     for app in &apps {
@@ -142,9 +154,15 @@ pub fn run_scalability(params: &ExpParams) -> Scalability {
                     )
                 })
                 .collect(),
+            outcomes: params
+                .thread_counts
+                .iter()
+                .enumerate()
+                .map(|(t, _)| reports[a * params.thread_counts.len() + t].outcome.clone())
+                .collect(),
         })
         .collect();
-    Scalability { rows }
+    Ok(Scalability { rows })
 }
 
 #[cfg(test)]
@@ -160,6 +178,7 @@ mod tests {
                 (4, SimDuration::from_millis(120)),
                 (48, SimDuration::from_millis(10)),
             ],
+            outcomes: vec![],
         };
         assert!((row.speedup() - 12.0).abs() < 1e-9);
         assert_eq!(row.measured(), ScalabilityClass::Scalable);
@@ -175,6 +194,7 @@ mod tests {
                 (4, SimDuration::from_millis(100)),
                 (48, SimDuration::from_millis(80)),
             ],
+            outcomes: vec![],
         };
         assert_eq!(row.measured(), ScalabilityClass::NonScalable);
         assert!(row.matches_paper());
@@ -185,7 +205,7 @@ mod tests {
         let params = ExpParams::quick()
             .with_scale(0.005)
             .with_threads(vec![2, 8]);
-        let s = run_scalability(&params);
+        let s = run_scalability(&params).unwrap();
         assert_eq!(s.rows.len(), 6);
         assert!(s.row_of("jython").is_some());
         let t = s.table();

@@ -1,4 +1,4 @@
-//! Parallel, memoizing execution of independent simulation runs.
+//! Parallel, memoizing, crash-isolating execution of independent runs.
 //!
 //! A figure is a sweep over (application × thread count). Each run is an
 //! independent, deterministic, single-threaded simulation, so the sweep
@@ -8,26 +8,40 @@
 //! Two properties keep full-figure regeneration cheap:
 //!
 //! * **Memoization.** Runs are keyed by a hash of `(app spec, JvmConfig)`
-//!   (the config includes the seed). Since a run is a pure function of that
-//!   key, drivers that re-simulate identical points — `fig1a`/`fig1b` and
-//!   the scalability table sweep the same grid, ablations re-run baselines —
-//!   share one [`RunReport`] through a process-wide cache. Set
+//!   (the config includes the seed, the run budget, and the chaos plan).
+//!   Since a run is a pure function of that key, drivers that re-simulate
+//!   identical points — `fig1a`/`fig1b` and the scalability table sweep the
+//!   same grid, ablations re-run baselines — share one [`RunReport`]
+//!   through a process-wide cache. Each cached entry carries a content
+//!   fingerprint that is re-verified on every lookup; a mismatched entry
+//!   (bit rot, or deliberate [`FaultClass::MemoCorrupt`] injection) is
+//!   evicted, logged in the failure digest, and the run re-simulated. Set
 //!   `SCALESIM_NO_MEMO=1` to force re-simulation (benchmarks do).
 //! * **Bounded fan-out.** Workers are capped at *physical* core count
 //!   (SMT siblings share execution units, and oversubscribed fan-out is
 //!   exactly the anti-pattern the paper's related work warns about), and
 //!   each worker's result travels over a channel and is reordered by input
 //!   index — no per-slot locks.
+//!
+//! The sweep is additionally **crash-isolating**: a run that panics or
+//! returns [`SimError`](scalesim_core::SimError) is retried once and, if it
+//! fails again, *quarantined* — the sweep continues and the failing point
+//! is represented by a metric-less [`RunReport`] whose outcome is
+//! [`Quarantined`](scalesim_core::RunOutcome::Quarantined). Quarantined
+//! stubs are never memoized. Every quarantine and every memo eviction is
+//! recorded; [`take_sweep_failures`] drains the digest.
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};
+use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex, OnceLock};
 use std::time::Instant;
 
-use scalesim_core::{Jvm, JvmConfig, RunReport};
+use scalesim_core::{Jvm, JvmConfig, RunReport, SimError};
+use scalesim_simkit::{ChaosPlan, FaultClass};
 use scalesim_workloads::{AppModel, SyntheticApp};
 
 /// One run request: an application and the VM configuration to run it
@@ -43,29 +57,43 @@ pub struct RunSpec {
 impl RunSpec {
     /// Convenience constructor for the common case: `app` at `threads`
     /// threads with cores following threads (the paper's methodology).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero (the only way the default sweep
+    /// configuration can fail validation).
     #[must_use]
     pub fn new(app: SyntheticApp, threads: usize, seed: u64) -> Self {
         RunSpec {
             app,
-            config: JvmConfig::builder().threads(threads).seed(seed).build(),
+            config: JvmConfig::builder()
+                .threads(threads)
+                .seed(seed)
+                .build()
+                .expect("sweep config rejected"),
         }
     }
 
     /// Executes this run (bypassing the cache), recording host wall time
     /// in [`RunReport::host_ns`].
-    #[must_use]
-    pub fn run(&self) -> RunReport {
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`] from the engine (invariant violation,
+    /// deadlock). Budget-truncated runs are `Ok` with a truncated outcome.
+    pub fn run(&self) -> Result<RunReport, SimError> {
         let start = Instant::now();
-        let mut report = Jvm::new(self.config.clone()).run(&self.app);
+        let mut report = Jvm::new(self.config.clone()).run(&self.app)?;
         report.host_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        report
+        Ok(report)
     }
 
     /// The memoization key: a hash of the full `(app spec, config)` pair.
     ///
     /// Both types expose every simulation-relevant field through `Debug`
-    /// (the config includes the master seed), and a run is a pure function
-    /// of them, so equal keys imply bit-identical reports.
+    /// (the config includes the master seed, run budget, chaos plan, and
+    /// monitor flag), and a run is a pure function of them, so equal keys
+    /// imply bit-identical reports.
     #[must_use]
     pub fn memo_key(&self) -> u64 {
         let mut h = DefaultHasher::new();
@@ -83,10 +111,98 @@ impl RunSpec {
     }
 }
 
+/// Table-cell rendering of a run outcome (`ok`, `trunc`, or `quar`).
+pub(crate) fn outcome_cell(outcome: &scalesim_core::RunOutcome) -> String {
+    if outcome.is_ok() {
+        "ok".to_owned()
+    } else {
+        outcome.marker().to_owned()
+    }
+}
+
+/// Appends a ` (trunc)` / ` (quar)` marker to a metric cell when the run
+/// behind it did not complete normally, so degraded rows stay visible in
+/// the text output instead of masquerading as measurements.
+pub(crate) fn mark_cell(base: String, outcome: &scalesim_core::RunOutcome) -> String {
+    if outcome.is_ok() {
+        base
+    } else {
+        format!("{base} ({})", outcome.marker())
+    }
+}
+
+/// Why a sweep point appears in the failure digest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepFailureKind {
+    /// The run panicked or returned an error twice; a metric-less
+    /// quarantined stub stands in for it.
+    Quarantined,
+    /// A memoized report failed its fingerprint check at lookup and was
+    /// evicted (then re-simulated).
+    MemoCorruption,
+}
+
+impl fmt::Display for SweepFailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SweepFailureKind::Quarantined => "quarantined",
+            SweepFailureKind::MemoCorruption => "memo-corruption",
+        })
+    }
+}
+
+/// One entry in the sweep failure digest.
+#[derive(Debug, Clone)]
+pub struct SweepFailure {
+    /// Which `(app, threads, seed)` point failed.
+    pub spec: String,
+    /// Failure class.
+    pub kind: SweepFailureKind,
+    /// Human-readable cause (panic payload, `SimError`, or eviction note).
+    pub detail: String,
+}
+
+impl fmt::Display for SweepFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.kind, self.spec, self.detail)
+    }
+}
+
+/// The process-wide failure digest, appended by [`run_all`].
+fn failures() -> &'static Mutex<Vec<SweepFailure>> {
+    static FAILURES: OnceLock<Mutex<Vec<SweepFailure>>> = OnceLock::new();
+    FAILURES.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn record_failure(failure: SweepFailure) {
+    eprintln!("sweep: {failure}");
+    failures()
+        .lock()
+        .expect("failure log poisoned")
+        .push(failure);
+}
+
+/// Drains and returns every failure recorded since the last call
+/// (quarantined runs and evicted memo entries, in occurrence order).
+#[must_use]
+pub fn take_sweep_failures() -> Vec<SweepFailure> {
+    std::mem::take(&mut *failures().lock().expect("failure log poisoned"))
+}
+
+/// A cached report plus the content fingerprint taken when it was stored.
+type CacheEntry = (Arc<RunReport>, u64);
+
 /// The process-wide run cache, keyed by [`RunSpec::memo_key`].
-fn cache() -> &'static Mutex<HashMap<u64, Arc<RunReport>>> {
-    static CACHE: OnceLock<Mutex<HashMap<u64, Arc<RunReport>>>> = OnceLock::new();
+fn cache() -> &'static Mutex<HashMap<u64, CacheEntry>> {
+    static CACHE: OnceLock<Mutex<HashMap<u64, CacheEntry>>> = OnceLock::new();
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Content fingerprint of a report (hash of its full `Debug` rendering).
+fn fingerprint(report: &RunReport) -> u64 {
+    let mut h = DefaultHasher::new();
+    format!("{report:?}").hash(&mut h);
+    h.finish()
 }
 
 /// Drops every memoized [`RunReport`] (used by benchmarks to measure cold
@@ -112,7 +228,7 @@ pub fn cached_event_total() -> u64 {
         .lock()
         .expect("run cache poisoned")
         .values()
-        .map(|r| r.events_processed)
+        .map(|(r, _)| r.events_processed)
         .sum()
 }
 
@@ -152,16 +268,34 @@ fn physical_cores() -> Option<usize> {
     (!cores.is_empty()).then_some(cores.len())
 }
 
+/// One execution attempt, with panics converted into described errors.
+fn attempt(spec: &RunSpec) -> Result<RunReport, String> {
+    match catch_unwind(AssertUnwindSafe(|| spec.run())) {
+        Ok(Ok(report)) => Ok(report),
+        Ok(Err(err)) => Err(err.to_string()),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic payload>");
+            Err(format!("panicked: {msg}"))
+        }
+    }
+}
+
 /// Executes all runs and returns reports in input order.
 ///
-/// Previously-cached runs are served from the memo; the remainder execute
-/// on up to [physical-core-count] worker threads. Duplicate specs within
-/// one call are simulated once.
+/// Previously-cached runs are served from the memo (after a fingerprint
+/// re-check); the remainder execute on up to [physical-core-count] worker
+/// threads. Duplicate specs within one call are simulated once.
 ///
-/// # Panics
-///
-/// Panics if any individual simulation panics, identifying the failing
-/// spec (app, threads, seed) in the message.
+/// A run that panics or errors is retried once and then quarantined: its
+/// slot is filled by a metric-less report with a
+/// [`Quarantined`](scalesim_core::RunOutcome::Quarantined) outcome, the
+/// sweep continues, and the event lands in the failure digest
+/// ([`take_sweep_failures`]). The sweep itself never panics on a failing
+/// run.
 #[must_use]
 pub fn run_all(specs: &[RunSpec]) -> Vec<RunReport> {
     if specs.is_empty() {
@@ -170,13 +304,28 @@ pub fn run_all(specs: &[RunSpec]) -> Vec<RunReport> {
     let use_memo = !memo_disabled();
     let keys: Vec<u64> = specs.iter().map(RunSpec::memo_key).collect();
 
-    // Resolve what is already known and deduplicate the remainder.
+    // Resolve what is already known — verifying each entry's fingerprint
+    // and evicting corrupt ones — then deduplicate the remainder.
     let mut resolved: HashMap<u64, Arc<RunReport>> = HashMap::new();
     if use_memo {
-        let cached = cache().lock().expect("run cache poisoned");
-        for &k in &keys {
-            if let Some(r) = cached.get(&k) {
-                resolved.insert(k, Arc::clone(r));
+        let mut cached = cache().lock().expect("run cache poisoned");
+        for (i, &k) in keys.iter().enumerate() {
+            if resolved.contains_key(&k) {
+                continue;
+            }
+            if let Some((r, stored_fp)) = cached.get(&k) {
+                if fingerprint(r) == *stored_fp {
+                    resolved.insert(k, Arc::clone(r));
+                } else {
+                    record_failure(SweepFailure {
+                        spec: specs[i].describe(),
+                        kind: SweepFailureKind::MemoCorruption,
+                        detail: "cached report failed its fingerprint check; \
+                                 evicted and re-simulated"
+                            .to_owned(),
+                    });
+                    cached.remove(&k);
+                }
             }
         }
     }
@@ -188,56 +337,86 @@ pub fn run_all(specs: &[RunSpec]) -> Vec<RunReport> {
         }
     }
 
+    let mut quarantined: HashSet<u64> = HashSet::new();
     if !pending.is_empty() {
         let workers = worker_budget().min(pending.len());
         let next = AtomicUsize::new(0);
-        let (tx, rx) = mpsc::channel::<(u64, Result<RunReport, String>)>();
+        let (tx, rx) = mpsc::channel::<(usize, Result<RunReport, String>)>();
 
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 let tx = tx.clone();
                 let next = &next;
                 let pending = &pending;
-                let keys = &keys;
                 scope.spawn(move || loop {
                     let n = next.fetch_add(1, Ordering::Relaxed);
                     let Some(&i) = pending.get(n) else { break };
-                    let outcome =
-                        catch_unwind(AssertUnwindSafe(|| specs[i].run())).map_err(|payload| {
-                            let msg = payload
-                                .downcast_ref::<String>()
-                                .map(String::as_str)
-                                .or_else(|| payload.downcast_ref::<&str>().copied())
-                                .unwrap_or("<non-string panic payload>");
-                            format!(
-                                "simulation worker panicked ({}): {msg}",
-                                specs[i].describe()
-                            )
-                        });
+                    // Crash isolation: one retry, then the failure travels
+                    // back as data rather than tearing the sweep down.
+                    let outcome = attempt(&specs[i]).or_else(|first| {
+                        attempt(&specs[i]).map_err(|second| {
+                            if first == second {
+                                format!("{first} (and again on retry)")
+                            } else {
+                                format!("{first}; retry: {second}")
+                            }
+                        })
+                    });
                     // The receiver outlives the scope; a send cannot fail.
-                    tx.send((keys[i], outcome)).expect("result channel closed");
+                    tx.send((i, outcome)).expect("result channel closed");
                 });
             }
         });
         drop(tx);
 
-        // All workers have exited; drain the (buffered) channel and fail
-        // loudly on the first worker panic, re-raising its description.
-        for (key, outcome) in rx {
+        // All workers have exited; drain the (buffered) channel.
+        for (i, outcome) in rx {
+            let k = keys[i];
             match outcome {
                 Ok(report) => {
-                    resolved.insert(key, Arc::new(report));
+                    resolved.insert(k, Arc::new(report));
                 }
-                Err(described) => panic!("{described}"),
+                Err(why) => {
+                    record_failure(SweepFailure {
+                        spec: specs[i].describe(),
+                        kind: SweepFailureKind::Quarantined,
+                        detail: why.clone(),
+                    });
+                    quarantined.insert(k);
+                    let spec = &specs[i];
+                    resolved.insert(
+                        k,
+                        Arc::new(RunReport::quarantined(
+                            spec.app.name(),
+                            spec.config.threads,
+                            spec.config.cores(),
+                            why.clone(),
+                        )),
+                    );
+                }
             }
         }
 
         if use_memo {
+            // Quarantined stubs are never memoized: a later sweep gets a
+            // fresh chance at the point. Truncated runs are deterministic
+            // (the budget is part of the key) and cache normally.
+            let mut chaos = ChaosPlan::new(specs[0].config.chaos, specs[0].config.seed);
             let mut cached = cache().lock().expect("run cache poisoned");
             for &i in &pending {
                 let k = keys[i];
+                if quarantined.contains(&k) {
+                    continue;
+                }
                 if let Some(r) = resolved.get(&k) {
-                    cached.entry(k).or_insert_with(|| Arc::clone(r));
+                    let mut fp = fingerprint(r);
+                    if chaos.fires(FaultClass::MemoCorrupt) {
+                        // Deliberate cache corruption: store a fingerprint
+                        // that cannot match, so the next lookup must detect
+                        // the entry, evict it, and re-simulate.
+                        fp ^= 0x05ca_1ab1_e0dd_ba11;
+                    }
+                    cached.entry(k).or_insert_with(|| (Arc::clone(r), fp));
                 }
             }
         }
@@ -248,7 +427,7 @@ pub fn run_all(specs: &[RunSpec]) -> Vec<RunReport> {
             RunReport::clone(
                 resolved
                     .get(k)
-                    .expect("every requested run resolved by cache or worker"),
+                    .expect("every requested run resolved by cache, worker, or quarantine"),
             )
         })
         .collect()
@@ -277,7 +456,7 @@ mod tests {
     #[test]
     fn parallel_matches_serial() {
         let spec = RunSpec::new(xalan().scaled(0.002), 4, 7);
-        let serial = spec.run();
+        let serial = spec.run().unwrap();
         let parallel = run_all(&[spec])[0].clone();
         assert_eq!(serial.wall_time, parallel.wall_time);
         assert_eq!(serial.events_processed, parallel.events_processed);
@@ -314,6 +493,24 @@ mod tests {
     }
 
     #[test]
+    fn memo_keys_separate_chaos_and_budget() {
+        use scalesim_simkit::{ChaosConfig, RunBudget};
+        let base = RunSpec::new(xalan().scaled(0.002), 4, 7);
+        let mut chaotic = base.clone();
+        chaotic.config.chaos = ChaosConfig {
+            drop_wakeup_period: 64,
+            ..ChaosConfig::default()
+        };
+        assert_ne!(base.memo_key(), chaotic.memo_key());
+        let mut budgeted = base.clone();
+        budgeted.config.budget = RunBudget {
+            max_events: 1000,
+            ..budgeted.config.budget
+        };
+        assert_ne!(base.memo_key(), budgeted.memo_key());
+    }
+
+    #[test]
     fn duplicate_specs_share_one_simulation() {
         let spec = RunSpec::new(sunflow().scaled(0.002), 3, 21);
         let reports = run_all(&[spec.clone(), spec.clone(), spec]);
@@ -328,7 +525,7 @@ mod tests {
     #[test]
     fn memoized_rerun_matches_cold_run() {
         let spec = RunSpec::new(xalan().scaled(0.002), 5, 13);
-        let cold = spec.run();
+        let cold = spec.run().unwrap();
         let first = run_all(std::slice::from_ref(&spec));
         let second = run_all(std::slice::from_ref(&spec)); // served by memo
         for r in [&first[0], &second[0]] {
@@ -340,7 +537,7 @@ mod tests {
 
     #[test]
     fn run_records_host_wall_time() {
-        let report = RunSpec::new(xalan().scaled(0.002), 2, 5).run();
+        let report = RunSpec::new(xalan().scaled(0.002), 2, 5).run().unwrap();
         assert!(report.host_ns > 0);
     }
 
@@ -350,5 +547,85 @@ mod tests {
         let before = run_cache_size();
         let _ = run_all(&[RunSpec::new(sunflow().scaled(0.002), 2, 77)]);
         assert!(run_cache_size() > before || memo_disabled());
+    }
+
+    /// Serializes the tests that drain the process-wide failure digest.
+    fn digest_guard() -> std::sync::MutexGuard<'static, ()> {
+        static GUARD: OnceLock<Mutex<()>> = OnceLock::new();
+        GUARD
+            .get_or_init(|| Mutex::new(()))
+            .lock()
+            .expect("digest guard poisoned")
+    }
+
+    #[test]
+    fn panicking_run_is_quarantined_without_aborting_the_sweep() {
+        use scalesim_core::RunOutcome;
+        use scalesim_simkit::ChaosConfig;
+        let _guard = digest_guard();
+        let _ = take_sweep_failures(); // isolate this test's digest
+        let mut doomed = RunSpec::new(xalan().scaled(0.002), 2, 31);
+        doomed.config.chaos = ChaosConfig {
+            panic_at_event: 500,
+            ..ChaosConfig::default()
+        };
+        let healthy = RunSpec::new(xalan().scaled(0.002), 4, 31);
+        let reports = run_all(&[doomed.clone(), healthy]);
+        assert_eq!(reports.len(), 2);
+        assert!(
+            matches!(reports[0].outcome, RunOutcome::Quarantined(_)),
+            "{:?}",
+            reports[0].outcome
+        );
+        assert!(reports[1].outcome.is_ok());
+        assert_eq!(reports[1].threads, 4);
+        let digest = take_sweep_failures();
+        assert!(
+            digest
+                .iter()
+                .any(|f| f.kind == SweepFailureKind::Quarantined
+                    && f.detail.contains("deliberate panic")),
+            "{digest:?}"
+        );
+        // Quarantined points are never memoized: a rerun attempts the
+        // simulation afresh (and, with the same chaos plan, quarantines
+        // again rather than serving a cached stub).
+        assert!(!cache()
+            .lock()
+            .expect("run cache poisoned")
+            .contains_key(&doomed.memo_key()));
+        let _ = take_sweep_failures();
+    }
+
+    #[test]
+    fn corrupted_memo_entry_is_evicted_and_rerun() {
+        let _guard = digest_guard();
+        let _ = take_sweep_failures();
+        let spec = RunSpec::new(sunflow().scaled(0.002), 2, 91);
+        let clean = run_all(std::slice::from_ref(&spec));
+        if memo_disabled() {
+            return;
+        }
+        // Corrupt the stored fingerprint by hand (what MemoCorrupt does
+        // from inside the harness).
+        {
+            let mut cached = cache().lock().expect("run cache poisoned");
+            let entry = cached.get_mut(&spec.memo_key()).expect("entry memoized");
+            entry.1 ^= 1;
+        }
+        let healed = run_all(std::slice::from_ref(&spec));
+        assert_eq!(clean[0].wall_time, healed[0].wall_time);
+        assert_eq!(clean[0].events_processed, healed[0].events_processed);
+        let digest = take_sweep_failures();
+        assert!(
+            digest
+                .iter()
+                .any(|f| f.kind == SweepFailureKind::MemoCorruption),
+            "{digest:?}"
+        );
+        // The healed entry verifies again.
+        let again = run_all(std::slice::from_ref(&spec));
+        assert_eq!(again[0].wall_time, clean[0].wall_time);
+        assert!(take_sweep_failures().is_empty());
     }
 }

@@ -7,11 +7,12 @@
 //! lusearch, and sunflow show nearly a uniform distribution of workload
 //! among threads."
 
+use scalesim_core::{RunOutcome, SimError};
 use scalesim_metrics::{fmt2, Table};
 use scalesim_workloads::{all_apps, AppModel, ScalabilityClass};
 
 use crate::params::ExpParams;
-use crate::sweep::{run_all, RunSpec};
+use crate::sweep::{outcome_cell, run_all, RunSpec};
 
 /// Work-distribution measurements for one (app, thread count) cell.
 #[derive(Debug, Clone, PartialEq)]
@@ -29,6 +30,8 @@ pub struct WorkdistRow {
     pub threads_for_90pct: usize,
     /// Largest single thread share of the work.
     pub max_share: f64,
+    /// How the run behind this row ended.
+    pub outcome: RunOutcome,
 }
 
 /// The full workload-distribution study.
@@ -55,6 +58,7 @@ impl Workdist {
             "cv",
             "threads for 90% work",
             "max share",
+            "outcome",
         ]);
         for r in &self.rows {
             t.row(vec![
@@ -64,6 +68,7 @@ impl Workdist {
                 fmt2(r.cv),
                 r.threads_for_90pct.to_string(),
                 fmt2(r.max_share),
+                outcome_cell(&r.outcome),
             ]);
         }
         t
@@ -71,8 +76,12 @@ impl Workdist {
 }
 
 /// Runs the workload-distribution sweep over all apps.
-#[must_use]
-pub fn run_workdist(params: &ExpParams) -> Workdist {
+///
+/// # Errors
+///
+/// Currently infallible (the sweep quarantines failing runs), but shares
+/// the drivers' common `Result` signature.
+pub fn run_workdist(params: &ExpParams) -> Result<Workdist, SimError> {
     let apps = all_apps();
     let mut specs = Vec::new();
     for app in &apps {
@@ -87,17 +96,25 @@ pub fn run_workdist(params: &ExpParams) -> Workdist {
         .map(|(i, r)| {
             let app = &apps[i / params.thread_counts.len()];
             let shares = r.work_shares();
+            // A quarantined stub carries no per-thread data; summarizing it
+            // would panic, so its row reports zeroed distribution stats.
+            let cv = if r.per_thread.is_empty() {
+                0.0
+            } else {
+                r.work_distribution().coefficient_of_variation()
+            };
             WorkdistRow {
                 app: r.app.clone(),
                 expected: app.class(),
                 threads: r.threads,
-                cv: r.work_distribution().coefficient_of_variation(),
+                cv,
                 threads_for_90pct: r.threads_for_90pct_work(),
                 max_share: shares.iter().copied().fold(0.0, f64::max),
+                outcome: r.outcome.clone(),
             }
         })
         .collect();
-    Workdist { rows }
+    Ok(Workdist { rows })
 }
 
 #[cfg(test)]
@@ -107,7 +124,7 @@ mod tests {
     #[test]
     fn jython_concentrates_and_xalan_spreads() {
         let params = ExpParams::quick().with_scale(0.01).with_threads(vec![16]);
-        let w = run_workdist(&params);
+        let w = run_workdist(&params).unwrap();
         assert_eq!(w.rows.len(), 6);
 
         let jython = &w.rows_of("jython")[0];

@@ -340,6 +340,59 @@ impl Heap {
         );
     }
 
+    /// Non-panicking variant of [`Heap::verify_consistency`] for the
+    /// runtime's always-on invariant monitors, extended with object
+    /// conservation: every object ever allocated is either still live or
+    /// recorded dead.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn check_conservation(&self) -> Result<(), String> {
+        let live = self.live_objects() as u64;
+        let died = self.stats.objects_died;
+        if self.stats.objects_allocated != live + died {
+            return Err(format!(
+                "object conservation broken: {} allocated != {live} live + {died} died",
+                self.stats.objects_allocated
+            ));
+        }
+        for region in 0..self.regions.len() {
+            if self.regions[region].used > self.regions[region].capacity {
+                return Err(format!(
+                    "region {region}: occupancy {} B exceeds capacity {} B",
+                    self.regions[region].used, self.regions[region].capacity
+                ));
+            }
+        }
+        let live_mature: u64 = self
+            .objects
+            .iter()
+            .filter(|(_, r)| r.space == Space::Mature)
+            .map(|(_, r)| r.size)
+            .sum();
+        if live_mature > self.mature_used {
+            return Err(format!(
+                "mature: live {live_mature} B exceeds occupancy {} B",
+                self.mature_used
+            ));
+        }
+        if self.mature_used > self.mature_capacity() {
+            return Err(format!(
+                "mature occupancy {} B exceeds capacity {} B",
+                self.mature_used,
+                self.mature_capacity()
+            ));
+        }
+        if self.clock != self.stats.bytes_allocated {
+            return Err(format!(
+                "allocation clock {} diverged from {} bytes allocated",
+                self.clock, self.stats.bytes_allocated
+            ));
+        }
+        Ok(())
+    }
+
     // ------------------------------------------------------------------
     // Collector interface (used by `scalesim-gc`)
     // ------------------------------------------------------------------
@@ -447,6 +500,32 @@ mod tests {
         assert_eq!(h.clock(), 150);
         assert_eq!(h.stats().bytes_allocated, 150);
         assert_eq!(h.stats().objects_allocated, 2);
+    }
+
+    #[test]
+    fn conservation_holds_through_alloc_kill_and_promote() {
+        let mut h = small_heap();
+        assert_eq!(h.check_conservation(), Ok(()));
+        let a = ok(h.alloc(tid(0), 200));
+        let b = ok(h.alloc(tid(0), 300));
+        assert_eq!(h.check_conservation(), Ok(()));
+        h.kill(b);
+        assert_eq!(h.check_conservation(), Ok(()));
+        h.age_survivor(a);
+        h.promote(a);
+        h.reset_region_to_survivors(0);
+        assert_eq!(h.check_conservation(), Ok(()));
+    }
+
+    #[test]
+    fn conservation_detects_lost_objects() {
+        let mut h = small_heap();
+        ok(h.alloc(tid(0), 100));
+        // Simulate accounting drift: a death recorded without an object
+        // actually dying, as a corrupted collector would produce.
+        h.stats.objects_died += 1;
+        let err = h.check_conservation().unwrap_err();
+        assert!(err.contains("conservation"), "{err}");
     }
 
     #[test]

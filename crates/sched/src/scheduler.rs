@@ -405,6 +405,65 @@ impl CpuScheduler {
     pub fn running_threads(&self) -> impl Iterator<Item = ThreadId> + '_ {
         self.occupants.iter().filter_map(|&o| o)
     }
+
+    /// Full cross-structure consistency check, for the runtime's invariant
+    /// monitors: at most one thread per core, occupancy agrees with
+    /// per-thread state, the ready queue holds exactly the `Runnable`
+    /// threads, and no thread appears twice.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency found.
+    pub fn sanity_check(&self) -> Result<(), String> {
+        let mut seen = vec![0u32; self.threads.len()];
+        for (slot, &occ) in self.occupants.iter().enumerate() {
+            if let Some(tid) = occ {
+                seen[tid.index()] += 1;
+                if seen[tid.index()] > 1 {
+                    return Err(format!("{tid} occupies more than one core"));
+                }
+                if self.state(tid) != ThreadState::Running {
+                    return Err(format!(
+                        "{tid} occupies core slot {slot} but is {}",
+                        self.state(tid)
+                    ));
+                }
+            }
+        }
+        let mut queued = vec![false; self.threads.len()];
+        for &tid in &self.ready {
+            if queued[tid.index()] {
+                return Err(format!("{tid} is on the ready queue twice"));
+            }
+            queued[tid.index()] = true;
+            if self.state(tid) != ThreadState::Runnable {
+                return Err(format!(
+                    "{tid} is on the ready queue but is {}",
+                    self.state(tid)
+                ));
+            }
+        }
+        for (i, rec) in self.threads.iter().enumerate() {
+            let tid = ThreadId::new(i);
+            match rec.state {
+                ThreadState::Running if seen[i] == 0 => {
+                    return Err(format!("{tid} is Running but occupies no core"));
+                }
+                ThreadState::Runnable if !queued[i] => {
+                    return Err(format!("{tid} is Runnable but not on the ready queue"));
+                }
+                _ => {}
+            }
+        }
+        if self.running_count() > self.num_cores() {
+            return Err(format!(
+                "{} threads running on {} cores",
+                self.running_count(),
+                self.num_cores()
+            ));
+        }
+        Ok(())
+    }
 }
 
 impl fmt::Display for CpuScheduler {
@@ -460,6 +519,35 @@ mod tests {
         assert_eq!(s.running_count(), 2);
         assert_eq!(s.runnable_count(), 1);
         assert!(s.is_contended());
+    }
+
+    #[test]
+    fn sanity_check_accepts_consistent_states() {
+        let mut s = sched(2);
+        let ids = spawn_started(&mut s, 4);
+        assert_eq!(s.sanity_check(), Ok(()));
+        s.dispatch(t(0));
+        assert_eq!(s.sanity_check(), Ok(()));
+        s.block(ids[0], t(1), BlockReason::Monitor);
+        s.dispatch(t(1));
+        assert_eq!(s.sanity_check(), Ok(()));
+        s.terminate(ids[1], t(2));
+        s.unblock(ids[0], t(2));
+        s.dispatch(t(2));
+        assert_eq!(s.sanity_check(), Ok(()));
+    }
+
+    #[test]
+    fn sanity_check_flags_a_lost_runnable_thread() {
+        let mut s = sched(1);
+        let ids = spawn_started(&mut s, 2);
+        s.dispatch(t(0));
+        // Corrupt the cross-structure invariant the way a lost wakeup
+        // does: a thread claims Runnable but sits on no queue.
+        s.ready.clear();
+        let err = s.sanity_check().unwrap_err();
+        assert!(err.contains(&format!("{}", ids[1])), "{err}");
+        assert!(err.contains("not on the ready queue"), "{err}");
     }
 
     #[test]

@@ -35,10 +35,12 @@
 #![warn(missing_debug_implementations)]
 
 pub mod baseline;
+pub mod chaos;
 mod queue;
 mod rng;
 mod time;
 
+pub use chaos::{AbortReason, ChaosConfig, ChaosPlan, FaultClass, RunBudget};
 pub use queue::{EventId, EventQueue};
 pub use rng::{splitmix64, RngFactory};
 pub use time::{SimDuration, SimTime};

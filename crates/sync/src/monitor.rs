@@ -119,6 +119,10 @@ impl Monitor {
         self.waiters.len()
     }
 
+    pub fn is_waiting(&self, tid: ThreadId) -> bool {
+        self.waiters.iter().any(|&(w, _)| w == tid)
+    }
+
     /// Attempts to acquire for `tid` at `now`.
     ///
     /// # Panics

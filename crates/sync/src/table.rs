@@ -93,6 +93,13 @@ impl LockTable {
         self.monitors[m.0].queue_len()
     }
 
+    /// Whether `tid` is queued on monitor `m` (invariant monitors
+    /// cross-check this against the scheduler's blocked state).
+    #[must_use]
+    pub fn is_waiting(&self, m: MonitorId, tid: ThreadId) -> bool {
+        self.monitors[m.0].is_waiting(tid)
+    }
+
     /// Statistics for a single monitor.
     #[must_use]
     pub fn stats(&self, m: MonitorId) -> &MonitorStats {

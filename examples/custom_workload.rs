@@ -89,7 +89,12 @@ fn main() {
     ]);
     let mut walls = Vec::new();
     for threads in [1usize, 4, 16, 48] {
-        let report = Jvm::new(JvmConfig::builder().threads(threads).seed(7).build()).run(&app);
+        let config = JvmConfig::builder()
+            .threads(threads)
+            .seed(7)
+            .build()
+            .expect("config");
+        let report = Jvm::new(config).run(&app).expect("run");
         walls.push((threads, report.wall_time));
         table.row(vec![
             threads.to_string(),

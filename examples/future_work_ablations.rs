@@ -14,7 +14,7 @@ fn main() {
         .with_threads(vec![16, 48]);
 
     println!("ablation 1 — biased (cohort) scheduling on xalan:");
-    let sched = run_biased_sched("xalan", &params);
+    let sched = run_biased_sched("xalan", &params).expect("abl-sched");
     println!("{}", sched.table());
     for variant in ["biased-2", "biased-4"] {
         if let (Some(v), Some(b)) = (sched.row(variant, 48), sched.row("baseline", 48)) {
@@ -33,7 +33,7 @@ fn main() {
     );
 
     println!("ablation 2 — compartmentalized heaplets on xalan:");
-    let heap = run_heaplets("xalan", &params);
+    let heap = run_heaplets("xalan", &params).expect("abl-heap");
     println!("{}", heap.table());
     if let (Some(v), Some(b)) = (heap.row("heaplets", 48), heap.row("baseline", 48)) {
         println!(

@@ -18,7 +18,7 @@ fn main() {
     let params = ExpParams::paper()
         .with_scale(0.5)
         .with_threads(vec![4, 8, 16, 32, 48]);
-    let fig2 = run_fig2(&params);
+    let fig2 = run_fig2(&params).expect("fig2");
     println!("Figure 2 — mutator vs GC time (scalable apps):");
     println!("{}", fig2.table());
 

@@ -23,11 +23,11 @@ fn main() {
         .with_scale(0.25)
         .with_threads(vec![4, 16, 48]);
 
-    let fig1d = run_fig1d(&params);
+    let fig1d = run_fig1d(&params).expect("fig1d");
     println!("Figure 1d — xalan object-lifespan CDF:");
     println!("{}", fig1d.table());
 
-    let fig1c = run_fig1c(&params);
+    let fig1c = run_fig1c(&params).expect("fig1c");
     println!("Figure 1c — eclipse object-lifespan CDF:");
     println!("{}", fig1c.table());
 
@@ -48,8 +48,12 @@ fn main() {
     // but not executing) per completed item at both ends of the sweep.
     println!("\nmechanism check — suspension grows with thread count (xalan):");
     for threads in [4usize, 48] {
-        let report = Jvm::new(JvmConfig::builder().threads(threads).seed(42).build())
-            .run(&xalan().scaled(0.25));
+        let config = JvmConfig::builder()
+            .threads(threads)
+            .seed(42)
+            .build()
+            .expect("config");
+        let report = Jvm::new(config).run(&xalan().scaled(0.25)).expect("run");
         let per_item = report.total_suspension().as_secs_f64() * 1e9 / report.total_items() as f64;
         println!(
             "  T={threads:<2}: total suspension {}  ({per_item:.0} ns per item)",

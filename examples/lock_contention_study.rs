@@ -21,7 +21,7 @@ fn main() {
         params.scale * 100.0
     );
 
-    let fig1 = run_fig1_locks(&params);
+    let fig1 = run_fig1_locks(&params).expect("fig1");
     println!("{}", fig1.table());
 
     println!(

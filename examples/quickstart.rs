@@ -11,8 +11,12 @@ use scalesim::workloads::xalan;
 
 fn run(threads: usize, scale: f64) -> RunReport {
     let app = xalan().scaled(scale);
-    let config = JvmConfig::builder().threads(threads).seed(42).build();
-    Jvm::new(config).run(&app)
+    let config = JvmConfig::builder()
+        .threads(threads)
+        .seed(42)
+        .build()
+        .expect("config");
+    Jvm::new(config).run(&app).expect("run")
 }
 
 fn main() {

@@ -20,8 +20,9 @@ fn main() {
         .threads(4)
         .retention(Retention::Full)
         .seed(42)
-        .build();
-    let report = Jvm::new(config).run(&app);
+        .build()
+        .expect("config");
+    let report = Jvm::new(config).run(&app).expect("run");
 
     let events = report.trace.events().expect("full retention keeps events");
     let text = format_trace(events);

@@ -12,4 +12,15 @@ echo '== cargo build --release'
 cargo build --release --workspace
 echo '== cargo test -q'
 cargo test -q
+echo '== chaos self-validation (debug assertions)'
+cargo test -q --test chaos
+echo '== chaos CLI smoke (env-driven faults + budget must exit 0)'
+SCALESIM_CHAOS='gc-stall=5,gc-stall-factor=0.05' \
+SCALESIM_MAX_EVENTS=50000000 \
+    cargo run --release -q -p scalesim-experiments -- \
+    fig1d --scale 0.02 --threads 4,8 > /dev/null
+echo '== quarantine CLI smoke (panicking runs must yield quar rows, exit 0)'
+SCALESIM_CHAOS='panic-at=2000' \
+    cargo run --release -q -p scalesim-experiments -- \
+    workdist --scale 0.02 --threads 4 > /dev/null 2>&1
 echo 'CI OK'

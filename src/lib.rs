@@ -25,8 +25,8 @@
 //! use scalesim::workloads::xalan;
 //!
 //! let app = xalan().scaled(0.05); // 5% of standard work for a fast demo
-//! let config = JvmConfig::builder().threads(4).build();
-//! let report = Jvm::new(config).run(&app);
+//! let config = JvmConfig::builder().threads(4).build().unwrap();
+//! let report = Jvm::new(config).run(&app).unwrap();
 //! assert!(report.wall_time.as_secs_f64() > 0.0);
 //! assert!(report.gc.collections() > 0);
 //! ```

@@ -8,7 +8,7 @@ fn params() -> ExpParams {
 
 #[test]
 fn biased_scheduling_reduces_lifetime_interference() {
-    let study = run_biased_sched("xalan", &params());
+    let study = run_biased_sched("xalan", &params()).unwrap();
     let baseline = study.row("baseline", 48).expect("baseline row");
     let biased = study.row("biased-4", 48).expect("biased-4 row");
     assert!(
@@ -24,7 +24,7 @@ fn biased_scheduling_costs_wall_time() {
     // Restricting concurrency idles cores when threads == cores; the
     // benefit is bought with wall time, and the ablation reports it
     // honestly.
-    let study = run_biased_sched("xalan", &params());
+    let study = run_biased_sched("xalan", &params()).unwrap();
     let baseline = study.row("baseline", 48).expect("baseline row");
     let biased = study.row("biased-2", 48).expect("biased-2 row");
     assert!(biased.wall > baseline.wall);
@@ -32,7 +32,7 @@ fn biased_scheduling_costs_wall_time() {
 
 #[test]
 fn heaplets_improve_wall_time_at_high_thread_counts() {
-    let study = run_heaplets("xalan", &params());
+    let study = run_heaplets("xalan", &params()).unwrap();
     let baseline = study.row("baseline", 48).expect("baseline row");
     let heaplets = study.row("heaplets", 48).expect("heaplets row");
     assert!(
@@ -53,15 +53,19 @@ fn heaplets_shorten_individual_pauses() {
     use scalesim::workloads::xalan;
 
     let app = xalan().scaled(0.1);
-    let base = Jvm::new(JvmConfig::builder().threads(48).seed(42).build()).run(&app);
+    let base = Jvm::new(JvmConfig::builder().threads(48).seed(42).build().unwrap())
+        .run(&app)
+        .unwrap();
     let heap = Jvm::new(
         JvmConfig::builder()
             .threads(48)
             .heaplets(true)
             .seed(42)
-            .build(),
+            .build()
+            .unwrap(),
     )
-    .run(&app);
+    .run(&app)
+    .unwrap();
 
     let max_minor = |r: &scalesim::runtime::RunReport| {
         r.gc.events()
@@ -90,9 +94,11 @@ fn heaplets_never_run_global_minor_collections() {
             .threads(16)
             .heaplets(true)
             .seed(1)
-            .build(),
+            .build()
+            .unwrap(),
     )
-    .run(&lusearch().scaled(0.05));
+    .run(&lusearch().scaled(0.05))
+    .unwrap();
     assert_eq!(report.gc.count(GcKind::Minor), 0);
     assert!(report.gc.count(GcKind::LocalMinor) > 0);
 }

@@ -1,0 +1,275 @@
+//! Chaos self-validation: every fault class a `ChaosPlan` can inject must
+//! be caught by an invariant monitor or contained by a run budget, and a
+//! deliberately crashing run must be quarantined without taking the sweep
+//! down with it.
+//!
+//! These tests are the proof that the monitors are not vacuous — each one
+//! breaks the simulator on purpose and asserts the breakage is *detected
+//! and classified*, never silently absorbed.
+
+use std::sync::Mutex;
+
+use scalesim::runtime::{Jvm, JvmConfig, MonitorKind, RunOutcome, SimError};
+use scalesim::simkit::{ChaosConfig, RunBudget};
+use scalesim::workloads::{h2, xalan};
+
+/// Serializes the tests that drain the global sweep-failure digest, which
+/// is shared across all tests in this binary.
+fn digest_guard() -> std::sync::MutexGuard<'static, ()> {
+    static GUARD: Mutex<()> = Mutex::new(());
+    GUARD
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A tight event budget so an injected livelock can never hang the suite.
+fn backstop() -> RunBudget {
+    RunBudget {
+        max_events: 4_000_000,
+        max_sim_time: None,
+        max_host_ms: None,
+    }
+}
+
+#[test]
+fn dropped_wakeups_are_caught_by_a_monitor_or_the_budget() {
+    // h2 serializes on a coarse latch, so a lost wakeup bites quickly.
+    let cfg = JvmConfig::builder()
+        .threads(16)
+        .seed(42)
+        .chaos(ChaosConfig {
+            drop_wakeup_period: 8,
+            ..ChaosConfig::default()
+        })
+        .budget(backstop())
+        .monitors(true)
+        .build()
+        .unwrap();
+    match Jvm::new(cfg).run(&h2().scaled(0.02)) {
+        Err(SimError::Invariant(v)) => assert!(
+            matches!(
+                v.kind,
+                MonitorKind::Scheduler | MonitorKind::MonitorProtocol | MonitorKind::QueueLiveness
+            ),
+            "unexpected monitor {v}"
+        ),
+        Ok(report) => assert!(
+            matches!(report.outcome, RunOutcome::Truncated(_)),
+            "a run with dropped wakeups completed clean: {:?}",
+            report.outcome
+        ),
+        Err(other) => panic!("unexpected error class: {other}"),
+    }
+}
+
+#[test]
+fn spurious_wakeups_are_caught_by_the_protocol_monitor() {
+    let cfg = JvmConfig::builder()
+        .threads(16)
+        .seed(42)
+        .chaos(ChaosConfig {
+            spurious_wakeup_period: 4,
+            ..ChaosConfig::default()
+        })
+        .budget(backstop())
+        .monitors(true)
+        .build()
+        .unwrap();
+    let err = Jvm::new(cfg)
+        .run(&h2().scaled(0.02))
+        .expect_err("a spuriously woken waiter must not pass the inline check");
+    match err {
+        SimError::Invariant(v) => {
+            assert_eq!(v.kind, MonitorKind::MonitorProtocol, "{v}");
+            assert!(v.detail.contains("ungranted"), "{v}");
+        }
+        other => panic!("unexpected error class: {other}"),
+    }
+}
+
+#[test]
+fn stalled_gc_workers_are_caught_by_the_pause_bound() {
+    // Every collection stalls and the pause inflates 1000x — far past the
+    // 2x(minor+full) physical ceiling.
+    let cfg = JvmConfig::builder()
+        .threads(8)
+        .seed(42)
+        .chaos(ChaosConfig {
+            gc_stall_period: 1,
+            gc_stall_factor: 1000.0,
+            ..ChaosConfig::default()
+        })
+        .budget(backstop())
+        .monitors(true)
+        .build()
+        .unwrap();
+    let err = Jvm::new(cfg)
+        .run(&xalan().scaled(0.02))
+        .expect_err("a 1000x GC pause must trip the pause-bound monitor");
+    match err {
+        SimError::Invariant(v) => {
+            assert_eq!(v.kind, MonitorKind::GcPauseBound, "{v}");
+            assert!(v.detail.contains("ceiling"), "{v}");
+        }
+        other => panic!("unexpected error class: {other}"),
+    }
+}
+
+#[test]
+fn tiny_gc_stalls_stay_under_the_ceiling_and_replay_identically() {
+    // A small stall factor perturbs timing without violating anything:
+    // the run must complete, and the same (config, seed) must reproduce
+    // it bit-for-bit — chaos runs are as replayable as clean ones.
+    let build = || {
+        JvmConfig::builder()
+            .threads(8)
+            .seed(7)
+            .chaos(ChaosConfig {
+                gc_stall_period: 3,
+                gc_stall_factor: 0.05,
+                ..ChaosConfig::default()
+            })
+            .budget(backstop())
+            .build()
+            .unwrap()
+    };
+    let app = xalan().scaled(0.02);
+    let a = Jvm::new(build()).run(&app).unwrap();
+    let b = Jvm::new(build()).run(&app).unwrap();
+    assert_eq!(a.outcome, RunOutcome::Ok);
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+
+    // ... and a different seed draws a different fault schedule.
+    let mut other = JvmConfig::builder();
+    other
+        .threads(8)
+        .seed(8)
+        .chaos(ChaosConfig {
+            gc_stall_period: 3,
+            gc_stall_factor: 0.05,
+            ..ChaosConfig::default()
+        })
+        .budget(backstop());
+    let c = Jvm::new(other.build().unwrap()).run(&app).unwrap();
+    assert_ne!(format!("{a:?}"), format!("{c:?}"));
+}
+
+#[test]
+fn exhausted_event_budget_truncates_with_partial_metrics() {
+    let cfg = JvmConfig::builder()
+        .threads(8)
+        .seed(42)
+        .budget(RunBudget {
+            max_events: 20_000,
+            max_sim_time: None,
+            max_host_ms: None,
+        })
+        .build()
+        .unwrap();
+    let report = Jvm::new(cfg).run(&xalan().scaled(0.1)).unwrap();
+    assert!(
+        matches!(report.outcome, RunOutcome::Truncated(_)),
+        "{:?}",
+        report.outcome
+    );
+    assert!(!report.outcome.is_ok());
+    assert_eq!(report.outcome.marker(), "trunc");
+    // Partial metrics survive the truncation.
+    assert!(report.events_processed >= 20_000);
+    assert!(report.total_items() > 0, "no partial progress recorded");
+}
+
+#[test]
+fn memo_corruption_in_the_sweep_is_detected_and_healed() {
+    use scalesim::experiments::{run_all, take_sweep_failures, RunSpec, SweepFailureKind};
+    let _guard = digest_guard();
+    let _ = take_sweep_failures(); // drop stale entries from other tests
+
+    let mut spec = RunSpec::new(xalan().scaled(0.01), 4, 4242);
+    spec.config.chaos = ChaosConfig {
+        memo_corrupt_period: 1, // corrupt every cache insert
+        ..ChaosConfig::default()
+    };
+    let first = run_all(std::slice::from_ref(&spec));
+    assert_eq!(first[0].outcome, RunOutcome::Ok);
+
+    // The cached fingerprint was corrupted after insert; the next lookup
+    // must notice, evict, re-run, and record the corruption.
+    let second = run_all(std::slice::from_ref(&spec));
+    // The healed rerun is simulation-identical; only host wall time (a
+    // measurement, not a simulation output) may differ.
+    let mut a = first[0].clone();
+    let mut b = second[0].clone();
+    a.host_ns = 0;
+    b.host_ns = 0;
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    let failures = take_sweep_failures();
+    assert!(
+        failures
+            .iter()
+            .any(|f| f.kind == SweepFailureKind::MemoCorruption),
+        "no corruption recorded: {failures:?}"
+    );
+}
+
+#[test]
+fn panicking_worker_is_quarantined_and_the_sweep_continues() {
+    use scalesim::experiments::{run_all, take_sweep_failures, RunSpec, SweepFailureKind};
+    let _guard = digest_guard();
+    let _ = take_sweep_failures();
+
+    let mut doomed = RunSpec::new(xalan().scaled(0.01), 4, 777);
+    doomed.config.chaos = ChaosConfig {
+        panic_at_event: 500,
+        ..ChaosConfig::default()
+    };
+    let healthy = RunSpec::new(xalan().scaled(0.01), 8, 777);
+    let reports = run_all(&[doomed, healthy]);
+
+    assert_eq!(reports[0].outcome.marker(), "quar");
+    assert_eq!(reports[0].threads, 4);
+    assert_eq!(reports[1].outcome, RunOutcome::Ok);
+    assert!(reports[1].total_items() > 0);
+
+    let failures = take_sweep_failures();
+    assert!(
+        failures
+            .iter()
+            .any(|f| f.kind == SweepFailureKind::Quarantined && f.detail.contains("deliberate")),
+        "panic not in the digest: {failures:?}"
+    );
+}
+
+#[test]
+fn oversubscription_under_chaos_terminates_and_classifies_cleanly() {
+    // The ext-oversub regression: 4x threads per core plus dropped
+    // wakeups, monitors off — the worst case for livelock. The run must
+    // end within the event budget and be classified (clean completion,
+    // truncation, or a detected invariant violation), never hang or
+    // crash.
+    let cfg = JvmConfig::builder()
+        .threads(48)
+        .cores(12)
+        .seed(42)
+        .chaos(ChaosConfig {
+            drop_wakeup_period: 32,
+            ..ChaosConfig::default()
+        })
+        .budget(backstop())
+        .monitors(false)
+        .build()
+        .unwrap();
+    match Jvm::new(cfg).run(&xalan().scaled(0.02)) {
+        Ok(report) => {
+            assert!(report.events_processed <= backstop().max_events + 1);
+            assert!(matches!(
+                report.outcome,
+                RunOutcome::Ok | RunOutcome::Truncated(_)
+            ));
+        }
+        // Even with periodic scans off, the always-on inline checks and
+        // the deadlock detector may classify the fault first.
+        Err(SimError::Invariant(_)) => {}
+        Err(other) => panic!("unexpected error class: {other}"),
+    }
+}

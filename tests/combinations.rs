@@ -24,9 +24,11 @@ fn heaplets_with_biased_scheduling() {
             .heaplets(true)
             .policy(SchedPolicy::Biased { cohorts: 2 })
             .seed(3)
-            .build(),
+            .build()
+            .unwrap(),
     )
-    .run(&app);
+    .run(&app)
+    .unwrap();
     items_complete(&report, app.total_items());
     assert!(report.gc.count(GcKind::LocalMinor) > 0);
     assert_eq!(report.gc.count(GcKind::Minor), 0);
@@ -41,9 +43,11 @@ fn heaplets_with_concurrent_old_gen() {
             .heaplets(true)
             .old_gen(OldGenPolicy::MostlyConcurrent)
             .seed(3)
-            .build(),
+            .build()
+            .unwrap(),
     )
-    .run(&app);
+    .run(&app)
+    .unwrap();
     items_complete(&report, app.total_items());
     // local minors always; old-gen activity only if promotion pressure
     // materialized at this scale
@@ -60,9 +64,11 @@ fn concurrent_old_gen_with_adaptive_sizing() {
             .old_gen(OldGenPolicy::MostlyConcurrent)
             .pause_goal(SimDuration::from_millis(2))
             .seed(3)
-            .build(),
+            .build()
+            .unwrap(),
     )
-    .run(&app);
+    .run(&app)
+    .unwrap();
     items_complete(&report, app.total_items());
     assert_eq!(report.mutator_wall() + report.gc_time, report.wall_time);
 }
@@ -76,9 +82,11 @@ fn scatter_placement_with_oversubscription() {
             .cores(8)
             .placement(Placement::Scatter)
             .seed(3)
-            .build(),
+            .build()
+            .unwrap(),
     )
-    .run(&app);
+    .run(&app)
+    .unwrap();
     items_complete(&report, app.total_items());
     assert_eq!(report.cores, 8);
 }
@@ -92,17 +100,21 @@ fn runs_on_the_xeon_preset() {
             .machine(machine.clone())
             .threads(4)
             .seed(3)
-            .build(),
+            .build()
+            .unwrap(),
     )
-    .run(&app);
+    .run(&app)
+    .unwrap();
     let t32 = Jvm::new(
         JvmConfig::builder()
             .machine(machine)
             .threads(32)
             .seed(3)
-            .build(),
+            .build()
+            .unwrap(),
     )
-    .run(&app);
+    .run(&app)
+    .unwrap();
     items_complete(&t32, app.total_items());
     // the paper's qualitative conclusions carry over to a different box:
     let speedup = t4.wall_time.as_secs_f64() / t32.wall_time.as_secs_f64();
@@ -124,10 +136,11 @@ fn cores_beyond_machine_are_clamped() {
     let cfg = JvmConfig::builder()
         .machine(MachineTopology::xeon_2s_32c())
         .threads(64)
-        .build();
+        .build()
+        .unwrap();
     assert_eq!(cfg.cores(), 32);
     let app = xalan().scaled(0.01);
-    let report = Jvm::new(cfg).run(&app);
+    let report = Jvm::new(cfg).run(&app).unwrap();
     items_complete(&report, app.total_items());
     assert_eq!(report.per_thread.len(), 64);
 }
@@ -135,11 +148,11 @@ fn cores_beyond_machine_are_clamped() {
 #[test]
 fn zero_helper_threads_is_leaner_but_equivalent_in_work() {
     let app = xalan().scaled(0.02);
-    let base = JvmConfig::builder().threads(4).seed(9).build();
+    let base = JvmConfig::builder().threads(4).seed(9).build().unwrap();
     let mut no_helpers = JvmConfig::builder();
     no_helpers.threads(4).seed(9).helper_threads(0);
-    let a = Jvm::new(base).run(&app);
-    let b = Jvm::new(no_helpers.build()).run(&app);
+    let a = Jvm::new(base).run(&app).unwrap();
+    let b = Jvm::new(no_helpers.build().unwrap()).run(&app).unwrap();
     items_complete(&a, app.total_items());
     items_complete(&b, app.total_items());
     assert!(b.wall_time <= a.wall_time, "helpers can only slow mutators");

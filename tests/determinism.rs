@@ -6,7 +6,15 @@ use scalesim::runtime::{Jvm, JvmConfig, RunReport};
 use scalesim::workloads::{all_apps, AppModel, SyntheticApp};
 
 fn run(app: &SyntheticApp, threads: usize, seed: u64) -> RunReport {
-    Jvm::new(JvmConfig::builder().threads(threads).seed(seed).build()).run(app)
+    Jvm::new(
+        JvmConfig::builder()
+            .threads(threads)
+            .seed(seed)
+            .build()
+            .unwrap(),
+    )
+    .run(app)
+    .unwrap()
 }
 
 fn fingerprints(r: &RunReport) -> (u64, u64, u64, u64, u64) {

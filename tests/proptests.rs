@@ -358,7 +358,15 @@ fn any_small_run_conserves_work_and_objects() {
         let seed = rng.gen_range(0u64..1000);
 
         let app = all_apps().swap_remove(app_idx).scaled(0.002);
-        let report = Jvm::new(JvmConfig::builder().threads(threads).seed(seed).build()).run(&app);
+        let report = Jvm::new(
+            JvmConfig::builder()
+                .threads(threads)
+                .seed(seed)
+                .build()
+                .unwrap(),
+        )
+        .run(&app)
+        .unwrap();
         assert_eq!(report.total_items(), app.total_items());
         assert_eq!(
             report.trace.allocations(),
@@ -532,4 +540,83 @@ fn generated_items_are_always_well_formed() {
             assert!(item.cpu_time().as_nanos() <= max_target + 1);
         }
     });
+}
+
+// ---------------------------------------------------------------------
+// Chaos determinism
+// ---------------------------------------------------------------------
+
+/// A chaos run is a pure function of `(config, seed, ChaosPlan)`: the
+/// same triple reproduces the same result bit-for-bit, whether that
+/// result is a clean report, a truncation, or a detected violation.
+#[test]
+fn chaos_runs_are_a_pure_function_of_config_and_seed() {
+    for_cases(6, |rng| {
+        use scalesim::runtime::{Jvm, JvmConfig};
+        use scalesim::simkit::{ChaosConfig, RunBudget};
+        use scalesim::workloads::all_apps;
+
+        let app_idx = rng.gen_range(0usize..6);
+        let threads = rng.gen_range(2usize..10);
+        let seed = rng.gen_range(0u64..1000);
+        let chaos = ChaosConfig {
+            drop_wakeup_period: rng.gen_range(0u64..3) * 64,
+            spurious_wakeup_period: rng.gen_range(0u64..3) * 64,
+            gc_stall_period: rng.gen_range(0u64..4),
+            gc_stall_factor: 0.1,
+            ..ChaosConfig::default()
+        };
+        let budget = RunBudget {
+            max_events: 2_000_000,
+            max_sim_time: None,
+            max_host_ms: None,
+        };
+        let app = all_apps().swap_remove(app_idx).scaled(0.002);
+        let run = || {
+            let cfg = JvmConfig::builder()
+                .threads(threads)
+                .seed(seed)
+                .chaos(chaos)
+                .budget(budget)
+                .build()
+                .unwrap();
+            format!("{:?}", Jvm::new(cfg).run(&app))
+        };
+        assert_eq!(run(), run());
+    });
+}
+
+/// With every chaos class off, the chaos/budget/monitor plumbing must be
+/// invisible: explicit all-off knobs and disabled monitors produce a
+/// report byte-identical to the default configuration's, and the default
+/// run at the pinned paper seed still matches its golden totals.
+#[test]
+fn chaos_off_is_byte_identical_to_the_plain_run() {
+    use scalesim::runtime::{Jvm, JvmConfig, RunOutcome};
+    use scalesim::simkit::ChaosConfig;
+    use scalesim::workloads::{xalan, AppModel};
+
+    let app = xalan().scaled(0.01);
+    let plain = Jvm::new(JvmConfig::builder().threads(4).seed(42).build().unwrap())
+        .run(&app)
+        .unwrap();
+    let explicit = Jvm::new(
+        JvmConfig::builder()
+            .threads(4)
+            .seed(42)
+            .chaos(ChaosConfig::default())
+            .monitors(false)
+            .build()
+            .unwrap(),
+    )
+    .run(&app)
+    .unwrap();
+    assert_eq!(format!("{plain:?}"), format!("{explicit:?}"));
+
+    // Golden totals at the pinned seed: a chaos-layer change that
+    // perturbs clean runs shows up here as a diff, not as silent drift.
+    assert_eq!(plain.outcome, RunOutcome::Ok);
+    assert_eq!(plain.total_items(), app.total_items());
+    assert_eq!(plain.events_processed, 9512);
+    assert_eq!(plain.wall_time.as_nanos(), 13_439_563);
 }

@@ -10,15 +10,20 @@ fn configs() -> Vec<(String, JvmConfig)> {
     vec![
         (
             "fair-4".into(),
-            JvmConfig::builder().threads(4).seed(3).build(),
+            JvmConfig::builder().threads(4).seed(3).build().unwrap(),
         ),
         (
             "fair-32".into(),
-            JvmConfig::builder().threads(32).seed(3).build(),
+            JvmConfig::builder().threads(32).seed(3).build().unwrap(),
         ),
         (
             "oversubscribed".into(),
-            JvmConfig::builder().threads(12).cores(4).seed(3).build(),
+            JvmConfig::builder()
+                .threads(12)
+                .cores(4)
+                .seed(3)
+                .build()
+                .unwrap(),
         ),
         (
             "biased".into(),
@@ -26,7 +31,8 @@ fn configs() -> Vec<(String, JvmConfig)> {
                 .threads(8)
                 .policy(SchedPolicy::Biased { cohorts: 2 })
                 .seed(3)
-                .build(),
+                .build()
+                .unwrap(),
         ),
         (
             "heaplets".into(),
@@ -34,7 +40,8 @@ fn configs() -> Vec<(String, JvmConfig)> {
                 .threads(8)
                 .heaplets(true)
                 .seed(3)
-                .build(),
+                .build()
+                .unwrap(),
         ),
     ]
 }
@@ -109,7 +116,7 @@ fn invariants_hold_for_every_app_and_config() {
     for app in all_apps() {
         let scaled = app.scaled(0.01);
         for (label, config) in configs() {
-            let report = Jvm::new(config).run(&scaled);
+            let report = Jvm::new(config).run(&scaled).unwrap();
             check_invariants(
                 &format!("{}/{label}", app.name()),
                 &report,
@@ -121,8 +128,9 @@ fn invariants_hold_for_every_app_and_config() {
 
 #[test]
 fn single_thread_run_has_no_contention_and_no_waiting() {
-    let report = Jvm::new(JvmConfig::builder().threads(1).seed(5).build())
-        .run(&scalesim::workloads::sunflow().scaled(0.01));
+    let report = Jvm::new(JvmConfig::builder().threads(1).seed(5).build().unwrap())
+        .run(&scalesim::workloads::sunflow().scaled(0.01))
+        .unwrap();
     assert_eq!(report.locks.total.contentions, 0);
     assert_eq!(
         report.per_thread[0].times.blocked_monitor,
@@ -138,17 +146,21 @@ fn helper_threads_do_not_complete_application_work() {
             .threads(4)
             .helper_threads(4)
             .seed(5)
-            .build(),
+            .build()
+            .unwrap(),
     )
-    .run(&app);
+    .run(&app)
+    .unwrap();
     let without = Jvm::new(
         JvmConfig::builder()
             .threads(4)
             .helper_threads(0)
             .seed(5)
-            .build(),
+            .build()
+            .unwrap(),
     )
-    .run(&app);
+    .run(&app)
+    .unwrap();
     assert_eq!(with.total_items(), without.total_items());
     assert_eq!(with.per_thread.len(), 4);
     assert_eq!(without.per_thread.len(), 4);
@@ -164,18 +176,22 @@ fn helper_threads_increase_mutator_suspension() {
             .helper_threads(6)
             .helper_profile(SimDuration::from_micros(500), SimDuration::from_millis(1))
             .seed(5)
-            .build(),
+            .build()
+            .unwrap(),
     )
-    .run(&app);
+    .run(&app)
+    .unwrap();
     let quiet = Jvm::new(
         JvmConfig::builder()
             .threads(8)
             .cores(8)
             .helper_threads(0)
             .seed(5)
-            .build(),
+            .build()
+            .unwrap(),
     )
-    .run(&app);
+    .run(&app)
+    .unwrap();
     assert!(
         noisy.total_suspension() > quiet.total_suspension(),
         "helper interference should suspend mutators: {} vs {}",

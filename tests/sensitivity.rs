@@ -22,9 +22,11 @@ fn gc_share(threads: usize, copy_scale: f64, alpha_scale: f64) -> f64 {
             .threads(threads)
             .seed(42)
             .gc_model(scaled_model(threads, copy_scale, alpha_scale))
-            .build(),
+            .build()
+            .unwrap(),
     )
-    .run(&app);
+    .run(&app)
+    .unwrap();
     report.gc_share()
 }
 
@@ -63,9 +65,11 @@ fn lifespan_shift_does_not_depend_on_the_gc_model_at_all() {
                 .threads(threads)
                 .seed(42)
                 .gc_model(scaled_model(threads, copy_scale, 1.0))
-                .build(),
+                .build()
+                .unwrap(),
         )
         .run(&app)
+        .unwrap()
         .trace
         .fraction_below(1 << 10)
     };
@@ -84,10 +88,17 @@ fn classification_is_robust_to_seed() {
     use scalesim::workloads::h2;
     for seed in [1u64, 7, 99] {
         let fast = |app: &scalesim::workloads::SyntheticApp, threads: usize| {
-            Jvm::new(JvmConfig::builder().threads(threads).seed(seed).build())
-                .run(&app.scaled(0.02))
-                .wall_time
-                .as_secs_f64()
+            Jvm::new(
+                JvmConfig::builder()
+                    .threads(threads)
+                    .seed(seed)
+                    .build()
+                    .unwrap(),
+            )
+            .run(&app.scaled(0.02))
+            .unwrap()
+            .wall_time
+            .as_secs_f64()
         };
         let xa = xalan();
         let speedup = fast(&xa, 4) / fast(&xa, 32);

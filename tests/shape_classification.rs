@@ -9,7 +9,7 @@ fn all_six_apps_classify_as_the_paper_says() {
     let params = ExpParams::paper()
         .with_scale(0.05)
         .with_threads(vec![4, 16, 48]);
-    let table = run_scalability(&params);
+    let table = run_scalability(&params).unwrap();
     assert_eq!(table.rows.len(), 6);
     for row in &table.rows {
         assert!(
@@ -28,7 +28,7 @@ fn scalable_apps_keep_improving_to_48_threads() {
     let params = ExpParams::paper()
         .with_scale(0.05)
         .with_threads(vec![16, 32, 48]);
-    let table = run_scalability(&params);
+    let table = run_scalability(&params).unwrap();
     for row in &table.rows {
         if row.expected == ScalabilityClass::Scalable {
             assert!(
@@ -45,7 +45,7 @@ fn workload_distribution_separates_the_classes() {
     let params = ExpParams::paper()
         .with_scale(0.05)
         .with_threads(vec![16, 48]);
-    let dist = run_workdist(&params);
+    let dist = run_workdist(&params).unwrap();
 
     for row in &dist.rows {
         match row.app.as_str() {
@@ -75,7 +75,7 @@ fn jython_concentration_is_independent_of_configured_threads() {
     let params = ExpParams::paper()
         .with_scale(0.05)
         .with_threads(vec![16, 48]);
-    let dist = run_workdist(&params);
+    let dist = run_workdist(&params).unwrap();
     let rows = dist.rows_of("jython");
     assert_eq!(rows.len(), 2);
     assert_eq!(

@@ -11,7 +11,7 @@ fn params() -> ExpParams {
 
 #[test]
 fn fig1a_scalable_lock_acquisitions_grow_with_threads() {
-    let fig1 = run_fig1_locks(&params());
+    let fig1 = run_fig1_locks(&params()).unwrap();
     for app in ["sunflow", "lusearch", "xalan"] {
         let s = fig1.acquisitions_of(app).expect("series exists");
         assert!(s.is_increasing(), "{app} acquisitions not increasing: {s}");
@@ -25,7 +25,7 @@ fn fig1a_scalable_lock_acquisitions_grow_with_threads() {
 
 #[test]
 fn fig1a_non_scalable_lock_acquisitions_stay_flat() {
-    let fig1 = run_fig1_locks(&params());
+    let fig1 = run_fig1_locks(&params()).unwrap();
     for app in ["h2", "eclipse", "jython"] {
         let s = fig1.acquisitions_of(app).expect("series exists");
         let growth = s.growth_ratio().expect("nonzero base");
@@ -38,7 +38,7 @@ fn fig1a_non_scalable_lock_acquisitions_stay_flat() {
 
 #[test]
 fn fig1b_scalable_contention_grows_sharply() {
-    let fig1 = run_fig1_locks(&params());
+    let fig1 = run_fig1_locks(&params()).unwrap();
     for app in ["sunflow", "lusearch", "xalan"] {
         let s = fig1.contentions_of(app).expect("series exists");
         assert!(s.is_increasing(), "{app} contentions not increasing: {s}");
@@ -52,7 +52,7 @@ fn fig1b_scalable_contention_grows_sharply() {
 
 #[test]
 fn fig1b_non_scalable_contention_is_insensitive_to_threads() {
-    let fig1 = run_fig1_locks(&params());
+    let fig1 = run_fig1_locks(&params()).unwrap();
     for app in ["h2", "jython", "eclipse"] {
         let s = fig1.contentions_of(app).expect("series exists");
         let growth = s.growth_ratio().unwrap_or(1.0);
@@ -67,7 +67,7 @@ fn fig1b_non_scalable_contention_is_insensitive_to_threads() {
 fn fig1b_scalable_apps_out_contend_despite_scaling_better() {
     // The paper's headline: apps that scale BETTER may have MORE
     // contention instances at high thread counts.
-    let fig1 = run_fig1_locks(&params());
+    let fig1 = run_fig1_locks(&params()).unwrap();
     let xalan = fig1
         .contentions_of("xalan")
         .expect("xalan")
@@ -86,7 +86,7 @@ fn fig1b_scalable_apps_out_contend_despite_scaling_better() {
 
 #[test]
 fn fig1d_xalan_lifespans_stretch_with_threads() {
-    let fig1d = run_fig1d(&params());
+    let fig1d = run_fig1d(&params()).unwrap();
     let at4 = fig1d.frac_below_1k(4).expect("T=4 swept");
     let at48 = fig1d.frac_below_1k(48).expect("T=48 swept");
     // Paper: >80% below 1KB at 4 threads, ~50% at 48.
@@ -103,7 +103,7 @@ fn fig1d_xalan_lifespans_stretch_with_threads() {
 
 #[test]
 fn fig1c_eclipse_lifespans_are_insensitive_to_threads() {
-    let fig1c = run_fig1c(&params());
+    let fig1c = run_fig1c(&params()).unwrap();
     let shift = fig1c.max_shift();
     assert!(
         shift < 0.05,

@@ -11,7 +11,7 @@ fn params() -> ExpParams {
 
 #[test]
 fn gc_time_increases_with_threads_for_every_scalable_app() {
-    let fig2 = run_fig2(&params());
+    let fig2 = run_fig2(&params()).unwrap();
     for app in fig2.apps() {
         let gc = fig2.gc_series(&app);
         assert!(gc.is_increasing(), "{app} GC time not increasing: {gc}");
@@ -22,7 +22,7 @@ fn gc_time_increases_with_threads_for_every_scalable_app() {
 
 #[test]
 fn mutator_time_decreases_through_48_threads() {
-    let fig2 = run_fig2(&params());
+    let fig2 = run_fig2(&params()).unwrap();
     for app in fig2.apps() {
         let m = fig2.mutator_series(&app);
         assert!(m.is_decreasing(), "{app} mutator time not decreasing: {m}");
@@ -36,7 +36,7 @@ fn mutator_time_decreases_through_48_threads() {
 
 #[test]
 fn gc_share_of_execution_rises_monotonically() {
-    let fig2 = run_fig2(&params());
+    let fig2 = run_fig2(&params()).unwrap();
     for app in fig2.apps() {
         let share = fig2.gc_share_series(&app);
         assert!(
@@ -55,7 +55,7 @@ fn gc_share_of_execution_rises_monotonically() {
 fn minor_collection_count_is_insensitive_to_threads() {
     // Fixed total allocation through a fixed nursery: the number of minor
     // GCs barely moves; their per-pause cost is what grows.
-    let fig2 = run_fig2(&params());
+    let fig2 = run_fig2(&params()).unwrap();
     for app in fig2.apps() {
         let rows = fig2.rows_of(&app);
         let (lo, hi) = (
@@ -74,7 +74,7 @@ fn full_collections_appear_only_under_thread_scaling() {
     // Prolonged lifespans promote more; the paper predicts "more full GC
     // invocations" at high thread counts. At this scale full GCs may be
     // rare, so assert monotonicity rather than presence.
-    let fig2 = run_fig2(&params());
+    let fig2 = run_fig2(&params()).unwrap();
     for app in fig2.apps() {
         let rows = fig2.rows_of(&app);
         let first = rows.first().expect("rows").full;
