@@ -15,6 +15,11 @@
 //! 4. **Invariant-monitor overhead** — one xalan run timed with the
 //!    always-on monitors enabled and disabled, reported as events per
 //!    second each plus the relative slowdown (budgeted at < 10%).
+//! 5. **Timeline-trace overhead** — the same xalan run timed with the
+//!    timeline recorder off and on. Trace-off is the production default,
+//!    so its throughput must stay within ~2% of a back-to-back baseline
+//!    timing of the identical configuration: that delta bounds what the
+//!    disabled recorder hooks cost on the hot path (plus host noise).
 //!
 //! Usage: `bench_sweep [OUTPUT.json]` (default `BENCH_sweep.json`).
 
@@ -22,7 +27,7 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use scalesim_bench::{bench_params, timing};
-use scalesim_core::{Jvm, JvmConfig};
+use scalesim_core::{Jvm, JvmConfig, TraceConfig};
 use scalesim_experiments::{
     cached_event_total, clear_run_cache, run_biased_sched, run_cache_size, run_fig1_locks,
     run_fig1c, run_fig1d, run_fig2, run_heaplets, run_scalability, run_workdist, ExpParams,
@@ -130,6 +135,31 @@ fn monitor_events_per_sec(monitors: bool) -> f64 {
     events as f64 / (sample.median_ns as f64 / 1e9)
 }
 
+/// Events per second of one xalan run with the timeline recorder
+/// toggled, using the noise-robust `min` over several iterations (the
+/// simulation is deterministic, so the fastest observation is the one
+/// least disturbed by the host). Trace-off is the production default
+/// path; the `baseline` caller times the identical configuration back
+/// to back with it, so their delta bounds measurement noise plus any
+/// accidental work on the disabled recorder path.
+fn trace_events_per_sec(label: &str, trace: TraceConfig) -> f64 {
+    let app = xalan().scaled(0.05);
+    let cfg = JvmConfig::builder()
+        .threads(16)
+        .seed(42)
+        .trace(trace)
+        .build()
+        .expect("bench config");
+    let events = Jvm::new(cfg.clone())
+        .run(&app)
+        .expect("bench run")
+        .events_processed;
+    let sample = timing::bench(label, 1, 7, || {
+        black_box(Jvm::new(cfg.clone()).run(&app).expect("bench run"))
+    });
+    events as f64 / (sample.min_ns as f64 / 1e9)
+}
+
 fn main() {
     let out = std::env::args()
         .nth(1)
@@ -178,8 +208,23 @@ fn main() {
         mon_overhead_pct
     );
 
+    eprintln!("timeline-trace overhead (xalan, 16 threads)...");
+    let trace_baseline = trace_events_per_sec("trace/baseline", TraceConfig::off());
+    let trace_off = trace_events_per_sec("trace/off", TraceConfig::off());
+    let trace_on = trace_events_per_sec("trace/on", TraceConfig::on());
+    let trace_overhead_pct = (trace_off / trace_on - 1.0) * 100.0;
+    let trace_off_overhead_pct = (trace_baseline / trace_off - 1.0) * 100.0;
+    eprintln!(
+        "  off {:.2} M events/s, on {:.2} M events/s, recording cost {:.1}%, \
+         trace-off cost vs back-to-back baseline {:.1}% (budget ~2%)",
+        trace_off / 1e6,
+        trace_on / 1e6,
+        trace_overhead_pct,
+        trace_off_overhead_pct
+    );
+
     let json = format!(
-        "{{\n  \"seed\": {seed},\n  \"events_per_sec\": {eps:.0},\n  \"sweep_wall_ms\": {memo:.1},\n  \"sweep_wall_ms_nomemo\": {nomemo:.1},\n  \"memo_speedup\": {mspeed:.2},\n  \"unique_runs\": {runs},\n  \"events_simulated\": {events},\n  \"queue_events_per_sec_slab\": {qslab:.0},\n  \"queue_events_per_sec_baseline\": {qbase:.0},\n  \"queue_speedup\": {qspeed:.2},\n  \"events_per_sec_monitors_on\": {mon_on:.0},\n  \"events_per_sec_monitors_off\": {mon_off:.0},\n  \"monitor_overhead_pct\": {mon_pct:.2}\n}}\n",
+        "{{\n  \"seed\": {seed},\n  \"events_per_sec\": {eps:.0},\n  \"sweep_wall_ms\": {memo:.1},\n  \"sweep_wall_ms_nomemo\": {nomemo:.1},\n  \"memo_speedup\": {mspeed:.2},\n  \"unique_runs\": {runs},\n  \"events_simulated\": {events},\n  \"queue_events_per_sec_slab\": {qslab:.0},\n  \"queue_events_per_sec_baseline\": {qbase:.0},\n  \"queue_speedup\": {qspeed:.2},\n  \"events_per_sec_monitors_on\": {mon_on:.0},\n  \"events_per_sec_monitors_off\": {mon_off:.0},\n  \"monitor_overhead_pct\": {mon_pct:.2},\n  \"events_per_sec_trace_off\": {troff:.0},\n  \"events_per_sec_trace_on\": {tron:.0},\n  \"trace_overhead_pct\": {tr_pct:.2},\n  \"trace_off_overhead_pct\": {troff_pct:.2}\n}}\n",
         seed = params.seed,
         eps = events_per_sec,
         memo = memo_ms,
@@ -193,6 +238,10 @@ fn main() {
         mon_on = mon_on,
         mon_off = mon_off,
         mon_pct = mon_overhead_pct,
+        troff = trace_off,
+        tron = trace_on,
+        tr_pct = trace_overhead_pct,
+        troff_pct = trace_off_overhead_pct,
     );
     std::fs::write(&out, &json).expect("write benchmark report");
     println!("{json}");

@@ -24,6 +24,7 @@ use scalesim_machine::{MachineTopology, Placement};
 use scalesim_objtrace::Retention;
 use scalesim_sched::SchedPolicy;
 use scalesim_simkit::{ChaosConfig, RunBudget, SimDuration};
+use scalesim_trace::TraceConfig;
 
 use crate::error::ConfigError;
 
@@ -97,6 +98,10 @@ pub struct JvmConfig {
     /// monitor protocol scans). Cheap inline protocol checks are always
     /// on; this flag gates only the periodic full scans.
     pub monitors: bool,
+    /// Timeline tracing: off by default; when enabled the run records
+    /// deterministic state/monitor/GC spans and (optionally) exports them
+    /// as Chrome trace-event JSON at the configured path.
+    pub trace: TraceConfig,
     /// Master random seed; a run is a pure function of (config, app).
     pub seed: u64,
 }
@@ -189,10 +194,11 @@ impl JvmConfigBuilder {
     /// Starts from the paper's defaults: the 48-core AMD testbed, 4
     /// threads, fair scheduling, shared nursery, 2 helper threads.
     ///
-    /// Budgets and chaos default from the environment (`SCALESIM_CHAOS`,
-    /// `SCALESIM_MAX_EVENTS`, `SCALESIM_MAX_SIM_MS`, `SCALESIM_MAX_HOST_MS`,
-    /// `SCALESIM_MONITORS`), read fresh on every call so tests can toggle
-    /// them; the all-off / monitors-on defaults apply when unset.
+    /// Budgets, chaos and tracing default from the environment
+    /// (`SCALESIM_CHAOS`, `SCALESIM_MAX_EVENTS`, `SCALESIM_MAX_SIM_MS`,
+    /// `SCALESIM_MAX_HOST_MS`, `SCALESIM_MONITORS`, `SCALESIM_TRACE`,
+    /// `SCALESIM_TRACE_EVENTS`), read fresh on every call so tests can
+    /// toggle them; the all-off / monitors-on defaults apply when unset.
     #[must_use]
     pub fn new() -> Self {
         JvmConfigBuilder {
@@ -221,6 +227,7 @@ impl JvmConfigBuilder {
                     std::env::var("SCALESIM_MONITORS").as_deref(),
                     Ok("0") | Ok("off")
                 ),
+                trace: TraceConfig::from_env(),
                 seed: 42,
             },
         }
@@ -345,6 +352,12 @@ impl JvmConfigBuilder {
     /// Enables or disables the periodic invariant monitors.
     pub fn monitors(&mut self, on: bool) -> &mut Self {
         self.config.monitors = on;
+        self
+    }
+
+    /// Sets the timeline-tracing configuration.
+    pub fn trace(&mut self, trace: TraceConfig) -> &mut Self {
+        self.config.trace = trace;
         self
     }
 

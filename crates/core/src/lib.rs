@@ -49,3 +49,4 @@ pub use error::{ConfigError, InvariantViolation, MonitorKind, SimError};
 pub use replay::{replay_gc, ReplayOutcome};
 pub use report::{RunOutcome, RunReport, ThreadReport};
 pub use runtime::Jvm;
+pub use scalesim_trace::TraceConfig;

@@ -9,6 +9,7 @@ use scalesim_objtrace::ObjectTracer;
 use scalesim_sched::StateTimes;
 use scalesim_simkit::{AbortReason, SimDuration};
 use scalesim_sync::LockReport;
+use scalesim_trace::{Counters, Timeline};
 
 /// How a run ended.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -98,6 +99,12 @@ pub struct RunReport {
     pub per_thread: Vec<ThreadReport>,
     /// Total simulation events processed (diagnostics).
     pub events_processed: u64,
+    /// The counters registry at end of run (always populated; O(1) fixed
+    /// slots, deterministic).
+    pub counters: Counters,
+    /// The merged deterministic timeline (empty unless the config enabled
+    /// tracing).
+    pub timeline: Timeline,
     /// Host-side wall-clock nanoseconds the simulation took, as measured
     /// by the runner (0 when not measured). Purely diagnostic: never part
     /// of determinism fingerprints, and memoized sweeps report the timing
@@ -126,6 +133,8 @@ impl RunReport {
             heap: HeapStats::default(),
             per_thread: Vec::new(),
             events_processed: 0,
+            counters: Counters::new(),
+            timeline: Timeline::disabled(),
             host_ns: 0,
             outcome: RunOutcome::Quarantined(why),
         }
@@ -258,6 +267,8 @@ mod tests {
                 })
                 .collect(),
             events_processed: 0,
+            counters: Counters::new(),
+            timeline: Timeline::disabled(),
             host_ns: 0,
             outcome: RunOutcome::Ok,
         }

@@ -23,7 +23,7 @@
 use rand::rngs::StdRng;
 use rand::Rng;
 
-use scalesim_gc::{AdaptiveSizer, Collector, GcCostModel};
+use scalesim_gc::{AdaptiveSizer, Collector, GcCostModel, GcKind};
 use scalesim_heap::{AllocResult, Heap, HeapConfig, NurseryLayout, ObjectId};
 use scalesim_objtrace::{ObjSeq, ObjectTracer};
 use scalesim_sched::{BlockReason, CpuScheduler, SchedPolicy, ThreadId, ThreadState};
@@ -31,6 +31,7 @@ use scalesim_simkit::{
     ChaosPlan, EventId, EventQueue, FaultClass, RngFactory, SimDuration, SimTime,
 };
 use scalesim_sync::{AcquireOutcome, LockTable, MonitorId};
+use scalesim_trace::{to_chrome_json, CounterId, Counters, EventKind, Timeline};
 use scalesim_workloads::{AppModel, DeathPoint, Distribution, Step, WorkItem};
 
 use crate::config::{JvmConfig, OldGenPolicy};
@@ -247,6 +248,12 @@ struct Sim<'a> {
     /// First invariant violation detected; aborts the run after the
     /// current event.
     violation: Option<InvariantViolation>,
+    /// The runtime's own timeline recorder: chaos instant markers and
+    /// allocation-pressure samples. The scheduler, lock table and
+    /// collector carry their own; all four merge at report time.
+    timeline: Timeline,
+    /// The always-on fixed-slot counters registry.
+    counters: Counters,
 }
 
 impl<'a> Sim<'a> {
@@ -257,7 +264,8 @@ impl<'a> Sim<'a> {
         // scheduling itself (threads yield at item boundaries), so the OS
         // scheduler proper always runs the fair policy. `CpuScheduler`'s
         // strict cohort gating remains available for standalone studies.
-        let sched = CpuScheduler::new(cores, config.quantum, SchedPolicy::Fair);
+        let mut sched = CpuScheduler::new(cores, config.quantum, SchedPolicy::Fair);
+        sched.set_timeline(config.trace.recorder());
         let cohorts = match config.policy {
             SchedPolicy::Fair => 0,
             SchedPolicy::Biased { cohorts } => cohorts,
@@ -279,6 +287,7 @@ impl<'a> Sim<'a> {
             .gc_model_override
             .unwrap_or_else(|| GcCostModel::hotspot_like(config.gc_workers(), mean_numa));
         let mut collector = Collector::new(gc_model);
+        collector.set_timeline(config.trace.recorder());
         if config.old_gen == OldGenPolicy::MostlyConcurrent {
             // The runtime starts concurrent cycles; only promotion
             // failure may still escalate to a STW full collection.
@@ -286,6 +295,7 @@ impl<'a> Sim<'a> {
         }
 
         let mut locks = LockTable::new();
+        locks.set_timeline(config.trace.recorder());
         let class_monitors: Vec<Vec<MonitorId>> = app
             .lock_classes()
             .iter()
@@ -318,6 +328,8 @@ impl<'a> Sim<'a> {
             concurrent_cycle: None,
             chaos: ChaosPlan::new(config.chaos, config.seed),
             violation: None,
+            timeline: config.trace.recorder(),
+            counters: Counters::new(),
         }
     }
 
@@ -494,6 +506,42 @@ impl<'a> Sim<'a> {
             .collect();
         let mutator_cpu: SimDuration = per_thread.iter().map(|t| t.times.running).sum();
 
+        // Merge the per-subsystem recorders into one deterministic
+        // timeline (the collector's must be taken before `into_log`
+        // consumes it). Merge rank fixes tie order: sched, locks, gc,
+        // runtime.
+        let timeline = Timeline::merge(vec![
+            self.sched.take_timeline(),
+            self.locks.take_timeline(),
+            self.collector.take_timeline(),
+            std::mem::take(&mut self.timeline),
+        ]);
+        let log = self.collector.log();
+        self.counters
+            .set(CounterId::MinorGcs, log.count(GcKind::Minor) as u64);
+        self.counters.set(
+            CounterId::LocalMinorGcs,
+            log.count(GcKind::LocalMinor) as u64,
+        );
+        self.counters
+            .set(CounterId::FullGcs, log.count(GcKind::Full) as u64);
+        self.counters.set(
+            CounterId::ConcGcPhases,
+            log.count(GcKind::ConcurrentOld) as u64,
+        );
+        self.counters
+            .set(CounterId::EventsProcessed, self.queue.popped_total());
+        self.counters
+            .set(CounterId::TimelineDropped, timeline.dropped());
+
+        if let Some(path) = &self.config.trace.path {
+            if timeline.is_enabled() {
+                if let Err(e) = std::fs::write(path, to_chrome_json(&timeline)) {
+                    eprintln!("scalesim: failed to write trace to {path}: {e}");
+                }
+            }
+        }
+
         Ok(RunReport {
             app: self.app.name().to_owned(),
             threads: self.config.threads,
@@ -507,6 +555,8 @@ impl<'a> Sim<'a> {
             heap: *self.heap.stats(),
             per_thread,
             events_processed: self.queue.popped_total(),
+            counters: self.counters,
+            timeline,
             host_ns: 0,
             outcome,
         })
@@ -524,6 +574,7 @@ impl<'a> Sim<'a> {
 
     fn dispatch_and_resume(&mut self) {
         for d in self.sched.dispatch(self.now()) {
+            self.counters.inc(CounterId::Dispatches);
             self.queue.schedule_now(Event::Resume(d.thread));
         }
     }
@@ -586,6 +637,7 @@ impl<'a> Sim<'a> {
                 }
             }
             scalesim_sched::QuantumOutcome::Preempted => {
+                self.counters.inc(CounterId::Preemptions);
                 self.pause_running_step(tid);
                 self.dispatch_and_resume();
             }
@@ -783,11 +835,13 @@ impl<'a> Sim<'a> {
                     let mon = self.pick_monitor(tid, class.0);
                     match self.locks.acquire(mon, tid, self.now()) {
                         AcquireOutcome::Acquired => {
+                            self.counters.inc(CounterId::LockAcquires);
                             self.ctxs[tid.index()].cursor.as_mut().expect("item").next += 1;
                             self.begin_step(tid, StepKind::Critical(mon), held);
                             return;
                         }
                         AcquireOutcome::Contended => {
+                            self.counters.inc(CounterId::LockContentions);
                             self.ctxs[tid.index()].pending = Some(PendingAcquire {
                                 monitor: mon,
                                 held,
@@ -852,10 +906,12 @@ impl<'a> Sim<'a> {
                         };
                         match self.locks.acquire(mon, tid, self.now()) {
                             AcquireOutcome::Acquired => {
+                                self.counters.inc(CounterId::LockAcquires);
                                 self.begin_step(tid, StepKind::Critical(mon), held);
                                 return WorkOutcome::StepScheduled;
                             }
                             AcquireOutcome::Contended => {
+                                self.counters.inc(CounterId::LockContentions);
                                 self.ctxs[tid.index()].pending = Some(PendingAcquire {
                                     monitor: mon,
                                     held,
@@ -875,10 +931,12 @@ impl<'a> Sim<'a> {
                 let dispatch = *dispatch;
                 match self.locks.acquire(mon, tid, self.now()) {
                     AcquireOutcome::Acquired => {
+                        self.counters.inc(CounterId::LockAcquires);
                         self.begin_step(tid, StepKind::Fetch(mon), dispatch);
                         WorkOutcome::StepScheduled
                     }
                     AcquireOutcome::Contended => {
+                        self.counters.inc(CounterId::LockContentions);
                         self.ctxs[tid.index()].pending = Some(PendingAcquire {
                             monitor: mon,
                             held: dispatch,
@@ -973,6 +1031,8 @@ impl<'a> Sim<'a> {
         for attempt in 0..2 {
             match self.heap.alloc(tid, bytes) {
                 AllocResult::Ok(obj) => {
+                    self.counters.inc(CounterId::Allocations);
+                    self.counters.add(CounterId::AllocBytes, bytes);
                     let seq = self.tracer.on_alloc(tid.index(), bytes, self.heap.clock());
                     return (obj, seq);
                 }
@@ -992,6 +1052,8 @@ impl<'a> Sim<'a> {
     fn run_gc(&mut self, region: usize) {
         let live = self.sched.live_count();
         let now = self.now();
+        let pre_used = self.heap.region_used(region) + self.heap.mature_used();
+        self.timeline.sample(EventKind::HeapUsed, 0, now, pre_used);
         let mut pause = self
             .collector
             .collect_minor(&mut self.heap, region, live, now);
@@ -999,8 +1061,15 @@ impl<'a> Sim<'a> {
             // Injected fault: a GC worker stalls at the safepoint and the
             // whole pause stretches. The pause-bound monitor must catch
             // it (at test-sized stall factors).
-            pause += pause.mul_f64(self.chaos.config().gc_stall_factor);
+            let extra = pause.mul_f64(self.chaos.config().gc_stall_factor);
+            self.counters.inc(CounterId::ChaosInjections);
+            self.timeline
+                .instant(EventKind::ChaosGcStall, 0, now, extra.as_nanos());
+            pause += extra;
         }
+        let post_used = self.heap.region_used(region) + self.heap.mature_used();
+        self.timeline
+            .sample(EventKind::HeapUsed, 0, now.saturating_add(pause), post_used);
         self.check_collection_invariants(pause, live);
         self.apply_stw(pause);
         self.maybe_start_concurrent_cycle();
@@ -1053,9 +1122,18 @@ impl<'a> Sim<'a> {
     fn run_gc_local(&mut self, region: usize, tid: ThreadId) {
         let live = self.sched.live_count();
         let now = self.now();
+        let pre_used = self.heap.region_used(region) + self.heap.mature_used();
+        self.timeline.sample(EventKind::HeapUsed, 0, now, pre_used);
         let out = self
             .collector
             .collect_minor_local(&mut self.heap, region, live, now);
+        let post_used = self.heap.region_used(region) + self.heap.mature_used();
+        self.timeline.sample(
+            EventKind::HeapUsed,
+            0,
+            now.saturating_add(out.local_pause.max(out.stw_pause)),
+            post_used,
+        );
         self.check_collection_invariants(out.local_pause.max(out.stw_pause), live);
         self.ctxs[tid.index()].local_pause_debt += out.local_pause;
         if !out.stw_pause.is_zero() {
@@ -1115,8 +1193,10 @@ impl<'a> Sim<'a> {
     }
 
     fn apply_stw(&mut self, pause: SimDuration) {
+        let now = self.now();
+        self.counters.inc(CounterId::StwPauses);
         self.queue.shift_all(pause);
-        self.sched.apply_stw_pause(pause);
+        self.sched.apply_stw_pause(pause, now);
         // Cached step deadlines move with the world.
         for ctx in &mut self.ctxs {
             if let Some(r) = &mut ctx.running {
@@ -1143,6 +1223,7 @@ impl<'a> Sim<'a> {
     }
 
     fn kill_object(&mut self, obj: ObjectId, seq: ObjSeq) {
+        self.counters.inc(CounterId::ObjectDeaths);
         let death = self.heap.kill(obj);
         self.tracer.on_death(seq, death.lifespan, self.heap.clock());
     }
@@ -1168,6 +1249,10 @@ impl<'a> Sim<'a> {
             // Injected fault: the waiter becomes runnable without the
             // monitor handoff, as a broken park/unpark would produce. The
             // inline protocol check in `next_action` must catch it.
+            self.counters.inc(CounterId::ChaosInjections);
+            let now = self.now();
+            self.timeline
+                .instant(EventKind::ChaosSpuriousWakeup, 0, now, tid.index() as u64);
             self.sched.unblock(tid, self.now());
         }
         self.dispatch_and_resume();
@@ -1176,6 +1261,7 @@ impl<'a> Sim<'a> {
     fn release_monitor(&mut self, mon: MonitorId, tid: ThreadId) {
         if let Some(grant) = self.locks.release(mon, tid, self.now()) {
             let next = grant.next;
+            self.counters.inc(CounterId::LockAcquires);
             let p = self.ctxs[next.index()]
                 .pending
                 .as_mut()
@@ -1186,6 +1272,10 @@ impl<'a> Sim<'a> {
                 // Injected fault: the handoff is recorded but the waiter
                 // is never made runnable — a classic lost wakeup. The
                 // scheduler monitor (or the run budget) must catch it.
+                self.counters.inc(CounterId::ChaosInjections);
+                let now = self.now();
+                self.timeline
+                    .instant(EventKind::ChaosDropWakeup, 0, now, next.index() as u64);
                 return;
             }
             // A prior spurious wakeup may have made the thread runnable
@@ -1209,6 +1299,7 @@ impl<'a> Sim<'a> {
         if self.violation.is_some() {
             return;
         }
+        self.counters.inc(CounterId::MonitorScans);
         if let Err(detail) = self.sched.sanity_check() {
             self.flag_violation(MonitorKind::Scheduler, detail);
             return;

@@ -1,0 +1,72 @@
+//! Offline validator for the observability artifacts CI produces: a
+//! Chrome trace-event export and (optionally) a run-manifest JSONL.
+//!
+//! ```sh
+//! trace_check trace.json                       # validate the export
+//! trace_check trace.json manifest.jsonl 2      # plus the manifest,
+//!                                              # expecting 2 lines
+//! ```
+//!
+//! The container builds fully offline — no `jq`, no Python — so this
+//! binary leans on `scalesim_trace::check`'s std-only JSON parser. Exit
+//! code 0 means every artifact validated; 1 means a malformed artifact
+//! or a usage error, with the reason on stderr.
+
+use std::process::ExitCode;
+
+use scalesim_trace::check::{validate_chrome_trace, validate_manifest_line};
+
+const USAGE: &str = "usage: trace_check <trace.json> [<manifest.jsonl> <expected-lines>]";
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (trace_path, manifest) = match args.len() {
+        1 => (&args[0], None),
+        3 => {
+            let expected: usize = args[2]
+                .parse()
+                .map_err(|_| format!("bad expected-lines `{}`\n{USAGE}", args[2]))?;
+            (&args[0], Some((&args[1], expected)))
+        }
+        _ => return Err(USAGE.to_owned()),
+    };
+
+    let text =
+        std::fs::read_to_string(trace_path).map_err(|e| format!("read {trace_path}: {e}"))?;
+    let check = validate_chrome_trace(&text).map_err(|e| format!("{trace_path}: {e}"))?;
+    if check.spans == 0 {
+        return Err(format!("{trace_path}: export carries no spans"));
+    }
+    println!(
+        "{trace_path}: ok ({} events: {} spans, {} instants, {} counters, \
+         {} metadata; {} distinct names)",
+        check.events, check.spans, check.instants, check.counters, check.metadata, check.names
+    );
+
+    if let Some((manifest_path, expected)) = manifest {
+        let body = std::fs::read_to_string(manifest_path)
+            .map_err(|e| format!("read {manifest_path}: {e}"))?;
+        let lines: Vec<&str> = body.lines().filter(|l| !l.trim().is_empty()).collect();
+        if lines.len() != expected {
+            return Err(format!(
+                "{manifest_path}: expected {expected} manifest lines, found {}",
+                lines.len()
+            ));
+        }
+        for (n, line) in lines.iter().enumerate() {
+            validate_manifest_line(line).map_err(|e| format!("{manifest_path}:{}: {e}", n + 1))?;
+        }
+        println!("{manifest_path}: ok ({} lines)", lines.len());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("trace_check: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -62,7 +62,7 @@ pub use fig2_gc::{run_fig2, Fig2, Fig2Row};
 pub use params::ExpParams;
 pub use scalability::{run_scalability, Scalability, ScalabilityRow, SCALABLE_SPEEDUP_THRESHOLD};
 pub use sweep::{
-    cached_event_total, clear_run_cache, run_all, run_cache_size, take_sweep_failures, RunSpec,
-    SweepFailure, SweepFailureKind,
+    cached_event_total, clear_run_cache, run_all, run_cache_size, take_run_manifests,
+    take_sweep_failures, RunManifest, RunSpec, SweepFailure, SweepFailureKind,
 };
 pub use workdist::{run_workdist, Workdist, WorkdistRow};

@@ -9,15 +9,19 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use scalesim_core::{Jvm, JvmConfig, TraceConfig};
 use scalesim_experiments::{
     run_biased_sched, run_concurrent_old_gen, run_ergonomics, run_fig1_locks, run_fig1c, run_fig1d,
     run_fig2, run_gc_workers, run_heap_size, run_heaplets, run_lock_sharding, run_numa_placement,
-    run_oversubscription, run_scalability, run_workdist, take_sweep_failures, ExpParams,
+    run_oversubscription, run_scalability, run_workdist, take_run_manifests, take_sweep_failures,
+    ExpParams,
 };
 use scalesim_metrics::Table;
+use scalesim_workloads::lusearch;
 
 const USAGE: &str = "\
 usage: scalesim-experiments <artifact> [--scale F] [--seed N] [--threads a,b,c] [--out DIR]
+                            [--trace FILE]
 
 artifacts:
   workdist    per-thread workload distribution (paper §III)
@@ -42,19 +46,27 @@ options:
   --scale F      workload scale factor (default 1.0 = paper-sized)
   --seed N       master seed (default 42)
   --threads LIST comma-separated thread counts (default 4,8,16,32,48)
-  --out DIR      also write each table as CSV into DIR
+  --out DIR      also write each table as CSV into DIR, plus a
+                 manifest.jsonl joining every sweep run with its
+                 harness provenance (memo/retry/quarantine status)
+  --trace FILE   additionally run a traced 4-thread lusearch and export
+                 its timeline as Chrome trace-event JSON to FILE (open
+                 at https://ui.perfetto.dev or chrome://tracing);
+                 SCALESIM_TRACE=<path> traces every run instead
 ";
 
 struct Cli {
     artifact: String,
     params: ExpParams,
     out: Option<PathBuf>,
+    trace: Option<PathBuf>,
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut artifact = None;
     let mut params = ExpParams::paper();
     let mut out = None;
+    let mut trace = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -83,6 +95,10 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 let v = it.next().ok_or("--out needs a value")?;
                 out = Some(PathBuf::from(v));
             }
+            "--trace" => {
+                let v = it.next().ok_or("--trace needs a value")?;
+                trace = Some(PathBuf::from(v));
+            }
             "--help" | "-h" => return Err(String::new()),
             other if artifact.is_none() && !other.starts_with('-') => {
                 artifact = Some(other.to_owned());
@@ -94,7 +110,47 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         artifact: artifact.ok_or("no artifact given")?,
         params,
         out,
+        trace,
     })
+}
+
+/// Runs a traced 4-thread lusearch at the CLI's scale/seed and exports
+/// its timeline as Chrome trace-event JSON — the quick way to eyeball a
+/// run at <https://ui.perfetto.dev>.
+fn export_trace(cli: &Cli, path: &std::path::Path) -> Result<(), String> {
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    }
+    let config = JvmConfig::builder()
+        .threads(4)
+        .seed(cli.params.seed)
+        .trace(TraceConfig::off().with_path(path.display().to_string()))
+        .build()
+        .map_err(|e| e.to_string())?;
+    let report = Jvm::new(config)
+        .run(&lusearch().scaled(cli.params.scale))
+        .map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} ({} timeline events; open at https://ui.perfetto.dev)",
+        path.display(),
+        report.timeline.len()
+    );
+    Ok(())
+}
+
+/// Writes every accumulated run manifest as `manifest.jsonl` in `dir`.
+fn write_manifests(dir: &std::path::Path) -> Result<(), String> {
+    let manifests = take_run_manifests();
+    std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    let path = dir.join("manifest.jsonl");
+    let mut body = String::new();
+    for m in &manifests {
+        body.push_str(&m.to_json_line());
+        body.push('\n');
+    }
+    std::fs::write(&path, body).map_err(|e| format!("write {}: {e}", path.display()))?;
+    println!("wrote {} ({} runs)", path.display(), manifests.len());
+    Ok(())
 }
 
 fn emit(out: &Option<PathBuf>, name: &str, title: &str, table: &Table) {
@@ -256,7 +312,17 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let result = run_artifact(&cli, &cli.artifact.clone());
+    let mut result = run_artifact(&cli, &cli.artifact.clone());
+    if result.is_ok() {
+        if let Some(dir) = &cli.out {
+            result = write_manifests(dir);
+        }
+    }
+    if result.is_ok() {
+        if let Some(path) = &cli.trace {
+            result = export_trace(&cli, path);
+        }
+    }
     // Quarantined or corrupted runs do not fail the artifact (their rows
     // are marked in the tables), but the digest belongs in the output.
     let failures = take_sweep_failures();
@@ -315,5 +381,13 @@ mod tests {
     fn out_dir_parses() {
         let cli = parse_args(&s(&["fig1d", "--out", "/tmp/x"])).unwrap();
         assert_eq!(cli.out.unwrap(), PathBuf::from("/tmp/x"));
+        assert!(cli.trace.is_none());
+    }
+
+    #[test]
+    fn trace_flag_parses() {
+        let cli = parse_args(&s(&["fig1d", "--trace", "/tmp/t.json"])).unwrap();
+        assert_eq!(cli.trace.unwrap(), PathBuf::from("/tmp/t.json"));
+        assert!(parse_args(&s(&["fig1d", "--trace"])).is_err());
     }
 }

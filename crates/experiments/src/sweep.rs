@@ -42,6 +42,7 @@ use std::time::Instant;
 
 use scalesim_core::{Jvm, JvmConfig, RunReport, SimError};
 use scalesim_simkit::{ChaosPlan, FaultClass};
+use scalesim_trace::CounterId;
 use scalesim_workloads::{AppModel, SyntheticApp};
 
 /// One run request: an application and the VM configuration to run it
@@ -189,6 +190,109 @@ pub fn take_sweep_failures() -> Vec<SweepFailure> {
     std::mem::take(&mut *failures().lock().expect("failure log poisoned"))
 }
 
+/// One machine-readable record per sweep run: what executed, how it
+/// ended, and the harness provenance (memo status, retries, eviction)
+/// that the human-readable tables drop. [`run_all`] appends one per
+/// input spec, in input order; [`take_run_manifests`] drains them and
+/// the CLI writes them as one JSONL line each (`manifest.jsonl`).
+#[derive(Debug, Clone)]
+pub struct RunManifest {
+    /// Application name.
+    pub app: String,
+    /// Configured mutator threads.
+    pub threads: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// `ok`, `trunc`, or `quar`.
+    pub outcome: String,
+    /// Truncation reason / quarantine cause; empty for clean runs.
+    pub detail: String,
+    /// Host-side wall nanoseconds of the simulation that produced the
+    /// report (0 for quarantined stubs).
+    pub host_ns: u64,
+    /// Simulation events processed.
+    pub events: u64,
+    /// Simulated end-to-end time, nanoseconds.
+    pub sim_wall_ns: u64,
+    /// Simulated stop-the-world GC time, nanoseconds.
+    pub gc_ns: u64,
+    /// How the report was obtained: `hit` (memo), `miss` (simulated), or
+    /// `off` (`SCALESIM_NO_MEMO=1`).
+    pub memo: String,
+    /// Crash-isolation retries this sweep spent on the point (0 or 1).
+    pub retries: u32,
+    /// A corrupt memo entry for this key was evicted during this sweep's
+    /// lookup (the run was then re-simulated).
+    pub memo_evicted: bool,
+    /// Invariant-monitor full scans during the run.
+    pub monitor_scans: u64,
+    /// Retained timeline events (0 with tracing off).
+    pub trace_events: u64,
+    /// Timeline events dropped by ring retention.
+    pub trace_dropped: u64,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl RunManifest {
+    /// Renders the manifest as one JSONL line (no trailing newline).
+    /// Carries every key `scalesim_trace::check::MANIFEST_REQUIRED_KEYS`
+    /// demands.
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        format!(
+            concat!(
+                "{{\"app\":\"{}\",\"threads\":{},\"seed\":{},\"outcome\":\"{}\",",
+                "\"detail\":\"{}\",\"host_ns\":{},\"events\":{},\"sim_wall_ns\":{},",
+                "\"gc_ns\":{},\"memo\":\"{}\",\"retries\":{},\"memo_evicted\":{},",
+                "\"monitor_scans\":{},\"trace_events\":{},\"trace_dropped\":{}}}"
+            ),
+            json_escape(&self.app),
+            self.threads,
+            self.seed,
+            json_escape(&self.outcome),
+            json_escape(&self.detail),
+            self.host_ns,
+            self.events,
+            self.sim_wall_ns,
+            self.gc_ns,
+            json_escape(&self.memo),
+            self.retries,
+            self.memo_evicted,
+            self.monitor_scans,
+            self.trace_events,
+            self.trace_dropped,
+        )
+    }
+}
+
+/// The process-wide manifest log, appended by [`run_all`].
+fn manifests() -> &'static Mutex<Vec<RunManifest>> {
+    static MANIFESTS: OnceLock<Mutex<Vec<RunManifest>>> = OnceLock::new();
+    MANIFESTS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Drains and returns every run manifest recorded since the last call
+/// (one per sweep input, in sweep order).
+#[must_use]
+pub fn take_run_manifests() -> Vec<RunManifest> {
+    std::mem::take(&mut *manifests().lock().expect("manifest log poisoned"))
+}
+
 /// A cached report plus the content fingerprint taken when it was stored.
 type CacheEntry = (Arc<RunReport>, u64);
 
@@ -307,6 +411,7 @@ pub fn run_all(specs: &[RunSpec]) -> Vec<RunReport> {
     // Resolve what is already known — verifying each entry's fingerprint
     // and evicting corrupt ones — then deduplicate the remainder.
     let mut resolved: HashMap<u64, Arc<RunReport>> = HashMap::new();
+    let mut evicted: HashSet<u64> = HashSet::new();
     if use_memo {
         let mut cached = cache().lock().expect("run cache poisoned");
         for (i, &k) in keys.iter().enumerate() {
@@ -324,11 +429,13 @@ pub fn run_all(specs: &[RunSpec]) -> Vec<RunReport> {
                                  evicted and re-simulated"
                             .to_owned(),
                     });
+                    evicted.insert(k);
                     cached.remove(&k);
                 }
             }
         }
     }
+    let memo_hits: HashSet<u64> = resolved.keys().copied().collect();
     let mut pending: Vec<usize> = Vec::new(); // indices into `specs`
     let mut queued: HashSet<u64> = HashSet::new();
     for (i, &k) in keys.iter().enumerate() {
@@ -338,10 +445,11 @@ pub fn run_all(specs: &[RunSpec]) -> Vec<RunReport> {
     }
 
     let mut quarantined: HashSet<u64> = HashSet::new();
+    let mut retries_by_key: HashMap<u64, u32> = HashMap::new();
     if !pending.is_empty() {
         let workers = worker_budget().min(pending.len());
         let next = AtomicUsize::new(0);
-        let (tx, rx) = mpsc::channel::<(usize, Result<RunReport, String>)>();
+        let (tx, rx) = mpsc::channel::<(usize, Result<RunReport, String>, u32)>();
 
         std::thread::scope(|scope| {
             for _ in 0..workers {
@@ -353,25 +461,34 @@ pub fn run_all(specs: &[RunSpec]) -> Vec<RunReport> {
                     let Some(&i) = pending.get(n) else { break };
                     // Crash isolation: one retry, then the failure travels
                     // back as data rather than tearing the sweep down.
-                    let outcome = attempt(&specs[i]).or_else(|first| {
-                        attempt(&specs[i]).map_err(|second| {
-                            if first == second {
-                                format!("{first} (and again on retry)")
-                            } else {
-                                format!("{first}; retry: {second}")
+                    let (outcome, retries) = match attempt(&specs[i]) {
+                        Ok(report) => (Ok(report), 0),
+                        Err(first) => match attempt(&specs[i]) {
+                            Ok(report) => (Ok(report), 1),
+                            Err(second) => {
+                                let msg = if first == second {
+                                    format!("{first} (and again on retry)")
+                                } else {
+                                    format!("{first}; retry: {second}")
+                                };
+                                (Err(msg), 1)
                             }
-                        })
-                    });
+                        },
+                    };
                     // The receiver outlives the scope; a send cannot fail.
-                    tx.send((i, outcome)).expect("result channel closed");
+                    tx.send((i, outcome, retries))
+                        .expect("result channel closed");
                 });
             }
         });
         drop(tx);
 
         // All workers have exited; drain the (buffered) channel.
-        for (i, outcome) in rx {
+        for (i, outcome, retries) in rx {
             let k = keys[i];
+            if retries > 0 {
+                retries_by_key.insert(k, retries);
+            }
             match outcome {
                 Ok(report) => {
                     resolved.insert(k, Arc::new(report));
@@ -421,6 +538,50 @@ pub fn run_all(specs: &[RunSpec]) -> Vec<RunReport> {
             }
         }
     }
+
+    // One manifest per input spec, in input order, carrying the harness
+    // provenance the reports themselves cannot know.
+    let new_manifests: Vec<RunManifest> = specs
+        .iter()
+        .zip(&keys)
+        .map(|(spec, k)| {
+            let r: &RunReport = resolved
+                .get(k)
+                .expect("every requested run resolved by cache, worker, or quarantine");
+            let memo = if !use_memo {
+                "off"
+            } else if memo_hits.contains(k) {
+                "hit"
+            } else {
+                "miss"
+            };
+            RunManifest {
+                app: spec.app.name().to_owned(),
+                threads: spec.config.threads,
+                seed: spec.config.seed,
+                outcome: outcome_cell(&r.outcome),
+                detail: if r.outcome.is_ok() {
+                    String::new()
+                } else {
+                    r.outcome.to_string()
+                },
+                host_ns: r.host_ns,
+                events: r.events_processed,
+                sim_wall_ns: r.wall_time.as_nanos(),
+                gc_ns: r.gc_time.as_nanos(),
+                memo: memo.to_owned(),
+                retries: retries_by_key.get(k).copied().unwrap_or(0),
+                memo_evicted: evicted.contains(k),
+                monitor_scans: r.counters.get(CounterId::MonitorScans),
+                trace_events: r.timeline.len() as u64,
+                trace_dropped: r.timeline.dropped(),
+            }
+        })
+        .collect();
+    manifests()
+        .lock()
+        .expect("manifest log poisoned")
+        .extend(new_manifests);
 
     keys.iter()
         .map(|k| {
@@ -594,6 +755,71 @@ mod tests {
             .lock()
             .expect("run cache poisoned")
             .contains_key(&doomed.memo_key()));
+        let _ = take_sweep_failures();
+    }
+
+    #[test]
+    fn manifests_record_each_spec_with_provenance() {
+        let _guard = digest_guard();
+        let _ = take_run_manifests();
+        let seed = 920_001;
+        let specs = vec![
+            RunSpec::new(xalan().scaled(0.002), 2, seed),
+            RunSpec::new(sunflow().scaled(0.002), 3, seed),
+        ];
+        let _ = run_all(&specs);
+        // Other tests' sweeps may interleave; keep only this test's seed.
+        let mine: Vec<RunManifest> = take_run_manifests()
+            .into_iter()
+            .filter(|m| m.seed == seed)
+            .collect();
+        assert_eq!(mine.len(), 2);
+        assert_eq!(mine[0].app, "xalan");
+        assert_eq!(mine[0].threads, 2);
+        assert_eq!(mine[1].app, "sunflow");
+        assert_eq!(mine[0].outcome, "ok");
+        assert!(mine[0].events > 0);
+        assert_eq!(mine[0].retries, 0);
+        assert!(!mine[0].memo_evicted);
+        for m in &mine {
+            scalesim_trace::check::validate_manifest_line(&m.to_json_line())
+                .expect("manifest line validates");
+        }
+        // A repeat sweep is served by the memo and says so.
+        let _ = run_all(&specs);
+        let again: Vec<RunManifest> = take_run_manifests()
+            .into_iter()
+            .filter(|m| m.seed == seed)
+            .collect();
+        assert_eq!(again.len(), 2);
+        if !memo_disabled() {
+            assert!(again.iter().all(|m| m.memo == "hit"), "{again:?}");
+        }
+    }
+
+    #[test]
+    fn quarantined_point_lands_in_the_manifest() {
+        use scalesim_simkit::ChaosConfig;
+        let _guard = digest_guard();
+        let _ = take_run_manifests();
+        let _ = take_sweep_failures();
+        let seed = 920_077;
+        let mut doomed = RunSpec::new(xalan().scaled(0.002), 2, seed);
+        doomed.config.chaos = ChaosConfig {
+            panic_at_event: 400,
+            ..ChaosConfig::default()
+        };
+        let _ = run_all(&[doomed]);
+        let mine: Vec<RunManifest> = take_run_manifests()
+            .into_iter()
+            .filter(|m| m.seed == seed)
+            .collect();
+        assert_eq!(mine.len(), 1);
+        assert_eq!(mine[0].outcome, "quar");
+        assert_eq!(mine[0].retries, 1);
+        assert!(mine[0].detail.contains("deliberate panic"), "{mine:?}");
+        scalesim_trace::check::validate_manifest_line(&mine[0].to_json_line())
+            .expect("quarantined manifest line validates");
         let _ = take_sweep_failures();
     }
 

@@ -11,6 +11,7 @@
 
 use scalesim_heap::Heap;
 use scalesim_simkit::{SimDuration, SimTime};
+use scalesim_trace::{EventKind, Timeline};
 
 use crate::config::GcCostModel;
 use crate::log::{GcEvent, GcKind, GcLog};
@@ -52,6 +53,8 @@ pub struct Collector {
     model: GcCostModel,
     log: GcLog,
     occupancy_escalation: bool,
+    /// Timeline recorder for GC phase spans (disabled by default).
+    timeline: Timeline,
 }
 
 impl Collector {
@@ -62,7 +65,19 @@ impl Collector {
             model,
             log: GcLog::new(),
             occupancy_escalation: true,
+            timeline: Timeline::disabled(),
         }
+    }
+
+    /// Installs a timeline recorder; every collection then records a phase
+    /// span alongside its log event.
+    pub fn set_timeline(&mut self, timeline: Timeline) {
+        self.timeline = timeline;
+    }
+
+    /// Removes the recorder (leaving a disabled one) and returns it.
+    pub fn take_timeline(&mut self) -> Timeline {
+        std::mem::take(&mut self.timeline)
     }
 
     /// Disables the occupancy-triggered full-collection escalation inside
@@ -140,6 +155,13 @@ impl Collector {
             survived_bytes: survived,
             promoted_bytes,
         });
+        self.timeline.span(
+            EventKind::GcMinor,
+            region as u32,
+            at,
+            at.saturating_add(pause),
+            pre_used - survived,
+        );
 
         // Occupancy-triggered full collection piggybacks on the pause.
         let mut total = pause + escalation;
@@ -197,6 +219,20 @@ impl Collector {
             survived_bytes: live,
             promoted_bytes: 0,
         });
+        self.timeline.span(
+            EventKind::GcConcMark,
+            0,
+            at,
+            at.saturating_add(initial),
+            live,
+        );
+        self.timeline.span(
+            EventKind::GcConcWork,
+            0,
+            at.saturating_add(initial),
+            at.saturating_add(initial).saturating_add(work),
+            live,
+        );
         (initial, work)
     }
 
@@ -227,6 +263,13 @@ impl Collector {
             survived_bytes: live,
             promoted_bytes: 0,
         });
+        self.timeline.span(
+            EventKind::GcConcRemark,
+            0,
+            at,
+            at.saturating_add(remark),
+            pre - live,
+        );
         remark
     }
 
@@ -278,6 +321,13 @@ impl Collector {
             survived_bytes: survived,
             promoted_bytes,
         });
+        self.timeline.span(
+            EventKind::GcLocalMinor,
+            region as u32,
+            at,
+            at.saturating_add(local_pause),
+            pre_used - survived,
+        );
 
         if heap.mature_used() as f64 > self.model.full_gc_trigger * heap.mature_capacity() as f64 {
             stw_pause += self.collect_full(heap, mutator_threads, at);
@@ -316,6 +366,13 @@ impl Collector {
             survived_bytes: live_bytes,
             promoted_bytes: 0,
         });
+        self.timeline.span(
+            EventKind::GcFull,
+            0,
+            at,
+            at.saturating_add(pause),
+            pre - live_bytes,
+        );
         pause
     }
 }
@@ -503,6 +560,37 @@ mod tests {
         c.collect_minor(&mut h, 0, 1, SimTime::ZERO);
         assert_eq!(c.log().count(GcKind::Full), 0, "no STW full escalation");
         assert!(c.wants_old_gen_collection(&h), "still pending");
+    }
+
+    #[test]
+    fn timeline_records_gc_phase_spans() {
+        let (mut h, mut c) = (heap(), gc());
+        c.set_timeline(Timeline::with_capacity(32));
+        let dead = ok(h.alloc(tid(0), 1024));
+        h.kill(dead);
+        c.collect_minor(&mut h, 0, 1, SimTime::ZERO);
+        let o = ok(h.alloc(tid(0), 2048));
+        h.promote(o);
+        h.kill(o);
+        c.collect_full(&mut h, 1, SimTime::from_nanos(500));
+
+        let tl = c.take_timeline();
+        let events: Vec<_> = tl.events().copied().collect();
+        let minor = events
+            .iter()
+            .find(|e| e.kind == EventKind::GcMinor)
+            .expect("minor span");
+        assert_eq!(minor.at, SimTime::ZERO);
+        assert_eq!(minor.arg, 1024, "collected bytes attributed");
+        assert!(!minor.dur.is_zero());
+        let full = events
+            .iter()
+            .find(|e| e.kind == EventKind::GcFull)
+            .expect("full span");
+        assert_eq!(full.at, SimTime::from_nanos(500));
+        assert_eq!(full.arg, 2048);
+        // The recorder left behind is disabled.
+        assert_eq!(c.take_timeline().len(), 0);
     }
 
     #[test]

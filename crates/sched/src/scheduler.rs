@@ -22,6 +22,7 @@ use std::fmt;
 
 use scalesim_machine::CoreId;
 use scalesim_simkit::{SimDuration, SimTime};
+use scalesim_trace::{EventKind, Timeline};
 
 use crate::thread::{BlockReason, StateTimes, ThreadId, ThreadRec, ThreadState};
 
@@ -95,6 +96,8 @@ pub struct CpuScheduler {
     policy: SchedPolicy,
     active_cohort: usize,
     cohort_rotations: u64,
+    /// Timeline recorder for per-thread state spans (disabled by default).
+    timeline: Timeline,
 }
 
 impl CpuScheduler {
@@ -122,6 +125,45 @@ impl CpuScheduler {
             policy,
             active_cohort: 0,
             cohort_rotations: 0,
+            timeline: Timeline::disabled(),
+        }
+    }
+
+    /// Installs a timeline recorder; every subsequent state transition
+    /// closes the outgoing state's interval as a span on it.
+    pub fn set_timeline(&mut self, timeline: Timeline) {
+        self.timeline = timeline;
+    }
+
+    /// Removes the recorder (leaving a disabled one) and returns it.
+    pub fn take_timeline(&mut self) -> Timeline {
+        std::mem::take(&mut self.timeline)
+    }
+
+    /// The timeline span kind for time spent in `state`, if it is traced.
+    fn state_kind(state: ThreadState) -> Option<EventKind> {
+        match state {
+            ThreadState::Running => Some(EventKind::ThreadRunning),
+            ThreadState::Runnable => Some(EventKind::ThreadRunnable),
+            ThreadState::Blocked(BlockReason::Monitor) => Some(EventKind::ThreadBlockedMonitor),
+            ThreadState::Blocked(BlockReason::WorkStarvation) => {
+                Some(EventKind::ThreadBlockedStarved)
+            }
+            ThreadState::Blocked(BlockReason::Sleep) => Some(EventKind::ThreadBlockedSleep),
+            ThreadState::New | ThreadState::Terminated => None,
+        }
+    }
+
+    /// Records the closed interval `[from, to)` spent by `tid` in `state`.
+    fn emit_state(
+        timeline: &mut Timeline,
+        tid: ThreadId,
+        state: ThreadState,
+        from: SimTime,
+        to: SimTime,
+    ) {
+        if let Some(kind) = Self::state_kind(state) {
+            timeline.span(kind, tid.index() as u32, from, to, 0);
         }
     }
 
@@ -145,6 +187,12 @@ impl CpuScheduler {
         self.ready.push_back(tid);
     }
 
+    /// Closes and records the interval that `transition` just charged.
+    fn traced_transition(&mut self, tid: ThreadId, next: ThreadState, now: SimTime) {
+        let (prev, entered) = self.rec_mut(tid).transition(next, now);
+        Self::emit_state(&mut self.timeline, tid, prev, entered, now);
+    }
+
     /// Fills idle cores from the ready queue (respecting the active cohort
     /// under the biased policy) and returns the placements made.
     ///
@@ -161,9 +209,8 @@ impl CpuScheduler {
             };
             let core = self.cores[slot];
             self.occupants[slot] = Some(tid);
-            let rec = self.rec_mut(tid);
-            rec.transition(ThreadState::Running, now);
-            rec.dispatches += 1;
+            self.traced_transition(tid, ThreadState::Running, now);
+            self.rec_mut(tid).dispatches += 1;
             placed.push(Dispatch { thread: tid, core });
         }
         placed
@@ -195,8 +242,7 @@ impl CpuScheduler {
             .core_of(tid)
             .unwrap_or_else(|| panic!("block() on non-running {tid}"));
         self.vacate(tid);
-        self.rec_mut(tid)
-            .transition(ThreadState::Blocked(reason), now);
+        self.traced_transition(tid, ThreadState::Blocked(reason), now);
         core
     }
 
@@ -212,7 +258,7 @@ impl CpuScheduler {
             "unblock() on non-blocked {tid} (state {})",
             rec.state
         );
-        rec.transition(ThreadState::Runnable, now);
+        self.traced_transition(tid, ThreadState::Runnable, now);
         self.ready.push_back(tid);
     }
 
@@ -241,9 +287,8 @@ impl CpuScheduler {
             return QuantumOutcome::Continued;
         }
         self.vacate(tid);
-        let rec = self.rec_mut(tid);
-        rec.transition(ThreadState::Runnable, now);
-        rec.preemptions += 1;
+        self.traced_transition(tid, ThreadState::Runnable, now);
+        self.rec_mut(tid).preemptions += 1;
         self.ready.push_back(tid);
         QuantumOutcome::Preempted
     }
@@ -266,21 +311,37 @@ impl CpuScheduler {
         } else if let Some(pos) = self.ready.iter().position(|&t| t == tid) {
             self.ready.remove(pos);
         }
-        self.rec_mut(tid).transition(ThreadState::Terminated, now);
+        self.traced_transition(tid, ThreadState::Terminated, now);
         core
     }
 
-    /// Accounts a stop-the-world pause: every live thread absorbs `pause`
-    /// as GC time without it leaking into its current state's accumulator.
+    /// Accounts a stop-the-world pause beginning at `now`: every live
+    /// thread absorbs `pause` as GC time without it leaking into its
+    /// current state's accumulator.
     ///
     /// The runtime shifts the event clock by the same amount, so `since`
-    /// timestamps are moved forward to match.
-    pub fn apply_stw_pause(&mut self, pause: SimDuration) {
-        for rec in &mut self.threads {
-            if rec.state.is_live() {
-                rec.times.gc_paused += pause;
-                rec.since = rec.since.saturating_add(pause);
+    /// timestamps are moved forward to match. On the timeline this closes
+    /// the in-progress state span at `now` and records a safepoint span
+    /// covering the pause itself; the accounting arithmetic is untouched
+    /// by tracing.
+    pub fn apply_stw_pause(&mut self, pause: SimDuration, now: SimTime) {
+        let CpuScheduler {
+            threads, timeline, ..
+        } = self;
+        for (i, rec) in threads.iter_mut().enumerate() {
+            if !rec.state.is_live() {
+                continue;
             }
+            rec.times.gc_paused += pause;
+            Self::emit_state(timeline, ThreadId::new(i), rec.state, rec.since, now);
+            timeline.span(
+                EventKind::ThreadSafepoint,
+                i as u32,
+                now,
+                now.saturating_add(pause),
+                0,
+            );
+            rec.since = rec.since.saturating_add(pause);
         }
     }
 
@@ -653,11 +714,53 @@ mod tests {
         s.dispatch(t(0));
         // STW at t=10 for 100ns; the runtime shifts its clock so the thread
         // later terminates at t=210 having run 10ns before and 100ns after.
-        s.apply_stw_pause(SimDuration::from_nanos(100));
+        s.apply_stw_pause(SimDuration::from_nanos(100), t(10));
         s.terminate(ids[0], t(210));
         let times = s.times(ids[0]);
         assert_eq!(times.gc_paused, SimDuration::from_nanos(100));
         assert_eq!(times.running, SimDuration::from_nanos(110));
+    }
+
+    #[test]
+    fn timeline_records_state_spans_and_safepoints() {
+        let mut s = sched(1);
+        s.set_timeline(Timeline::with_capacity(64));
+        let ids = spawn_started(&mut s, 2);
+        s.dispatch(t(0));
+        s.quantum_expired(ids[0], t(10)); // closes running[0,10), runnable span opens
+        s.dispatch(t(10));
+        s.apply_stw_pause(SimDuration::from_nanos(5), t(20));
+        s.block(ids[1], t(30), BlockReason::Monitor);
+        s.terminate(ids[0], t(40));
+
+        let tl = s.take_timeline();
+        let events: Vec<_> = tl.events().copied().collect();
+        assert!(!events.is_empty());
+        let running: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::ThreadRunning)
+            .collect();
+        assert_eq!(running[0].track, 0);
+        assert_eq!(running[0].at, t(0));
+        assert_eq!(running[0].end(), t(10));
+        let safepoints = events
+            .iter()
+            .filter(|e| e.kind == EventKind::ThreadSafepoint)
+            .count();
+        assert_eq!(safepoints, 2, "one safepoint span per live thread");
+        // The recorder left behind is disabled: no further spans recorded.
+        s.unblock(ids[1], t(41));
+        s.terminate(ids[1], t(50));
+        assert_eq!(s.take_timeline().len(), 0);
+    }
+
+    #[test]
+    fn disabled_timeline_records_nothing() {
+        let mut s = sched(1);
+        let ids = spawn_started(&mut s, 1);
+        s.dispatch(t(0));
+        s.terminate(ids[0], t(10));
+        assert_eq!(s.take_timeline().len(), 0);
     }
 
     #[test]

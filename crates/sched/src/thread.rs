@@ -168,11 +168,16 @@ impl ThreadRec {
 
     /// Transitions to `next`, charging the elapsed interval to the old
     /// state's accumulator.
-    pub fn transition(&mut self, next: ThreadState, now: SimTime) {
+    ///
+    /// Returns the outgoing state and the instant it was entered, so the
+    /// caller can record the closed interval on a timeline.
+    pub fn transition(&mut self, next: ThreadState, now: SimTime) -> (ThreadState, SimTime) {
         let elapsed = now.saturating_since(self.since);
         self.times.charge(self.state, elapsed);
+        let prev = (self.state, self.since);
         self.state = next;
         self.since = now;
+        prev
     }
 }
 

@@ -115,6 +115,11 @@ impl Monitor {
         self.owner
     }
 
+    /// When the current owner took the monitor (meaningless if unowned).
+    pub fn held_since(&self) -> SimTime {
+        self.held_since
+    }
+
     pub fn queue_len(&self) -> usize {
         self.waiters.len()
     }

@@ -5,6 +5,7 @@ use std::fmt;
 
 use scalesim_sched::ThreadId;
 use scalesim_simkit::SimTime;
+use scalesim_trace::{EventKind, Timeline};
 
 use crate::monitor::{AcquireOutcome, Grant, Monitor, MonitorId, MonitorStats};
 
@@ -31,6 +32,8 @@ use crate::monitor::{AcquireOutcome, Grant, Monitor, MonitorId, MonitorStats};
 #[derive(Debug, Default)]
 pub struct LockTable {
     monitors: Vec<Monitor>,
+    /// Timeline recorder for hold/wait spans (disabled by default).
+    timeline: Timeline,
 }
 
 impl LockTable {
@@ -38,6 +41,19 @@ impl LockTable {
     #[must_use]
     pub fn new() -> Self {
         LockTable::default()
+    }
+
+    /// Installs a timeline recorder; each release then records the closed
+    /// hold span (and the granted waiter's wait span, on a handoff).
+    ///
+    /// Holds and waits still open when the run ends are not emitted.
+    pub fn set_timeline(&mut self, timeline: Timeline) {
+        self.timeline = timeline;
+    }
+
+    /// Removes the recorder (leaving a disabled one) and returns it.
+    pub fn take_timeline(&mut self) -> Timeline {
+        std::mem::take(&mut self.timeline)
     }
 
     /// Creates a monitor with a class label and returns its id.
@@ -78,7 +94,27 @@ impl LockTable {
     ///
     /// Panics if `m` is out of range or `tid` is not the owner.
     pub fn release(&mut self, m: MonitorId, tid: ThreadId, now: SimTime) -> Option<Grant> {
-        self.monitors[m.0].release(tid, now)
+        let held_since = self.monitors[m.0].held_since();
+        let grant = self.monitors[m.0].release(tid, now);
+        let track = m.0 as u32;
+        self.timeline.span(
+            EventKind::MonitorHold,
+            track,
+            held_since,
+            now,
+            tid.index() as u64,
+        );
+        if let Some(g) = grant {
+            let enqueued = SimTime::from_nanos(now.as_nanos().saturating_sub(g.waited.as_nanos()));
+            self.timeline.span(
+                EventKind::MonitorWait,
+                track,
+                enqueued,
+                now,
+                g.next.index() as u64,
+            );
+        }
+        grant
     }
 
     /// The current owner of monitor `m`.
@@ -237,6 +273,41 @@ mod tests {
         assert_eq!(g.next, tid(1));
         assert_eq!(g.waited, SimDuration::from_nanos(20));
         assert_eq!(lt.owner(m), Some(tid(1)));
+    }
+
+    #[test]
+    fn timeline_records_hold_and_wait_spans() {
+        use scalesim_trace::EventKind;
+
+        let mut lt = LockTable::new();
+        lt.set_timeline(scalesim_trace::Timeline::with_capacity(16));
+        let m = lt.create("db");
+        lt.acquire(m, tid(0), t(0));
+        lt.acquire(m, tid(1), t(10)); // contended
+        lt.release(m, tid(0), t(30)); // handoff to tid 1
+        lt.release(m, tid(1), t(45));
+
+        let tl = lt.take_timeline();
+        let events: Vec<_> = tl.events().copied().collect();
+        let holds: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::MonitorHold)
+            .collect();
+        assert_eq!(holds.len(), 2);
+        assert_eq!(holds[0].at, t(0));
+        assert_eq!(holds[0].end(), t(30));
+        assert_eq!(holds[0].arg, 0, "owner attribution");
+        assert_eq!(holds[1].arg, 1);
+        let waits: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::MonitorWait)
+            .collect();
+        assert_eq!(waits.len(), 1);
+        assert_eq!(waits[0].at, t(10));
+        assert_eq!(waits[0].end(), t(30));
+        assert_eq!(waits[0].arg, 1, "waiter attribution");
+        // The recorder left behind is disabled.
+        assert_eq!(lt.take_timeline().len(), 0);
     }
 
     #[test]

@@ -1,0 +1,133 @@
+//! Per-run tracing configuration.
+
+use crate::timeline::Timeline;
+
+/// Default ring capacity per subsystem recorder (events).
+///
+/// Four recorders (scheduler, locks, GC, runtime) at this size bound a
+/// fully-traced run to a few hundred MB of `Copy` events in the worst
+/// case while keeping every event of the paper-scale runs the examples
+/// and tests trace.
+pub const DEFAULT_RING_CAPACITY: usize = 1 << 20;
+
+/// Whether and how a run records a timeline trace.
+///
+/// Part of `JvmConfig`, so the trace settings participate in run identity
+/// the same way the chaos plan and budget do. Tracing is observational
+/// only: enabling it never changes simulation behavior, and the same
+/// `(config, seed)` yields a byte-identical trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Record a timeline during the run.
+    pub enabled: bool,
+    /// Ring-buffer capacity per subsystem recorder (keep-latest).
+    pub capacity: usize,
+    /// If set, the runtime writes the Chrome trace-event JSON export here
+    /// at the end of the run (the `SCALESIM_TRACE=<path>` contract; with
+    /// several runs in one process, the last run wins).
+    pub path: Option<String>,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig::off()
+    }
+}
+
+impl TraceConfig {
+    /// Tracing disabled (the default; recording calls become no-ops).
+    #[must_use]
+    pub fn off() -> Self {
+        TraceConfig {
+            enabled: false,
+            capacity: DEFAULT_RING_CAPACITY,
+            path: None,
+        }
+    }
+
+    /// Tracing enabled with the default ring capacity and no export path.
+    #[must_use]
+    pub fn on() -> Self {
+        TraceConfig {
+            enabled: true,
+            capacity: DEFAULT_RING_CAPACITY,
+            path: None,
+        }
+    }
+
+    /// Sets the per-recorder ring capacity.
+    #[must_use]
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity.max(1);
+        self
+    }
+
+    /// Enables tracing and writes the Chrome export to `path` after the
+    /// run.
+    #[must_use]
+    pub fn with_path(mut self, path: impl Into<String>) -> Self {
+        self.enabled = true;
+        self.path = Some(path.into());
+        self
+    }
+
+    /// Builds the config from the environment.
+    ///
+    /// `SCALESIM_TRACE=<path>` enables tracing and exports to `<path>`
+    /// (`0` / `off` / empty keep it disabled); `SCALESIM_TRACE_EVENTS=<n>`
+    /// overrides the ring capacity.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let mut cfg = TraceConfig::off();
+        if let Ok(path) = std::env::var("SCALESIM_TRACE") {
+            let trimmed = path.trim();
+            if !trimmed.is_empty() && trimmed != "0" && trimmed != "off" {
+                cfg = cfg.with_path(trimmed);
+            }
+        }
+        if let Some(n) = std::env::var("SCALESIM_TRACE_EVENTS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            cfg = cfg.with_capacity(n);
+        }
+        cfg
+    }
+
+    /// A fresh recorder honoring this config, for one subsystem.
+    #[must_use]
+    pub fn recorder(&self) -> Timeline {
+        if self.enabled {
+            Timeline::with_capacity(self.capacity)
+        } else {
+            Timeline::disabled()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_off_with_sane_capacity() {
+        let cfg = TraceConfig::default();
+        assert!(!cfg.enabled);
+        assert_eq!(cfg.capacity, DEFAULT_RING_CAPACITY);
+        assert!(cfg.path.is_none());
+        assert!(!cfg.recorder().is_enabled());
+    }
+
+    #[test]
+    fn with_path_enables() {
+        let cfg = TraceConfig::off().with_path("/tmp/t.json");
+        assert!(cfg.enabled);
+        assert_eq!(cfg.path.as_deref(), Some("/tmp/t.json"));
+        assert!(cfg.recorder().is_enabled());
+    }
+
+    #[test]
+    fn capacity_is_clamped_to_one() {
+        assert_eq!(TraceConfig::on().with_capacity(0).capacity, 1);
+    }
+}

@@ -1,5 +1,6 @@
 //! Exporting the raw measurement streams: the Elephant-Tracks-style
-//! object trace and the `-verbose:gc`-style collection log.
+//! object trace, the `-verbose:gc`-style collection log, and the
+//! deterministic execution timeline as Chrome trace-event JSON.
 //!
 //! Useful for feeding external analysis tooling, or simply for eyeballing
 //! what the simulated VM did.
@@ -10,15 +11,18 @@
 
 use scalesim::objtrace::{format_trace, parse_trace, Retention};
 use scalesim::runtime::{Jvm, JvmConfig};
+use scalesim::trace::{format_timeline, parse_timeline, to_chrome_json, TraceConfig};
 use scalesim::workloads::lusearch;
 
 fn main() {
     // Full retention keeps the in-order event list (memory-heavy; use a
-    // small run).
+    // small run). Timeline tracing rides along: it is observational only,
+    // so the measurements below are identical with it on or off.
     let app = lusearch().scaled(0.02);
     let config = JvmConfig::builder()
         .threads(4)
         .retention(Retention::Full)
+        .trace(TraceConfig::on())
         .seed(42)
         .build()
         .expect("config");
@@ -54,5 +58,36 @@ fn main() {
                 println!("  thread {thread}: ~{p50} B over {} objects", hist.count());
             }
         }
+    }
+
+    // The 4-thread lusearch execution timeline: per-thread state spans,
+    // monitor hold/wait spans, GC phases, and heap-pressure samples, as
+    // Chrome trace-event JSON. Drop the file onto https://ui.perfetto.dev
+    // (or chrome://tracing) to scrub through the run.
+    let json = to_chrome_json(&report.timeline);
+    let path = std::env::temp_dir().join("scalesim_lusearch_trace.json");
+    std::fs::write(&path, &json).expect("write timeline export");
+    println!(
+        "\ntimeline: {} events ({} dropped by ring retention)",
+        report.timeline.len(),
+        report.timeline.dropped()
+    );
+    println!(
+        "  wrote {} — open at https://ui.perfetto.dev",
+        path.display()
+    );
+
+    // The compact text form round-trips losslessly, like the object trace.
+    let text = format_timeline(&report.timeline);
+    let reparsed = parse_timeline(&text).expect("own timeline output parses");
+    assert_eq!(reparsed.len(), report.timeline.len());
+    for line in text.lines().take(5) {
+        println!("  {line}");
+    }
+
+    // The counters registry is always on, traced or not.
+    println!("\ncounters:");
+    for (id, value) in report.counters.iter() {
+        println!("  {id:?} = {value}");
     }
 }

@@ -23,4 +23,12 @@ echo '== quarantine CLI smoke (panicking runs must yield quar rows, exit 0)'
 SCALESIM_CHAOS='panic-at=2000' \
     cargo run --release -q -p scalesim-experiments -- \
     workdist --scale 0.02 --threads 4 > /dev/null 2>&1
+echo '== traced smoke (timeline export + run manifest must validate)'
+rm -rf target/ci-trace
+cargo run --release -q -p scalesim-experiments -- \
+    fig1d --scale 0.02 --threads 4,8 \
+    --out target/ci-trace --trace target/ci-trace/lusearch_trace.json > /dev/null
+# fig1d sweeps one RunSpec per thread count => exactly 2 manifest lines.
+cargo run --release -q -p scalesim-experiments --bin trace_check -- \
+    target/ci-trace/lusearch_trace.json target/ci-trace/manifest.jsonl 2
 echo 'CI OK'

@@ -13,6 +13,7 @@
 //! * [`heap`] — generational heap with TLABs and an allocation clock,
 //! * [`gc`] — stop-the-world parallel generational collector,
 //! * [`objtrace`] — Elephant-Tracks-style object lifetime tracing,
+//! * [`trace`] — deterministic timeline traces, counters, Perfetto export,
 //! * [`workloads`] — six DaCapo-inspired synthetic applications,
 //! * [`runtime`] — the JVM-like runtime tying it all together,
 //! * [`experiments`] — drivers that regenerate every figure in the paper,
@@ -41,4 +42,5 @@ pub use scalesim_objtrace as objtrace;
 pub use scalesim_sched as sched;
 pub use scalesim_simkit as simkit;
 pub use scalesim_sync as sync;
+pub use scalesim_trace as trace;
 pub use scalesim_workloads as workloads;

@@ -75,3 +75,29 @@ fn parallel_sweep_is_deterministic() {
     let second: Vec<_> = run_all(&specs).iter().map(fingerprints).collect();
     assert_eq!(first, second);
 }
+
+#[test]
+fn counters_and_timeline_join_the_deterministic_fingerprint() {
+    use scalesim::trace::{to_chrome_json, TraceConfig};
+    let app = scalesim::workloads::xalan().scaled(0.005);
+    let traced = |seed: u64| {
+        Jvm::new(
+            JvmConfig::builder()
+                .threads(6)
+                .seed(seed)
+                .trace(TraceConfig::on())
+                .build()
+                .unwrap(),
+        )
+        .run(&app)
+        .unwrap()
+    };
+    let a = traced(11);
+    let b = traced(11);
+    assert_eq!(a.counters, b.counters);
+    assert_eq!(a.timeline, b.timeline);
+    // The exported artifact is byte-identical, not merely equivalent.
+    assert_eq!(to_chrome_json(&a.timeline), to_chrome_json(&b.timeline));
+    // A different seed perturbs the counters like any other measurement.
+    assert_ne!(a.counters, traced(12).counters);
+}

@@ -620,3 +620,54 @@ fn chaos_off_is_byte_identical_to_the_plain_run() {
     assert_eq!(plain.events_processed, 9512);
     assert_eq!(plain.wall_time.as_nanos(), 13_439_563);
 }
+
+// ---------------------------------------------------------------------
+// Timeline tracing
+// ---------------------------------------------------------------------
+
+/// Traced runs are well-formed for arbitrary small configurations: the
+/// merged timeline is time-ordered, spans never end before they start,
+/// the always-on counters agree with the report totals, and rerunning
+/// the same `(config, seed)` reproduces the timeline exactly.
+#[test]
+fn traced_runs_are_ordered_and_agree_with_counters() {
+    for_cases(6, |rng| {
+        use scalesim::runtime::{Jvm, JvmConfig};
+        use scalesim::trace::{CounterId, TraceConfig};
+        use scalesim::workloads::all_apps;
+
+        let app_idx = rng.gen_range(0usize..6);
+        let threads = rng.gen_range(2usize..10);
+        let seed = rng.gen_range(0u64..1000);
+        let app = all_apps().swap_remove(app_idx).scaled(0.002);
+        let run = || {
+            Jvm::new(
+                JvmConfig::builder()
+                    .threads(threads)
+                    .seed(seed)
+                    .trace(TraceConfig::on())
+                    .build()
+                    .unwrap(),
+            )
+            .run(&app)
+            .unwrap()
+        };
+        let report = run();
+
+        let mut prev = 0u64;
+        for ev in report.timeline.events() {
+            assert!(ev.at.as_nanos() >= prev, "merged timeline out of order");
+            prev = ev.at.as_nanos();
+            assert!(ev.end() >= ev.at, "span ends before it starts");
+        }
+        assert_eq!(
+            report.counters.get(CounterId::EventsProcessed),
+            report.events_processed
+        );
+        assert_eq!(
+            report.counters.get(CounterId::Allocations),
+            report.trace.allocations()
+        );
+        assert_eq!(report.timeline, run().timeline);
+    });
+}
