@@ -1,7 +1,7 @@
 //! The headline benchmark: times the full figure sweep at the pinned
 //! paper seed and writes `BENCH_sweep.json`.
 //!
-//! Three measurements, all on one process:
+//! The measurements, all on one process:
 //!
 //! 1. **Queue microbench** — the slab [`EventQueue`] vs. the retained
 //!    [`BaselineQueue`] (the pre-overhaul `BinaryHeap` + `HashSet`
@@ -12,10 +12,14 @@
 //!    `events_per_sec` (unique simulated events / wall) come from here.
 //! 3. **Unmemoized sweep** — the same drivers with `SCALESIM_NO_MEMO=1`,
 //!    i.e. what the harness did before runs were shared across figures.
-//! 4. **Invariant-monitor overhead** — one xalan run timed with the
+//! 4. **Checkpointed sweep** — the memoized sweep again with the durable
+//!    checkpoint store active, i.e. every unique run appended to a
+//!    crc-framed JSONL segment as it completes. The relative slowdown
+//!    (`checkpoint_overhead_pct`) is budgeted at <= 3%.
+//! 5. **Invariant-monitor overhead** — one xalan run timed with the
 //!    always-on monitors enabled and disabled, reported as events per
 //!    second each plus the relative slowdown (budgeted at < 10%).
-//! 5. **Timeline-trace overhead** — the same xalan run timed with the
+//! 6. **Timeline-trace overhead** — the same xalan run timed with the
 //!    timeline recorder off and on. Trace-off is the production default,
 //!    so its throughput must stay within ~2% of a back-to-back baseline
 //!    timing of the identical configuration: that delta bounds what the
@@ -29,8 +33,9 @@ use std::time::Instant;
 use scalesim_bench::{bench_params, timing};
 use scalesim_core::{Jvm, JvmConfig, TraceConfig};
 use scalesim_experiments::{
-    cached_event_total, clear_run_cache, run_biased_sched, run_cache_size, run_fig1_locks,
-    run_fig1c, run_fig1d, run_fig2, run_heaplets, run_scalability, run_workdist, ExpParams,
+    cached_event_total, checkpoint, clear_run_cache, run_biased_sched, run_cache_size,
+    run_fig1_locks, run_fig1c, run_fig1d, run_fig2, run_heaplets, run_scalability, run_workdist,
+    ExpParams,
 };
 use scalesim_simkit::baseline::BaselineQueue;
 use scalesim_simkit::{EventQueue, SimDuration};
@@ -188,6 +193,16 @@ fn main() {
         events_per_sec / 1e6
     );
 
+    eprintln!("figure sweep (memoized, cold cache, checkpoint store on)...");
+    let ckpt_dir = std::env::temp_dir().join(format!("scalesim-bench-ckpt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    checkpoint::set_store(&ckpt_dir).expect("checkpoint store");
+    let ckpt_ms = sweep_wall_ms(&params);
+    checkpoint::disable_store();
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    let ckpt_overhead_pct = (ckpt_ms / memo_ms - 1.0) * 100.0;
+    eprintln!("  {ckpt_ms:.0} ms  (checkpoint overhead {ckpt_overhead_pct:.1}%, budget <= 3%)");
+
     eprintln!("figure sweep (memoization disabled)...");
     std::env::set_var("SCALESIM_NO_MEMO", "1");
     let nomemo_ms = sweep_wall_ms(&params);
@@ -224,11 +239,13 @@ fn main() {
     );
 
     let json = format!(
-        "{{\n  \"seed\": {seed},\n  \"events_per_sec\": {eps:.0},\n  \"sweep_wall_ms\": {memo:.1},\n  \"sweep_wall_ms_nomemo\": {nomemo:.1},\n  \"memo_speedup\": {mspeed:.2},\n  \"unique_runs\": {runs},\n  \"events_simulated\": {events},\n  \"queue_events_per_sec_slab\": {qslab:.0},\n  \"queue_events_per_sec_baseline\": {qbase:.0},\n  \"queue_speedup\": {qspeed:.2},\n  \"events_per_sec_monitors_on\": {mon_on:.0},\n  \"events_per_sec_monitors_off\": {mon_off:.0},\n  \"monitor_overhead_pct\": {mon_pct:.2},\n  \"events_per_sec_trace_off\": {troff:.0},\n  \"events_per_sec_trace_on\": {tron:.0},\n  \"trace_overhead_pct\": {tr_pct:.2},\n  \"trace_off_overhead_pct\": {troff_pct:.2}\n}}\n",
+        "{{\n  \"seed\": {seed},\n  \"events_per_sec\": {eps:.0},\n  \"sweep_wall_ms\": {memo:.1},\n  \"sweep_wall_ms_nomemo\": {nomemo:.1},\n  \"sweep_wall_ms_checkpoint\": {ckpt:.1},\n  \"checkpoint_overhead_pct\": {ckpt_pct:.2},\n  \"memo_speedup\": {mspeed:.2},\n  \"unique_runs\": {runs},\n  \"events_simulated\": {events},\n  \"queue_events_per_sec_slab\": {qslab:.0},\n  \"queue_events_per_sec_baseline\": {qbase:.0},\n  \"queue_speedup\": {qspeed:.2},\n  \"events_per_sec_monitors_on\": {mon_on:.0},\n  \"events_per_sec_monitors_off\": {mon_off:.0},\n  \"monitor_overhead_pct\": {mon_pct:.2},\n  \"events_per_sec_trace_off\": {troff:.0},\n  \"events_per_sec_trace_on\": {tron:.0},\n  \"trace_overhead_pct\": {tr_pct:.2},\n  \"trace_off_overhead_pct\": {troff_pct:.2}\n}}\n",
         seed = params.seed,
         eps = events_per_sec,
         memo = memo_ms,
         nomemo = nomemo_ms,
+        ckpt = ckpt_ms,
+        ckpt_pct = ckpt_overhead_pct,
         mspeed = nomemo_ms / memo_ms,
         runs = runs,
         events = events,
@@ -243,7 +260,8 @@ fn main() {
         tr_pct = trace_overhead_pct,
         troff_pct = trace_off_overhead_pct,
     );
-    std::fs::write(&out, &json).expect("write benchmark report");
+    scalesim_trace::write_atomic(std::path::Path::new(&out), &json)
+        .expect("write benchmark report");
     println!("{json}");
     eprintln!("wrote {out}");
 }

@@ -109,6 +109,9 @@ pub enum SimError {
     Invariant(InvariantViolation),
     /// An experiment driver was asked for a workload it does not know.
     UnknownApp(String),
+    /// A persisted snapshot (checkpoint record or repro spec) failed to
+    /// parse or reconstruct.
+    Snapshot(String),
 }
 
 impl fmt::Display for SimError {
@@ -117,6 +120,7 @@ impl fmt::Display for SimError {
             SimError::Config(e) => write!(f, "bad config: {e}"),
             SimError::Invariant(v) => v.fmt(f),
             SimError::UnknownApp(name) => write!(f, "unknown app {name}"),
+            SimError::Snapshot(detail) => write!(f, "snapshot: {detail}"),
         }
     }
 }
@@ -126,8 +130,14 @@ impl std::error::Error for SimError {
         match self {
             SimError::Config(e) => Some(e),
             SimError::Invariant(v) => Some(v),
-            SimError::UnknownApp(_) => None,
+            SimError::UnknownApp(_) | SimError::Snapshot(_) => None,
         }
+    }
+}
+
+impl From<crate::snapshot::SnapshotError> for SimError {
+    fn from(e: crate::snapshot::SnapshotError) -> Self {
+        SimError::Snapshot(e.0)
     }
 }
 

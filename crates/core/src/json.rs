@@ -1,0 +1,363 @@
+//! Minimal lossless JSON for checkpoint and repro records.
+//!
+//! The CI validator in `scalesim-trace` parses numbers into `f64`, which
+//! silently rounds integers above 2^53 — fatal for checkpoint records
+//! that must round-trip `u64::MAX` sentinels bit-exactly. This module is
+//! the persistence-grade counterpart: integers are `u64` end to end,
+//! anything wider (or floating) travels as a string, and the writer and
+//! parser are exact inverses on every value the snapshot layer emits.
+
+use std::fmt;
+
+/// A JSON value restricted to what lossless persistence needs: no
+/// floats, no negatives, no `null`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JsonValue {
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer, held exactly.
+    U64(u64),
+    /// A string, with escapes decoded.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, as ordered `(key, value)` pairs.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Looks up a key in an object value.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is an integer.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::U64(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Parses one JSON document; trailing garbage is an error.
+    ///
+    /// Numbers must be unsigned integers that fit in `u64` — the only
+    /// numeric shape the snapshot writer emits.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the byte offset of the first problem.
+    pub fn parse(text: &str) -> Result<JsonValue, String> {
+        let mut parser = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let value = parser.parse_value()?;
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return Err(parser.error("trailing data after document"));
+        }
+        Ok(value)
+    }
+}
+
+impl fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonValue::Bool(b) => write!(f, "{b}"),
+            JsonValue::U64(n) => write!(f, "{n}"),
+            JsonValue::Str(s) => write_escaped(f, s),
+            JsonValue::Arr(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            JsonValue::Obj(pairs) => {
+                f.write_str("{")?;
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, key)?;
+                    write!(f, ":{value}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\t' => f.write_str("\\t")?,
+            '\r' => f.write_str("\\r")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => f.write_fmt(format_args!("{c}"))?,
+        }
+    }
+    f.write_str("\"")
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: &str) -> String {
+        format!("json byte {}: {}", self.pos, message)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<JsonValue, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(JsonValue::Str(self.parse_string()?)),
+            Some(b't') => self.parse_literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.parse_literal("false", JsonValue::Bool(false)),
+            Some(b'0'..=b'9') => self.parse_number(),
+            Some(other) => Err(self.error(&format!("unexpected byte `{}`", other as char))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn parse_literal(&mut self, lit: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected `{lit}`")))
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<JsonValue, String> {
+        self.pos += 1; // '{'
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            if self.bump() != Some(b':') {
+                return Err(self.error("expected `:` in object"));
+            }
+            pairs.push((key, self.parse_value()?));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => {}
+                Some(b'}') => return Ok(JsonValue::Obj(pairs)),
+                _ => return Err(self.error("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<JsonValue, String> {
+        self.pos += 1; // '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => {}
+                Some(b']') => return Ok(JsonValue::Arr(items)),
+                _ => return Err(self.error("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        if self.bump() != Some(b'"') {
+            return Err(self.error("expected string"));
+        }
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = self
+                            .bytes
+                            .get(self.pos..self.pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| self.error("truncated \\u escape"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| self.error("bad \\u escape"))?;
+                        self.pos += 4;
+                        // The writer never emits surrogate pairs.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    _ => return Err(self.error("bad escape")),
+                },
+                Some(b) if b < 0x20 => return Err(self.error("raw control byte in string")),
+                Some(b) if b < 0x80 => out.push(b as char),
+                Some(_) => {
+                    // Re-assemble multi-byte UTF-8 by copying raw bytes.
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while end < self.bytes.len() && self.bytes[end] & 0xc0 == 0x80 {
+                        end += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| self.error("invalid UTF-8 in string"))?;
+                    out.push_str(chunk);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if matches!(self.peek(), Some(b'.' | b'e' | b'E' | b'-' | b'+')) {
+            return Err(self.error("only unsigned integers are supported"));
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        raw.parse::<u64>()
+            .map(JsonValue::U64)
+            .map_err(|_| self.error(&format!("integer out of range `{raw}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_shape() {
+        let doc = JsonValue::Obj(vec![
+            ("max".to_owned(), JsonValue::U64(u64::MAX)),
+            ("zero".to_owned(), JsonValue::U64(0)),
+            ("flag".to_owned(), JsonValue::Bool(true)),
+            (
+                "text".to_owned(),
+                JsonValue::Str("quote \" slash \\ nl \n tab \t café".to_owned()),
+            ),
+            (
+                "arr".to_owned(),
+                JsonValue::Arr(vec![JsonValue::U64(1), JsonValue::Obj(vec![])]),
+            ),
+        ]);
+        let text = doc.to_string();
+        assert_eq!(JsonValue::parse(&text).unwrap(), doc);
+    }
+
+    #[test]
+    fn u64_max_survives_exactly() {
+        let text = JsonValue::U64(u64::MAX).to_string();
+        assert_eq!(text, u64::MAX.to_string());
+        assert_eq!(JsonValue::parse(&text).unwrap().as_u64(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn rejects_floats_negatives_null_and_garbage() {
+        assert!(JsonValue::parse("1.5").is_err());
+        assert!(JsonValue::parse("-3").is_err());
+        assert!(JsonValue::parse("1e3").is_err());
+        assert!(JsonValue::parse("null").is_err());
+        assert!(JsonValue::parse("{").is_err());
+        assert!(JsonValue::parse("[1,]").is_err());
+        assert!(JsonValue::parse("12 3").is_err());
+        assert!(JsonValue::parse("18446744073709551616").is_err()); // u64::MAX + 1
+    }
+
+    #[test]
+    fn control_chars_escape_and_decode() {
+        let doc = JsonValue::Str("\u{1} bell \u{7}".to_owned());
+        let text = doc.to_string();
+        assert!(text.contains("\\u0001"));
+        assert_eq!(JsonValue::parse(&text).unwrap(), doc);
+    }
+
+    #[test]
+    fn object_lookup_and_accessors() {
+        let doc = JsonValue::parse(r#"{"a":7,"b":"x","c":[true]}"#).unwrap();
+        assert_eq!(doc.get("a").and_then(JsonValue::as_u64), Some(7));
+        assert_eq!(doc.get("b").and_then(JsonValue::as_str), Some("x"));
+        assert_eq!(doc.get("c").unwrap().as_arr().unwrap().len(), 1);
+        assert_eq!(
+            doc.get("c").unwrap().as_arr().unwrap()[0].as_bool(),
+            Some(true)
+        );
+        assert!(doc.get("missing").is_none());
+    }
+}

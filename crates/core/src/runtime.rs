@@ -28,10 +28,11 @@ use scalesim_heap::{AllocResult, Heap, HeapConfig, NurseryLayout, ObjectId};
 use scalesim_objtrace::{ObjSeq, ObjectTracer};
 use scalesim_sched::{BlockReason, CpuScheduler, SchedPolicy, ThreadId, ThreadState};
 use scalesim_simkit::{
-    ChaosPlan, EventId, EventQueue, FaultClass, RngFactory, SimDuration, SimTime,
+    AbortReason, CancelToken, ChaosPlan, EventId, EventQueue, FaultClass, RngFactory, SimDuration,
+    SimTime,
 };
 use scalesim_sync::{AcquireOutcome, LockTable, MonitorId};
-use scalesim_trace::{to_chrome_json, CounterId, Counters, EventKind, Timeline};
+use scalesim_trace::{to_chrome_json, write_atomic, CounterId, Counters, EventKind, Timeline};
 use scalesim_workloads::{AppModel, DeathPoint, Distribution, Step, WorkItem};
 
 use crate::config::{JvmConfig, OldGenPolicy};
@@ -62,13 +63,29 @@ const BUDGET_CHECK_PERIOD: u64 = 1 << 10;
 #[derive(Debug, Clone)]
 pub struct Jvm {
     config: JvmConfig,
+    /// External cancellation handle (the sweep watchdog), if attached.
+    /// Deliberately outside [`JvmConfig`] so attaching a watchdog never
+    /// changes a run's identity (memo keys hash the config).
+    cancel: Option<CancelToken>,
 }
 
 impl Jvm {
     /// Creates a VM with the given configuration.
     #[must_use]
     pub fn new(config: JvmConfig) -> Self {
-        Jvm { config }
+        Jvm {
+            config,
+            cancel: None,
+        }
+    }
+
+    /// Attaches a cooperative cancellation token. The main loop polls it
+    /// at the budget-check cadence; once cancelled, the run truncates
+    /// with [`AbortReason::Watchdog`] and returns its partial metrics.
+    #[must_use]
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
     }
 
     /// The VM's configuration.
@@ -89,7 +106,7 @@ impl Jvm {
     /// inconsistent runtime state (which injected chaos faults are
     /// designed to provoke).
     pub fn run(&self, app: &dyn AppModel) -> Result<RunReport, SimError> {
-        Sim::new(&self.config, app).run()
+        Sim::new(&self.config, app, self.cancel.clone()).run()
     }
 }
 
@@ -254,10 +271,12 @@ struct Sim<'a> {
     timeline: Timeline,
     /// The always-on fixed-slot counters registry.
     counters: Counters,
+    /// Cooperative cancellation handle, polled at the budget cadence.
+    cancel: Option<CancelToken>,
 }
 
 impl<'a> Sim<'a> {
-    fn new(config: &'a JvmConfig, app: &'a dyn AppModel) -> Self {
+    fn new(config: &'a JvmConfig, app: &'a dyn AppModel, cancel: Option<CancelToken>) -> Self {
         let cores = config.placement.enabled(&config.machine, config.cores());
         let mean_numa = config.machine.mean_numa_factor_of(&cores);
         // The runtime implements the *cooperative* phase variant of biased
@@ -330,6 +349,7 @@ impl<'a> Sim<'a> {
             violation: None,
             timeline: config.trace.recorder(),
             counters: Counters::new(),
+            cancel,
         }
     }
 
@@ -457,11 +477,20 @@ impl<'a> Sim<'a> {
             if let Some(v) = self.violation.take() {
                 return Err(SimError::Invariant(v));
             }
-            if timed_budget && processed.is_multiple_of(BUDGET_CHECK_PERIOD) {
-                let host_ms = host_start.elapsed().as_millis() as u64;
-                if let Some(reason) = budget.check(processed, wall, host_ms) {
-                    outcome = RunOutcome::Truncated(reason);
+            if processed.is_multiple_of(BUDGET_CHECK_PERIOD) {
+                // Watchdog cancellation is polled unconditionally at the
+                // budget cadence — an attached token must interrupt runs
+                // that never configured a timed budget.
+                if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                    outcome = RunOutcome::Truncated(AbortReason::Watchdog);
                     break;
+                }
+                if timed_budget {
+                    let host_ms = host_start.elapsed().as_millis() as u64;
+                    if let Some(reason) = budget.check(processed, wall, host_ms) {
+                        outcome = RunOutcome::Truncated(reason);
+                        break;
+                    }
                 }
             }
             if self.config.monitors && processed.is_multiple_of(MONITOR_SCAN_PERIOD) {
@@ -536,7 +565,8 @@ impl<'a> Sim<'a> {
 
         if let Some(path) = &self.config.trace.path {
             if timeline.is_enabled() {
-                if let Err(e) = std::fs::write(path, to_chrome_json(&timeline)) {
+                if let Err(e) = write_atomic(std::path::Path::new(path), to_chrome_json(&timeline))
+                {
                     eprintln!("scalesim: failed to write trace to {path}: {e}");
                 }
             }

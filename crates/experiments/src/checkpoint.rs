@@ -1,0 +1,406 @@
+//! Durable checkpoint/resume for long sweeps.
+//!
+//! When a store is active (CLI `--checkpoint DIR` or
+//! `SCALESIM_CHECKPOINT=DIR`), every completed `(app, config, seed)`
+//! run is appended to an on-disk log as one crc-framed JSONL record
+//! carrying the full [`RunReport`] plus the memo key and content
+//! fingerprint the sweep cache uses. A later process started with
+//! `--resume` (or `SCALESIM_RESUME=1`) replays the log into the memo
+//! cache via [`resume_from`]: verified records are served without
+//! re-simulation, while corrupted or torn records — a crash mid-append
+//! leaves at most one partial line at the tail — are skipped and their
+//! runs simply re-execute. Because a run is a pure function of its memo
+//! key, a resumed sweep produces byte-identical tables and manifests.
+//!
+//! On-disk layout under the checkpoint directory:
+//!
+//! * `tail.jsonl` — the active append file; crashes can tear only its
+//!   last line.
+//! * `seg-NNNNN.jsonl` — sealed segments, rotated from the tail every
+//!   [`SEGMENT_RECORDS`] records via an atomic rename.
+//!
+//! Record framing: `<8-hex crc32> <json>`, where the JSON body is
+//! `{"v":1,"key":"<16-hex>","fp":"<16-hex>","retries":N,"report":{…}}`.
+//! The crc covers the JSON body, so a torn or bit-flipped line is
+//! detected without trusting the JSON parser's error paths. The stored
+//! fingerprint is always the *true* report fingerprint — resume
+//! recomputes it from the deserialized report and refuses any record
+//! where the two disagree.
+//!
+//! Host-time-dependent truncations
+//! ([`Watchdog`](scalesim_simkit::AbortReason::Watchdog) /
+//! [`MaxHostMs`](scalesim_simkit::AbortReason::MaxHostMs)) are never
+//! checkpointed: replaying them would freeze a transient host condition
+//! into a deterministic artifact. Quarantined stubs never reach the
+//! store either (they are not memoized for the same reason).
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+use scalesim_core::{report_from_json, report_to_json, JsonValue, RunReport};
+use scalesim_trace::write_atomic;
+
+use crate::sweep;
+
+/// Records per segment before the tail is sealed and rotated.
+pub const SEGMENT_RECORDS: usize = 128;
+
+/// What [`resume_from`] found in the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResumeStats {
+    /// Verified records replayed into the memo cache.
+    pub loaded: usize,
+    /// Records dropped: crc mismatch, unparsable JSON, or a fingerprint
+    /// that no longer matches the deserialized report.
+    pub skipped: usize,
+    /// Sealed segments read (the tail is not counted).
+    pub segments: usize,
+}
+
+// ---------------------------------------------------------------------
+// crc32 (IEEE), hand-rolled so the store stays std-only.
+// ---------------------------------------------------------------------
+
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xedb8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xffff_ffffu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xff) as usize] ^ (c >> 8);
+    }
+    c ^ 0xffff_ffff
+}
+
+// ---------------------------------------------------------------------
+// Record framing
+// ---------------------------------------------------------------------
+
+fn encode_record(key: u64, report: &RunReport, fp: u64, retries: u32) -> String {
+    let body = JsonValue::Obj(vec![
+        ("v".to_owned(), JsonValue::U64(1)),
+        ("key".to_owned(), JsonValue::Str(format!("{key:016x}"))),
+        ("fp".to_owned(), JsonValue::Str(format!("{fp:016x}"))),
+        ("retries".to_owned(), JsonValue::U64(u64::from(retries))),
+        ("report".to_owned(), report_to_json(report)),
+    ])
+    .to_string();
+    format!("{:08x} {body}", crc32(body.as_bytes()))
+}
+
+struct Record {
+    key: u64,
+    fp: u64,
+    retries: u32,
+    report: RunReport,
+}
+
+/// Decodes one store line. `None` means the line is torn, corrupt, or
+/// from a future format — the caller skips it and re-runs the point.
+fn decode_record(line: &str) -> Option<Record> {
+    let (crc_hex, body) = line.split_once(' ')?;
+    let stored_crc = u32::from_str_radix(crc_hex, 16).ok()?;
+    if crc_hex.len() != 8 || crc32(body.as_bytes()) != stored_crc {
+        return None;
+    }
+    let v = JsonValue::parse(body).ok()?;
+    if v.get("v")?.as_u64()? != 1 {
+        return None;
+    }
+    let key = u64::from_str_radix(v.get("key")?.as_str()?, 16).ok()?;
+    let fp = u64::from_str_radix(v.get("fp")?.as_str()?, 16).ok()?;
+    let retries = u32::try_from(v.get("retries")?.as_u64()?).ok()?;
+    let report = report_from_json(v.get("report")?).ok()?;
+    Some(Record {
+        key,
+        fp,
+        retries,
+        report,
+    })
+}
+
+// ---------------------------------------------------------------------
+// The store
+// ---------------------------------------------------------------------
+
+struct Store {
+    dir: PathBuf,
+    tail_records: usize,
+    next_seg: u64,
+}
+
+impl Store {
+    fn tail_path(&self) -> PathBuf {
+        self.dir.join("tail.jsonl")
+    }
+
+    fn append(
+        &mut self,
+        key: u64,
+        report: &RunReport,
+        fp: u64,
+        retries: u32,
+    ) -> std::io::Result<()> {
+        let mut line = encode_record(key, report, fp, retries);
+        line.push('\n');
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.tail_path())?;
+        file.write_all(line.as_bytes())?;
+        self.tail_records += 1;
+        if self.tail_records >= SEGMENT_RECORDS {
+            drop(file);
+            std::fs::rename(self.tail_path(), self.dir.join(seg_name(self.next_seg)))?;
+            self.next_seg += 1;
+            self.tail_records = 0;
+        }
+        Ok(())
+    }
+}
+
+fn seg_name(n: u64) -> String {
+    format!("seg-{n:05}.jsonl")
+}
+
+/// Sealed segment paths in rotation order, plus the next free index.
+fn segments_of(dir: &Path) -> (Vec<PathBuf>, u64) {
+    let mut names: Vec<String> = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_str().unwrap_or("");
+            if name.starts_with("seg-") && name.ends_with(".jsonl") {
+                names.push(name.to_owned());
+            }
+        }
+    }
+    names.sort();
+    let next = names
+        .iter()
+        .filter_map(|n| n[4..n.len() - 6].parse::<u64>().ok())
+        .map(|n| n + 1)
+        .max()
+        .unwrap_or(0);
+    (names.into_iter().map(|n| dir.join(n)).collect(), next)
+}
+
+fn store() -> &'static Mutex<Option<Store>> {
+    static STORE: OnceLock<Mutex<Option<Store>>> = OnceLock::new();
+    STORE.get_or_init(|| Mutex::new(None))
+}
+
+/// Retry counts of resumed keys, consumed once per key by the first
+/// sweep that serves the key from cache so its manifest reports the
+/// provenance (`memo:"miss"`, original retries) an uninterrupted run
+/// would have recorded.
+fn restored() -> &'static Mutex<HashMap<u64, u32>> {
+    static RESTORED: OnceLock<Mutex<HashMap<u64, u32>>> = OnceLock::new();
+    RESTORED.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Activates a **fresh** checkpoint store in `dir`: any existing
+/// segments and tail are deleted, and subsequent sweep completions are
+/// appended. Use [`resume_from`] to keep (and replay) existing records.
+///
+/// # Errors
+///
+/// Propagates directory-creation or cleanup failures.
+pub fn set_store(dir: &Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let (segs, _) = segments_of(dir);
+    for seg in segs {
+        std::fs::remove_file(seg)?;
+    }
+    let tail = dir.join("tail.jsonl");
+    if tail.exists() {
+        std::fs::remove_file(&tail)?;
+    }
+    *store().lock().unwrap_or_else(PoisonError::into_inner) = Some(Store {
+        dir: dir.to_owned(),
+        tail_records: 0,
+        next_seg: 0,
+    });
+    Ok(())
+}
+
+/// Replays the store in `dir` into the memo cache and keeps the store
+/// active so the resumed sweep continues appending where it left off.
+///
+/// Every valid record is fingerprint-verified (the hash is recomputed
+/// from the deserialized report and compared against the stored value)
+/// before it seeds the cache; mismatches count as skipped and the point
+/// re-runs. A torn tail is tolerated: invalid tail lines are dropped
+/// and the tail is rewritten atomically with only the verified ones.
+///
+/// # Errors
+///
+/// Propagates directory-creation failures and tail-rewrite failures.
+/// A missing store directory is not an error — it resumes empty, which
+/// is exactly the cold-start case.
+pub fn resume_from(dir: &Path) -> std::io::Result<ResumeStats> {
+    std::fs::create_dir_all(dir)?;
+    let mut stats = ResumeStats::default();
+    let mut records: Vec<Record> = Vec::new();
+    let (segs, next_seg) = segments_of(dir);
+    stats.segments = segs.len();
+    for seg in &segs {
+        load_lines(seg, &mut records, &mut stats);
+    }
+    let tail = dir.join("tail.jsonl");
+    let mut valid_tail_lines: Vec<String> = Vec::new();
+    let mut tail_torn = false;
+    if let Ok(text) = std::fs::read_to_string(&tail) {
+        for line in text.lines() {
+            if let Some(record) = decode_record(line) {
+                valid_tail_lines.push(line.to_owned());
+                records.push(record);
+            } else {
+                tail_torn = true;
+                stats.skipped += 1;
+            }
+        }
+    }
+    if tail_torn {
+        let mut body = valid_tail_lines.join("\n");
+        if !body.is_empty() {
+            body.push('\n');
+        }
+        write_atomic(&tail, body)?;
+    }
+
+    // Last record wins per key; verify each survivor's fingerprint
+    // before it may stand in for a simulation.
+    let mut latest: HashMap<u64, Record> = HashMap::new();
+    for record in records {
+        latest.insert(record.key, record);
+    }
+    for (key, record) in latest {
+        if sweep::fingerprint(&record.report) != record.fp {
+            stats.skipped += 1;
+            continue;
+        }
+        sweep::seed_cache_entry(key, record.report, record.fp);
+        restored()
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(key, record.retries);
+        stats.loaded += 1;
+    }
+
+    *store().lock().unwrap_or_else(PoisonError::into_inner) = Some(Store {
+        dir: dir.to_owned(),
+        tail_records: valid_tail_lines.len(),
+        next_seg,
+    });
+    Ok(stats)
+}
+
+fn load_lines(path: &Path, records: &mut Vec<Record>, stats: &mut ResumeStats) {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return;
+    };
+    for line in text.lines() {
+        match decode_record(line) {
+            Some(record) => records.push(record),
+            None => stats.skipped += 1,
+        }
+    }
+}
+
+/// Deactivates the store; completed runs are no longer persisted.
+pub fn disable_store() {
+    *store().lock().unwrap_or_else(PoisonError::into_inner) = None;
+}
+
+/// Whether a checkpoint store is currently active.
+#[must_use]
+pub fn is_active() -> bool {
+    store()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .is_some()
+}
+
+/// Appends one completed run. Called from sweep workers; IO failures
+/// degrade to a warning — losing a checkpoint record costs a future
+/// re-simulation, never the sweep.
+pub(crate) fn append_completed(key: u64, report: &RunReport, fp: u64, retries: u32) {
+    let mut guard = store().lock().unwrap_or_else(PoisonError::into_inner);
+    let Some(st) = guard.as_mut() else { return };
+    if let Err(e) = st.append(key, report, fp, retries) {
+        eprintln!("checkpoint: dropping record for key {key:016x}: {e}");
+    }
+}
+
+/// Consumes the restored-provenance entry for `key`, if resume seeded
+/// it and no sweep has claimed it yet.
+pub(crate) fn take_restored(key: u64) -> Option<u32> {
+    restored()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .remove(&key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The classic IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+    }
+
+    #[test]
+    fn record_framing_round_trips_and_rejects_corruption() {
+        let spec = crate::RunSpec::new(scalesim_workloads::xalan().scaled(0.002), 2, 9);
+        let report = spec.run().unwrap();
+        let fp = sweep::fingerprint(&report);
+        let line = encode_record(spec.memo_key(), &report, fp, 1);
+        let decoded = decode_record(&line).expect("valid record decodes");
+        assert_eq!(decoded.key, spec.memo_key());
+        assert_eq!(decoded.fp, fp);
+        assert_eq!(decoded.retries, 1);
+        assert_eq!(sweep::fingerprint(&decoded.report), fp);
+        // A flipped byte in the body fails the crc.
+        let corrupt = line.replace("\"v\":1", "\"v\":2");
+        assert!(decode_record(&corrupt).is_none());
+        // A torn prefix fails too.
+        assert!(decode_record(&line[..line.len() / 2]).is_none());
+        assert!(decode_record("").is_none());
+    }
+
+    #[test]
+    fn segment_names_sort_and_index() {
+        let dir = std::env::temp_dir().join(format!("scalesim-ckpt-segs-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(seg_name(0)), "").unwrap();
+        std::fs::write(dir.join(seg_name(3)), "").unwrap();
+        let (segs, next) = segments_of(&dir);
+        assert_eq!(segs.len(), 2);
+        assert_eq!(next, 4);
+        assert!(segs[0].ends_with("seg-00000.jsonl"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

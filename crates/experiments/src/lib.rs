@@ -25,6 +25,12 @@
 //! simulation itself is deterministic and single-threaded, so results are
 //! reproducible bit-for-bit for a given [`ExpParams`].
 //!
+//! Three self-healing layers keep long sweeps durable: completed runs
+//! checkpoint to disk and replay on resume ([`checkpoint`]), hung runs
+//! are cancelled by a watchdog and quarantined (see [`run_all`]), and
+//! quarantined specs are minimized into standalone repro files
+//! ([`shrink_failure`] / [`write_repro`]).
+//!
 //! ```
 //! use scalesim_experiments::{run_fig1d, ExpParams};
 //!
@@ -38,16 +44,19 @@
 #![warn(missing_debug_implementations)]
 
 mod ablation;
+pub mod checkpoint;
 mod extensions;
 mod fig1_lifespan;
 mod fig1_locks;
 mod fig2_gc;
 mod params;
 mod scalability;
+mod shrink;
 mod sweep;
 mod workdist;
 
 pub use ablation::{run_biased_sched, run_heaplets, Ablation, AblationRow};
+pub use checkpoint::ResumeStats;
 pub use extensions::{
     run_concurrent_old_gen, run_ergonomics, run_gc_workers, run_heap_size, run_lock_sharding,
     run_numa_placement, run_oversubscription, ConcurrentRow, ConcurrentStudy, ErgoRow, Ergonomics,
@@ -61,6 +70,7 @@ pub use fig1_locks::{run_fig1_locks, Fig1Locks};
 pub use fig2_gc::{run_fig2, Fig2, Fig2Row};
 pub use params::ExpParams;
 pub use scalability::{run_scalability, Scalability, ScalabilityRow, SCALABLE_SPEEDUP_THRESHOLD};
+pub use shrink::{run_isolated, shrink_failure, write_repro, ShrinkOutcome, SHRINK_ATTEMPT_BUDGET};
 pub use sweep::{
     cached_event_total, clear_run_cache, run_all, run_cache_size, take_run_manifests,
     take_sweep_failures, RunManifest, RunSpec, SweepFailure, SweepFailureKind,

@@ -9,19 +9,22 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use scalesim_core::{Jvm, JvmConfig, TraceConfig};
+use scalesim_core::{JsonValue, Jvm, JvmConfig, ReproSpec, SimError, TraceConfig};
 use scalesim_experiments::{
-    run_biased_sched, run_concurrent_old_gen, run_ergonomics, run_fig1_locks, run_fig1c, run_fig1d,
-    run_fig2, run_gc_workers, run_heap_size, run_heaplets, run_lock_sharding, run_numa_placement,
-    run_oversubscription, run_scalability, run_workdist, take_run_manifests, take_sweep_failures,
-    ExpParams,
+    checkpoint, run_biased_sched, run_concurrent_old_gen, run_ergonomics, run_fig1_locks,
+    run_fig1c, run_fig1d, run_fig2, run_gc_workers, run_heap_size, run_heaplets, run_isolated,
+    run_lock_sharding, run_numa_placement, run_oversubscription, run_scalability, run_workdist,
+    shrink_failure, take_run_manifests, take_sweep_failures, write_repro, ExpParams, RunSpec,
+    SweepFailureKind,
 };
 use scalesim_metrics::Table;
+use scalesim_trace::write_atomic;
 use scalesim_workloads::lusearch;
 
 const USAGE: &str = "\
 usage: scalesim-experiments <artifact> [--scale F] [--seed N] [--threads a,b,c] [--out DIR]
-                            [--trace FILE]
+                            [--trace FILE] [--checkpoint DIR] [--resume]
+       scalesim-experiments repro FILE
 
 artifacts:
   workdist    per-thread workload distribution (paper §III)
@@ -41,6 +44,8 @@ artifacts:
   ext-heapsize extension: trace-replay heap-size sweep (3x-min-heap rule)
   ext-concurrent extension: mostly-concurrent old-gen collector
   all         everything above
+  repro FILE  re-execute a shrunk failure spec (repro-*.json) exactly;
+              exits 0 when the failure reproduces, 1 when it does not
 
 options:
   --scale F      workload scale factor (default 1.0 = paper-sized)
@@ -53,20 +58,53 @@ options:
                  its timeline as Chrome trace-event JSON to FILE (open
                  at https://ui.perfetto.dev or chrome://tracing);
                  SCALESIM_TRACE=<path> traces every run instead
+  --checkpoint DIR  persist every completed run to a crc-checked store
+                 in DIR as the sweep goes (SCALESIM_CHECKPOINT=DIR too)
+  --resume       replay the checkpoint store before sweeping: verified
+                 runs are served without re-simulation, torn or corrupt
+                 records re-run (SCALESIM_RESUME=1 too)
+
+exit codes: 0 clean; 1 runtime failure; 2 finished but some run was
+quarantined, truncated, or memo-corrupted; 3 usage/config error
 ";
 
 struct Cli {
     artifact: String,
+    file: Option<PathBuf>,
     params: ExpParams,
     out: Option<PathBuf>,
     trace: Option<PathBuf>,
+    checkpoint: Option<PathBuf>,
+    resume: bool,
+}
+
+/// CLI failure split by exit code: bad input (3, with usage) vs a
+/// failure at runtime (1).
+enum CliError {
+    Config(String),
+    Runtime(String),
+}
+
+/// Maps engine errors onto the CLI's exit-code classes: rejected
+/// configurations, unknown apps, and malformed snapshots are the
+/// caller's input (3); invariant violations are runtime failures (1).
+fn classify(e: &SimError) -> CliError {
+    match e {
+        SimError::Config(_) | SimError::UnknownApp(_) | SimError::Snapshot(_) => {
+            CliError::Config(e.to_string())
+        }
+        SimError::Invariant(_) => CliError::Runtime(e.to_string()),
+    }
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
-    let mut artifact = None;
+    let mut artifact: Option<String> = None;
+    let mut file = None;
     let mut params = ExpParams::paper();
     let mut out = None;
     let mut trace = None;
+    let mut checkpoint = None;
+    let mut resume = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -99,18 +137,37 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 let v = it.next().ok_or("--trace needs a value")?;
                 trace = Some(PathBuf::from(v));
             }
+            "--checkpoint" => {
+                let v = it.next().ok_or("--checkpoint needs a directory")?;
+                checkpoint = Some(PathBuf::from(v));
+            }
+            "--resume" => resume = true,
             "--help" | "-h" => return Err(String::new()),
             other if artifact.is_none() && !other.starts_with('-') => {
                 artifact = Some(other.to_owned());
             }
+            other
+                if artifact.as_deref() == Some("repro")
+                    && file.is_none()
+                    && !other.starts_with('-') =>
+            {
+                file = Some(PathBuf::from(other));
+            }
             other => return Err(format!("unexpected argument {other}")),
         }
     }
+    let artifact = artifact.ok_or("no artifact given")?;
+    if artifact == "repro" && file.is_none() {
+        return Err("repro needs a repro-*.json file argument".to_owned());
+    }
     Ok(Cli {
-        artifact: artifact.ok_or("no artifact given")?,
+        artifact,
+        file,
         params,
         out,
         trace,
+        checkpoint,
+        resume,
     })
 }
 
@@ -138,17 +195,19 @@ fn export_trace(cli: &Cli, path: &std::path::Path) -> Result<(), String> {
     Ok(())
 }
 
-/// Writes every accumulated run manifest as `manifest.jsonl` in `dir`.
-fn write_manifests(dir: &std::path::Path) -> Result<(), String> {
-    let manifests = take_run_manifests();
-    std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+/// Writes run manifests as `manifest.jsonl` in `dir` (atomically, so a
+/// crash mid-write never leaves a truncated file behind).
+fn write_manifests(
+    dir: &std::path::Path,
+    manifests: &[scalesim_experiments::RunManifest],
+) -> Result<(), String> {
     let path = dir.join("manifest.jsonl");
     let mut body = String::new();
-    for m in &manifests {
+    for m in manifests {
         body.push_str(&m.to_json_line());
         body.push('\n');
     }
-    std::fs::write(&path, body).map_err(|e| format!("write {}: {e}", path.display()))?;
+    write_atomic(&path, body).map_err(|e| format!("write {}: {e}", path.display()))?;
     println!("wrote {} ({} runs)", path.display(), manifests.len());
     Ok(())
 }
@@ -157,73 +216,72 @@ fn emit(out: &Option<PathBuf>, name: &str, title: &str, table: &Table) {
     println!("== {title} ==");
     println!("{table}");
     if let Some(dir) = out {
-        std::fs::create_dir_all(dir).expect("create output directory");
         let path = dir.join(format!("{name}.csv"));
-        std::fs::write(&path, table.to_csv()).expect("write CSV");
+        write_atomic(&path, table.to_csv()).expect("write CSV");
         println!("wrote {}", path.display());
     }
     println!();
 }
 
-fn run_artifact(cli: &Cli, artifact: &str) -> Result<(), String> {
+fn run_artifact(cli: &Cli, artifact: &str) -> Result<(), CliError> {
     let p = &cli.params;
     match artifact {
         "workdist" => emit(
             &cli.out,
             "workdist",
             "Workload distribution across threads (paper SIII)",
-            &run_workdist(p).map_err(|e| e.to_string())?.table(),
+            &run_workdist(p).map_err(|e| classify(&e))?.table(),
         ),
         "scaletable" => emit(
             &cli.out,
             "scaletable",
             "Scalability classification (paper SII-C)",
-            &run_scalability(p).map_err(|e| e.to_string())?.table(),
+            &run_scalability(p).map_err(|e| classify(&e))?.table(),
         ),
         "fig1a" | "fig1b" => emit(
             &cli.out,
             "fig1_locks",
             "Fig 1a/1b: lock acquisitions & contentions vs threads",
-            &run_fig1_locks(p).map_err(|e| e.to_string())?.table(),
+            &run_fig1_locks(p).map_err(|e| classify(&e))?.table(),
         ),
         "fig1c" => emit(
             &cli.out,
             "fig1c",
             "Fig 1c: eclipse object-lifespan CDF",
-            &run_fig1c(p).map_err(|e| e.to_string())?.table(),
+            &run_fig1c(p).map_err(|e| classify(&e))?.table(),
         ),
         "fig1d" => emit(
             &cli.out,
             "fig1d",
             "Fig 1d: xalan object-lifespan CDF",
-            &run_fig1d(p).map_err(|e| e.to_string())?.table(),
+            &run_fig1d(p).map_err(|e| classify(&e))?.table(),
         ),
         "fig2" => emit(
             &cli.out,
             "fig2",
             "Fig 2: mutator vs GC time decomposition (scalable apps)",
-            &run_fig2(p).map_err(|e| e.to_string())?.table(),
+            &run_fig2(p).map_err(|e| classify(&e))?.table(),
         ),
         "abl-sched" => emit(
             &cli.out,
             "abl_sched",
             "Ablation: biased (cohort) scheduling on xalan (paper SIV.1)",
             &run_biased_sched("xalan", p)
-                .map_err(|e| e.to_string())?
+                .map_err(|e| classify(&e))?
                 .table(),
         ),
         "abl-heap" => emit(
             &cli.out,
             "abl_heap",
             "Ablation: compartmentalized heaplets on xalan (paper SIV.2)",
-            &run_heaplets("xalan", p).map_err(|e| e.to_string())?.table(),
+            &run_heaplets("xalan", p).map_err(|e| classify(&e))?.table(),
         ),
         "ext-ergo" => emit(
             &cli.out,
             "ext_ergo",
             "Extension: adaptive nursery sizing on xalan (HotSpot ergonomics)",
             &run_ergonomics("xalan", p)
-                .map_err(|e| e.to_string())?
+                .map_err(|e| classify(&e))?
                 .table(),
         ),
         "ext-numa" => emit(
@@ -231,7 +289,7 @@ fn run_artifact(cli: &Cli, artifact: &str) -> Result<(), String> {
             "ext_numa",
             "Extension: NUMA placement sensitivity on xalan",
             &run_numa_placement("xalan", p)
-                .map_err(|e| e.to_string())?
+                .map_err(|e| classify(&e))?
                 .table(),
         ),
         "ext-sharding" => emit(
@@ -239,7 +297,7 @@ fn run_artifact(cli: &Cli, artifact: &str) -> Result<(), String> {
             "ext_sharding",
             "Extension: sharding xalan's dtm-cache lock",
             &run_lock_sharding("xalan", 1, p)
-                .map_err(|e| e.to_string())?
+                .map_err(|e| classify(&e))?
                 .table(),
         ),
         "ext-gcworkers" => emit(
@@ -247,7 +305,7 @@ fn run_artifact(cli: &Cli, artifact: &str) -> Result<(), String> {
             "ext_gcworkers",
             "Extension: parallel GC worker scaling on xalan",
             &run_gc_workers("xalan", p)
-                .map_err(|e| e.to_string())?
+                .map_err(|e| classify(&e))?
                 .table(),
         ),
         "ext-oversub" => emit(
@@ -255,23 +313,21 @@ fn run_artifact(cli: &Cli, artifact: &str) -> Result<(), String> {
             "ext_oversub",
             "Extension: oversubscription (threads beyond 48 cores) on xalan",
             &run_oversubscription("xalan", p)
-                .map_err(|e| e.to_string())?
+                .map_err(|e| classify(&e))?
                 .table(),
         ),
         "ext-heapsize" => emit(
             &cli.out,
             "ext_heapsize",
             "Extension: trace-replay heap-size sweep on xalan (3x-min-heap rule)",
-            &run_heap_size("xalan", p)
-                .map_err(|e| e.to_string())?
-                .table(),
+            &run_heap_size("xalan", p).map_err(|e| classify(&e))?.table(),
         ),
         "ext-concurrent" => emit(
             &cli.out,
             "ext_concurrent",
             "Extension: mostly-concurrent old generation on xalan",
             &run_concurrent_old_gen("xalan", p)
-                .map_err(|e| e.to_string())?
+                .map_err(|e| classify(&e))?
                 .table(),
         ),
         "all" => {
@@ -295,36 +351,166 @@ fn run_artifact(cli: &Cli, artifact: &str) -> Result<(), String> {
                 run_artifact(cli, a)?;
             }
         }
-        other => return Err(format!("unknown artifact {other}")),
+        other => return Err(CliError::Config(format!("unknown artifact {other}"))),
     }
     Ok(())
+}
+
+/// Re-executes a shrunk failure spec from a `repro-*.json` file.
+/// Exit 0 when the failure reproduces, 1 when the run completes, 3 when
+/// the file does not parse or reconstruct.
+fn run_repro(path: &std::path::Path) -> ExitCode {
+    let config_fail = |msg: String| -> ExitCode {
+        eprintln!("error: {msg}");
+        ExitCode::from(3)
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => return config_fail(format!("read {}: {e}", path.display())),
+    };
+    let parsed = match JsonValue::parse(text.trim()) {
+        Ok(v) => v,
+        Err(e) => return config_fail(format!("parse {}: {e}", path.display())),
+    };
+    let repro = match ReproSpec::from_json(&parsed) {
+        Ok(r) => r,
+        Err(e) => return config_fail(format!("{}: {e}", path.display())),
+    };
+    let (app, config) = match repro.reconstruct() {
+        Ok(pair) => pair,
+        Err(e) => return config_fail(format!("{}: {e}", path.display())),
+    };
+    let spec = RunSpec { app, config };
+    if !repro.exact {
+        eprintln!("warning: spec was not key-exact when captured; behavior may differ");
+    }
+    if spec.memo_key() != repro.spec_key {
+        eprintln!(
+            "warning: reconstructed key {:016x} differs from recorded {:016x}",
+            spec.memo_key(),
+            repro.spec_key
+        );
+    }
+    println!(
+        "repro: app={} threads={} seed={} (key {:016x})",
+        repro.app, repro.threads, repro.seed, repro.spec_key
+    );
+    match run_isolated(&spec) {
+        Err(why) => {
+            println!("reproduced: {why}");
+            ExitCode::SUCCESS
+        }
+        Ok(report) => {
+            println!(
+                "run completed without failing (outcome: {})",
+                report.outcome
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Shrinks every quarantined failure in the digest to a minimal failing
+/// spec and writes one `repro-<key>.json` per distinct point into
+/// `dir`. Returns how many repro files were written.
+fn shrink_quarantined(
+    failures: &[scalesim_experiments::SweepFailure],
+    dir: &std::path::Path,
+) -> usize {
+    let mut seen = std::collections::HashSet::new();
+    let mut written = 0;
+    for f in failures {
+        if f.kind != SweepFailureKind::Quarantined {
+            continue;
+        }
+        let Some(spec) = &f.run_spec else { continue };
+        if !seen.insert(spec.memo_key()) {
+            continue;
+        }
+        match shrink_failure(spec) {
+            Some(outcome) => match write_repro(&outcome, dir) {
+                Ok(path) => {
+                    println!(
+                        "shrunk {} -> threads={} ({} attempts): {}",
+                        f.spec,
+                        outcome.shrunk.threads,
+                        outcome.attempts,
+                        path.display()
+                    );
+                    written += 1;
+                }
+                Err(e) => eprintln!("error: write repro for {}: {e}", f.spec),
+            },
+            None => eprintln!(
+                "shrink: {} did not reproduce in isolation; no repro file",
+                f.spec
+            ),
+        }
+    }
+    written
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cli = match parse_args(&args) {
         Ok(cli) => cli,
+        Err(msg) if msg.is_empty() => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
         Err(msg) => {
-            if !msg.is_empty() {
-                eprintln!("error: {msg}\n");
-            }
+            eprintln!("error: {msg}\n");
             eprint!("{USAGE}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(3);
         }
     };
+    if cli.artifact == "repro" {
+        return run_repro(cli.file.as_deref().expect("parse_args requires the file"));
+    }
+
+    // Checkpointing: CLI flags win, env vars (SCALESIM_CHECKPOINT /
+    // SCALESIM_RESUME=1) reach the same machinery from wrappers.
+    let ckpt_dir = cli
+        .checkpoint
+        .clone()
+        .or_else(|| std::env::var_os("SCALESIM_CHECKPOINT").map(PathBuf::from));
+    let resume = cli.resume || std::env::var_os("SCALESIM_RESUME").is_some_and(|v| v == "1");
+    if let Some(dir) = &ckpt_dir {
+        let activated = if resume {
+            checkpoint::resume_from(dir).map(|stats| {
+                println!(
+                    "resumed {} run(s) from {} ({} segment(s), {} record(s) skipped)",
+                    stats.loaded,
+                    dir.display(),
+                    stats.segments,
+                    stats.skipped
+                );
+            })
+        } else {
+            checkpoint::set_store(dir)
+        };
+        if let Err(e) = activated {
+            eprintln!("error: checkpoint store {}: {e}\n", dir.display());
+            eprint!("{USAGE}");
+            return ExitCode::from(3);
+        }
+    } else if resume {
+        eprintln!("error: --resume needs --checkpoint DIR or SCALESIM_CHECKPOINT\n");
+        eprint!("{USAGE}");
+        return ExitCode::from(3);
+    }
+
     let mut result = run_artifact(&cli, &cli.artifact.clone());
     if result.is_ok() {
-        if let Some(dir) = &cli.out {
-            result = write_manifests(dir);
-        }
-    }
-    if result.is_ok() {
         if let Some(path) = &cli.trace {
-            result = export_trace(&cli, path);
+            result = export_trace(&cli, path).map_err(CliError::Runtime);
         }
     }
-    // Quarantined or corrupted runs do not fail the artifact (their rows
-    // are marked in the tables), but the digest belongs in the output.
+
+    // Always drain the digest and the manifests — even a failing CLI
+    // invocation reports what its sweeps saw. Quarantined or corrupted
+    // runs do not abort the artifact (their rows are marked in the
+    // tables), but they degrade the exit code to 2.
     let failures = take_sweep_failures();
     if !failures.is_empty() {
         eprintln!("sweep failure digest ({} entries):", failures.len());
@@ -332,11 +518,25 @@ fn main() -> ExitCode {
             eprintln!("  [{}] {}: {}", f.kind, f.spec, f.detail);
         }
     }
+    let repro_dir = cli.out.clone().unwrap_or_else(|| PathBuf::from("."));
+    let _ = shrink_quarantined(&failures, &repro_dir);
+    let manifests = take_run_manifests();
+    if result.is_ok() {
+        if let Some(dir) = &cli.out {
+            result = write_manifests(dir, &manifests).map_err(CliError::Runtime);
+        }
+    }
+    let degraded = !failures.is_empty() || manifests.iter().any(|m| m.outcome != "ok");
     match result {
+        Ok(()) if degraded => ExitCode::from(2),
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
+        Err(CliError::Config(msg)) => {
             eprintln!("error: {msg}\n");
             eprint!("{USAGE}");
+            ExitCode::from(3)
+        }
+        Err(CliError::Runtime(msg)) => {
+            eprintln!("error: {msg}");
             ExitCode::FAILURE
         }
     }
@@ -389,5 +589,27 @@ mod tests {
         let cli = parse_args(&s(&["fig1d", "--trace", "/tmp/t.json"])).unwrap();
         assert_eq!(cli.trace.unwrap(), PathBuf::from("/tmp/t.json"));
         assert!(parse_args(&s(&["fig1d", "--trace"])).is_err());
+    }
+
+    #[test]
+    fn checkpoint_and_resume_flags_parse() {
+        let cli = parse_args(&s(&["fig1d", "--checkpoint", "/tmp/ck", "--resume"])).unwrap();
+        assert_eq!(cli.checkpoint.unwrap(), PathBuf::from("/tmp/ck"));
+        assert!(cli.resume);
+        let cli = parse_args(&s(&["fig1d"])).unwrap();
+        assert!(cli.checkpoint.is_none());
+        assert!(!cli.resume);
+        assert!(parse_args(&s(&["fig1d", "--checkpoint"])).is_err());
+    }
+
+    #[test]
+    fn repro_takes_a_file_argument() {
+        let cli = parse_args(&s(&["repro", "repro-abc.json"])).unwrap();
+        assert_eq!(cli.artifact, "repro");
+        assert_eq!(cli.file.unwrap(), PathBuf::from("repro-abc.json"));
+        // The file is mandatory, and only `repro` accepts a second
+        // positional.
+        assert!(parse_args(&s(&["repro"])).is_err());
+        assert!(parse_args(&s(&["fig1d", "extra.json"])).is_err());
     }
 }

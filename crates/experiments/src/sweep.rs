@@ -30,6 +30,21 @@
 //! [`Quarantined`](scalesim_core::RunOutcome::Quarantined). Quarantined
 //! stubs are never memoized. Every quarantine and every memo eviction is
 //! recorded; [`take_sweep_failures`] drains the digest.
+//!
+//! Two further self-healing layers ride on the same machinery:
+//!
+//! * **Checkpointing.** With a [`checkpoint`](crate::checkpoint) store
+//!   active, every completed run is persisted as it finishes (from the
+//!   worker thread, before its result is even reordered), and a resumed
+//!   process replays the store into this cache so interrupted sweeps
+//!   pick up where they stopped with byte-identical output.
+//! * **Watchdog.** A spec whose [`RunBudget`](scalesim_simkit::RunBudget)
+//!   carries `watchdog_ms` is executed under a monotonic-clock deadline:
+//!   a dedicated watchdog thread scans per-worker deadline slots and
+//!   cancels overdue runs cooperatively (the engine polls the token on
+//!   its budget-check cadence). A cancelled run reports
+//!   [`AbortReason::Watchdog`], counts as a failure, is retried once,
+//!   and then quarantined — a hung point cannot stall its siblings.
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};
@@ -37,13 +52,15 @@ use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex, OnceLock};
-use std::time::Instant;
+use std::sync::{mpsc, Arc, Mutex, OnceLock, PoisonError};
+use std::time::{Duration, Instant};
 
-use scalesim_core::{Jvm, JvmConfig, RunReport, SimError};
-use scalesim_simkit::{ChaosPlan, FaultClass};
+use scalesim_core::{Jvm, JvmConfig, RunOutcome, RunReport, SimError};
+use scalesim_simkit::{AbortReason, CancelToken, ChaosPlan, FaultClass};
 use scalesim_trace::CounterId;
 use scalesim_workloads::{AppModel, SyntheticApp};
+
+use crate::checkpoint;
 
 /// One run request: an application and the VM configuration to run it
 /// under.
@@ -83,8 +100,27 @@ impl RunSpec {
     /// Propagates any [`SimError`] from the engine (invariant violation,
     /// deadlock). Budget-truncated runs are `Ok` with a truncated outcome.
     pub fn run(&self) -> Result<RunReport, SimError> {
+        self.run_with_cancel(None)
+    }
+
+    /// Executes this run like [`RunSpec::run`], optionally attaching a
+    /// cooperative cancellation token (the sweep watchdog's lever). The
+    /// token lives outside [`JvmConfig`], so attaching one never
+    /// changes the memo key or the simulated behavior of an
+    /// uncancelled run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`] from the engine. A cancelled run is
+    /// `Ok` with a [`Watchdog`](scalesim_simkit::AbortReason::Watchdog)
+    /// truncation.
+    pub fn run_with_cancel(&self, cancel: Option<&CancelToken>) -> Result<RunReport, SimError> {
         let start = Instant::now();
-        let mut report = Jvm::new(self.config.clone()).run(&self.app)?;
+        let mut jvm = Jvm::new(self.config.clone());
+        if let Some(token) = cancel {
+            jvm = jvm.with_cancel(token.clone());
+        }
+        let mut report = jvm.run(&self.app)?;
         report.host_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         Ok(report)
     }
@@ -161,6 +197,10 @@ pub struct SweepFailure {
     pub kind: SweepFailureKind,
     /// Human-readable cause (panic payload, `SimError`, or eviction note).
     pub detail: String,
+    /// The failing spec itself, so the failure shrinker
+    /// ([`shrink_failure`](crate::shrink_failure)) can re-execute and
+    /// minimize it after the sweep.
+    pub run_spec: Option<RunSpec>,
 }
 
 impl fmt::Display for SweepFailure {
@@ -177,9 +217,12 @@ fn failures() -> &'static Mutex<Vec<SweepFailure>> {
 
 fn record_failure(failure: SweepFailure) {
     eprintln!("sweep: {failure}");
+    // Recover from poisoning: the digest is exactly the structure that
+    // must keep working after another thread panicked mid-failure-path,
+    // and `Vec::push` cannot leave it torn.
     failures()
         .lock()
-        .expect("failure log poisoned")
+        .unwrap_or_else(PoisonError::into_inner)
         .push(failure);
 }
 
@@ -187,7 +230,7 @@ fn record_failure(failure: SweepFailure) {
 /// (quarantined runs and evicted memo entries, in occurrence order).
 #[must_use]
 pub fn take_sweep_failures() -> Vec<SweepFailure> {
-    std::mem::take(&mut *failures().lock().expect("failure log poisoned"))
+    std::mem::take(&mut *failures().lock().unwrap_or_else(PoisonError::into_inner))
 }
 
 /// One machine-readable record per sweep run: what executed, how it
@@ -290,7 +333,7 @@ fn manifests() -> &'static Mutex<Vec<RunManifest>> {
 /// (one per sweep input, in sweep order).
 #[must_use]
 pub fn take_run_manifests() -> Vec<RunManifest> {
-    std::mem::take(&mut *manifests().lock().expect("manifest log poisoned"))
+    std::mem::take(&mut *manifests().lock().unwrap_or_else(PoisonError::into_inner))
 }
 
 /// A cached report plus the content fingerprint taken when it was stored.
@@ -303,22 +346,36 @@ fn cache() -> &'static Mutex<HashMap<u64, CacheEntry>> {
 }
 
 /// Content fingerprint of a report (hash of its full `Debug` rendering).
-fn fingerprint(report: &RunReport) -> u64 {
+pub(crate) fn fingerprint(report: &RunReport) -> u64 {
     let mut h = DefaultHasher::new();
     format!("{report:?}").hash(&mut h);
     h.finish()
 }
 
+/// Inserts a report into the memo cache under `key` with an
+/// already-computed fingerprint — the checkpoint layer's way of
+/// replaying persisted runs so a resumed sweep serves them without
+/// re-simulation.
+pub(crate) fn seed_cache_entry(key: u64, report: RunReport, fp: u64) {
+    cache()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .insert(key, (Arc::new(report), fp));
+}
+
 /// Drops every memoized [`RunReport`] (used by benchmarks to measure cold
 /// sweeps, and available to long-lived processes to bound memory).
 pub fn clear_run_cache() {
-    cache().lock().expect("run cache poisoned").clear();
+    cache()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clear();
 }
 
 /// Number of memoized runs currently held.
 #[must_use]
 pub fn run_cache_size() -> usize {
-    cache().lock().expect("run cache poisoned").len()
+    cache().lock().unwrap_or_else(PoisonError::into_inner).len()
 }
 
 /// Total simulated events across every memoized run.
@@ -330,7 +387,7 @@ pub fn run_cache_size() -> usize {
 pub fn cached_event_total() -> u64 {
     cache()
         .lock()
-        .expect("run cache poisoned")
+        .unwrap_or_else(PoisonError::into_inner)
         .values()
         .map(|(r, _)| r.events_processed)
         .sum()
@@ -373,8 +430,8 @@ fn physical_cores() -> Option<usize> {
 }
 
 /// One execution attempt, with panics converted into described errors.
-fn attempt(spec: &RunSpec) -> Result<RunReport, String> {
-    match catch_unwind(AssertUnwindSafe(|| spec.run())) {
+pub(crate) fn attempt(spec: &RunSpec, cancel: Option<&CancelToken>) -> Result<RunReport, String> {
+    match catch_unwind(AssertUnwindSafe(|| spec.run_with_cancel(cancel))) {
         Ok(Ok(report)) => Ok(report),
         Ok(Err(err)) => Err(err.to_string()),
         Err(payload) => {
@@ -386,6 +443,42 @@ fn attempt(spec: &RunSpec) -> Result<RunReport, String> {
             Err(format!("panicked: {msg}"))
         }
     }
+}
+
+/// A worker's watchdog slot: the host deadline of its in-flight run and
+/// the token that cancels it. `None` between runs and for runs without
+/// a watchdog budget.
+type WatchdogSlot = Mutex<Option<(Instant, CancelToken)>>;
+
+/// One attempt under the worker's watchdog slot. Arms the slot before
+/// the run, clears it after, and converts a watchdog truncation into an
+/// `Err` so the ordinary retry-then-quarantine path handles hung runs.
+fn guarded_attempt(spec: &RunSpec, slot: &WatchdogSlot) -> Result<RunReport, String> {
+    let Some(ms) = spec.config.budget.watchdog_ms else {
+        return attempt(spec, None);
+    };
+    let token = CancelToken::new();
+    *slot.lock().unwrap_or_else(PoisonError::into_inner) =
+        Some((Instant::now() + Duration::from_millis(ms), token.clone()));
+    let result = attempt(spec, Some(&token));
+    *slot.lock().unwrap_or_else(PoisonError::into_inner) = None;
+    match result {
+        Ok(report) if matches!(report.outcome, RunOutcome::Truncated(AbortReason::Watchdog)) => {
+            Err(format!("watchdog: run exceeded host deadline of {ms} ms"))
+        }
+        other => other,
+    }
+}
+
+/// Whether a completed report may be persisted to the checkpoint store.
+/// Host-time-dependent truncations are excluded: they encode transient
+/// host conditions, and replaying them would make a resumed sweep
+/// diverge from an uninterrupted one.
+fn checkpointable(report: &RunReport) -> bool {
+    !matches!(
+        report.outcome,
+        RunOutcome::Truncated(AbortReason::Watchdog | AbortReason::MaxHostMs(_))
+    )
 }
 
 /// Executes all runs and returns reports in input order.
@@ -409,11 +502,16 @@ pub fn run_all(specs: &[RunSpec]) -> Vec<RunReport> {
     let keys: Vec<u64> = specs.iter().map(RunSpec::memo_key).collect();
 
     // Resolve what is already known — verifying each entry's fingerprint
-    // and evicting corrupt ones — then deduplicate the remainder.
+    // and evicting corrupt ones — then deduplicate the remainder. Keys
+    // seeded by a checkpoint resume are claimed here (once, process-wide)
+    // so their manifests report the provenance the original, uninterrupted
+    // sweep would have: `memo:"miss"` plus the retries the run actually
+    // cost when it first executed.
     let mut resolved: HashMap<u64, Arc<RunReport>> = HashMap::new();
     let mut evicted: HashSet<u64> = HashSet::new();
+    let mut restored: HashMap<u64, u32> = HashMap::new();
     if use_memo {
-        let mut cached = cache().lock().expect("run cache poisoned");
+        let mut cached = cache().lock().unwrap_or_else(PoisonError::into_inner);
         for (i, &k) in keys.iter().enumerate() {
             if resolved.contains_key(&k) {
                 continue;
@@ -421,6 +519,9 @@ pub fn run_all(specs: &[RunSpec]) -> Vec<RunReport> {
             if let Some((r, stored_fp)) = cached.get(&k) {
                 if fingerprint(r) == *stored_fp {
                     resolved.insert(k, Arc::clone(r));
+                    if let Some(retries) = checkpoint::take_restored(k) {
+                        restored.insert(k, retries);
+                    }
                 } else {
                     record_failure(SweepFailure {
                         spec: specs[i].describe(),
@@ -428,9 +529,12 @@ pub fn run_all(specs: &[RunSpec]) -> Vec<RunReport> {
                         detail: "cached report failed its fingerprint check; \
                                  evicted and re-simulated"
                             .to_owned(),
+                        run_spec: Some(specs[i].clone()),
                     });
                     evicted.insert(k);
                     cached.remove(&k);
+                    // An evicted entry's restored provenance is stale too.
+                    let _ = checkpoint::take_restored(k);
                 }
             }
         }
@@ -446,38 +550,96 @@ pub fn run_all(specs: &[RunSpec]) -> Vec<RunReport> {
 
     let mut quarantined: HashSet<u64> = HashSet::new();
     let mut retries_by_key: HashMap<u64, u32> = HashMap::new();
+    for (&k, &r) in &restored {
+        if r > 0 {
+            retries_by_key.insert(k, r);
+        }
+    }
     if !pending.is_empty() {
         let workers = worker_budget().min(pending.len());
         let next = AtomicUsize::new(0);
         let (tx, rx) = mpsc::channel::<(usize, Result<RunReport, String>, u32)>();
 
+        // Watchdog scaffolding: one deadline slot per worker. The
+        // watchdog thread only spawns when some pending spec carries a
+        // host deadline; it scans the slots on a monotonic clock and
+        // cancels overdue runs, then exits once every worker is done.
+        let wd_slots: Vec<WatchdogSlot> = (0..workers).map(|_| Mutex::new(None)).collect();
+        let min_watchdog_ms = pending
+            .iter()
+            .filter_map(|&i| specs[i].config.budget.watchdog_ms)
+            .min();
+        let active_workers = AtomicUsize::new(workers);
+
         std::thread::scope(|scope| {
-            for _ in 0..workers {
+            if let Some(ms) = min_watchdog_ms {
+                let wd_slots = &wd_slots;
+                let active_workers = &active_workers;
+                let poll = Duration::from_millis((ms / 4).clamp(5, 50));
+                scope.spawn(move || {
+                    while active_workers.load(Ordering::Acquire) > 0 {
+                        std::thread::sleep(poll);
+                        let now = Instant::now();
+                        for slot in wd_slots {
+                            let guard = slot.lock().unwrap_or_else(PoisonError::into_inner);
+                            if let Some((deadline, token)) = guard.as_ref() {
+                                if now >= *deadline {
+                                    token.cancel();
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+            for slot in &wd_slots {
                 let tx = tx.clone();
                 let next = &next;
                 let pending = &pending;
-                scope.spawn(move || loop {
-                    let n = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(&i) = pending.get(n) else { break };
-                    // Crash isolation: one retry, then the failure travels
-                    // back as data rather than tearing the sweep down.
-                    let (outcome, retries) = match attempt(&specs[i]) {
-                        Ok(report) => (Ok(report), 0),
-                        Err(first) => match attempt(&specs[i]) {
-                            Ok(report) => (Ok(report), 1),
-                            Err(second) => {
-                                let msg = if first == second {
-                                    format!("{first} (and again on retry)")
-                                } else {
-                                    format!("{first}; retry: {second}")
-                                };
-                                (Err(msg), 1)
+                let keys = &keys;
+                let active_workers = &active_workers;
+                scope.spawn(move || {
+                    loop {
+                        let n = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&i) = pending.get(n) else { break };
+                        // Crash isolation: one retry, then the failure
+                        // travels back as data rather than tearing the
+                        // sweep down.
+                        let (outcome, retries) = match guarded_attempt(&specs[i], slot) {
+                            Ok(report) => (Ok(report), 0),
+                            Err(first) => match guarded_attempt(&specs[i], slot) {
+                                Ok(report) => (Ok(report), 1),
+                                Err(second) => {
+                                    let msg = if first == second {
+                                        format!("{first} (and again on retry)")
+                                    } else {
+                                        format!("{first}; retry: {second}")
+                                    };
+                                    (Err(msg), 1)
+                                }
+                            },
+                        };
+                        // Persist the completion before handing the result
+                        // over: a crash after this point costs nothing on
+                        // resume. The stored fingerprint is always the true
+                        // one (chaos may corrupt the in-memory memo entry
+                        // below, but never the durable record).
+                        if use_memo {
+                            if let Ok(report) = &outcome {
+                                if checkpointable(report) {
+                                    checkpoint::append_completed(
+                                        keys[i],
+                                        report,
+                                        fingerprint(report),
+                                        retries,
+                                    );
+                                }
                             }
-                        },
-                    };
-                    // The receiver outlives the scope; a send cannot fail.
-                    tx.send((i, outcome, retries))
-                        .expect("result channel closed");
+                        }
+                        // The receiver outlives the scope; a send cannot fail.
+                        tx.send((i, outcome, retries))
+                            .expect("result channel closed");
+                    }
+                    active_workers.fetch_sub(1, Ordering::Release);
                 });
             }
         });
@@ -498,6 +660,7 @@ pub fn run_all(specs: &[RunSpec]) -> Vec<RunReport> {
                         spec: specs[i].describe(),
                         kind: SweepFailureKind::Quarantined,
                         detail: why.clone(),
+                        run_spec: Some(specs[i].clone()),
                     });
                     quarantined.insert(k);
                     let spec = &specs[i];
@@ -519,7 +682,7 @@ pub fn run_all(specs: &[RunSpec]) -> Vec<RunReport> {
             // fresh chance at the point. Truncated runs are deterministic
             // (the budget is part of the key) and cache normally.
             let mut chaos = ChaosPlan::new(specs[0].config.chaos, specs[0].config.seed);
-            let mut cached = cache().lock().expect("run cache poisoned");
+            let mut cached = cache().lock().unwrap_or_else(PoisonError::into_inner);
             for &i in &pending {
                 let k = keys[i];
                 if quarantined.contains(&k) {
@@ -550,6 +713,10 @@ pub fn run_all(specs: &[RunSpec]) -> Vec<RunReport> {
                 .expect("every requested run resolved by cache, worker, or quarantine");
             let memo = if !use_memo {
                 "off"
+            } else if restored.contains_key(k) {
+                // Checkpoint-restored: report what the uninterrupted
+                // sweep would have said when it first ran the point.
+                "miss"
             } else if memo_hits.contains(k) {
                 "hit"
             } else {
@@ -580,7 +747,7 @@ pub fn run_all(specs: &[RunSpec]) -> Vec<RunReport> {
         .collect();
     manifests()
         .lock()
-        .expect("manifest log poisoned")
+        .unwrap_or_else(PoisonError::into_inner)
         .extend(new_manifests);
 
     keys.iter()

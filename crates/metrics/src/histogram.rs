@@ -174,6 +174,52 @@ impl LogHistogram {
         Some(self.max)
     }
 
+    /// The raw per-bucket counts, indexed by power-of-two bucket.
+    ///
+    /// Unlike [`LogHistogram::iter`] this exposes every bucket (including
+    /// empty ones) so callers can persist and rebuild the histogram
+    /// losslessly.
+    #[must_use]
+    pub fn bucket_counts(&self) -> [u64; 64] {
+        self.buckets
+    }
+
+    /// The raw `min` field, including the `u64::MAX` empty sentinel.
+    ///
+    /// Persistence needs the sentinel verbatim so a round-tripped
+    /// histogram compares (and `Debug`-formats) identically; ordinary
+    /// callers want [`LogHistogram::min`].
+    #[must_use]
+    pub fn raw_min(&self) -> u64 {
+        self.min
+    }
+
+    /// The raw `max` field, including the `0` empty sentinel.
+    /// See [`LogHistogram::raw_min`].
+    #[must_use]
+    pub fn raw_max(&self) -> u64 {
+        self.max
+    }
+
+    /// Rebuilds a histogram from raw parts captured via
+    /// [`LogHistogram::bucket_counts`], [`LogHistogram::count`],
+    /// [`LogHistogram::sum`], [`LogHistogram::raw_min`] and
+    /// [`LogHistogram::raw_max`].
+    ///
+    /// The parts are trusted as-is (this is a persistence hook, not a
+    /// constructor for new data); feeding back unmodified parts yields a
+    /// histogram equal to the original.
+    #[must_use]
+    pub fn from_raw_parts(buckets: [u64; 64], count: u64, sum: u128, min: u64, max: u64) -> Self {
+        LogHistogram {
+            buckets,
+            count,
+            sum,
+            min,
+            max,
+        }
+    }
+
     /// Iterates over `(bucket_lower_bound, count)` for non-empty buckets.
     pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
         self.buckets
@@ -310,6 +356,32 @@ mod tests {
         let h: LogHistogram = [1u64, 100, 100_000].into_iter().collect();
         let v: Vec<_> = h.iter().collect();
         assert_eq!(v, vec![(0, 1), (64, 1), (65536, 1)]);
+    }
+
+    #[test]
+    fn raw_parts_round_trip_preserves_equality() {
+        let h: LogHistogram = [0u64, 1, 7, 1024, u64::MAX].into_iter().collect();
+        let back = LogHistogram::from_raw_parts(
+            h.bucket_counts(),
+            h.count(),
+            h.sum(),
+            h.raw_min(),
+            h.raw_max(),
+        );
+        assert_eq!(h, back);
+        assert_eq!(format!("{h:?}"), format!("{back:?}"));
+        // The empty sentinels survive verbatim too.
+        let e = LogHistogram::new();
+        let eb = LogHistogram::from_raw_parts(
+            e.bucket_counts(),
+            e.count(),
+            e.sum(),
+            e.raw_min(),
+            e.raw_max(),
+        );
+        assert_eq!(e, eb);
+        assert_eq!(e.raw_min(), u64::MAX);
+        assert_eq!(e.raw_max(), 0);
     }
 
     #[test]

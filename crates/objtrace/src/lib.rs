@@ -212,6 +212,46 @@ impl ObjectTracer {
         (self.retention == Retention::Full).then_some(self.events.as_slice())
     }
 
+    /// Captures the tracer's complete internal state for lossless
+    /// persistence; [`ObjectTracer::from_snapshot`] rebuilds a tracer
+    /// that is `Debug`-identical to the original.
+    #[must_use]
+    pub fn snapshot(&self) -> TracerSnapshot {
+        TracerSnapshot {
+            retention: self.retention,
+            hist: self.hist.clone(),
+            exact: self.exact.clone(),
+            events: self.events.clone(),
+            next_seq: self.next_seq,
+            owners: self.owners.clone(),
+            per_thread: self.per_thread.clone(),
+            allocations: self.allocations,
+            allocated_bytes: self.allocated_bytes,
+            deaths: self.deaths,
+            censored: self.censored,
+        }
+    }
+
+    /// Rebuilds a tracer from a [`TracerSnapshot`]. The snapshot is
+    /// trusted as-is; this is a persistence hook, not a constructor for
+    /// new traces.
+    #[must_use]
+    pub fn from_snapshot(s: TracerSnapshot) -> Self {
+        ObjectTracer {
+            retention: s.retention,
+            hist: s.hist,
+            exact: s.exact,
+            events: s.events,
+            next_seq: s.next_seq,
+            owners: s.owners,
+            per_thread: s.per_thread,
+            allocations: s.allocations,
+            allocated_bytes: s.allocated_bytes,
+            deaths: s.deaths,
+            censored: s.censored,
+        }
+    }
+
     /// Merges another tracer's distribution into this one (used to pool
     /// per-thread tracers). Event traces and per-thread attributions are
     /// not merged — ordering and thread identities across tracers are
@@ -224,6 +264,35 @@ impl ObjectTracer {
         self.deaths += other.deaths;
         self.censored += other.censored;
     }
+}
+
+/// The complete raw state of an [`ObjectTracer`], exposed for lossless
+/// persistence (checkpoint/resume). Produced by
+/// [`ObjectTracer::snapshot`], consumed by [`ObjectTracer::from_snapshot`].
+#[derive(Debug, Clone)]
+pub struct TracerSnapshot {
+    /// Retention mode of the tracer.
+    pub retention: Retention,
+    /// The pooled lifespan histogram.
+    pub hist: LogHistogram,
+    /// Exact lifespans (full retention only).
+    pub exact: Vec<u64>,
+    /// The in-order event trace (full retention only).
+    pub events: Vec<TraceEvent>,
+    /// The next object sequence number to assign.
+    pub next_seq: ObjSeq,
+    /// Allocating thread per trace id (full retention only).
+    pub owners: Vec<usize>,
+    /// Per-allocating-thread lifespan histograms (full retention only).
+    pub per_thread: Vec<LogHistogram>,
+    /// Objects allocated.
+    pub allocations: u64,
+    /// Bytes allocated.
+    pub allocated_bytes: u64,
+    /// True deaths recorded.
+    pub deaths: u64,
+    /// Right-censored objects recorded.
+    pub censored: u64,
 }
 
 impl fmt::Display for ObjectTracer {
@@ -286,6 +355,23 @@ mod tests {
         let cdf = t.cdf();
         assert_eq!(cdf.fraction_at_most(200), 0.5);
         assert_eq!(cdf.quantile(1.0), Some(400));
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_debug_identical() {
+        let mut t = ObjectTracer::new(Retention::Full);
+        let a = t.on_alloc(0, 100, 100);
+        let b = t.on_alloc(2, 50, 150);
+        t.on_death(a, 50, 150);
+        t.on_censored(b, 7, 157);
+        let back = ObjectTracer::from_snapshot(t.snapshot());
+        assert_eq!(format!("{t:?}"), format!("{back:?}"));
+        // And a histogram-only tracer, whose optional state stays empty.
+        let mut h = ObjectTracer::new(Retention::HistogramOnly);
+        let o = h.on_alloc(0, 8, 8);
+        h.on_death(o, 2048, 2056);
+        let hb = ObjectTracer::from_snapshot(h.snapshot());
+        assert_eq!(format!("{h:?}"), format!("{hb:?}"));
     }
 
     #[test]

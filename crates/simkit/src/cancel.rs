@@ -1,0 +1,73 @@
+//! Cooperative cancellation for in-flight runs.
+//!
+//! A [`CancelToken`] is a cheap, cloneable flag shared between the sweep
+//! harness (which decides a run has overstayed its host deadline) and the
+//! engine's main loop (which polls the flag at the same cadence as the
+//! run-budget check and truncates cleanly). Cancellation is cooperative:
+//! nothing is interrupted mid-event, so the truncated report still carries
+//! consistent partial metrics.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared, clone-to-share cancellation flag.
+///
+/// Cloning hands out another handle to the *same* flag; once any handle
+/// calls [`CancelToken::cancel`], every holder observes it.
+#[derive(Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    #[must_use]
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Raises the flag. Idempotent.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// True once any handle has called [`CancelToken::cancel`].
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+// The token sits on `Jvm`, whose Debug output feeds memo keys; render a
+// constant so an attached watchdog can never perturb run identity.
+impl fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("CancelToken")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let token = CancelToken::new();
+        let peer = token.clone();
+        assert!(!token.is_cancelled());
+        peer.cancel();
+        assert!(token.is_cancelled());
+        token.cancel(); // idempotent
+        assert!(peer.is_cancelled());
+    }
+
+    #[test]
+    fn debug_is_state_independent() {
+        let token = CancelToken::new();
+        let before = format!("{token:?}");
+        token.cancel();
+        assert_eq!(before, format!("{token:?}"));
+        assert_eq!(before, "CancelToken");
+    }
+}

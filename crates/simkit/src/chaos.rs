@@ -251,6 +251,11 @@ pub struct RunBudget {
     pub max_sim_time: Option<SimDuration>,
     /// Maximum host wall-clock milliseconds a run may take, if any.
     pub max_host_ms: Option<u64>,
+    /// Per-run host deadline enforced *externally* by the sweep watchdog
+    /// thread, if any. Unlike `max_host_ms` this is not polled by
+    /// [`RunBudget::check`]: the watchdog cancels the run cooperatively
+    /// and the engine truncates with [`AbortReason::Watchdog`].
+    pub watchdog_ms: Option<u64>,
 }
 
 impl Default for RunBudget {
@@ -259,14 +264,15 @@ impl Default for RunBudget {
             max_events: 2_000_000_000,
             max_sim_time: None,
             max_host_ms: None,
+            watchdog_ms: None,
         }
     }
 }
 
 impl RunBudget {
-    /// Builds a budget from `SCALESIM_MAX_EVENTS`, `SCALESIM_MAX_SIM_MS`
-    /// and `SCALESIM_MAX_HOST_MS`, falling back to the defaults for any
-    /// variable that is unset or malformed.
+    /// Builds a budget from `SCALESIM_MAX_EVENTS`, `SCALESIM_MAX_SIM_MS`,
+    /// `SCALESIM_MAX_HOST_MS` and `SCALESIM_WATCHDOG_MS`, falling back to
+    /// the defaults for any variable that is unset or malformed.
     #[must_use]
     pub fn from_env() -> Self {
         let mut budget = RunBudget::default();
@@ -278,6 +284,9 @@ impl RunBudget {
         }
         if let Some(v) = env_u64("SCALESIM_MAX_HOST_MS") {
             budget.max_host_ms = Some(v);
+        }
+        if let Some(v) = env_u64("SCALESIM_WATCHDOG_MS") {
+            budget.watchdog_ms = Some(v);
         }
         budget
     }
@@ -316,6 +325,8 @@ pub enum AbortReason {
     MaxSimTime(SimDuration),
     /// The host wall-clock budget was exhausted.
     MaxHostMs(u64),
+    /// The sweep watchdog cancelled the run past its host deadline.
+    Watchdog,
 }
 
 impl fmt::Display for AbortReason {
@@ -328,6 +339,7 @@ impl fmt::Display for AbortReason {
             AbortReason::MaxHostMs(ms) => {
                 write!(f, "host-time budget exhausted ({ms} ms)")
             }
+            AbortReason::Watchdog => f.write_str("watchdog cancelled run past host deadline"),
         }
     }
 }
@@ -471,6 +483,7 @@ mod tests {
             max_events: 100,
             max_sim_time: Some(SimDuration::from_millis(5)),
             max_host_ms: Some(1000),
+            watchdog_ms: None,
         };
         assert_eq!(
             b.check(100, SimTime::ZERO, 0),

@@ -35,11 +35,13 @@
 #![warn(missing_debug_implementations)]
 
 pub mod baseline;
+mod cancel;
 pub mod chaos;
 mod queue;
 mod rng;
 mod time;
 
+pub use cancel::CancelToken;
 pub use chaos::{AbortReason, ChaosConfig, ChaosPlan, FaultClass, RunBudget};
 pub use queue::{EventId, EventQueue};
 pub use rng::{splitmix64, RngFactory};

@@ -1,0 +1,76 @@
+//! Crash-safe artifact writes.
+//!
+//! Every machine-readable artifact the workspace emits (run manifests,
+//! Chrome traces, benchmark reports, checkpoint segments) must never be
+//! observable half-written: a killed process that leaves a truncated
+//! `manifest.jsonl` would make `trace_check` — and a resumed sweep — fail
+//! on an artifact the harness itself produced. [`write_atomic`] funnels
+//! all of them through the classic write-to-temp-then-rename protocol.
+
+use std::io;
+use std::path::Path;
+
+/// Writes `contents` to `path` atomically.
+///
+/// The bytes land in a hidden sibling temp file first
+/// (`.<name>.tmp-<pid>`, same directory so the rename cannot cross a
+/// filesystem), then replace `path` in one `rename` step. Readers
+/// therefore see either the previous artifact or the complete new one,
+/// never a torn mix. Parent directories are created as needed.
+///
+/// # Errors
+///
+/// Propagates the first I/O failure; on error the temp file is removed
+/// on a best-effort basis and `path` is left untouched.
+pub fn write_atomic(path: &Path, contents: impl AsRef<[u8]>) -> io::Result<()> {
+    let name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    if let Some(dir) = dir {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut tmp_name = std::ffi::OsString::from(".");
+    tmp_name.push(name);
+    tmp_name.push(format!(".tmp-{}", std::process::id()));
+    let tmp = path.with_file_name(tmp_name);
+    std::fs::write(&tmp, contents).inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })?;
+    std::fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("scalesim-artifact-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn writes_and_replaces_without_leftover_temp() {
+        let dir = scratch("basic");
+        let path = dir.join("nested").join("out.json");
+        write_atomic(&path, "first").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "first");
+        write_atomic(&path, "second").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second");
+        let entries: Vec<_> = std::fs::read_dir(path.parent().unwrap())
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .collect();
+        assert_eq!(entries, vec![std::ffi::OsString::from("out.json")]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rejects_path_without_file_name() {
+        assert!(write_atomic(Path::new("/"), "x").is_err());
+    }
+}

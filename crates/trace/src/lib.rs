@@ -22,6 +22,9 @@
 //!   `StateTimes` and sweep internals.
 //! * [`check`] — a minimal std-only JSON parser used by CI to validate
 //!   exported traces and run manifests without external tooling.
+//! * [`write_atomic`] — the shared write-to-temp-then-rename helper every
+//!   artifact goes through, so a killed process never leaves a truncated
+//!   file behind.
 //!
 //! Recording is opt-in per run via [`TraceConfig`] (or the
 //! `SCALESIM_TRACE=<path>` environment variable); when disabled every
@@ -31,6 +34,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod artifact;
 pub mod check;
 mod chrome;
 mod config;
@@ -39,6 +43,7 @@ mod event;
 mod text;
 mod timeline;
 
+pub use artifact::write_atomic;
 pub use chrome::to_chrome_json;
 pub use config::TraceConfig;
 pub use counters::{CounterId, Counters, COUNTER_SLOTS};

@@ -156,6 +156,44 @@ impl Timeline {
         front.iter().chain(tail.iter())
     }
 
+    /// The raw recorder state: `(enabled, capacity, events, head, dropped)`.
+    ///
+    /// `events` is the backing storage in *ring* order (not rotated);
+    /// together with `head` this captures the recorder exactly, so a
+    /// rebuild via [`Timeline::from_raw_parts`] is `Debug`-identical to
+    /// the original. Ordinary consumers want [`Timeline::events`].
+    #[must_use]
+    pub fn raw_parts(&self) -> (bool, usize, Vec<TimelineEvent>, usize, u64) {
+        (
+            self.enabled,
+            self.capacity,
+            self.events.clone(),
+            self.head,
+            self.dropped,
+        )
+    }
+
+    /// Rebuilds a recorder from [`Timeline::raw_parts`] output.
+    ///
+    /// The parts are trusted as-is; this is a persistence hook, not a
+    /// public constructor for new recordings.
+    #[must_use]
+    pub fn from_raw_parts(
+        enabled: bool,
+        capacity: usize,
+        events: Vec<TimelineEvent>,
+        head: usize,
+        dropped: u64,
+    ) -> Self {
+        Timeline {
+            enabled,
+            capacity,
+            events,
+            head,
+            dropped,
+        }
+    }
+
     /// Merges per-subsystem recorders into one timeline.
     ///
     /// Events are ordered by `(start time, recorder rank, emission order)`
@@ -239,6 +277,23 @@ mod tests {
         // the emission order 1, 2 is preserved.
         assert_eq!(args, vec![3, 1, 2, 4]);
         assert!(merged.is_enabled());
+    }
+
+    #[test]
+    fn raw_parts_round_trip_is_debug_identical() {
+        let mut tl = Timeline::with_capacity(3);
+        for i in 0..5u64 {
+            tl.instant(EventKind::ChaosGcStall, 0, t(i), i);
+        }
+        // The ring has wrapped, so head != 0 and storage order differs
+        // from emission order — the round trip must preserve both.
+        let (enabled, capacity, events, head, dropped) = tl.raw_parts();
+        assert_ne!(head, 0);
+        let back = Timeline::from_raw_parts(enabled, capacity, events, head, dropped);
+        assert_eq!(tl, back);
+        assert_eq!(format!("{tl:?}"), format!("{back:?}"));
+        let args: Vec<u64> = back.events().map(|e| e.arg).collect();
+        assert_eq!(args, vec![2, 3, 4]);
     }
 
     #[test]

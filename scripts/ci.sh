@@ -19,10 +19,32 @@ SCALESIM_CHAOS='gc-stall=5,gc-stall-factor=0.05' \
 SCALESIM_MAX_EVENTS=50000000 \
     cargo run --release -q -p scalesim-experiments -- \
     fig1d --scale 0.02 --threads 4,8 > /dev/null
-echo '== quarantine CLI smoke (panicking runs must yield quar rows, exit 0)'
+echo '== quarantine CLI smoke (panicking runs must yield quar rows, exit 2, repro file)'
+rm -rf target/ci-quar
+rc=0
 SCALESIM_CHAOS='panic-at=2000' \
     cargo run --release -q -p scalesim-experiments -- \
-    workdist --scale 0.02 --threads 4 > /dev/null 2>&1
+    workdist --scale 0.02 --threads 4 --out target/ci-quar > /dev/null 2>&1 || rc=$?
+[ "$rc" -eq 2 ] || { echo "expected degraded exit 2, got $rc"; exit 1; }
+repro=$(ls target/ci-quar/repro-*.json 2>/dev/null | head -1 || true)
+[ -n "$repro" ] || { echo "no repro file written"; exit 1; }
+echo '== shrinker repro smoke (repro file must re-fail, exit 0)'
+cargo run --release -q -p scalesim-experiments -- repro "$repro" > /dev/null 2>&1
+echo '== resume smoke (kill-free resume must reproduce identical tables)'
+rm -rf target/ci-resume
+cargo run --release -q -p scalesim-experiments -- \
+    fig1d --scale 0.02 --threads 4,8 \
+    --out target/ci-resume/a --checkpoint target/ci-resume/ckpt > /dev/null
+cargo run --release -q -p scalesim-experiments -- \
+    fig1d --scale 0.02 --threads 4,8 \
+    --out target/ci-resume/b --checkpoint target/ci-resume/ckpt --resume > /dev/null
+for csv in target/ci-resume/a/*.csv; do
+    diff "$csv" "target/ci-resume/b/$(basename "$csv")"
+done
+# Manifests must match too, once the host-wall field is stripped.
+sed 's/"host_ns":[0-9]*/"host_ns":0/' target/ci-resume/a/manifest.jsonl > target/ci-resume/a.norm
+sed 's/"host_ns":[0-9]*/"host_ns":0/' target/ci-resume/b/manifest.jsonl > target/ci-resume/b.norm
+diff target/ci-resume/a.norm target/ci-resume/b.norm
 echo '== traced smoke (timeline export + run manifest must validate)'
 rm -rf target/ci-trace
 cargo run --release -q -p scalesim-experiments -- \

@@ -28,6 +28,7 @@ fn backstop() -> RunBudget {
         max_events: 4_000_000,
         max_sim_time: None,
         max_host_ms: None,
+        watchdog_ms: None,
     }
 }
 
@@ -163,6 +164,7 @@ fn exhausted_event_budget_truncates_with_partial_metrics() {
             max_events: 20_000,
             max_sim_time: None,
             max_host_ms: None,
+            watchdog_ms: None,
         })
         .build()
         .unwrap();

@@ -570,6 +570,7 @@ fn chaos_runs_are_a_pure_function_of_config_and_seed() {
             max_events: 2_000_000,
             max_sim_time: None,
             max_host_ms: None,
+            watchdog_ms: None,
         };
         let app = all_apps().swap_remove(app_idx).scaled(0.002);
         let run = || {
@@ -669,5 +670,59 @@ fn traced_runs_are_ordered_and_agree_with_counters() {
             report.trace.allocations()
         );
         assert_eq!(report.timeline, run().timeline);
+    });
+}
+
+/// The checkpoint snapshot layer is lossless: any small run — clean,
+/// truncated, or chaos-perturbed, with or without full object retention —
+/// survives `report_to_json` → text → parse → `report_from_json` with a
+/// `Debug`-identical report, which is exactly the property the durable
+/// sweep checkpoints rely on to verify fingerprints on resume.
+#[test]
+fn snapshot_round_trip_preserves_any_small_report() {
+    for_cases(8, |rng| {
+        use scalesim::objtrace::Retention;
+        use scalesim::runtime::{report_from_json, report_to_json, JsonValue, Jvm, JvmConfig};
+        use scalesim::simkit::{ChaosConfig, RunBudget};
+        use scalesim::workloads::all_apps;
+
+        let app_idx = rng.gen_range(0usize..6);
+        let threads = rng.gen_range(1usize..8);
+        let seed = rng.gen_range(0u64..10_000);
+        let chaos = ChaosConfig {
+            drop_wakeup_period: rng.gen_range(0u64..2) * 128,
+            gc_stall_period: rng.gen_range(0u64..3),
+            gc_stall_factor: 0.25,
+            ..ChaosConfig::default()
+        };
+        let budget = RunBudget {
+            max_events: if rng.gen_bool(0.3) { 10_000 } else { 2_000_000 },
+            max_sim_time: None,
+            max_host_ms: None,
+            watchdog_ms: None,
+        };
+        let retention = if rng.gen_bool(0.5) {
+            Retention::Full
+        } else {
+            Retention::HistogramOnly
+        };
+        let app = all_apps().swap_remove(app_idx).scaled(0.002);
+        let report = Jvm::new(
+            JvmConfig::builder()
+                .threads(threads)
+                .seed(seed)
+                .chaos(chaos)
+                .budget(budget)
+                .retention(retention)
+                .monitors(false)
+                .build()
+                .unwrap(),
+        )
+        .run(&app)
+        .unwrap();
+
+        let text = report_to_json(&report).to_string();
+        let back = report_from_json(&JsonValue::parse(&text).unwrap()).unwrap();
+        assert_eq!(format!("{report:?}"), format!("{back:?}"));
     });
 }
