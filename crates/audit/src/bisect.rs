@@ -1,0 +1,123 @@
+//! The divergence bisector: delta-debugs a finding to the first divergent
+//! event.
+//!
+//! Given the merged event stream and a target finding, binary-search the
+//! shortest stream prefix on which the structural checks still reproduce a
+//! finding with the same coordinates (check, class, track, thread). The
+//! last event of that minimal prefix — index `L - 1` — is the *first
+//! divergent event*: the earliest record whose inclusion makes the
+//! timeline inconsistent. Repro artifacts name it so a fix can be verified
+//! against the exact same spot.
+//!
+//! Counter checks are excluded from prefix replays (a prefix never agrees
+//! with whole-run counters), which is also why a finding that only the
+//! counter comparison produced cannot be bisected and yields `None`.
+
+use scalesim_trace::TimelineEvent;
+
+use crate::{structural_findings, AuditCtx, Finding};
+
+/// Index of the first divergent event for `target`, or `None` when the
+/// finding does not reproduce on any prefix (e.g. counter-only findings).
+///
+/// `aborted` and `complete` must be the flags of the original audit so the
+/// prefix replays classify findings the same way.
+#[must_use]
+pub fn divergence(
+    events: &[TimelineEvent],
+    target: &Finding,
+    aborted: bool,
+    complete: bool,
+) -> Option<usize> {
+    let reproduces = |len: usize| {
+        let ctx = AuditCtx::new(&events[..len], aborted, complete);
+        structural_findings(&ctx).iter().any(|f| {
+            f.check == target.check
+                && f.class == target.class
+                && f.track == target.track
+                && f.thread == target.thread
+        })
+    };
+    if events.is_empty() || !reproduces(events.len()) {
+        return None;
+    }
+    // Invariant: reproduces(hi); binary search the smallest such length.
+    let (mut lo, mut hi) = (1_usize, events.len());
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if reproduces(mid) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    Some(hi - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{instant, sorted, span};
+    use crate::Check;
+    use scalesim_simkit::SimTime;
+    use scalesim_trace::EventKind::{MonitorEnqueue, MonitorHold, MonitorWait, ThreadRunning};
+
+    #[test]
+    fn bisects_a_lost_wakeup_to_the_event_that_proves_it() {
+        // Thread 1 is granted monitor0 at t=30 and never resumes; the
+        // world moving past 30 is what turns the silence into a finding.
+        let events = sorted(vec![
+            span(ThreadRunning, 1, 0, 10, 0),
+            instant(MonitorEnqueue, 0, 10, 1),
+            span(MonitorHold, 0, 0, 30, 0),
+            span(MonitorWait, 0, 10, 30, 1),
+            span(ThreadRunning, 0, 50, 100, 0),
+        ]);
+        let ctx = AuditCtx::new(&events, false, true);
+        let findings = structural_findings(&ctx);
+        let target = findings
+            .iter()
+            .find(|f| f.class == "lost-wakeup")
+            .expect("lost wakeup detected");
+        let idx = divergence(&events, target, false, true).expect("bisectable");
+        // The minimal prefix must include the post-grant activity of some
+        // other thread — the last event in the stream.
+        assert_eq!(idx, events.len() - 1);
+        assert_eq!(events[idx].kind, ThreadRunning);
+    }
+
+    #[test]
+    fn bisects_a_mutex_violation_to_the_overlapping_hold() {
+        let events = sorted(vec![
+            span(MonitorHold, 0, 0, 30, 0),
+            span(MonitorHold, 0, 20, 45, 1),
+            span(ThreadRunning, 0, 50, 100, 0),
+            span(ThreadRunning, 1, 50, 100, 0),
+        ]);
+        let ctx = AuditCtx::new(&events, false, true);
+        let findings = structural_findings(&ctx);
+        let target = findings
+            .iter()
+            .find(|f| f.class == "hold-overlap")
+            .expect("overlap detected");
+        let idx = divergence(&events, target, false, true).expect("bisectable");
+        assert_eq!(events[idx].kind, MonitorHold);
+        assert_eq!(events[idx].arg, 1, "the second, overlapping hold");
+    }
+
+    #[test]
+    fn clean_streams_and_foreign_targets_yield_none() {
+        let events = sorted(vec![span(MonitorHold, 0, 0, 30, 0)]);
+        let target = Finding {
+            check: Check::HappensBefore,
+            class: "hold-overlap",
+            detail: String::new(),
+            at: SimTime::ZERO,
+            track: 9,
+            thread: Some(9),
+            expected: false,
+        };
+        assert_eq!(divergence(&events, &target, false, true), None);
+        assert_eq!(divergence(&[], &target, false, true), None);
+    }
+}

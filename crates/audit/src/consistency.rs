@@ -1,0 +1,497 @@
+//! Check 3: happens-before consistency.
+//!
+//! Replays the recorded schedule's ordering constraints and verifies the
+//! rest of the record against them:
+//!
+//! * **Mutual exclusion / handoff order** — hold spans on one monitor must
+//!   not overlap, and (on complete timelines) every granted wait must be
+//!   preceded by a release ending at exactly the grant time. The replay
+//!   carries per-thread logical clocks joined across monitor handoff
+//!   edges, so a grant that is not ordered after the matching release is
+//!   caught even when the wall-clock times happen to look plausible. The
+//!   clocks use the FastTrack-style *epoch* optimization of vector-clock
+//!   replay: handoffs on one monitor are totally ordered, so a release
+//!   publishes a single scalar epoch and the acquirer's join is a scalar
+//!   max rather than a per-hold vector clone.
+//! * **Safepoint reconciliation** — every stop-the-world pause (the
+//!   [`ThreadSafepoint`] spans emitted per live thread) must be explained
+//!   by the GC work recorded at the same instant plus any injected
+//!   [`ChaosGcStall`] extra. A pause inflated by exactly the injected
+//!   amount is an *expected* `gc-stall` finding; any other deficit is an
+//!   unexpected `safepoint-mismatch`.
+//! * **Counter consistency** — on complete timelines the counters registry
+//!   must agree with the event stream (contentions = enqueues, GC counters
+//!   = GC spans, chaos injections = chaos instants, …).
+//! * **Heap-epoch samples** — [`HeapUsed`] pre/post collection pairs must
+//!   be ordered and non-increasing across each collection. (Skipped in
+//!   heaplet mode, where concurrent local collections interleave their
+//!   samples by design.)
+//!
+//! [`ThreadSafepoint`]: scalesim_trace::EventKind::ThreadSafepoint
+//! [`ChaosGcStall`]: scalesim_trace::EventKind::ChaosGcStall
+//! [`HeapUsed`]: scalesim_trace::EventKind::HeapUsed
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use scalesim_simkit::SimTime;
+use scalesim_trace::{CounterId, Counters};
+
+use crate::{AuditCtx, Check, Finding};
+
+/// The structural (counter-free) happens-before checks; always safe to run,
+/// including on timeline prefixes inside the bisector.
+pub(crate) fn check(ctx: &AuditCtx) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    replay_handoffs(ctx, &mut findings);
+    if ctx.complete {
+        reconcile_safepoints(ctx, &mut findings);
+        check_heap_samples(ctx, &mut findings);
+    }
+    findings
+}
+
+/// Logical-clock replay over monitor hold spans: per-monitor mutual
+/// exclusion, and (complete timelines) release-before-grant on handoffs.
+///
+/// Handoffs on one monitor are totally ordered, so the replay uses the
+/// FastTrack-style epoch form of vector clocks: each release publishes the
+/// releaser's scalar tick, and the acquirer joins with a scalar max — O(1)
+/// per hold instead of a vector clone per hold.
+fn replay_handoffs(ctx: &AuditCtx, findings: &mut Vec<Finding>) {
+    let n_tracks = ctx.tracks.len();
+    // (end, raw owner, release epoch) of the last processed hold per
+    // monitor, indexed by interned track.
+    let mut last_release: Vec<Option<(SimTime, u64, u64)>> = vec![None; n_tracks];
+    // Interned thread → logical tick, advanced on every acquisition and
+    // joined with the published epoch across each handoff edge.
+    let mut clocks: Vec<u64> = vec![0; ctx.threads.len()];
+    let mut hold_ends: Vec<Vec<u64>> = vec![Vec::new(); n_tracks];
+    for h in &ctx.holds {
+        let tick = &mut clocks[h.t as usize];
+        if let Some((prev_end, prev_owner, prev_epoch)) = last_release[h.m as usize] {
+            if prev_end > h.start && prev_owner != h.owner {
+                findings.push(Finding {
+                    check: Check::HappensBefore,
+                    class: "hold-overlap",
+                    detail: format!(
+                        "monitor{} held by thread {} from {}ns while thread \
+                         {prev_owner}'s hold runs to {}ns — mutual exclusion violated",
+                        h.track,
+                        h.owner,
+                        h.start.as_nanos(),
+                        prev_end.as_nanos()
+                    ),
+                    at: h.start,
+                    track: h.track,
+                    thread: Some(h.owner),
+                    expected: false,
+                });
+            }
+            // Handoff edge: the acquirer's clock joins the release epoch.
+            if *tick < prev_epoch {
+                *tick = prev_epoch;
+            }
+        }
+        *tick += 1;
+        last_release[h.m as usize] = Some((h.end, h.owner, *tick));
+        hold_ends[h.m as usize].push(h.end.as_nanos());
+    }
+
+    if ctx.complete {
+        // Every granted (closed) wait must be ordered after a release: some
+        // hold on the same monitor ends exactly at the grant instant. The
+        // granting hold always outlives the wait window, so it is never
+        // suppressed as zero-length. Hold ends arrive in start order, not
+        // end order, so sort each monitor's list before the lookups.
+        for ends in &mut hold_ends {
+            ends.sort_unstable();
+        }
+        for w in &ctx.waits {
+            let grant = w.end;
+            let released = hold_ends[w.m as usize]
+                .binary_search(&grant.as_nanos())
+                .is_ok();
+            if !released {
+                findings.push(Finding {
+                    check: Check::HappensBefore,
+                    class: "grant-without-release",
+                    detail: format!(
+                        "thread {} was granted monitor{} at {}ns but no hold ends there — \
+                         grant is not ordered after a release",
+                        w.thread,
+                        w.track,
+                        grant.as_nanos()
+                    ),
+                    at: grant,
+                    track: w.track,
+                    thread: Some(w.thread),
+                    expected: ctx.aborted,
+                });
+            }
+        }
+    }
+}
+
+/// Reconciles stop-the-world safepoint spans against the GC work and
+/// injected stalls recorded at the same instant.
+fn reconcile_safepoints(ctx: &AuditCtx, findings: &mut Vec<Finding>) {
+    // Distinct pause durations per start instant: every live thread gets an
+    // identical safepoint span per pause, and two pauses can share a start
+    // (a minor collection immediately followed by a concurrent-cycle
+    // initial mark), so the group is a set of durations. The context's
+    // `gc_stw` bucket already excludes GcLocalMinor and GcConcWork, which
+    // run concurrently with the mutators and take no safepoint.
+    let mut pauses: BTreeMap<u64, BTreeSet<u64>> = BTreeMap::new();
+    for &(at, dur) in &ctx.safepoints {
+        pauses.entry(at).or_default().insert(dur);
+    }
+    let mut gc_work: BTreeMap<u64, u64> = BTreeMap::new();
+    for &(at, dur) in &ctx.gc_stw {
+        *gc_work.entry(at).or_insert(0) += dur;
+    }
+    let mut stall_extra: BTreeMap<u64, u64> = BTreeMap::new();
+    for &(at, extra) in &ctx.stalls {
+        *stall_extra.entry(at.as_nanos()).or_insert(0) += extra;
+    }
+
+    for (&start, durs) in &pauses {
+        let applied: u64 = durs.iter().sum();
+        let modelled = gc_work.get(&start).copied().unwrap_or(0);
+        let injected = stall_extra.get(&start).copied().unwrap_or(0);
+        let deficit = i128::from(applied) - i128::from(modelled);
+        if deficit == 0 && injected == 0 {
+            continue;
+        }
+        if deficit == i128::from(injected) && injected > 0 {
+            findings.push(Finding {
+                check: Check::HappensBefore,
+                class: "gc-stall",
+                detail: format!(
+                    "stop-the-world pause at {start}ns ran {injected}ns over its modelled GC \
+                     work ({modelled}ns) — matches the injected gc-stall"
+                ),
+                at: SimTime::from_nanos(start),
+                track: 0,
+                thread: None,
+                expected: true,
+            });
+        } else {
+            findings.push(Finding {
+                check: Check::HappensBefore,
+                class: "safepoint-mismatch",
+                detail: format!(
+                    "stop-the-world pause at {start}ns applied {applied}ns but the GC work \
+                     recorded there models {modelled}ns (injected stall: {injected}ns)"
+                ),
+                at: SimTime::from_nanos(start),
+                track: 0,
+                thread: None,
+                expected: false,
+            });
+        }
+    }
+}
+
+/// Heap pre/post sample pairs: adjacent, ordered, non-increasing across
+/// each collection. Heaplet-mode local collections interleave their samples
+/// (they don't stop the world), so the check is skipped when any
+/// `GcLocalMinor` span is present.
+fn check_heap_samples(ctx: &AuditCtx, findings: &mut Vec<Finding>) {
+    if ctx.local_minor_gcs > 0 {
+        return;
+    }
+    let samples = &ctx.heap_samples;
+    if !samples.len().is_multiple_of(2) {
+        let &(track, at, _) = samples.last().expect("odd count implies non-empty");
+        findings.push(Finding {
+            check: Check::HappensBefore,
+            class: "heap-sample-order",
+            detail: format!(
+                "odd number of heap samples ({}) — a collection recorded a pre-GC sample \
+                 without its post-GC mate",
+                samples.len()
+            ),
+            at,
+            track,
+            thread: None,
+            expected: ctx.aborted,
+        });
+        return;
+    }
+    for pair in samples.chunks(2) {
+        let ((_, pre_at, pre_bytes), (post_track, post_at, post_bytes)) = (pair[0], pair[1]);
+        if post_at < pre_at || post_bytes > pre_bytes {
+            findings.push(Finding {
+                check: Check::HappensBefore,
+                class: "heap-sample-order",
+                detail: format!(
+                    "collection sampled {pre_bytes} bytes at {}ns before and {post_bytes} \
+                     bytes at {}ns after — heap grew across a collection",
+                    pre_at.as_nanos(),
+                    post_at.as_nanos()
+                ),
+                at: post_at,
+                track: post_track,
+                thread: None,
+                expected: false,
+            });
+        }
+    }
+}
+
+/// Counter-registry consistency; only meaningful on complete timelines.
+pub(crate) fn counter_checks(ctx: &AuditCtx, counters: &Counters) -> Vec<Finding> {
+    let enqueues = ctx.enqueues.len() as u64;
+    let holds = ctx.holds.len() as u64;
+    let minor = ctx.minor_gcs;
+    let local_minor = ctx.local_minor_gcs;
+    let full = ctx.full_gcs;
+    let conc = ctx.conc_phases;
+    let chaos = (ctx.drops.len() + ctx.spurious.len() + ctx.stalls.len()) as u64;
+    let stw_pairs = {
+        let mut pairs: BTreeSet<(u64, u64)> = BTreeSet::new();
+        for &(at, dur) in &ctx.safepoints {
+            pairs.insert((at, dur));
+        }
+        pairs.len() as u64
+    };
+
+    let mut findings = Vec::new();
+    let mut mismatch = |counter: CounterId, counted: u64, observed: u64, what: &str| {
+        findings.push(Finding {
+            check: Check::HappensBefore,
+            class: "counter-mismatch",
+            detail: format!(
+                "counter {counter:?} reads {counted} but the timeline records {observed} {what}"
+            ),
+            at: SimTime::ZERO,
+            track: 0,
+            thread: None,
+            expected: false,
+        });
+    };
+
+    let exact = [
+        (CounterId::LockContentions, enqueues, "monitor enqueues"),
+        (CounterId::MinorGcs, minor, "minor-GC spans"),
+        (
+            CounterId::LocalMinorGcs,
+            local_minor,
+            "local minor-GC spans",
+        ),
+        (CounterId::FullGcs, full, "full-GC spans"),
+        (CounterId::ConcGcPhases, conc, "concurrent GC phase spans"),
+        (CounterId::ChaosInjections, chaos, "chaos instants"),
+    ];
+    for (counter, observed, what) in exact {
+        let counted = counters.get(counter);
+        if counted != observed {
+            mismatch(counter, counted, observed, what);
+        }
+    }
+    // One-sided: holds still open at run end are never emitted, and a
+    // safepoint pause with no live threads emits no spans.
+    if holds > counters.get(CounterId::LockAcquires) {
+        mismatch(
+            CounterId::LockAcquires,
+            counters.get(CounterId::LockAcquires),
+            holds,
+            "closed hold spans (more than acquisitions)",
+        );
+    }
+    if stw_pairs > counters.get(CounterId::StwPauses) {
+        mismatch(
+            CounterId::StwPauses,
+            counters.get(CounterId::StwPauses),
+            stw_pairs,
+            "distinct safepoint pauses (more than counted)",
+        );
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{instant, sorted, span};
+    use scalesim_trace::EventKind::{
+        ChaosGcStall, GcConcMark, GcMinor, HeapUsed, MonitorHold, MonitorWait, ThreadSafepoint,
+    };
+    use scalesim_trace::TimelineEvent;
+
+    fn run(events: Vec<TimelineEvent>, aborted: bool) -> Vec<Finding> {
+        let events = sorted(events);
+        check(&AuditCtx::new(&events, aborted, true))
+    }
+
+    fn sample(track: u32, at: u64, bytes: u64) -> TimelineEvent {
+        instant(HeapUsed, track, at, bytes)
+    }
+
+    #[test]
+    fn sequential_holds_and_matched_grant_are_clean() {
+        let findings = run(
+            vec![
+                span(MonitorHold, 0, 0, 30, 0),
+                span(MonitorWait, 0, 10, 30, 1),
+                span(MonitorHold, 0, 30, 45, 1),
+            ],
+            false,
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn overlapping_holds_violate_mutual_exclusion() {
+        let findings = run(
+            vec![
+                span(MonitorHold, 0, 0, 30, 0),
+                span(MonitorHold, 0, 20, 45, 1),
+            ],
+            false,
+        );
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].class, "hold-overlap");
+        assert_eq!(findings[0].thread, Some(1));
+        assert_eq!(findings[0].at.as_nanos(), 20);
+        assert!(!findings[0].expected);
+    }
+
+    #[test]
+    fn grant_with_no_matching_release_is_flagged() {
+        let findings = run(
+            vec![
+                span(MonitorHold, 0, 0, 25, 0),  // releases at 25...
+                span(MonitorWait, 0, 10, 30, 1), // ...but the grant is at 30
+            ],
+            false,
+        );
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].class, "grant-without-release");
+        assert_eq!(findings[0].at.as_nanos(), 30);
+    }
+
+    #[test]
+    fn safepoints_matching_gc_work_are_clean() {
+        let findings = run(
+            vec![
+                span(GcMinor, 0, 100, 140, 4096),
+                span(ThreadSafepoint, 0, 100, 140, 0),
+                span(ThreadSafepoint, 1, 100, 140, 0),
+            ],
+            false,
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn double_pause_at_one_instant_reconciles() {
+        // Minor GC (40ns) and concurrent initial mark (15ns) both start at
+        // t=100: distinct safepoint durations sum against both spans.
+        let findings = run(
+            vec![
+                span(GcMinor, 0, 100, 140, 4096),
+                span(GcConcMark, 1, 100, 115, 0),
+                span(ThreadSafepoint, 0, 100, 140, 0),
+                span(ThreadSafepoint, 1, 100, 140, 0),
+                span(ThreadSafepoint, 0, 100, 115, 0),
+                span(ThreadSafepoint, 1, 100, 115, 0),
+            ],
+            false,
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn injected_stall_is_an_expected_gc_stall_finding() {
+        // Safepoint runs 60ns over a 40ns modelled pause; a ChaosGcStall
+        // instant explains exactly the 20ns difference.
+        let findings = run(
+            vec![
+                span(GcMinor, 0, 100, 140, 4096),
+                instant(ChaosGcStall, 0, 100, 20),
+                span(ThreadSafepoint, 0, 100, 160, 0),
+            ],
+            false,
+        );
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].class, "gc-stall");
+        assert!(findings[0].expected);
+        assert_eq!(findings[0].at.as_nanos(), 100);
+    }
+
+    #[test]
+    fn unexplained_pause_deficit_is_a_safepoint_mismatch() {
+        let findings = run(
+            vec![
+                span(GcMinor, 0, 100, 140, 4096),
+                span(ThreadSafepoint, 0, 100, 170, 0), // 30ns unexplained
+            ],
+            false,
+        );
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].class, "safepoint-mismatch");
+        assert!(!findings[0].expected);
+    }
+
+    #[test]
+    fn heap_pairs_must_not_grow_across_a_collection() {
+        let findings = run(vec![sample(0, 100, 5000), sample(0, 140, 6000)], false);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].class, "heap-sample-order");
+        let findings = run(vec![sample(0, 100, 5000), sample(0, 140, 3000)], false);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn heap_check_skipped_in_heaplet_mode() {
+        let findings = run(
+            vec![
+                span(scalesim_trace::EventKind::GcLocalMinor, 0, 90, 120, 64),
+                sample(0, 100, 5000),
+                sample(0, 140, 6000),
+            ],
+            false,
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn counter_equalities_catch_divergence() {
+        let events = sorted(vec![
+            instant(scalesim_trace::EventKind::MonitorEnqueue, 0, 10, 1),
+            span(GcMinor, 0, 100, 140, 4096),
+        ]);
+        let ctx = AuditCtx::new(&events, false, true);
+        let mut counters = Counters::new();
+        counters.inc(CounterId::LockContentions);
+        counters.inc(CounterId::MinorGcs);
+        assert!(counter_checks(&ctx, &counters).is_empty());
+        counters.inc(CounterId::MinorGcs); // now reads 2 vs 1 span
+        let findings = counter_checks(&ctx, &counters);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].class, "counter-mismatch");
+        assert!(
+            findings[0].detail.contains("MinorGcs"),
+            "{}",
+            findings[0].detail
+        );
+    }
+
+    #[test]
+    fn open_holds_do_not_trip_the_acquire_count() {
+        let events = sorted(vec![span(MonitorHold, 0, 0, 30, 0)]);
+        let ctx = AuditCtx::new(&events, false, true);
+        let mut counters = Counters::new();
+        counters.inc(CounterId::LockAcquires);
+        counters.inc(CounterId::LockAcquires); // 2 acquires, 1 closed hold
+        assert!(counter_checks(&ctx, &counters).is_empty());
+        let findings = counter_checks(&ctx, &Counters::new()); // 0 acquires
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(
+            findings[0].detail.contains("LockAcquires"),
+            "{}",
+            findings[0].detail
+        );
+    }
+}

@@ -1,0 +1,276 @@
+//! Check 1: the lock-order graph.
+//!
+//! An edge `A → B` is recorded whenever some thread acquired monitor `B`
+//! while still holding monitor `A` (its hold span of `B` starts inside its
+//! hold span of `A`). A cycle in that graph is a potential deadlock: two
+//! schedules of the same program could acquire the cycle's monitors in
+//! opposite orders and block forever. The simulator's synthetic workloads
+//! never nest monitors, so any edge at all on a clean run is interesting
+//! and any cycle is a finding.
+
+use std::collections::BTreeMap;
+
+use scalesim_simkit::SimTime;
+
+use crate::{AuditCtx, Check, Finding};
+
+/// A nesting edge `from → to` with its first evidence.
+#[derive(Debug, Clone, Copy)]
+struct Edge {
+    to: u32,
+    /// Thread that performed the nested acquisition.
+    owner: u64,
+    /// Sim-time of the nested (inner) acquisition.
+    at: SimTime,
+}
+
+pub(crate) fn check(ctx: &AuditCtx) -> Vec<Finding> {
+    // Per-thread stack sweep in one pass over the (start-ordered) hold
+    // bucket: when a hold starts while earlier holds by the same thread are
+    // still open, the innermost open hold contributes a nesting edge.
+    // Innermost-only edges suffice for cycle detection: a nest chain
+    // A ⊃ B ⊃ C yields A→B and B→C, and cycles are closed transitively by
+    // the DFS below. Stream order also means each edge's recorded evidence
+    // is its earliest nested acquisition.
+    let mut stacks: Vec<Vec<(SimTime, u32)>> = vec![Vec::new(); ctx.threads.len()]; // (end, track)
+    let mut edges: BTreeMap<u32, Vec<Edge>> = BTreeMap::new();
+    for h in &ctx.holds {
+        let stack = &mut stacks[h.t as usize];
+        while stack.last().is_some_and(|&(top_end, _)| top_end <= h.start) {
+            stack.pop();
+        }
+        if let Some(&(_, outer)) = stack.last() {
+            if outer != h.track {
+                let list = edges.entry(outer).or_default();
+                if !list.iter().any(|e| e.to == h.track) {
+                    list.push(Edge {
+                        to: h.track,
+                        owner: h.owner,
+                        at: h.start,
+                    });
+                }
+            }
+        }
+        stack.push((h.end, h.track));
+    }
+
+    find_cycles(&edges)
+}
+
+/// Iterative colored DFS over the edge map; every back edge closes a cycle.
+/// Cycles are reported once each, normalized by rotating the node list so
+/// the smallest monitor index leads.
+fn find_cycles(edges: &BTreeMap<u32, Vec<Edge>>) -> Vec<Finding> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let mut color: BTreeMap<u32, Color> = edges.keys().map(|&n| (n, Color::White)).collect();
+    for es in edges.values() {
+        for e in es {
+            color.entry(e.to).or_insert(Color::White);
+        }
+    }
+    let nodes: Vec<u32> = color.keys().copied().collect();
+
+    let mut findings = Vec::new();
+    let mut reported: Vec<Vec<u32>> = Vec::new();
+    for &root in &nodes {
+        if color[&root] != Color::White {
+            continue;
+        }
+        // Stack of (node, next edge index); `path` mirrors the gray chain.
+        let mut stack: Vec<(u32, usize)> = vec![(root, 0)];
+        let mut path: Vec<u32> = vec![root];
+        color.insert(root, Color::Gray);
+        while !stack.is_empty() {
+            let (node, step) = {
+                let (node, next) = stack.last_mut().expect("non-empty stack");
+                let node = *node;
+                let out = edges.get(&node).map_or(&[][..], Vec::as_slice);
+                if *next < out.len() {
+                    *next += 1;
+                    (node, Some(out[*next - 1]))
+                } else {
+                    (node, None)
+                }
+            };
+            if let Some(edge) = step {
+                match color[&edge.to] {
+                    Color::White => {
+                        color.insert(edge.to, Color::Gray);
+                        stack.push((edge.to, 0));
+                        path.push(edge.to);
+                    }
+                    Color::Gray => {
+                        // Back edge: the cycle is the path suffix from
+                        // `edge.to` plus the edge back to it.
+                        let pos = path.iter().position(|&n| n == edge.to).unwrap_or(0);
+                        let mut cycle: Vec<u32> = path[pos..].to_vec();
+                        let rot = cycle
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|&(_, n)| n)
+                            .map_or(0, |(i, _)| i);
+                        cycle.rotate_left(rot);
+                        if !reported.contains(&cycle) {
+                            findings.push(cycle_finding(&cycle, edges, edge));
+                            reported.push(cycle);
+                        }
+                    }
+                    Color::Black => {}
+                }
+            } else {
+                color.insert(node, Color::Black);
+                stack.pop();
+                path.pop();
+            }
+        }
+    }
+    findings
+}
+
+fn cycle_finding(cycle: &[u32], edges: &BTreeMap<u32, Vec<Edge>>, back: Edge) -> Finding {
+    // Earliest evidence across the cycle's edges anchors the finding.
+    let mut earliest = back;
+    for (i, &from) in cycle.iter().enumerate() {
+        let to = cycle[(i + 1) % cycle.len()];
+        if let Some(e) = edges
+            .get(&from)
+            .and_then(|es| es.iter().find(|e| e.to == to))
+        {
+            if e.at < earliest.at {
+                earliest = *e;
+            }
+        }
+    }
+    let chain: Vec<String> = cycle
+        .iter()
+        .chain(cycle.first())
+        .map(|m| format!("monitor{m}"))
+        .collect();
+    Finding {
+        check: Check::LockOrder,
+        class: "lock-cycle",
+        detail: format!(
+            "lock-order cycle {} (first nested acquire by thread {} at {}ns)",
+            chain.join(" -> "),
+            earliest.owner,
+            earliest.at.as_nanos()
+        ),
+        at: earliest.at,
+        track: cycle.iter().copied().min().unwrap_or(back.to),
+        thread: Some(earliest.owner),
+        expected: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{sorted, span};
+    use scalesim_trace::EventKind::MonitorHold;
+
+    fn run(events: Vec<scalesim_trace::TimelineEvent>) -> Vec<Finding> {
+        let events = sorted(events);
+        check(&AuditCtx::new(&events, false, true))
+    }
+
+    #[test]
+    fn disjoint_holds_have_no_edges_or_cycles() {
+        let findings = run(vec![
+            span(MonitorHold, 0, 0, 10, 1),
+            span(MonitorHold, 1, 10, 20, 1),
+            span(MonitorHold, 0, 20, 30, 2),
+        ]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn consistent_nesting_is_clean() {
+        // Both threads take monitor0 then monitor1: edges 0→1 only.
+        let findings = run(vec![
+            span(MonitorHold, 0, 0, 30, 1),
+            span(MonitorHold, 1, 5, 25, 1),
+            span(MonitorHold, 0, 40, 70, 2),
+            span(MonitorHold, 1, 45, 65, 2),
+        ]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn opposite_nesting_orders_form_a_cycle() {
+        // Thread 1: 0 ⊃ 1. Thread 2: 1 ⊃ 0. Classic AB/BA deadlock shape.
+        let findings = run(vec![
+            span(MonitorHold, 0, 0, 30, 1),
+            span(MonitorHold, 1, 5, 25, 1),
+            span(MonitorHold, 1, 40, 70, 2),
+            span(MonitorHold, 0, 45, 65, 2),
+        ]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        let f = &findings[0];
+        assert_eq!(f.check, Check::LockOrder);
+        assert_eq!(f.class, "lock-cycle");
+        assert!(!f.expected);
+        assert_eq!(f.track, 0, "cycle normalized to smallest monitor");
+        assert_eq!(f.at.as_nanos(), 5, "earliest nested acquire");
+        assert_eq!(f.thread, Some(1));
+        assert!(
+            f.detail.contains("monitor0 -> monitor1 -> monitor0"),
+            "{}",
+            f.detail
+        );
+    }
+
+    #[test]
+    fn hand_over_hand_chaining_still_yields_edges() {
+        // Thread 1 chains 0→1→2 hand-over-hand (overlap, not containment);
+        // thread 2 chains 2→0. Cycle through the three monitors.
+        let findings = run(vec![
+            span(MonitorHold, 0, 0, 10, 1),
+            span(MonitorHold, 1, 5, 20, 1),
+            span(MonitorHold, 2, 15, 30, 1),
+            span(MonitorHold, 2, 40, 60, 2),
+            span(MonitorHold, 0, 50, 70, 2),
+        ]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(
+            findings[0].detail.contains("monitor0"),
+            "{}",
+            findings[0].detail
+        );
+    }
+
+    #[test]
+    fn three_cycle_is_detected_once() {
+        let findings = run(vec![
+            span(MonitorHold, 0, 0, 20, 1),
+            span(MonitorHold, 1, 5, 15, 1),
+            span(MonitorHold, 1, 30, 50, 2),
+            span(MonitorHold, 2, 35, 45, 2),
+            span(MonitorHold, 2, 60, 80, 3),
+            span(MonitorHold, 0, 65, 75, 3),
+        ]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(
+            findings[0]
+                .detail
+                .contains("monitor0 -> monitor1 -> monitor2 -> monitor0"),
+            "{}",
+            findings[0].detail
+        );
+    }
+
+    #[test]
+    fn reentrant_same_monitor_is_not_an_edge() {
+        // Same track nested (can't happen live — monitors panic on
+        // re-entry — but the auditor must not crash or report a self-loop).
+        let findings = run(vec![
+            span(MonitorHold, 0, 0, 30, 1),
+            span(MonitorHold, 0, 5, 25, 1),
+        ]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+}

@@ -1,0 +1,489 @@
+//! Check 2: wait/notify pairing.
+//!
+//! The lock table emits a [`MonitorEnqueue`] instant when a thread joins a
+//! monitor's wait queue and closes it with a [`MonitorWait`] span when the
+//! handoff grants the monitor. This check audits the protocol around those
+//! records:
+//!
+//! * every wait span must have a matching enqueue (and, on complete
+//!   timelines, vice versa — an enqueue that is never closed is a
+//!   **dangling wait**);
+//! * every *granted* waiter must actually resume — a closed wait whose
+//!   thread shows no later activity while the rest of the world moves on
+//!   is a **lost wakeup** (the victim was granted the monitor but never
+//!   scheduled again);
+//! * a thread that runs *inside* its own wait window — or whose chaos
+//!   instant says it was woken without the lock — is a **spurious
+//!   wakeup**.
+//!
+//! Findings are cross-validated against the chaos instants recorded in the
+//! same timeline: an injected dropped or spurious wakeup is an *expected*
+//! finding. Runs that aborted also mark pairing findings expected, since
+//! waits legitimately dangle at the point of a quarantine.
+//!
+//! [`MonitorEnqueue`]: scalesim_trace::EventKind::MonitorEnqueue
+//! [`MonitorWait`]: scalesim_trace::EventKind::MonitorWait
+
+use scalesim_simkit::SimTime;
+
+use crate::{AuditCtx, Check, Enqueue, Finding, FxHashSet};
+
+pub(crate) fn check(ctx: &AuditCtx) -> Vec<Finding> {
+    let waits = &ctx.waits;
+    let enqueues = &ctx.enqueues;
+    let n_threads = ctx.threads.len();
+    // Per-thread (interned index) resume evidence: the *latest*
+    // scheduler-span start, hold start and enqueue per thread (the buckets
+    // are in stream = time order, so the last write wins).
+    let mut hold_last: Vec<Option<SimTime>> = vec![None; n_threads];
+    for h in &ctx.holds {
+        hold_last[h.t as usize] = Some(h.start);
+    }
+    let mut enqueue_last: Vec<Option<SimTime>> = vec![None; n_threads];
+    for e in enqueues {
+        enqueue_last[e.t as usize] = Some(e.at);
+    }
+    let sched_last = |t: u32| -> Option<SimTime> { ctx.sched_starts[t as usize].last().copied() };
+
+    let chaos_names = |tid: u64| {
+        ctx.drops.iter().any(|&(_, v)| v == tid) || ctx.spurious.iter().any(|&(_, v)| v == tid)
+    };
+    let mut findings = Vec::new();
+
+    // -- Enqueue/wait matching -------------------------------------------
+    // A wait span's start *is* its enqueue time (the table computes it from
+    // the grant's waited duration), so the pair key is exact. A grant with
+    // *zero* wait leaves no wait span (the ring suppresses zero-length
+    // spans); its evidence is the grantee's own hold starting exactly at
+    // the enqueue time.
+    let mut wait_keys: FxHashSet<(u32, u32, u64)> =
+        FxHashSet::with_capacity_and_hasher(waits.len(), Default::default());
+    wait_keys.extend(waits.iter().map(|w| (w.m, w.t, w.start.as_nanos())));
+    let mut enqueue_keys: FxHashSet<(u32, u32, u64)> =
+        FxHashSet::with_capacity_and_hasher(enqueues.len(), Default::default());
+    enqueue_keys.extend(enqueues.iter().map(|e| (e.m, e.t, e.at.as_nanos())));
+    // Grant evidence is only ever probed at enqueue instants, and the hold
+    // bucket is already in start-time order, so a binary search plus a scan
+    // of the (tiny) same-instant run beats materializing a hold-start set.
+    let grant_hold = |m: u32, t: u32, at: SimTime| -> bool {
+        let lo = ctx.holds.partition_point(|h| h.start < at);
+        ctx.holds[lo..]
+            .iter()
+            .take_while(|h| h.start == at)
+            .any(|h| h.m == m && h.t == t)
+    };
+    let closed = |m: u32, t: u32, at: SimTime| -> bool {
+        wait_keys.contains(&(m, t, at.as_nanos())) || grant_hold(m, t, at)
+    };
+    if ctx.complete {
+        for w in waits {
+            if !enqueue_keys.contains(&(w.m, w.t, w.start.as_nanos())) {
+                findings.push(Finding {
+                    check: Check::WaitPairing,
+                    class: "wait-without-enqueue",
+                    detail: format!(
+                        "monitor{} wait span for thread {} at {}ns has no matching enqueue instant",
+                        w.track,
+                        w.thread,
+                        w.start.as_nanos()
+                    ),
+                    at: w.start,
+                    track: w.track,
+                    thread: Some(w.thread),
+                    expected: false,
+                });
+            }
+        }
+    }
+    for e in enqueues {
+        if !closed(e.m, e.t, e.at) {
+            findings.push(Finding {
+                check: Check::WaitPairing,
+                class: "dangling-wait",
+                detail: format!(
+                    "thread {} enqueued on monitor{} at {}ns and was never granted",
+                    e.thread,
+                    e.track,
+                    e.at.as_nanos()
+                ),
+                at: e.at,
+                track: e.track,
+                thread: Some(e.thread),
+                expected: ctx.aborted || chaos_names(e.thread),
+            });
+        }
+    }
+
+    // -- Lost wakeups -----------------------------------------------------
+    // A closed wait means the table granted the monitor; the thread must
+    // then show *some* later life: a runnable/running span, the granted
+    // hold itself (which starts exactly at the grant), or a later enqueue.
+    // No evidence while the world kept moving = the wakeup was lost.
+    for w in waits {
+        let resumed = sched_last(w.t).is_some_and(|t| t >= w.end)
+            || hold_last[w.t as usize].is_some_and(|t| t >= w.end)
+            || enqueue_last[w.t as usize].is_some_and(|t| t > w.end);
+        if !resumed && ctx.last_at > w.end {
+            let injected = ctx
+                .drops
+                .iter()
+                .any(|&(at, v)| v == w.thread && at == w.end);
+            findings.push(Finding {
+                check: Check::WaitPairing,
+                class: "lost-wakeup",
+                detail: format!(
+                    "thread {} was granted monitor{} at {}ns but never resumed \
+                     (world continued to {}ns){}",
+                    w.thread,
+                    w.track,
+                    w.end.as_nanos(),
+                    ctx.last_at.as_nanos(),
+                    if injected {
+                        " — matches an injected dropped wakeup"
+                    } else {
+                        ""
+                    }
+                ),
+                at: w.end,
+                track: w.track,
+                thread: Some(w.thread),
+                expected: injected || ctx.aborted || chaos_names(w.thread),
+            });
+        }
+    }
+
+    // -- Spurious wakeups -------------------------------------------------
+    // (a) Each injected spurious-wakeup instant must correspond to a wait
+    // that was open at that moment (otherwise the injection record itself
+    // is inconsistent).
+    let mut covered: FxHashSet<(u32, u64)> = FxHashSet::default();
+    for &(at, tid) in &ctx.spurious {
+        let open_wait = enqueues
+            .iter()
+            .find(|e| {
+                e.thread == tid
+                    && e.at <= at
+                    && !grant_hold(e.m, e.t, e.at)
+                    && !waits
+                        .iter()
+                        .any(|w| w.m == e.m && w.t == e.t && w.start == e.at && w.end <= at)
+            })
+            .copied();
+        match open_wait {
+            Some(Enqueue { track, .. }) => {
+                covered.insert((track, tid));
+                findings.push(Finding {
+                    check: Check::WaitPairing,
+                    class: "spurious-wakeup",
+                    detail: format!(
+                        "thread {tid} was woken on monitor{track} at {}ns without the lock \
+                         (injected spurious wakeup)",
+                        at.as_nanos()
+                    ),
+                    at,
+                    track,
+                    thread: Some(tid),
+                    expected: true,
+                });
+            }
+            None if ctx.complete => findings.push(Finding {
+                check: Check::WaitPairing,
+                class: "spurious-no-wait",
+                detail: format!(
+                    "spurious-wakeup instant for thread {tid} at {}ns but no wait was open",
+                    at.as_nanos()
+                ),
+                at,
+                track: 0,
+                thread: Some(tid),
+                expected: false,
+            }),
+            None => {}
+        }
+    }
+    // (b) Span evidence: the thread ran strictly inside its own wait
+    // window (closed waits), or at/after the enqueue of a wait that never
+    // closed. Skip pairs already covered by an instant above. The
+    // per-thread start lists are in time order, so the first candidate is
+    // a binary search, not a scan (threads with many waits made the scan
+    // quadratic).
+    for w in waits {
+        if covered.contains(&(w.track, w.thread)) {
+            continue;
+        }
+        let starts = &ctx.sched_starts[w.t as usize];
+        let i = starts.partition_point(|&t| t <= w.start);
+        if let Some(&at) = starts.get(i).filter(|&&t| t < w.end) {
+            findings.push(spurious_span_finding(
+                ctx,
+                w.track,
+                w.thread,
+                at,
+                &chaos_names,
+            ));
+        }
+    }
+    for e in enqueues {
+        if covered.contains(&(e.track, e.thread)) || closed(e.m, e.t, e.at) {
+            continue;
+        }
+        let starts = &ctx.sched_starts[e.t as usize];
+        let i = starts.partition_point(|&t| t < e.at);
+        if let Some(&at) = starts.get(i) {
+            findings.push(spurious_span_finding(
+                ctx,
+                e.track,
+                e.thread,
+                at,
+                &chaos_names,
+            ));
+        }
+    }
+
+    findings
+}
+
+fn spurious_span_finding(
+    ctx: &AuditCtx,
+    track: u32,
+    tid: u64,
+    at: SimTime,
+    chaos_names: &dyn Fn(u64) -> bool,
+) -> Finding {
+    Finding {
+        check: Check::WaitPairing,
+        class: "spurious-wakeup",
+        detail: format!(
+            "thread {tid} became runnable at {}ns while queued on monitor{track}",
+            at.as_nanos()
+        ),
+        at,
+        track,
+        thread: Some(tid),
+        expected: ctx.aborted || chaos_names(tid),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{instant, sorted, span};
+    use scalesim_trace::EventKind::{
+        ChaosDropWakeup, ChaosSpuriousWakeup, MonitorEnqueue, MonitorHold, MonitorWait,
+        ThreadRunnable, ThreadRunning,
+    };
+    use scalesim_trace::TimelineEvent;
+
+    fn run(events: Vec<TimelineEvent>, aborted: bool) -> Vec<Finding> {
+        let events = sorted(events);
+        check(&AuditCtx::new(&events, aborted, true))
+    }
+
+    /// A clean contended handoff: enqueue, wait closed by grant, waiter
+    /// holds then runs on.
+    fn clean_handoff() -> Vec<TimelineEvent> {
+        vec![
+            span(ThreadRunning, 1, 0, 10, 0),
+            instant(MonitorEnqueue, 0, 10, 1),
+            span(MonitorHold, 0, 0, 30, 0),
+            span(MonitorWait, 0, 10, 30, 1),
+            span(MonitorHold, 0, 30, 45, 1),
+            span(ThreadRunning, 1, 45, 90, 0),
+            span(ThreadRunning, 0, 50, 100, 0),
+        ]
+    }
+
+    #[test]
+    fn clean_handoff_audits_clean() {
+        let findings = run(clean_handoff(), false);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn granted_waiter_that_vanishes_is_a_lost_wakeup() {
+        // Same handoff, but thread 1 never appears after its grant at 30
+        // while thread 0 keeps running to 100.
+        let findings = run(
+            vec![
+                span(ThreadRunning, 1, 0, 10, 0),
+                instant(MonitorEnqueue, 0, 10, 1),
+                span(MonitorHold, 0, 0, 30, 0),
+                span(MonitorWait, 0, 10, 30, 1),
+                span(ThreadRunning, 0, 50, 100, 0),
+            ],
+            false,
+        );
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        let f = &findings[0];
+        assert_eq!(f.class, "lost-wakeup");
+        assert_eq!(f.thread, Some(1));
+        assert_eq!(f.track, 0);
+        assert_eq!(f.at.as_nanos(), 30);
+        assert!(!f.expected, "no chaos instant: a real bug");
+    }
+
+    #[test]
+    fn injected_drop_marks_the_lost_wakeup_expected() {
+        let findings = run(
+            vec![
+                span(ThreadRunning, 1, 0, 10, 0),
+                instant(MonitorEnqueue, 0, 10, 1),
+                span(MonitorHold, 0, 0, 30, 0),
+                span(MonitorWait, 0, 10, 30, 1),
+                instant(ChaosDropWakeup, 0, 30, 1),
+                span(ThreadRunning, 0, 50, 100, 0),
+            ],
+            false,
+        );
+        let lost: Vec<_> = findings
+            .iter()
+            .filter(|f| f.class == "lost-wakeup")
+            .collect();
+        assert_eq!(lost.len(), 1, "{findings:?}");
+        assert!(lost[0].expected);
+        assert!(lost[0].detail.contains("injected"), "{}", lost[0].detail);
+        assert!(findings.iter().all(|f| f.expected), "{findings:?}");
+    }
+
+    #[test]
+    fn zero_wait_grant_closes_the_enqueue() {
+        // Thread 1 enqueues at 30 and is granted at the same instant (the
+        // owner released at exactly 30): the zero-length wait span is
+        // suppressed by the ring, so the grantee's own hold starting at 30
+        // is the grant evidence. Not dangling, not spurious.
+        let findings = run(
+            vec![
+                span(ThreadRunning, 1, 0, 30, 0),
+                instant(MonitorEnqueue, 0, 30, 1),
+                span(MonitorHold, 0, 0, 30, 0),
+                span(MonitorHold, 0, 30, 45, 1),
+                span(ThreadRunning, 1, 45, 90, 0),
+                span(ThreadRunning, 0, 50, 100, 0),
+            ],
+            false,
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn unclosed_enqueue_is_a_dangling_wait() {
+        let findings = run(
+            vec![
+                instant(MonitorEnqueue, 2, 10, 3),
+                span(MonitorHold, 2, 0, 30, 0),
+                span(ThreadRunning, 0, 30, 100, 0),
+            ],
+            false,
+        );
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].class, "dangling-wait");
+        assert_eq!(findings[0].thread, Some(3));
+        assert!(!findings[0].expected);
+        // The same timeline from an aborted run is expected.
+        let findings = run(
+            vec![
+                instant(MonitorEnqueue, 2, 10, 3),
+                span(MonitorHold, 2, 0, 30, 0),
+                span(ThreadRunning, 0, 30, 100, 0),
+            ],
+            true,
+        );
+        assert!(findings.iter().all(|f| f.expected), "{findings:?}");
+    }
+
+    #[test]
+    fn wait_without_enqueue_flagged_on_complete_timelines() {
+        let findings = run(
+            vec![
+                span(MonitorHold, 0, 0, 30, 0),
+                span(MonitorWait, 0, 10, 30, 1),
+                span(MonitorHold, 0, 30, 40, 1),
+                span(ThreadRunning, 1, 40, 50, 0),
+            ],
+            false,
+        );
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].class, "wait-without-enqueue");
+        // Incomplete timeline: the enqueue may simply have been evicted.
+        let events = sorted(vec![
+            span(MonitorHold, 0, 0, 30, 0),
+            span(MonitorWait, 0, 10, 30, 1),
+            span(MonitorHold, 0, 30, 40, 1),
+            span(ThreadRunning, 1, 40, 50, 0),
+        ]);
+        let findings = check(&AuditCtx::new(&events, false, false));
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn spurious_instant_over_open_wait_is_expected() {
+        let findings = run(
+            vec![
+                instant(MonitorEnqueue, 1, 10, 2),
+                instant(ChaosSpuriousWakeup, 0, 10, 2),
+                span(MonitorHold, 1, 0, 30, 0),
+                span(ThreadRunning, 0, 30, 60, 0),
+            ],
+            true,
+        );
+        let spurious: Vec<_> = findings
+            .iter()
+            .filter(|f| f.class == "spurious-wakeup")
+            .collect();
+        assert_eq!(spurious.len(), 1, "{findings:?}");
+        assert_eq!(spurious[0].track, 1);
+        assert_eq!(spurious[0].thread, Some(2));
+        assert!(spurious[0].expected);
+        assert!(findings.iter().all(|f| f.expected), "{findings:?}");
+    }
+
+    #[test]
+    fn running_inside_own_wait_window_is_spurious() {
+        let findings = run(
+            vec![
+                instant(MonitorEnqueue, 0, 10, 1),
+                span(ThreadRunnable, 1, 15, 20, 0), // inside the wait window!
+                span(MonitorHold, 0, 0, 30, 0),
+                span(MonitorWait, 0, 10, 30, 1),
+                span(MonitorHold, 0, 30, 40, 1),
+                span(ThreadRunning, 1, 40, 50, 0),
+            ],
+            false,
+        );
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].class, "spurious-wakeup");
+        assert_eq!(findings[0].at.as_nanos(), 15);
+        assert!(!findings[0].expected, "no instant recorded: a real bug");
+    }
+
+    #[test]
+    fn spurious_instant_without_open_wait_is_inconsistent() {
+        let findings = run(
+            vec![
+                instant(ChaosSpuriousWakeup, 0, 10, 5),
+                span(ThreadRunning, 0, 0, 60, 0),
+            ],
+            false,
+        );
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].class, "spurious-no-wait");
+        assert!(!findings[0].expected);
+    }
+
+    #[test]
+    fn truncated_run_open_wait_is_not_spurious_or_lost() {
+        // Thread 2 is still queued when the run is cut off: dangling
+        // (expected, aborted) but neither lost nor spurious.
+        let findings = run(
+            vec![
+                instant(MonitorEnqueue, 0, 40, 2),
+                span(MonitorHold, 0, 0, 30, 0),
+                span(ThreadRunning, 0, 30, 50, 0),
+            ],
+            true,
+        );
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].class, "dangling-wait");
+        assert!(findings[0].expected);
+    }
+}

@@ -21,16 +21,29 @@
 //!    second each plus the relative slowdown (budgeted at < 10%).
 //! 6. **Timeline-trace overhead** — the same xalan run timed with the
 //!    timeline recorder off and on. Trace-off is the production default,
-//!    so its throughput must stay within ~2% of a back-to-back baseline
-//!    timing of the identical configuration: that delta bounds what the
-//!    disabled recorder hooks cost on the hot path (plus host noise).
+//!    so its throughput must stay within ~2% of a baseline timing of the
+//!    identical configuration: that delta bounds what the disabled
+//!    recorder hooks cost on the hot path (plus host noise).
+//! 7. **Audit overhead** — the concurrency auditor over one traced
+//!    xalan run's timeline, relative to producing the run itself
+//!    (budgeted at <= 3%). The pass is two orders of magnitude cheaper
+//!    than the run, so it is timed directly (median audit wall over
+//!    median run wall) rather than as an A/B pair difference.
+//!
+//! Every A/B overhead above is measured as the **median of N interleaved
+//! pairs** after warmup (see [`interleaved_overhead`]): timing each side
+//! single-shot lets slow host drift land entirely on one side, which is
+//! how earlier revisions reported a negative monitor overhead. Sub-noise
+//! negatives are clamped to zero so the recorded fields are comparable
+//! against their budgets.
 //!
 //! Usage: `bench_sweep [OUTPUT.json]` (default `BENCH_sweep.json`).
+//! `bench_check` validates a written report against the budgets.
 
 use std::hint::black_box;
 use std::time::Instant;
 
-use scalesim_bench::{bench_params, timing};
+use scalesim_bench::bench_params;
 use scalesim_core::{Jvm, JvmConfig, TraceConfig};
 use scalesim_experiments::{
     cached_event_total, checkpoint, clear_run_cache, run_biased_sched, run_cache_size,
@@ -114,55 +127,87 @@ fn sweep_wall_ms(params: &ExpParams) -> f64 {
     start.elapsed().as_secs_f64() * 1e3
 }
 
-/// Events per second of one xalan run with the invariant monitors
-/// toggled. Same config either way, so the event count is identical and
-/// the ratio is pure checking overhead.
-fn monitor_events_per_sec(monitors: bool) -> f64 {
-    let app = xalan().scaled(0.05);
-    let cfg = JvmConfig::builder()
+/// Result of one interleaved A/B overhead measurement.
+struct Overhead {
+    /// Median events/sec of the base side.
+    base_eps: f64,
+    /// Median events/sec of the variant side.
+    variant_eps: f64,
+    /// Median per-pair slowdown of the variant over the base, clamped at
+    /// zero (a variant cannot be genuinely faster than its base here —
+    /// a negative median is host noise).
+    pct: f64,
+}
+
+fn time_one(f: &mut impl FnMut()) -> u128 {
+    let start = Instant::now();
+    f();
+    start.elapsed().as_nanos()
+}
+
+/// Measures the relative cost of `variant` over `base` as the median of
+/// `pairs` interleaved (base, variant) timings after `warmup` untimed
+/// rounds. Pair order alternates so slow host drift cancels within the
+/// median instead of landing on whichever side ran last.
+fn interleaved_overhead(
+    label: &str,
+    events: u64,
+    warmup: u32,
+    pairs: u32,
+    mut base: impl FnMut(),
+    mut variant: impl FnMut(),
+) -> Overhead {
+    assert!(pairs > 0, "need at least one timed pair");
+    for _ in 0..warmup {
+        base();
+        variant();
+    }
+    let mut base_ns: Vec<u128> = Vec::with_capacity(pairs as usize);
+    let mut var_ns: Vec<u128> = Vec::with_capacity(pairs as usize);
+    let mut deltas: Vec<f64> = Vec::with_capacity(pairs as usize);
+    for i in 0..pairs {
+        let (b, v) = if i % 2 == 0 {
+            let b = time_one(&mut base);
+            let v = time_one(&mut variant);
+            (b, v)
+        } else {
+            let v = time_one(&mut variant);
+            let b = time_one(&mut base);
+            (b, v)
+        };
+        base_ns.push(b);
+        var_ns.push(v);
+        deltas.push(v as f64 / b as f64 - 1.0);
+    }
+    base_ns.sort_unstable();
+    var_ns.sort_unstable();
+    deltas.sort_by(f64::total_cmp);
+    let raw = deltas[deltas.len() / 2] * 100.0;
+    println!("{label:<28} median pair overhead {raw:+.2}% over {pairs} pairs");
+    Overhead {
+        base_eps: events as f64 / (base_ns[base_ns.len() / 2] as f64 / 1e9),
+        variant_eps: events as f64 / (var_ns[var_ns.len() / 2] as f64 / 1e9),
+        pct: raw.max(0.0),
+    }
+}
+
+/// The A/B run both overhead studies time: one xalan run at the pinned
+/// seed, with the given monitor/trace toggles.
+fn bench_cfg(monitors: bool, trace: TraceConfig) -> JvmConfig {
+    JvmConfig::builder()
         .threads(16)
         .seed(42)
         .monitors(monitors)
-        .build()
-        .expect("bench config");
-    let events = Jvm::new(cfg.clone())
-        .run(&app)
-        .expect("bench run")
-        .events_processed;
-    let label = if monitors {
-        "monitors/on"
-    } else {
-        "monitors/off"
-    };
-    let sample = timing::bench(label, 1, 5, || {
-        black_box(Jvm::new(cfg.clone()).run(&app).expect("bench run"))
-    });
-    events as f64 / (sample.median_ns as f64 / 1e9)
-}
-
-/// Events per second of one xalan run with the timeline recorder
-/// toggled, using the noise-robust `min` over several iterations (the
-/// simulation is deterministic, so the fastest observation is the one
-/// least disturbed by the host). Trace-off is the production default
-/// path; the `baseline` caller times the identical configuration back
-/// to back with it, so their delta bounds measurement noise plus any
-/// accidental work on the disabled recorder path.
-fn trace_events_per_sec(label: &str, trace: TraceConfig) -> f64 {
-    let app = xalan().scaled(0.05);
-    let cfg = JvmConfig::builder()
-        .threads(16)
-        .seed(42)
         .trace(trace)
         .build()
-        .expect("bench config");
-    let events = Jvm::new(cfg.clone())
-        .run(&app)
+        .expect("bench config")
+}
+
+fn run_events(cfg: &JvmConfig) -> u64 {
+    Jvm::new(cfg.clone())
+        .run(&xalan().scaled(0.05))
         .expect("bench run")
-        .events_processed;
-    let sample = timing::bench(label, 1, 7, || {
-        black_box(Jvm::new(cfg.clone()).run(&app).expect("bench run"))
-    });
-    events as f64 / (sample.min_ns as f64 / 1e9)
+        .events_processed
 }
 
 fn main() {
@@ -193,14 +238,29 @@ fn main() {
         events_per_sec / 1e6
     );
 
-    eprintln!("figure sweep (memoized, cold cache, checkpoint store on)...");
+    eprintln!("figure sweep (memoized, cold cache, checkpoint store on, interleaved pairs)...");
     let ckpt_dir = std::env::temp_dir().join(format!("scalesim-bench-ckpt-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&ckpt_dir);
-    checkpoint::set_store(&ckpt_dir).expect("checkpoint store");
-    let ckpt_ms = sweep_wall_ms(&params);
-    checkpoint::disable_store();
-    let _ = std::fs::remove_dir_all(&ckpt_dir);
-    let ckpt_overhead_pct = (ckpt_ms / memo_ms - 1.0) * 100.0;
+    // The variant closure owns the store lifecycle (create, append, tear
+    // down) so the timed cost is the whole price of durable checkpointing,
+    // and each pair starts from an empty segment.
+    let ckpt = interleaved_overhead(
+        "memo -> memo+checkpoint",
+        events,
+        1,
+        5,
+        || {
+            black_box(sweep_wall_ms(&params));
+        },
+        || {
+            checkpoint::set_store(&ckpt_dir).expect("checkpoint store");
+            black_box(sweep_wall_ms(&params));
+            checkpoint::disable_store();
+            let _ = std::fs::remove_dir_all(&ckpt_dir);
+        },
+    );
+    let ckpt_ms = events as f64 / ckpt.variant_eps * 1e3;
+    let ckpt_overhead_pct = ckpt.pct;
     eprintln!("  {ckpt_ms:.0} ms  (checkpoint overhead {ckpt_overhead_pct:.1}%, budget <= 3%)");
 
     eprintln!("figure sweep (memoization disabled)...");
@@ -212,34 +272,114 @@ fn main() {
         nomemo_ms / memo_ms
     );
 
-    eprintln!("invariant-monitor overhead (xalan, 16 threads)...");
-    let mon_on = monitor_events_per_sec(true);
-    let mon_off = monitor_events_per_sec(false);
-    let mon_overhead_pct = (mon_off / mon_on - 1.0) * 100.0;
+    eprintln!("invariant-monitor overhead (xalan, 16 threads, interleaved pairs)...");
+    let app = xalan().scaled(0.05);
+    let cfg_off = bench_cfg(false, TraceConfig::off());
+    let cfg_on = bench_cfg(true, TraceConfig::off());
+    let events_ab = run_events(&cfg_off);
+    let mon = interleaved_overhead(
+        "monitors off->on",
+        events_ab,
+        2,
+        7,
+        || {
+            black_box(Jvm::new(cfg_off.clone()).run(&app).expect("bench run"));
+        },
+        || {
+            black_box(Jvm::new(cfg_on.clone()).run(&app).expect("bench run"));
+        },
+    );
     eprintln!(
-        "  on {:.2} M events/s, off {:.2} M events/s, overhead {:.1}%",
-        mon_on / 1e6,
-        mon_off / 1e6,
-        mon_overhead_pct
+        "  off {:.2} M events/s, on {:.2} M events/s, overhead {:.1}% (budget < 10%)",
+        mon.base_eps / 1e6,
+        mon.variant_eps / 1e6,
+        mon.pct
     );
 
-    eprintln!("timeline-trace overhead (xalan, 16 threads)...");
-    let trace_baseline = trace_events_per_sec("trace/baseline", TraceConfig::off());
-    let trace_off = trace_events_per_sec("trace/off", TraceConfig::off());
-    let trace_on = trace_events_per_sec("trace/on", TraceConfig::on());
-    let trace_overhead_pct = (trace_off / trace_on - 1.0) * 100.0;
-    let trace_off_overhead_pct = (trace_baseline / trace_off - 1.0) * 100.0;
+    eprintln!("timeline-trace overhead (xalan, 16 threads, interleaved pairs)...");
+    let cfg_trace_off = bench_cfg(true, TraceConfig::off());
+    let cfg_trace_on = bench_cfg(true, TraceConfig::on());
+    let trace = interleaved_overhead(
+        "trace off->on",
+        events_ab,
+        2,
+        7,
+        || {
+            black_box(
+                Jvm::new(cfg_trace_off.clone())
+                    .run(&app)
+                    .expect("bench run"),
+            );
+        },
+        || {
+            black_box(Jvm::new(cfg_trace_on.clone()).run(&app).expect("bench run"));
+        },
+    );
+    // Trace-off is the production default: pair it against the identical
+    // configuration so the median delta bounds what the disabled recorder
+    // hooks cost (anything beyond host noise).
+    let trace_off_floor = interleaved_overhead(
+        "trace off->off (noise floor)",
+        events_ab,
+        2,
+        7,
+        || {
+            black_box(
+                Jvm::new(cfg_trace_off.clone())
+                    .run(&app)
+                    .expect("bench run"),
+            );
+        },
+        || {
+            black_box(
+                Jvm::new(cfg_trace_off.clone())
+                    .run(&app)
+                    .expect("bench run"),
+            );
+        },
+    );
+    let trace_overhead_pct = trace.pct;
+    let trace_off_overhead_pct = trace_off_floor.pct;
     eprintln!(
         "  off {:.2} M events/s, on {:.2} M events/s, recording cost {:.1}%, \
-         trace-off cost vs back-to-back baseline {:.1}% (budget ~2%)",
-        trace_off / 1e6,
-        trace_on / 1e6,
+         trace-off cost vs identical baseline {:.1}% (budget <= 2%)",
+        trace.base_eps / 1e6,
+        trace.variant_eps / 1e6,
         trace_overhead_pct,
         trace_off_overhead_pct
     );
 
+    eprintln!("audit overhead (auditing one traced xalan run)...");
+    // The audit pass is two orders of magnitude cheaper than the run that
+    // produces its timeline, so an A/B difference of two run timings would
+    // drown it in host noise. Time the pass directly instead: each round
+    // times the run and then the audit of that run's own timeline, and the
+    // overhead is the ratio of the medians.
+    let audit_rounds = 7usize;
+    let mut audit_run_ns: Vec<u128> = Vec::with_capacity(audit_rounds);
+    let mut audit_ns: Vec<u128> = Vec::with_capacity(audit_rounds);
+    for round in 0..=audit_rounds {
+        let start = Instant::now();
+        let report = Jvm::new(cfg_trace_on.clone()).run(&app).expect("bench run");
+        let run_ns = start.elapsed().as_nanos();
+        let start = Instant::now();
+        let audit = scalesim_audit::audit(&report.timeline, &report.counters, false);
+        let pass_ns = start.elapsed().as_nanos();
+        assert!(audit.is_clean(), "bench run must audit clean: {audit}");
+        if round > 0 {
+            // Round 0 is untimed warmup.
+            audit_run_ns.push(run_ns);
+            audit_ns.push(pass_ns);
+        }
+    }
+    audit_run_ns.sort_unstable();
+    audit_ns.sort_unstable();
+    let audit_overhead_pct = audit_ns[audit_ns.len() / 2] as f64 * 100.0
+        / audit_run_ns[audit_run_ns.len() / 2].max(1) as f64;
+    eprintln!("  audit overhead {audit_overhead_pct:.1}% (budget <= 3%)");
+
     let json = format!(
-        "{{\n  \"seed\": {seed},\n  \"events_per_sec\": {eps:.0},\n  \"sweep_wall_ms\": {memo:.1},\n  \"sweep_wall_ms_nomemo\": {nomemo:.1},\n  \"sweep_wall_ms_checkpoint\": {ckpt:.1},\n  \"checkpoint_overhead_pct\": {ckpt_pct:.2},\n  \"memo_speedup\": {mspeed:.2},\n  \"unique_runs\": {runs},\n  \"events_simulated\": {events},\n  \"queue_events_per_sec_slab\": {qslab:.0},\n  \"queue_events_per_sec_baseline\": {qbase:.0},\n  \"queue_speedup\": {qspeed:.2},\n  \"events_per_sec_monitors_on\": {mon_on:.0},\n  \"events_per_sec_monitors_off\": {mon_off:.0},\n  \"monitor_overhead_pct\": {mon_pct:.2},\n  \"events_per_sec_trace_off\": {troff:.0},\n  \"events_per_sec_trace_on\": {tron:.0},\n  \"trace_overhead_pct\": {tr_pct:.2},\n  \"trace_off_overhead_pct\": {troff_pct:.2}\n}}\n",
+        "{{\n  \"seed\": {seed},\n  \"events_per_sec\": {eps:.0},\n  \"sweep_wall_ms\": {memo:.1},\n  \"sweep_wall_ms_nomemo\": {nomemo:.1},\n  \"sweep_wall_ms_checkpoint\": {ckpt:.1},\n  \"checkpoint_overhead_pct\": {ckpt_pct:.2},\n  \"memo_speedup\": {mspeed:.2},\n  \"unique_runs\": {runs},\n  \"events_simulated\": {events},\n  \"queue_events_per_sec_slab\": {qslab:.0},\n  \"queue_events_per_sec_baseline\": {qbase:.0},\n  \"queue_speedup\": {qspeed:.2},\n  \"events_per_sec_monitors_on\": {mon_on:.0},\n  \"events_per_sec_monitors_off\": {mon_off:.0},\n  \"monitor_overhead_pct\": {mon_pct:.2},\n  \"events_per_sec_trace_off\": {troff:.0},\n  \"events_per_sec_trace_on\": {tron:.0},\n  \"trace_overhead_pct\": {tr_pct:.2},\n  \"trace_off_overhead_pct\": {troff_pct:.2},\n  \"audit_overhead_pct\": {audit_pct:.2}\n}}\n",
         seed = params.seed,
         eps = events_per_sec,
         memo = memo_ms,
@@ -252,13 +392,14 @@ fn main() {
         qslab = slab,
         qbase = base,
         qspeed = slab / base,
-        mon_on = mon_on,
-        mon_off = mon_off,
-        mon_pct = mon_overhead_pct,
-        troff = trace_off,
-        tron = trace_on,
+        mon_on = mon.variant_eps,
+        mon_off = mon.base_eps,
+        mon_pct = mon.pct,
+        troff = trace.base_eps,
+        tron = trace.variant_eps,
         tr_pct = trace_overhead_pct,
         troff_pct = trace_off_overhead_pct,
+        audit_pct = audit_overhead_pct,
     );
     scalesim_trace::write_atomic(std::path::Path::new(&out), &json)
         .expect("write benchmark report");

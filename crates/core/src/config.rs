@@ -102,6 +102,14 @@ pub struct JvmConfig {
     /// deterministic state/monitor/GC spans and (optionally) exports them
     /// as Chrome trace-event JSON at the configured path.
     pub trace: TraceConfig,
+    /// Salvage mode for the audit pass: instead of discarding the report
+    /// when an invariant violation or simulation deadlock aborts the run,
+    /// finalize it as [`RunOutcome::Quarantined`] with the recorded
+    /// timeline and counters intact so the offline auditor can examine
+    /// the evidence. Off by default — normal runs keep failing fast.
+    ///
+    /// [`RunOutcome::Quarantined`]: crate::report::RunOutcome::Quarantined
+    pub salvage: bool,
     /// Master random seed; a run is a pure function of (config, app).
     pub seed: u64,
 }
@@ -228,6 +236,7 @@ impl JvmConfigBuilder {
                     Ok("0") | Ok("off")
                 ),
                 trace: TraceConfig::from_env(),
+                salvage: false,
                 seed: 42,
             },
         }
@@ -358,6 +367,13 @@ impl JvmConfigBuilder {
     /// Sets the timeline-tracing configuration.
     pub fn trace(&mut self, trace: TraceConfig) -> &mut Self {
         self.config.trace = trace;
+        self
+    }
+
+    /// Enables salvage mode: aborted runs finalize as quarantined reports
+    /// (with their timeline and counters) instead of returning an error.
+    pub fn salvage(&mut self, on: bool) -> &mut Self {
+        self.config.salvage = on;
         self
     }
 

@@ -454,13 +454,18 @@ impl<'a> Sim<'a> {
         let mut outcome = RunOutcome::Ok;
         while self.mutators_left > 0 {
             let Some((_, event)) = self.queue.pop() else {
-                return Err(SimError::Invariant(InvariantViolation {
+                let v = InvariantViolation {
                     kind: MonitorKind::QueueLiveness,
                     detail: format!(
                         "simulation deadlock: {} mutators unfinished with no pending events",
                         self.mutators_left
                     ),
-                }));
+                };
+                if self.config.salvage {
+                    outcome = RunOutcome::Quarantined(v.to_string());
+                    break;
+                }
+                return Err(SimError::Invariant(v));
             };
             let processed = self.queue.popped_total();
             if processed > budget.max_events {
@@ -475,6 +480,10 @@ impl<'a> Sim<'a> {
             self.handle(event);
             wall = self.now();
             if let Some(v) = self.violation.take() {
+                if self.config.salvage {
+                    outcome = RunOutcome::Quarantined(v.to_string());
+                    break;
+                }
                 return Err(SimError::Invariant(v));
             }
             if processed.is_multiple_of(BUDGET_CHECK_PERIOD) {
@@ -496,6 +505,10 @@ impl<'a> Sim<'a> {
             if self.config.monitors && processed.is_multiple_of(MONITOR_SCAN_PERIOD) {
                 self.scan_invariants();
                 if let Some(v) = self.violation.take() {
+                    if self.config.salvage {
+                        outcome = RunOutcome::Quarantined(v.to_string());
+                        break;
+                    }
                     return Err(SimError::Invariant(v));
                 }
             }

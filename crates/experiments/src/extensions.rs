@@ -21,7 +21,10 @@
 //! * `ext-concurrent` — would a CMS-like mostly-concurrent old-generation
 //!   collector change the paper's conclusion that GC limits scalability?
 
-use scalesim_core::{replay_gc, Jvm, JvmConfig, OldGenPolicy, RunOutcome, RunReport, SimError};
+use scalesim_core::{
+    replay_gc, InvariantViolation, Jvm, JvmConfig, MonitorKind, OldGenPolicy, RunOutcome,
+    RunReport, SimError,
+};
 use scalesim_gc::{GcCostModel, GcKind};
 use scalesim_heap::{HeapConfig, NurseryLayout};
 use scalesim_machine::Placement;
@@ -809,7 +812,12 @@ pub fn run_heap_size(app: &str, params: &ExpParams) -> Result<HeapSizeStudy, Sim
         .seed(params.seed)
         .retention(Retention::Full);
     let report = Jvm::new(cfg.build()?).run(&scaled)?;
-    let events = report.trace.events().expect("full retention");
+    let events = report.trace.events().ok_or_else(|| {
+        SimError::Invariant(InvariantViolation {
+            kind: MonitorKind::HeapConservation,
+            detail: "recording run with Retention::Full kept no object events".to_owned(),
+        })
+    })?;
 
     let min_heap = scaled.spec().min_heap_bytes;
     let gc_model = GcCostModel::hotspot_like(

@@ -29,7 +29,11 @@
 //! checkpoint to disk and replay on resume ([`checkpoint`]), hung runs
 //! are cancelled by a watchdog and quarantined (see [`run_all`]), and
 //! quarantined specs are minimized into standalone repro files
-//! ([`shrink_failure`] / [`write_repro`]).
+//! ([`shrink_failure`] / [`write_repro`]). A fourth layer audits the
+//! evidence: [`audit_spec`] re-executes a spec with salvage + tracing
+//! and runs the offline concurrency auditor ([`scalesim_audit`]) over
+//! the recovered timeline, and [`write_audit_repro`] snapshots a
+//! finding-bearing run as an `audit-<key>.json` repro artifact.
 //!
 //! ```
 //! use scalesim_experiments::{run_fig1d, ExpParams};
@@ -44,6 +48,7 @@
 #![warn(missing_debug_implementations)]
 
 mod ablation;
+mod auditing;
 pub mod checkpoint;
 mod extensions;
 mod fig1_lifespan;
@@ -56,6 +61,7 @@ mod sweep;
 mod workdist;
 
 pub use ablation::{run_biased_sched, run_heaplets, Ablation, AblationRow};
+pub use auditing::{audit_spec, write_audit_repro, AUDIT_EVENT_BACKSTOP};
 pub use checkpoint::ResumeStats;
 pub use extensions::{
     run_concurrent_old_gen, run_ergonomics, run_gc_workers, run_heap_size, run_lock_sharding,

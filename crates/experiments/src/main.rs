@@ -11,20 +11,21 @@ use std::process::ExitCode;
 
 use scalesim_core::{JsonValue, Jvm, JvmConfig, ReproSpec, SimError, TraceConfig};
 use scalesim_experiments::{
-    checkpoint, run_biased_sched, run_concurrent_old_gen, run_ergonomics, run_fig1_locks,
-    run_fig1c, run_fig1d, run_fig2, run_gc_workers, run_heap_size, run_heaplets, run_isolated,
-    run_lock_sharding, run_numa_placement, run_oversubscription, run_scalability, run_workdist,
-    shrink_failure, take_run_manifests, take_sweep_failures, write_repro, ExpParams, RunSpec,
-    SweepFailureKind,
+    audit_spec, checkpoint, run_biased_sched, run_concurrent_old_gen, run_ergonomics,
+    run_fig1_locks, run_fig1c, run_fig1d, run_fig2, run_gc_workers, run_heap_size, run_heaplets,
+    run_isolated, run_lock_sharding, run_numa_placement, run_oversubscription, run_scalability,
+    run_workdist, shrink_failure, take_run_manifests, take_sweep_failures, write_audit_repro,
+    write_repro, ExpParams, RunSpec, SweepFailureKind,
 };
 use scalesim_metrics::Table;
 use scalesim_trace::write_atomic;
-use scalesim_workloads::lusearch;
+use scalesim_workloads::{h2, lusearch, xalan};
 
 const USAGE: &str = "\
 usage: scalesim-experiments <artifact> [--scale F] [--seed N] [--threads a,b,c] [--out DIR]
-                            [--trace FILE] [--checkpoint DIR] [--resume]
+                            [--trace FILE] [--checkpoint DIR] [--resume] [--audit]
        scalesim-experiments repro FILE
+       scalesim-experiments audit [--seed N] [--out DIR]
 
 artifacts:
   workdist    per-thread workload distribution (paper §III)
@@ -44,8 +45,15 @@ artifacts:
   ext-heapsize extension: trace-replay heap-size sweep (3x-min-heap rule)
   ext-concurrent extension: mostly-concurrent old-gen collector
   all         everything above
-  repro FILE  re-execute a shrunk failure spec (repro-*.json) exactly;
-              exits 0 when the failure reproduces, 1 when it does not
+  repro FILE  re-execute a shrunk failure spec (repro-*.json or
+              audit-*.json) exactly; exits 0 when the failure
+              reproduces, 1 when it does not
+  audit       run the concurrency auditor over pinned traced runs
+              (h2 @16, xalan @8, scale 0.02); chaos comes from
+              SCALESIM_CHAOS. Exits 0 when the audit is clean, 1 on
+              unexpected findings, 2 when every finding is explained
+              by an injected fault; writes audit-<key>.json repros
+              for findings into --out (or the current directory)
 
 options:
   --scale F      workload scale factor (default 1.0 = paper-sized)
@@ -63,6 +71,11 @@ options:
   --resume       replay the checkpoint store before sweeping: verified
                  runs are served without re-simulation, torn or corrupt
                  records re-run (SCALESIM_RESUME=1 too)
+  --audit        after the artifact, re-execute every quarantined sweep
+                 point with salvage + tracing and run the concurrency
+                 auditor over the recovered timeline; audit-<key>.json
+                 repros land next to the shrinker's repro files
+                 (SCALESIM_AUDIT=1 too)
 
 exit codes: 0 clean; 1 runtime failure; 2 finished but some run was
 quarantined, truncated, or memo-corrupted; 3 usage/config error
@@ -76,6 +89,7 @@ struct Cli {
     trace: Option<PathBuf>,
     checkpoint: Option<PathBuf>,
     resume: bool,
+    audit: bool,
 }
 
 /// CLI failure split by exit code: bad input (3, with usage) vs a
@@ -105,6 +119,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut trace = None;
     let mut checkpoint = None;
     let mut resume = false;
+    let mut audit = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -142,6 +157,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 checkpoint = Some(PathBuf::from(v));
             }
             "--resume" => resume = true,
+            "--audit" => audit = true,
             "--help" | "-h" => return Err(String::new()),
             other if artifact.is_none() && !other.starts_with('-') => {
                 artifact = Some(other.to_owned());
@@ -168,6 +184,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         trace,
         checkpoint,
         resume,
+        audit,
     })
 }
 
@@ -212,15 +229,17 @@ fn write_manifests(
     Ok(())
 }
 
-fn emit(out: &Option<PathBuf>, name: &str, title: &str, table: &Table) {
+fn emit(out: &Option<PathBuf>, name: &str, title: &str, table: &Table) -> Result<(), CliError> {
     println!("== {title} ==");
     println!("{table}");
     if let Some(dir) = out {
         let path = dir.join(format!("{name}.csv"));
-        write_atomic(&path, table.to_csv()).expect("write CSV");
+        write_atomic(&path, table.to_csv())
+            .map_err(|e| CliError::Runtime(format!("write {}: {e}", path.display())))?;
         println!("wrote {}", path.display());
     }
     println!();
+    Ok(())
 }
 
 fn run_artifact(cli: &Cli, artifact: &str) -> Result<(), CliError> {
@@ -231,37 +250,37 @@ fn run_artifact(cli: &Cli, artifact: &str) -> Result<(), CliError> {
             "workdist",
             "Workload distribution across threads (paper SIII)",
             &run_workdist(p).map_err(|e| classify(&e))?.table(),
-        ),
+        )?,
         "scaletable" => emit(
             &cli.out,
             "scaletable",
             "Scalability classification (paper SII-C)",
             &run_scalability(p).map_err(|e| classify(&e))?.table(),
-        ),
+        )?,
         "fig1a" | "fig1b" => emit(
             &cli.out,
             "fig1_locks",
             "Fig 1a/1b: lock acquisitions & contentions vs threads",
             &run_fig1_locks(p).map_err(|e| classify(&e))?.table(),
-        ),
+        )?,
         "fig1c" => emit(
             &cli.out,
             "fig1c",
             "Fig 1c: eclipse object-lifespan CDF",
             &run_fig1c(p).map_err(|e| classify(&e))?.table(),
-        ),
+        )?,
         "fig1d" => emit(
             &cli.out,
             "fig1d",
             "Fig 1d: xalan object-lifespan CDF",
             &run_fig1d(p).map_err(|e| classify(&e))?.table(),
-        ),
+        )?,
         "fig2" => emit(
             &cli.out,
             "fig2",
             "Fig 2: mutator vs GC time decomposition (scalable apps)",
             &run_fig2(p).map_err(|e| classify(&e))?.table(),
-        ),
+        )?,
         "abl-sched" => emit(
             &cli.out,
             "abl_sched",
@@ -269,13 +288,13 @@ fn run_artifact(cli: &Cli, artifact: &str) -> Result<(), CliError> {
             &run_biased_sched("xalan", p)
                 .map_err(|e| classify(&e))?
                 .table(),
-        ),
+        )?,
         "abl-heap" => emit(
             &cli.out,
             "abl_heap",
             "Ablation: compartmentalized heaplets on xalan (paper SIV.2)",
             &run_heaplets("xalan", p).map_err(|e| classify(&e))?.table(),
-        ),
+        )?,
         "ext-ergo" => emit(
             &cli.out,
             "ext_ergo",
@@ -283,7 +302,7 @@ fn run_artifact(cli: &Cli, artifact: &str) -> Result<(), CliError> {
             &run_ergonomics("xalan", p)
                 .map_err(|e| classify(&e))?
                 .table(),
-        ),
+        )?,
         "ext-numa" => emit(
             &cli.out,
             "ext_numa",
@@ -291,7 +310,7 @@ fn run_artifact(cli: &Cli, artifact: &str) -> Result<(), CliError> {
             &run_numa_placement("xalan", p)
                 .map_err(|e| classify(&e))?
                 .table(),
-        ),
+        )?,
         "ext-sharding" => emit(
             &cli.out,
             "ext_sharding",
@@ -299,7 +318,7 @@ fn run_artifact(cli: &Cli, artifact: &str) -> Result<(), CliError> {
             &run_lock_sharding("xalan", 1, p)
                 .map_err(|e| classify(&e))?
                 .table(),
-        ),
+        )?,
         "ext-gcworkers" => emit(
             &cli.out,
             "ext_gcworkers",
@@ -307,7 +326,7 @@ fn run_artifact(cli: &Cli, artifact: &str) -> Result<(), CliError> {
             &run_gc_workers("xalan", p)
                 .map_err(|e| classify(&e))?
                 .table(),
-        ),
+        )?,
         "ext-oversub" => emit(
             &cli.out,
             "ext_oversub",
@@ -315,13 +334,13 @@ fn run_artifact(cli: &Cli, artifact: &str) -> Result<(), CliError> {
             &run_oversubscription("xalan", p)
                 .map_err(|e| classify(&e))?
                 .table(),
-        ),
+        )?,
         "ext-heapsize" => emit(
             &cli.out,
             "ext_heapsize",
             "Extension: trace-replay heap-size sweep on xalan (3x-min-heap rule)",
             &run_heap_size("xalan", p).map_err(|e| classify(&e))?.table(),
-        ),
+        )?,
         "ext-concurrent" => emit(
             &cli.out,
             "ext_concurrent",
@@ -329,7 +348,7 @@ fn run_artifact(cli: &Cli, artifact: &str) -> Result<(), CliError> {
             &run_concurrent_old_gen("xalan", p)
                 .map_err(|e| classify(&e))?
                 .table(),
-        ),
+        )?,
         "all" => {
             for a in [
                 "workdist",
@@ -450,6 +469,103 @@ fn shrink_quarantined(
     written
 }
 
+/// Runs the concurrency auditor over the pinned traced runs (the same
+/// fixtures the chaos tests pin: h2 @16 threads and xalan @8 threads at
+/// scale 0.02). Chaos comes from `SCALESIM_CHAOS`, so a clean environment
+/// exercises the golden path and a chaotic one the detection path.
+///
+/// Exit 0 when both audits are clean, 1 on any unexpected finding (or a
+/// run failure), 2 when every finding is explained by an injected fault.
+fn run_audit(cli: &Cli) -> ExitCode {
+    let dir = cli.out.clone().unwrap_or_else(|| PathBuf::from("."));
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("error: create {}: {e}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    let specs = [
+        ("h2", RunSpec::new(h2().scaled(0.02), 16, cli.params.seed)),
+        (
+            "xalan",
+            RunSpec::new(xalan().scaled(0.02), 8, cli.params.seed),
+        ),
+    ];
+    let mut unexpected = 0usize;
+    let mut expected = 0usize;
+    for (name, spec) in &specs {
+        let threads = spec.config.threads;
+        let (report, audit_report) = match audit_spec(spec) {
+            Ok(pair) => pair,
+            Err(why) => {
+                eprintln!("error: audit run {name} x{threads}: {why}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "== audit {name} x{threads} seed={} (outcome: {}) ==",
+            cli.params.seed, report.outcome
+        );
+        println!("{audit_report}");
+        unexpected += audit_report.unexpected().len();
+        expected += audit_report.expected_count();
+        if !audit_report.is_clean() {
+            match write_audit_repro(spec, &audit_report, &dir) {
+                Ok(Some(path)) => println!("wrote {}", path.display()),
+                Ok(None) => {}
+                Err(e) => eprintln!("error: write audit repro for {name}: {e}"),
+            }
+        }
+        println!();
+    }
+    if unexpected > 0 {
+        eprintln!("audit: {unexpected} unexpected finding(s)");
+        ExitCode::FAILURE
+    } else if expected > 0 {
+        println!("audit: all {expected} finding(s) explained by injected faults");
+        ExitCode::from(2)
+    } else {
+        println!("audit: clean");
+        ExitCode::SUCCESS
+    }
+}
+
+/// Re-audits every quarantined sweep point with salvage + tracing (the
+/// `--audit` / `SCALESIM_AUDIT=1` path), writing `audit-<key>.json`
+/// artifacts next to the shrinker's repro files.
+fn audit_quarantined(
+    failures: &[scalesim_experiments::SweepFailure],
+    dir: &std::path::Path,
+) -> usize {
+    let mut seen = std::collections::HashSet::new();
+    let mut audited = 0;
+    for f in failures {
+        if f.kind != SweepFailureKind::Quarantined {
+            continue;
+        }
+        let Some(spec) = &f.run_spec else { continue };
+        if !seen.insert(spec.memo_key()) {
+            continue;
+        }
+        match audit_spec(spec) {
+            Ok((report, audit_report)) => {
+                println!(
+                    "audit {} (outcome: {}): {audit_report}",
+                    f.spec, report.outcome
+                );
+                if !audit_report.is_clean() {
+                    match write_audit_repro(spec, &audit_report, dir) {
+                        Ok(Some(path)) => println!("wrote {}", path.display()),
+                        Ok(None) => {}
+                        Err(e) => eprintln!("error: write audit repro for {}: {e}", f.spec),
+                    }
+                }
+                audited += 1;
+            }
+            Err(why) => eprintln!("audit: {} failed even with salvage: {why}", f.spec),
+        }
+    }
+    audited
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cli = match parse_args(&args) {
@@ -465,7 +581,15 @@ fn main() -> ExitCode {
         }
     };
     if cli.artifact == "repro" {
-        return run_repro(cli.file.as_deref().expect("parse_args requires the file"));
+        let Some(file) = cli.file.as_deref() else {
+            eprintln!("error: repro needs a repro-*.json file argument\n");
+            eprint!("{USAGE}");
+            return ExitCode::from(3);
+        };
+        return run_repro(file);
+    }
+    if cli.artifact == "audit" {
+        return run_audit(&cli);
     }
 
     // Checkpointing: CLI flags win, env vars (SCALESIM_CHECKPOINT /
@@ -520,6 +644,10 @@ fn main() -> ExitCode {
     }
     let repro_dir = cli.out.clone().unwrap_or_else(|| PathBuf::from("."));
     let _ = shrink_quarantined(&failures, &repro_dir);
+    let audit_on = cli.audit || std::env::var_os("SCALESIM_AUDIT").is_some_and(|v| v == "1");
+    if audit_on {
+        let _ = audit_quarantined(&failures, &repro_dir);
+    }
     let manifests = take_run_manifests();
     if result.is_ok() {
         if let Some(dir) = &cli.out {
@@ -600,6 +728,18 @@ mod tests {
         assert!(cli.checkpoint.is_none());
         assert!(!cli.resume);
         assert!(parse_args(&s(&["fig1d", "--checkpoint"])).is_err());
+    }
+
+    #[test]
+    fn audit_flag_and_subcommand_parse() {
+        let cli = parse_args(&s(&["fig1d", "--audit"])).unwrap();
+        assert!(cli.audit);
+        let cli = parse_args(&s(&["fig1d"])).unwrap();
+        assert!(!cli.audit);
+        let cli = parse_args(&s(&["audit", "--seed", "9", "--out", "/tmp/a"])).unwrap();
+        assert_eq!(cli.artifact, "audit");
+        assert_eq!(cli.params.seed, 9);
+        assert_eq!(cli.out.unwrap(), PathBuf::from("/tmp/a"));
     }
 
     #[test]

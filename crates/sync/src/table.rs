@@ -84,7 +84,19 @@ impl LockTable {
     ///
     /// Panics if `m` is out of range or on re-entrant acquisition.
     pub fn acquire(&mut self, m: MonitorId, tid: ThreadId, now: SimTime) -> AcquireOutcome {
-        self.monitors[m.0].acquire(tid, now)
+        let outcome = self.monitors[m.0].acquire(tid, now);
+        if outcome == AcquireOutcome::Contended {
+            // Wait-begin marker: the audit pass pairs it with the closing
+            // MonitorWait span emitted on handoff; an enqueue that is never
+            // closed is a dangling wait.
+            self.timeline.instant(
+                EventKind::MonitorEnqueue,
+                m.0 as u32,
+                now,
+                tid.index() as u64,
+            );
+        }
+        outcome
     }
 
     /// Releases monitor `m`; returns the handoff grant if a waiter took
@@ -306,6 +318,13 @@ mod tests {
         assert_eq!(waits[0].at, t(10));
         assert_eq!(waits[0].end(), t(30));
         assert_eq!(waits[0].arg, 1, "waiter attribution");
+        let enqueues: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::MonitorEnqueue)
+            .collect();
+        assert_eq!(enqueues.len(), 1);
+        assert_eq!(enqueues[0].at, t(10));
+        assert_eq!(enqueues[0].arg, 1, "waiter attribution");
         // The recorder left behind is disabled.
         assert_eq!(lt.take_timeline().len(), 0);
     }

@@ -79,6 +79,13 @@ pub enum EventKind {
     /// Monitor span: a thread queued waiting for the monitor. `arg` = the
     /// waiting thread's index.
     MonitorWait,
+    /// Monitor instant: a thread joined the monitor's wait queue. `arg` =
+    /// the enqueued thread's index. Paired with a closing [`MonitorWait`]
+    /// span by the audit pass; an enqueue without a close is a dangling
+    /// wait.
+    ///
+    /// [`MonitorWait`]: EventKind::MonitorWait
+    MonitorEnqueue,
     /// GC span: stop-the-world minor (nursery) collection. `arg` = bytes
     /// collected.
     GcMinor,
@@ -112,7 +119,7 @@ pub enum EventKind {
 
 impl EventKind {
     /// Every kind, in export/declaration order.
-    pub const ALL: [EventKind; 18] = [
+    pub const ALL: [EventKind; 19] = [
         EventKind::ThreadRunning,
         EventKind::ThreadRunnable,
         EventKind::ThreadBlockedMonitor,
@@ -121,6 +128,7 @@ impl EventKind {
         EventKind::ThreadSafepoint,
         EventKind::MonitorHold,
         EventKind::MonitorWait,
+        EventKind::MonitorEnqueue,
         EventKind::GcMinor,
         EventKind::GcLocalMinor,
         EventKind::GcFull,
@@ -151,7 +159,8 @@ impl EventKind {
             | EventKind::GcConcMark
             | EventKind::GcConcWork
             | EventKind::GcConcRemark => Phase::Span,
-            EventKind::ChaosDropWakeup
+            EventKind::MonitorEnqueue
+            | EventKind::ChaosDropWakeup
             | EventKind::ChaosSpuriousWakeup
             | EventKind::ChaosGcStall => Phase::Instant,
             EventKind::HeapUsed => Phase::CounterSample,
@@ -168,7 +177,9 @@ impl EventKind {
             | EventKind::ThreadBlockedStarved
             | EventKind::ThreadBlockedSleep
             | EventKind::ThreadSafepoint => Process::Threads,
-            EventKind::MonitorHold | EventKind::MonitorWait => Process::Monitors,
+            EventKind::MonitorHold | EventKind::MonitorWait | EventKind::MonitorEnqueue => {
+                Process::Monitors
+            }
             EventKind::GcMinor
             | EventKind::GcLocalMinor
             | EventKind::GcFull
@@ -194,6 +205,7 @@ impl EventKind {
             EventKind::ThreadSafepoint => "safepoint",
             EventKind::MonitorHold => "hold",
             EventKind::MonitorWait => "wait",
+            EventKind::MonitorEnqueue => "enqueue",
             EventKind::GcMinor => "minor-gc",
             EventKind::GcLocalMinor => "local-minor-gc",
             EventKind::GcFull => "full-gc",

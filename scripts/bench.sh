@@ -5,5 +5,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release -p scalesim-bench --bin bench_sweep
-exec ./target/release/bench_sweep "${1:-BENCH_sweep.json}"
+out="${1:-BENCH_sweep.json}"
+cargo build --release -p scalesim-bench --bin bench_sweep --bin bench_check
+./target/release/bench_sweep "$out"
+# Fail when any recorded overhead exceeds its stated budget (or is
+# negative, which means the measurement itself is broken).
+exec ./target/release/bench_check "$out"

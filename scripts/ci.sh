@@ -45,6 +45,21 @@ done
 sed 's/"host_ns":[0-9]*/"host_ns":0/' target/ci-resume/a/manifest.jsonl > target/ci-resume/a.norm
 sed 's/"host_ns":[0-9]*/"host_ns":0/' target/ci-resume/b/manifest.jsonl > target/ci-resume/b.norm
 diff target/ci-resume/a.norm target/ci-resume/b.norm
+echo '== audit smoke (clean pinned runs must audit clean, exit 0)'
+rm -rf target/ci-audit
+cargo run --release -q -p scalesim-experiments -- audit --out target/ci-audit > /dev/null
+echo '== audit chaos smoke (injected faults must be expected findings, exit 2, repro file)'
+rc=0
+SCALESIM_CHAOS='drop-wakeup=64' \
+    cargo run --release -q -p scalesim-experiments -- \
+    audit --out target/ci-audit > /dev/null 2>&1 || rc=$?
+[ "$rc" -eq 2 ] || { echo "expected audit exit 2, got $rc"; exit 1; }
+arepro=$(ls target/ci-audit/audit-*.json 2>/dev/null | head -1 || true)
+[ -n "$arepro" ] || { echo "no audit repro file written"; exit 1; }
+echo '== audit repro smoke (audit-*.json must round-trip through repro and re-fail, exit 0)'
+cargo run --release -q -p scalesim-experiments -- repro "$arepro" > /dev/null 2>&1
+echo '== bench budget check (committed BENCH_sweep.json must respect its budgets)'
+cargo run --release -q -p scalesim-bench --bin bench_check -- BENCH_sweep.json
 echo '== traced smoke (timeline export + run manifest must validate)'
 rm -rf target/ci-trace
 cargo run --release -q -p scalesim-experiments -- \

@@ -16,6 +16,7 @@
 //! * [`trace`] — deterministic timeline traces, counters, Perfetto export,
 //! * [`workloads`] — six DaCapo-inspired synthetic applications,
 //! * [`runtime`] — the JVM-like runtime tying it all together,
+//! * [`audit`] — offline concurrency auditor over recorded timelines,
 //! * [`experiments`] — drivers that regenerate every figure in the paper,
 //! * [`metrics`] — histograms, CDFs and table rendering.
 //!
@@ -32,6 +33,7 @@
 //! assert!(report.gc.collections() > 0);
 //! ```
 
+pub use scalesim_audit as audit;
 pub use scalesim_core as runtime;
 pub use scalesim_experiments as experiments;
 pub use scalesim_gc as gc;

@@ -1,0 +1,166 @@
+//! Standing oracle for the concurrency auditor: a clean golden sweep must
+//! audit clean, and every chaos class a [`ChaosPlan`] injects must be
+//! detected by the matching offline check — as an *expected* finding,
+//! cross-validated against the chaos instants in the same timeline.
+//!
+//! The specs are pinned to the chaos suite's fixtures (h2 @16 and xalan
+//! @8 at scale 0.02, seed 42) so the auditor is exercised on exactly the
+//! schedules the invariant monitors are validated on.
+
+use scalesim::audit::Check;
+use scalesim::experiments::{audit_spec, run_isolated, write_audit_repro, RunSpec};
+use scalesim::runtime::{JsonValue, JvmConfig, ReproSpec};
+use scalesim::simkit::{ChaosConfig, RunBudget};
+use scalesim::workloads::{h2, xalan};
+
+/// A tight event budget so an injected livelock can never hang the suite.
+fn backstop() -> RunBudget {
+    RunBudget {
+        max_events: 4_000_000,
+        max_sim_time: None,
+        max_host_ms: None,
+        watchdog_ms: None,
+    }
+}
+
+/// The pinned audit spec: `app` at `threads` with `chaos`, scale 0.02,
+/// seed 42, budget-backstopped.
+fn spec(app: scalesim::workloads::SyntheticApp, threads: usize, chaos: ChaosConfig) -> RunSpec {
+    let config = JvmConfig::builder()
+        .threads(threads)
+        .seed(42)
+        .chaos(chaos)
+        .budget(backstop())
+        .monitors(true)
+        .build()
+        .unwrap();
+    RunSpec {
+        app: app.scaled(0.02),
+        config,
+    }
+}
+
+#[test]
+fn golden_clean_sweep_audits_zero_findings() {
+    for (app, threads) in [(h2(), 16), (xalan(), 8)] {
+        let s = spec(app, threads, ChaosConfig::default());
+        let (report, audit) = audit_spec(&s).expect("clean run");
+        assert!(report.outcome.is_ok(), "{}", report.outcome);
+        assert!(audit.complete, "{audit}");
+        assert!(audit.is_clean(), "{audit}");
+    }
+}
+
+#[test]
+fn dropped_wakeup_is_detected_by_the_pairing_check() {
+    let s = spec(
+        h2(),
+        16,
+        ChaosConfig {
+            drop_wakeup_period: 8,
+            ..ChaosConfig::default()
+        },
+    );
+    let (_, audit) = audit_spec(&s).expect("salvaged run");
+    let lost: Vec<_> = audit
+        .findings
+        .iter()
+        .filter(|f| f.class == "lost-wakeup")
+        .collect();
+    assert!(!lost.is_empty(), "no lost-wakeup finding: {audit}");
+    assert!(lost.iter().all(|f| f.check == Check::WaitPairing));
+    assert_eq!(audit.unexpected().len(), 0, "{audit}");
+}
+
+#[test]
+fn spurious_wakeup_is_detected_by_the_pairing_check() {
+    let s = spec(
+        h2(),
+        16,
+        ChaosConfig {
+            spurious_wakeup_period: 4,
+            ..ChaosConfig::default()
+        },
+    );
+    let (_, audit) = audit_spec(&s).expect("salvaged run");
+    let spurious: Vec<_> = audit
+        .findings
+        .iter()
+        .filter(|f| f.class == "spurious-wakeup")
+        .collect();
+    assert!(!spurious.is_empty(), "no spurious-wakeup finding: {audit}");
+    assert!(spurious.iter().all(|f| f.check == Check::WaitPairing));
+    assert_eq!(audit.unexpected().len(), 0, "{audit}");
+}
+
+#[test]
+fn gc_stall_is_detected_by_the_happens_before_check() {
+    let s = spec(
+        xalan(),
+        8,
+        ChaosConfig {
+            gc_stall_period: 1,
+            gc_stall_factor: 1000.0,
+            ..ChaosConfig::default()
+        },
+    );
+    let (_, audit) = audit_spec(&s).expect("salvaged run");
+    let stalls: Vec<_> = audit
+        .findings
+        .iter()
+        .filter(|f| f.class == "gc-stall")
+        .collect();
+    assert!(!stalls.is_empty(), "no gc-stall finding: {audit}");
+    assert!(stalls.iter().all(|f| f.check == Check::HappensBefore));
+    assert!(stalls.iter().all(|f| f.expected), "{audit}");
+    assert_eq!(audit.unexpected().len(), 0, "{audit}");
+}
+
+#[test]
+fn findings_have_deterministic_fingerprints() {
+    let chaos = ChaosConfig {
+        drop_wakeup_period: 8,
+        ..ChaosConfig::default()
+    };
+    let (_, first) = audit_spec(&spec(h2(), 16, chaos)).expect("salvaged run");
+    let (_, second) = audit_spec(&spec(h2(), 16, chaos)).expect("salvaged run");
+    assert!(!first.findings.is_empty());
+    let a: Vec<u64> = first.findings.iter().map(|f| f.fingerprint()).collect();
+    let b: Vec<u64> = second.findings.iter().map(|f| f.fingerprint()).collect();
+    assert_eq!(a, b);
+    assert_eq!(first.divergence, second.divergence);
+}
+
+#[test]
+fn audit_repro_round_trips_through_the_repro_machinery() {
+    let s = spec(
+        h2(),
+        16,
+        ChaosConfig {
+            drop_wakeup_period: 8,
+            ..ChaosConfig::default()
+        },
+    );
+    let (_, audit) = audit_spec(&s).expect("salvaged run");
+    assert!(!audit.is_clean(), "{audit}");
+    let dir = std::env::temp_dir().join(format!("scalesim-audit-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = write_audit_repro(&s, &audit, &dir)
+        .expect("write")
+        .expect("finding-bearing report writes a file");
+
+    // The file is a full ReproSpec (the parser ignores the audit_* keys),
+    // reconstructs to the same memo key, and re-fails in isolation.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let repro = ReproSpec::from_json(&JsonValue::parse(text.trim()).unwrap()).unwrap();
+    assert!(repro.exact);
+    assert_eq!(repro.spec_key, s.memo_key());
+    let (app, config) = repro.reconstruct().unwrap();
+    let rebuilt = RunSpec { app, config };
+    assert_eq!(rebuilt.memo_key(), s.memo_key());
+    assert!(
+        run_isolated(&rebuilt).is_err(),
+        "reconstructed chaos spec must re-fail"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

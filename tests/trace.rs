@@ -78,14 +78,22 @@ fn chaos_faults_leave_matching_instant_markers() {
         .events()
         .filter(|ev| ev.kind == EventKind::ChaosGcStall)
         .count() as u64;
-    let instants = report
+    // MonitorEnqueue is the one non-chaos instant kind (the wait-pairing
+    // audit's enqueue marker), so chaos markers are every other instant.
+    let chaos_instants = report
         .timeline
         .events()
-        .filter(|ev| ev.kind.phase() == Phase::Instant)
+        .filter(|ev| ev.kind.phase() == Phase::Instant && ev.kind != EventKind::MonitorEnqueue)
         .count() as u64;
     assert!(stalls > 0, "gc_stall_period=1 must inject on every GC");
-    assert_eq!(stalls, instants, "the only chaos class enabled is GcStall");
-    assert_eq!(instants, report.counters.get(CounterId::ChaosInjections));
+    assert_eq!(
+        stalls, chaos_instants,
+        "the only chaos class enabled is GcStall"
+    );
+    assert_eq!(
+        chaos_instants,
+        report.counters.get(CounterId::ChaosInjections)
+    );
 
     // Same plan, same markers: the chaos timeline is deterministic too.
     assert_eq!(report.timeline, run().timeline);
@@ -100,7 +108,7 @@ fn chaos_faults_leave_matching_instant_markers() {
     assert!(calm
         .timeline
         .events()
-        .all(|ev| ev.kind.phase() != Phase::Instant));
+        .all(|ev| ev.kind.phase() != Phase::Instant || ev.kind == EventKind::MonitorEnqueue));
 }
 
 /// With tracing off the report is byte-identical to the plain run, and
