@@ -40,7 +40,7 @@ use std::path::{Path, PathBuf};
 use std::sync::{Mutex, OnceLock, PoisonError};
 
 use scalesim_core::{report_from_json, report_to_json, JsonValue, RunReport};
-use scalesim_trace::write_atomic;
+use scalesim_trace::{sync_dir, write_atomic};
 
 use crate::sweep;
 
@@ -95,7 +95,10 @@ fn crc32(bytes: &[u8]) -> u32 {
 // Record framing
 // ---------------------------------------------------------------------
 
-fn encode_record(key: u64, report: &RunReport, fp: u64, retries: u32) -> String {
+/// Frames one completed run as a crc-checked store line (no trailing
+/// newline). Shared with the campaign runner, whose per-worker segments
+/// use the identical framing.
+pub(crate) fn encode_record(key: u64, report: &RunReport, fp: u64, retries: u32) -> String {
     let body = JsonValue::Obj(vec![
         ("v".to_owned(), JsonValue::U64(1)),
         ("key".to_owned(), JsonValue::Str(format!("{key:016x}"))),
@@ -107,16 +110,16 @@ fn encode_record(key: u64, report: &RunReport, fp: u64, retries: u32) -> String 
     format!("{:08x} {body}", crc32(body.as_bytes()))
 }
 
-struct Record {
-    key: u64,
-    fp: u64,
-    retries: u32,
-    report: RunReport,
+pub(crate) struct Record {
+    pub(crate) key: u64,
+    pub(crate) fp: u64,
+    pub(crate) retries: u32,
+    pub(crate) report: RunReport,
 }
 
 /// Decodes one store line. `None` means the line is torn, corrupt, or
 /// from a future format — the caller skips it and re-runs the point.
-fn decode_record(line: &str) -> Option<Record> {
+pub(crate) fn decode_record(line: &str) -> Option<Record> {
     let (crc_hex, body) = line.split_once(' ')?;
     let stored_crc = u32::from_str_radix(crc_hex, 16).ok()?;
     if crc_hex.len() != 8 || crc32(body.as_bytes()) != stored_crc {
@@ -169,8 +172,13 @@ impl Store {
         file.write_all(line.as_bytes())?;
         self.tail_records += 1;
         if self.tail_records >= SEGMENT_RECORDS {
+            // Seal the segment durably: fsync the bytes before the
+            // rename and the directory after it, so a host crash can't
+            // leave a renamed-but-unsynced (or empty) segment behind.
+            file.sync_all()?;
             drop(file);
             std::fs::rename(self.tail_path(), self.dir.join(seg_name(self.next_seg)))?;
+            sync_dir(&self.dir)?;
             self.next_seg += 1;
             self.tail_records = 0;
         }
@@ -350,6 +358,17 @@ pub(crate) fn append_completed(key: u64, report: &RunReport, fp: u64, retries: u
     if let Err(e) = st.append(key, report, fp, retries) {
         eprintln!("checkpoint: dropping record for key {key:016x}: {e}");
     }
+}
+
+/// Seeds the restored-provenance map directly — the campaign merge's
+/// way of marking a segment-replayed key so the first sweep that serves
+/// it from cache reports `memo:"miss"` plus the retries the run cost
+/// when a worker first executed it, exactly like [`resume_from`] does.
+pub(crate) fn seed_restored(key: u64, retries: u32) {
+    restored()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .insert(key, retries);
 }
 
 /// Consumes the restored-provenance entry for `key`, if resume seeded

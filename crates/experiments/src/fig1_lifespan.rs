@@ -90,6 +90,22 @@ impl LifespanCurves {
     }
 }
 
+/// The one-app × thread-count spec list the lifespan sweeps execute;
+/// shared with the campaign unit enumeration so the two cannot drift.
+///
+/// # Errors
+///
+/// Returns [`SimError::UnknownApp`] if `app` is not one of the six
+/// benchmarks.
+pub(crate) fn lifespan_specs(app: &str, params: &ExpParams) -> Result<Vec<RunSpec>, SimError> {
+    let model = app_by_name(app).ok_or_else(|| SimError::UnknownApp(app.to_owned()))?;
+    Ok(params
+        .thread_counts
+        .iter()
+        .map(|&t| RunSpec::new(model.scaled(params.scale), t, params.seed))
+        .collect())
+}
+
 /// Runs a lifespan-CDF figure for one app over `thread_counts`.
 ///
 /// # Errors
@@ -98,11 +114,7 @@ impl LifespanCurves {
 /// benchmarks.
 pub fn run_lifespan_curves(app: &str, params: &ExpParams) -> Result<LifespanCurves, SimError> {
     let model = app_by_name(app).ok_or_else(|| SimError::UnknownApp(app.to_owned()))?;
-    let specs: Vec<RunSpec> = params
-        .thread_counts
-        .iter()
-        .map(|&t| RunSpec::new(model.scaled(params.scale), t, params.seed))
-        .collect();
+    let specs = lifespan_specs(app, params)?;
     let reports = run_all(&specs);
     let thresholds = DEFAULT_THRESHOLDS.to_vec();
     let curves = params

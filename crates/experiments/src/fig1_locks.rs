@@ -11,7 +11,7 @@ use scalesim_metrics::{Series, Table};
 use scalesim_workloads::{all_apps, AppModel, ScalabilityClass};
 
 use crate::params::ExpParams;
-use crate::sweep::{mark_cell, run_all, RunSpec};
+use crate::sweep::{grid_specs, mark_cell, run_all};
 
 /// Results for Figures 1a (acquisitions) and 1b (contentions): one series
 /// per application, x = thread count.
@@ -94,12 +94,7 @@ impl Fig1Locks {
 /// the drivers' common `Result` signature.
 pub fn run_fig1_locks(params: &ExpParams) -> Result<Fig1Locks, SimError> {
     let apps = all_apps();
-    let mut specs = Vec::new();
-    for app in &apps {
-        for &threads in &params.thread_counts {
-            specs.push(RunSpec::new(app.scaled(params.scale), threads, params.seed));
-        }
-    }
+    let specs = grid_specs(&apps, params);
     let reports = run_all(&specs);
 
     let mut acquisitions = Vec::new();

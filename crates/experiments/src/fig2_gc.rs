@@ -13,7 +13,7 @@ use scalesim_simkit::SimDuration;
 use scalesim_workloads::scalable_apps;
 
 use crate::params::ExpParams;
-use crate::sweep::{outcome_cell, run_all, RunSpec};
+use crate::sweep::{grid_specs, outcome_cell, run_all};
 
 /// One bar of Figure 2.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -134,12 +134,7 @@ impl Fig2 {
 /// the drivers' common `Result` signature.
 pub fn run_fig2(params: &ExpParams) -> Result<Fig2, SimError> {
     let apps = scalable_apps();
-    let mut specs = Vec::new();
-    for app in &apps {
-        for &threads in &params.thread_counts {
-            specs.push(RunSpec::new(app.scaled(params.scale), threads, params.seed));
-        }
-    }
+    let specs = grid_specs(&apps, params);
     let reports = run_all(&specs);
     let rows = reports
         .iter()

@@ -20,6 +20,7 @@
 //! | `ext-oversub` | extension: threads beyond cores | [`run_oversubscription`] |
 //! | `ext-heapsize` | extension: trace-replay heap-size sweep | [`run_heap_size`] |
 //! | `ext-concurrent` | extension: mostly-concurrent old generation | [`run_concurrent_old_gen`] |
+//! | `ext-topo` | extension: machine-topology sweep | [`run_topology`] |
 //!
 //! Sweeps run in parallel across host cores ([`run_all`]); every
 //! simulation itself is deterministic and single-threaded, so results are
@@ -33,7 +34,10 @@
 //! evidence: [`audit_spec`] re-executes a spec with salvage + tracing
 //! and runs the offline concurrency auditor ([`scalesim_audit`]) over
 //! the recovered timeline, and [`write_audit_repro`] snapshots a
-//! finding-bearing run as an `audit-<key>.json` repro artifact.
+//! finding-bearing run as an `audit-<key>.json` repro artifact. A fifth
+//! layer scales out: [`campaign`] lets N independent worker *processes*
+//! drain one sweep over a shared directory with lease-based claiming,
+//! crash recovery, and byte-identical merges.
 //!
 //! ```
 //! use scalesim_experiments::{run_fig1d, ExpParams};
@@ -48,7 +52,9 @@
 #![warn(missing_debug_implementations)]
 
 mod ablation;
+mod artifacts;
 mod auditing;
+pub mod campaign;
 pub mod checkpoint;
 mod extensions;
 mod fig1_lifespan;
@@ -58,9 +64,11 @@ mod params;
 mod scalability;
 mod shrink;
 mod sweep;
+mod topo;
 mod workdist;
 
 pub use ablation::{run_biased_sched, run_heaplets, Ablation, AblationRow};
+pub use artifacts::{artifact_tables, ArtifactTable, ALL_ARTIFACTS};
 pub use auditing::{audit_spec, write_audit_repro, AUDIT_EVENT_BACKSTOP};
 pub use checkpoint::ResumeStats;
 pub use extensions::{
@@ -81,4 +89,5 @@ pub use sweep::{
     cached_event_total, clear_run_cache, run_all, run_cache_size, take_run_manifests,
     take_sweep_failures, RunManifest, RunSpec, SweepFailure, SweepFailureKind,
 };
+pub use topo::{run_topology, TopoRow, TopologyStudy};
 pub use workdist::{run_workdist, Workdist, WorkdistRow};

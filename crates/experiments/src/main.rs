@@ -10,12 +10,11 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use scalesim_core::{JsonValue, Jvm, JvmConfig, ReproSpec, SimError, TraceConfig};
+use scalesim_experiments::campaign::{self, CampaignError, CampaignSpec};
 use scalesim_experiments::{
-    audit_spec, checkpoint, run_biased_sched, run_concurrent_old_gen, run_ergonomics,
-    run_fig1_locks, run_fig1c, run_fig1d, run_fig2, run_gc_workers, run_heap_size, run_heaplets,
-    run_isolated, run_lock_sharding, run_numa_placement, run_oversubscription, run_scalability,
-    run_workdist, shrink_failure, take_run_manifests, take_sweep_failures, write_audit_repro,
-    write_repro, ExpParams, RunSpec, SweepFailureKind,
+    artifact_tables, audit_spec, checkpoint, run_isolated, shrink_failure, take_run_manifests,
+    take_sweep_failures, write_audit_repro, write_repro, ExpParams, RunSpec, SweepFailureKind,
+    ALL_ARTIFACTS,
 };
 use scalesim_metrics::Table;
 use scalesim_trace::write_atomic;
@@ -24,6 +23,7 @@ use scalesim_workloads::{h2, lusearch, xalan};
 const USAGE: &str = "\
 usage: scalesim-experiments <artifact> [--scale F] [--seed N] [--threads a,b,c] [--out DIR]
                             [--trace FILE] [--checkpoint DIR] [--resume] [--audit]
+       scalesim-experiments campaign <artifact> --dir DIR [--workers N] [options]
        scalesim-experiments repro FILE
        scalesim-experiments audit [--seed N] [--out DIR]
 
@@ -44,7 +44,16 @@ artifacts:
   ext-oversub  extension: oversubscription (threads beyond cores)
   ext-heapsize extension: trace-replay heap-size sweep (3x-min-heap rule)
   ext-concurrent extension: mostly-concurrent old-gen collector
+  ext-topo    extension: machine-topology sweep (AMD / Xeon / SPARC-T3)
   all         everything above
+  campaign <artifact>  drain one artifact's sweep cooperatively across
+              N worker processes sharing --dir: units are claimed with
+              TTL-based lease files (SCALESIM_LEASE_TTL_MS, default
+              2000), results stream into per-worker crc-framed
+              segments, and the final merge is byte-identical to a
+              single-process run no matter how many workers ran or
+              crashed (SIGKILL included). Campaignable artifacts:
+              workdist scaletable fig1a fig1b fig1c fig1d fig2 ext-topo
   repro FILE  re-execute a shrunk failure spec (repro-*.json or
               audit-*.json) exactly; exits 0 when the failure
               reproduces, 1 when it does not
@@ -76,6 +85,9 @@ options:
                  auditor over the recovered timeline; audit-<key>.json
                  repros land next to the shrinker's repro files
                  (SCALESIM_AUDIT=1 too)
+  --dir DIR      (campaign) the shared campaign directory
+  --workers N    (campaign) worker processes to spawn (default
+                 SCALESIM_CAMPAIGN_WORKERS or 2; 0 = drain in-process)
 
 exit codes: 0 clean; 1 runtime failure; 2 finished but some run was
 quarantined, truncated, or memo-corrupted; 3 usage/config error
@@ -84,6 +96,9 @@ quarantined, truncated, or memo-corrupted; 3 usage/config error
 struct Cli {
     artifact: String,
     file: Option<PathBuf>,
+    target: Option<String>,
+    dir: Option<PathBuf>,
+    workers: Option<usize>,
     params: ExpParams,
     out: Option<PathBuf>,
     trace: Option<PathBuf>,
@@ -114,6 +129,9 @@ fn classify(e: &SimError) -> CliError {
 fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut artifact: Option<String> = None;
     let mut file = None;
+    let mut target: Option<String> = None;
+    let mut dir = None;
+    let mut workers = None;
     let mut params = ExpParams::paper();
     let mut out = None;
     let mut trace = None;
@@ -158,6 +176,14 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             }
             "--resume" => resume = true,
             "--audit" => audit = true,
+            "--dir" => {
+                let v = it.next().ok_or("--dir needs a directory")?;
+                dir = Some(PathBuf::from(v));
+            }
+            "--workers" => {
+                let v = it.next().ok_or("--workers needs a count")?;
+                workers = Some(v.parse().map_err(|_| format!("bad worker count {v}"))?);
+            }
             "--help" | "-h" => return Err(String::new()),
             other if artifact.is_none() && !other.starts_with('-') => {
                 artifact = Some(other.to_owned());
@@ -169,6 +195,13 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             {
                 file = Some(PathBuf::from(other));
             }
+            other
+                if artifact.as_deref() == Some("campaign")
+                    && target.is_none()
+                    && !other.starts_with('-') =>
+            {
+                target = Some(other.to_owned());
+            }
             other => return Err(format!("unexpected argument {other}")),
         }
     }
@@ -176,9 +209,20 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     if artifact == "repro" && file.is_none() {
         return Err("repro needs a repro-*.json file argument".to_owned());
     }
+    if artifact == "campaign" {
+        if target.is_none() {
+            return Err("campaign needs a target artifact (e.g. campaign scaletable)".to_owned());
+        }
+        if dir.is_none() {
+            return Err("campaign needs --dir DIR (the shared campaign directory)".to_owned());
+        }
+    }
     Ok(Cli {
         artifact,
         file,
+        target,
+        dir,
+        workers,
         params,
         out,
         trace,
@@ -243,136 +287,172 @@ fn emit(out: &Option<PathBuf>, name: &str, title: &str, table: &Table) -> Result
 }
 
 fn run_artifact(cli: &Cli, artifact: &str) -> Result<(), CliError> {
-    let p = &cli.params;
-    match artifact {
-        "workdist" => emit(
-            &cli.out,
-            "workdist",
-            "Workload distribution across threads (paper SIII)",
-            &run_workdist(p).map_err(|e| classify(&e))?.table(),
-        )?,
-        "scaletable" => emit(
-            &cli.out,
-            "scaletable",
-            "Scalability classification (paper SII-C)",
-            &run_scalability(p).map_err(|e| classify(&e))?.table(),
-        )?,
-        "fig1a" | "fig1b" => emit(
-            &cli.out,
-            "fig1_locks",
-            "Fig 1a/1b: lock acquisitions & contentions vs threads",
-            &run_fig1_locks(p).map_err(|e| classify(&e))?.table(),
-        )?,
-        "fig1c" => emit(
-            &cli.out,
-            "fig1c",
-            "Fig 1c: eclipse object-lifespan CDF",
-            &run_fig1c(p).map_err(|e| classify(&e))?.table(),
-        )?,
-        "fig1d" => emit(
-            &cli.out,
-            "fig1d",
-            "Fig 1d: xalan object-lifespan CDF",
-            &run_fig1d(p).map_err(|e| classify(&e))?.table(),
-        )?,
-        "fig2" => emit(
-            &cli.out,
-            "fig2",
-            "Fig 2: mutator vs GC time decomposition (scalable apps)",
-            &run_fig2(p).map_err(|e| classify(&e))?.table(),
-        )?,
-        "abl-sched" => emit(
-            &cli.out,
-            "abl_sched",
-            "Ablation: biased (cohort) scheduling on xalan (paper SIV.1)",
-            &run_biased_sched("xalan", p)
-                .map_err(|e| classify(&e))?
-                .table(),
-        )?,
-        "abl-heap" => emit(
-            &cli.out,
-            "abl_heap",
-            "Ablation: compartmentalized heaplets on xalan (paper SIV.2)",
-            &run_heaplets("xalan", p).map_err(|e| classify(&e))?.table(),
-        )?,
-        "ext-ergo" => emit(
-            &cli.out,
-            "ext_ergo",
-            "Extension: adaptive nursery sizing on xalan (HotSpot ergonomics)",
-            &run_ergonomics("xalan", p)
-                .map_err(|e| classify(&e))?
-                .table(),
-        )?,
-        "ext-numa" => emit(
-            &cli.out,
-            "ext_numa",
-            "Extension: NUMA placement sensitivity on xalan",
-            &run_numa_placement("xalan", p)
-                .map_err(|e| classify(&e))?
-                .table(),
-        )?,
-        "ext-sharding" => emit(
-            &cli.out,
-            "ext_sharding",
-            "Extension: sharding xalan's dtm-cache lock",
-            &run_lock_sharding("xalan", 1, p)
-                .map_err(|e| classify(&e))?
-                .table(),
-        )?,
-        "ext-gcworkers" => emit(
-            &cli.out,
-            "ext_gcworkers",
-            "Extension: parallel GC worker scaling on xalan",
-            &run_gc_workers("xalan", p)
-                .map_err(|e| classify(&e))?
-                .table(),
-        )?,
-        "ext-oversub" => emit(
-            &cli.out,
-            "ext_oversub",
-            "Extension: oversubscription (threads beyond 48 cores) on xalan",
-            &run_oversubscription("xalan", p)
-                .map_err(|e| classify(&e))?
-                .table(),
-        )?,
-        "ext-heapsize" => emit(
-            &cli.out,
-            "ext_heapsize",
-            "Extension: trace-replay heap-size sweep on xalan (3x-min-heap rule)",
-            &run_heap_size("xalan", p).map_err(|e| classify(&e))?.table(),
-        )?,
-        "ext-concurrent" => emit(
-            &cli.out,
-            "ext_concurrent",
-            "Extension: mostly-concurrent old generation on xalan",
-            &run_concurrent_old_gen("xalan", p)
-                .map_err(|e| classify(&e))?
-                .table(),
-        )?,
-        "all" => {
-            for a in [
-                "workdist",
-                "scaletable",
-                "fig1a",
-                "fig1c",
-                "fig1d",
-                "fig2",
-                "abl-sched",
-                "abl-heap",
-                "ext-ergo",
-                "ext-numa",
-                "ext-sharding",
-                "ext-gcworkers",
-                "ext-oversub",
-                "ext-heapsize",
-                "ext-concurrent",
-            ] {
-                run_artifact(cli, a)?;
-            }
+    if artifact == "all" {
+        for a in ALL_ARTIFACTS {
+            run_artifact(cli, a)?;
         }
-        other => return Err(CliError::Config(format!("unknown artifact {other}"))),
+        return Ok(());
+    }
+    let tables = artifact_tables(artifact, &cli.params)
+        .ok_or_else(|| CliError::Config(format!("unknown artifact {artifact}")))?
+        .map_err(|e| classify(&e))?;
+    for t in &tables {
+        emit(&cli.out, &t.name, &t.title, &t.table)?;
     }
     Ok(())
+}
+
+fn campaign_fail(e: &CampaignError) -> ExitCode {
+    match e {
+        CampaignError::Config(msg) => {
+            eprintln!("error: {msg}\n");
+            eprint!("{USAGE}");
+            ExitCode::from(3)
+        }
+        CampaignError::Runtime(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The `campaign` subcommand. Two roles share this entry point:
+///
+/// * A child worker (`SCALESIM_CAMPAIGN_ROLE=worker`, spawned below or
+///   launched by hand on another terminal/host sharing the directory)
+///   just drains and exits.
+/// * The parent initializes the directory, spawns `--workers` children
+///   of itself, waits for them — tolerating any of them dying, since
+///   survivors reclaim expired leases — runs a final in-process drain to
+///   settle anything left over, and merges.
+fn run_campaign(cli: &Cli) -> ExitCode {
+    let (Some(target), Some(dir)) = (cli.target.clone(), cli.dir.clone()) else {
+        // parse_args enforces both; unreachable in practice.
+        return campaign_fail(&CampaignError::Config(
+            "campaign needs a target artifact and --dir DIR".to_owned(),
+        ));
+    };
+    let spec = CampaignSpec {
+        artifact: target,
+        params: cli.params.clone(),
+    };
+
+    if std::env::var_os("SCALESIM_CAMPAIGN_ROLE").is_some_and(|v| v == "worker") {
+        let id: u32 = std::env::var("SCALESIM_CAMPAIGN_WORKER_ID")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        return match campaign::worker_drain(&dir, &spec, id) {
+            Ok(stats) => {
+                println!(
+                    "campaign worker {id}: ran {} skipped {} volatile {} quarantined {}",
+                    stats.ran, stats.skipped, stats.volatile, stats.quarantined
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => campaign_fail(&e),
+        };
+    }
+
+    if let Err(e) = campaign::init(&dir, &spec) {
+        return campaign_fail(&e);
+    }
+    let workers = cli.workers.unwrap_or_else(campaign::default_workers);
+    let exe = match std::env::current_exe() {
+        Ok(exe) => exe,
+        Err(e) => {
+            return campaign_fail(&CampaignError::Runtime(format!("locate own binary: {e}")));
+        }
+    };
+    let threads_arg: String = spec
+        .params
+        .thread_counts
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
+    let mut children = Vec::new();
+    for i in 1..=workers {
+        let spawned = std::process::Command::new(&exe)
+            .arg("campaign")
+            .arg(&spec.artifact)
+            .arg("--dir")
+            .arg(&dir)
+            .arg("--scale")
+            .arg(format!("{:?}", spec.params.scale))
+            .arg("--seed")
+            .arg(spec.params.seed.to_string())
+            .arg("--threads")
+            .arg(&threads_arg)
+            .env("SCALESIM_CAMPAIGN_ROLE", "worker")
+            .env("SCALESIM_CAMPAIGN_WORKER_ID", i.to_string())
+            .stdout(std::process::Stdio::null())
+            .spawn();
+        match spawned {
+            Ok(child) => children.push((i, child)),
+            Err(e) => eprintln!("warning: spawn campaign worker {i}: {e} (continuing without it)"),
+        }
+    }
+    if !children.is_empty() {
+        println!(
+            "campaign: {} worker process(es) draining {} into {}",
+            children.len(),
+            spec.artifact,
+            dir.display()
+        );
+    }
+    for (i, mut child) in children {
+        match child.wait() {
+            Ok(status) if status.success() => {}
+            Ok(status) => eprintln!(
+                "warning: campaign worker {i} exited with {status}; \
+                 survivors will reclaim its leases"
+            ),
+            Err(e) => eprintln!("warning: wait for campaign worker {i}: {e}"),
+        }
+    }
+    // Final in-process drain: settles anything still unclaimed (dead
+    // workers, no workers at all) by reclaiming expired leases, so the
+    // merge always sees a fully settled campaign.
+    let stats = match campaign::worker_drain(&dir, &spec, 0) {
+        Ok(stats) => stats,
+        Err(e) => return campaign_fail(&e),
+    };
+    let outcome = match campaign::merge(&dir, &spec) {
+        Ok(outcome) => outcome,
+        Err(e) => return campaign_fail(&e),
+    };
+    println!(
+        "campaign: {} unit(s): {} restored from segments, {} re-ran in merge; \
+         finisher ran {}, {} torn/corrupt line(s) skipped",
+        outcome.units, outcome.restored, outcome.reran, stats.ran, outcome.skipped_lines
+    );
+    for t in &outcome.tables {
+        if let Err(e) = emit(&cli.out, &t.name, &t.title, &t.table) {
+            return match e {
+                CliError::Config(msg) => campaign_fail(&CampaignError::Config(msg)),
+                CliError::Runtime(msg) => campaign_fail(&CampaignError::Runtime(msg)),
+            };
+        }
+    }
+    if !outcome.failures.is_empty() {
+        eprintln!("sweep failure digest ({} entries):", outcome.failures.len());
+        for f in &outcome.failures {
+            eprintln!("  [{}] {}: {}", f.kind, f.spec, f.detail);
+        }
+    }
+    let repro_dir = cli.out.clone().unwrap_or_else(|| PathBuf::from("."));
+    let _ = shrink_quarantined(&outcome.failures, &repro_dir);
+    if let Some(out) = &cli.out {
+        if let Err(msg) = write_manifests(out, &outcome.manifests) {
+            return campaign_fail(&CampaignError::Runtime(msg));
+        }
+    }
+    if outcome.degraded() {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 /// Re-executes a shrunk failure spec from a `repro-*.json` file.
@@ -591,6 +671,9 @@ fn main() -> ExitCode {
     if cli.artifact == "audit" {
         return run_audit(&cli);
     }
+    if cli.artifact == "campaign" {
+        return run_campaign(&cli);
+    }
 
     // Checkpointing: CLI flags win, env vars (SCALESIM_CHECKPOINT /
     // SCALESIM_RESUME=1) reach the same machinery from wrappers.
@@ -740,6 +823,32 @@ mod tests {
         assert_eq!(cli.artifact, "audit");
         assert_eq!(cli.params.seed, 9);
         assert_eq!(cli.out.unwrap(), PathBuf::from("/tmp/a"));
+    }
+
+    #[test]
+    fn campaign_takes_a_target_and_dir() {
+        let cli = parse_args(&s(&[
+            "campaign",
+            "scaletable",
+            "--dir",
+            "/tmp/camp",
+            "--workers",
+            "3",
+            "--threads",
+            "2,4",
+        ]))
+        .unwrap();
+        assert_eq!(cli.artifact, "campaign");
+        assert_eq!(cli.target.as_deref(), Some("scaletable"));
+        assert_eq!(cli.dir.unwrap(), PathBuf::from("/tmp/camp"));
+        assert_eq!(cli.workers, Some(3));
+        assert_eq!(cli.params.thread_counts, vec![2, 4]);
+        // Target and --dir are both mandatory; the worker count is not.
+        assert!(parse_args(&s(&["campaign", "--dir", "/tmp/camp"])).is_err());
+        assert!(parse_args(&s(&["campaign", "scaletable"])).is_err());
+        assert!(parse_args(&s(&["campaign", "scaletable", "--workers", "x"])).is_err());
+        let cli = parse_args(&s(&["campaign", "fig2", "--dir", "d"])).unwrap();
+        assert!(cli.workers.is_none());
     }
 
     #[test]

@@ -12,7 +12,7 @@ use scalesim_simkit::SimDuration;
 use scalesim_workloads::{all_apps, AppModel, ScalabilityClass};
 
 use crate::params::ExpParams;
-use crate::sweep::{mark_cell, run_all, RunSpec};
+use crate::sweep::{grid_specs, mark_cell, run_all};
 
 /// Speedup (vs. the smallest thread count) above which an application is
 /// classified scalable at the largest thread count. With a 4→48 sweep a
@@ -130,12 +130,7 @@ impl Scalability {
 /// the drivers' common `Result` signature.
 pub fn run_scalability(params: &ExpParams) -> Result<Scalability, SimError> {
     let apps = all_apps();
-    let mut specs = Vec::new();
-    for app in &apps {
-        for &threads in &params.thread_counts {
-            specs.push(RunSpec::new(app.scaled(params.scale), threads, params.seed));
-        }
-    }
+    let specs = grid_specs(&apps, params);
     let reports = run_all(&specs);
     let rows = apps
         .iter()

@@ -61,6 +61,7 @@ use scalesim_trace::CounterId;
 use scalesim_workloads::{AppModel, SyntheticApp};
 
 use crate::checkpoint;
+use crate::params::ExpParams;
 
 /// One run request: an application and the VM configuration to run it
 /// under.
@@ -397,9 +398,22 @@ fn memo_disabled() -> bool {
     std::env::var_os("SCALESIM_NO_MEMO").is_some_and(|v| v == "1")
 }
 
+/// The (application × thread count) grid every full-figure sweep
+/// shares; drivers and the campaign unit enumeration build their specs
+/// through this one function so the two can never drift apart.
+pub(crate) fn grid_specs(apps: &[SyntheticApp], params: &ExpParams) -> Vec<RunSpec> {
+    let mut specs = Vec::with_capacity(apps.len() * params.thread_counts.len());
+    for app in apps {
+        for &threads in &params.thread_counts {
+            specs.push(RunSpec::new(app.scaled(params.scale), threads, params.seed));
+        }
+    }
+    specs
+}
+
 /// Number of physical cores, falling back to logical parallelism where
 /// the sysfs topology is unavailable. `SCALESIM_WORKERS` overrides both.
-fn worker_budget() -> usize {
+pub(crate) fn worker_budget() -> usize {
     if let Some(v) = std::env::var_os("SCALESIM_WORKERS") {
         if let Some(n) = v.to_str().and_then(|s| s.parse::<usize>().ok()) {
             return n.max(1);
@@ -470,11 +484,12 @@ fn guarded_attempt(spec: &RunSpec, slot: &WatchdogSlot) -> Result<RunReport, Str
     }
 }
 
-/// Whether a completed report may be persisted to the checkpoint store.
+/// Whether a completed report may be persisted to the checkpoint store
+/// (or a campaign worker's segment).
 /// Host-time-dependent truncations are excluded: they encode transient
 /// host conditions, and replaying them would make a resumed sweep
 /// diverge from an uninterrupted one.
-fn checkpointable(report: &RunReport) -> bool {
+pub(crate) fn checkpointable(report: &RunReport) -> bool {
     !matches!(
         report.outcome,
         RunOutcome::Truncated(AbortReason::Watchdog | AbortReason::MaxHostMs(_))

@@ -12,7 +12,7 @@ use scalesim_metrics::{fmt2, Table};
 use scalesim_workloads::{all_apps, AppModel, ScalabilityClass};
 
 use crate::params::ExpParams;
-use crate::sweep::{outcome_cell, run_all, RunSpec};
+use crate::sweep::{grid_specs, outcome_cell, run_all};
 
 /// Work-distribution measurements for one (app, thread count) cell.
 #[derive(Debug, Clone, PartialEq)]
@@ -83,12 +83,7 @@ impl Workdist {
 /// the drivers' common `Result` signature.
 pub fn run_workdist(params: &ExpParams) -> Result<Workdist, SimError> {
     let apps = all_apps();
-    let mut specs = Vec::new();
-    for app in &apps {
-        for &threads in &params.thread_counts {
-            specs.push(RunSpec::new(app.scaled(params.scale), threads, params.seed));
-        }
-    }
+    let specs = grid_specs(&apps, params);
     let reports = run_all(&specs);
     let rows = reports
         .iter()

@@ -68,6 +68,24 @@ impl MachineTopology {
             .build()
     }
 
+    /// A SPARC-T3-like single-socket box in the style of van Tol's T3
+    /// characterization: one socket exposing 64 hardware threads, 128 GB
+    /// RAM. With everything on one socket there is no remote memory node,
+    /// so the NUMA factor is uniformly 1.0 — scalability limits on this
+    /// profile come from the application and the runtime alone, which is
+    /// exactly what makes it a useful contrast axis against the
+    /// four-socket AMD testbed.
+    #[must_use]
+    pub fn sparc_t3_like() -> Self {
+        MachineBuilder::new()
+            .name("1x SPARC-T3-like 64-thread")
+            .sockets(1)
+            .cores_per_socket(64)
+            .remote_factor(1.0)
+            .ram_bytes(128 * (1 << 30))
+            .build()
+    }
+
     /// Human-readable machine name.
     #[must_use]
     pub fn name(&self) -> &str {
@@ -351,6 +369,18 @@ mod tests {
         assert_eq!(m.num_cores(), 32);
         assert_eq!(m.num_sockets(), 2);
         assert_eq!(m.numa_factor(CoreId::new(0), MemNodeId::new(1)), 1.3);
+    }
+
+    #[test]
+    fn sparc_preset_is_single_socket_and_numa_flat() {
+        let m = MachineTopology::sparc_t3_like();
+        assert_eq!(m.num_sockets(), 1);
+        assert_eq!(m.num_cores(), 64);
+        assert_eq!(m.ram_bytes(), 128 * (1 << 30));
+        assert_eq!(m.numa_factor(CoreId::new(63), MemNodeId::new(0)), 1.0);
+        assert_eq!(m.mean_numa_factor(64), 1.0);
+        // Scatter placement degenerates to compact on one socket.
+        assert_eq!(m.enabled(8), m.enabled_scatter(8));
     }
 
     #[test]

@@ -5,18 +5,35 @@
 //! observable half-written: a killed process that leaves a truncated
 //! `manifest.jsonl` would make `trace_check` — and a resumed sweep — fail
 //! on an artifact the harness itself produced. [`write_atomic`] funnels
-//! all of them through the classic write-to-temp-then-rename protocol.
+//! all of them through the classic write-to-temp-then-rename protocol,
+//! with both the file contents and the directory entry fsynced — rename
+//! alone survives a process crash but not a host crash, where a
+//! renamed-but-unsynced entry can come back pointing at garbage (or
+//! nothing).
 
-use std::io;
+use std::io::{self, Write};
 use std::path::Path;
 
-/// Writes `contents` to `path` atomically.
+/// Fsyncs a directory so a rename performed inside it is durable across
+/// a host crash, not just a process crash. (On Linux, directories are
+/// opened read-only and fsynced like any other file descriptor.)
+///
+/// # Errors
+///
+/// Propagates open/fsync failures.
+pub fn sync_dir(dir: &Path) -> io::Result<()> {
+    std::fs::File::open(dir)?.sync_all()
+}
+
+/// Writes `contents` to `path` atomically and durably.
 ///
 /// The bytes land in a hidden sibling temp file first
 /// (`.<name>.tmp-<pid>`, same directory so the rename cannot cross a
-/// filesystem), then replace `path` in one `rename` step. Readers
-/// therefore see either the previous artifact or the complete new one,
-/// never a torn mix. Parent directories are created as needed.
+/// filesystem), are fsynced, then replace `path` in one `rename` step,
+/// and the parent directory is fsynced so the rename itself survives a
+/// host crash. Readers therefore see either the previous artifact or
+/// the complete new one, never a torn mix — even across power loss.
+/// Parent directories are created as needed.
 ///
 /// # Errors
 ///
@@ -34,12 +51,18 @@ pub fn write_atomic(path: &Path, contents: impl AsRef<[u8]>) -> io::Result<()> {
     tmp_name.push(name);
     tmp_name.push(format!(".tmp-{}", std::process::id()));
     let tmp = path.with_file_name(tmp_name);
-    std::fs::write(&tmp, contents).inspect_err(|_| {
+    let write_synced = |bytes: &[u8]| -> io::Result<()> {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()
+    };
+    write_synced(contents.as_ref()).inspect_err(|_| {
         let _ = std::fs::remove_file(&tmp);
     })?;
     std::fs::rename(&tmp, path).inspect_err(|_| {
         let _ = std::fs::remove_file(&tmp);
-    })
+    })?;
+    sync_dir(dir.unwrap_or_else(|| Path::new(".")))
 }
 
 #[cfg(test)]

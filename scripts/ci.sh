@@ -58,6 +58,28 @@ arepro=$(ls target/ci-audit/audit-*.json 2>/dev/null | head -1 || true)
 [ -n "$arepro" ] || { echo "no audit repro file written"; exit 1; }
 echo '== audit repro smoke (audit-*.json must round-trip through repro and re-fail, exit 0)'
 cargo run --release -q -p scalesim-experiments -- repro "$arepro" > /dev/null 2>&1
+echo '== campaign smoke (2-worker campaign must merge byte-identical to a single run)'
+rm -rf target/ci-campaign
+cargo run --release -q -p scalesim-experiments -- \
+    scaletable --scale 0.02 --threads 4,8 \
+    --out target/ci-campaign/single > /dev/null
+cargo run --release -q -p scalesim-experiments -- \
+    campaign scaletable --scale 0.02 --threads 4,8 \
+    --dir target/ci-campaign/dir --workers 2 \
+    --out target/ci-campaign/merged > /dev/null
+diff target/ci-campaign/single/scaletable.csv target/ci-campaign/merged/scaletable.csv
+# The merged manifest comes pre-zeroed; strip the single run's host-wall field.
+sed 's/"host_ns":[0-9]*/"host_ns":0/' target/ci-campaign/single/manifest.jsonl \
+    > target/ci-campaign/single.norm
+diff target/ci-campaign/single.norm target/ci-campaign/merged/manifest.jsonl
+echo '== campaign degraded smoke (panicking units must quarantine, exit 2)'
+rc=0
+SCALESIM_CHAOS='panic-at=2000' \
+    cargo run --release -q -p scalesim-experiments -- \
+    campaign scaletable --scale 0.02 --threads 4 \
+    --dir target/ci-campaign/chaos --workers 2 \
+    --out target/ci-campaign/chaos-out > /dev/null 2>&1 || rc=$?
+[ "$rc" -eq 2 ] || { echo "expected degraded campaign exit 2, got $rc"; exit 1; }
 echo '== bench budget check (committed BENCH_sweep.json must respect its budgets)'
 cargo run --release -q -p scalesim-bench --bin bench_check -- BENCH_sweep.json
 echo '== traced smoke (timeline export + run manifest must validate)'
