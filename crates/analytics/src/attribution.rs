@@ -1,0 +1,152 @@
+//! Per-run time attribution and lock-latency percentiles.
+//!
+//! Aggregates the scheduler's per-thread [`StateTimes`] accounting into
+//! the paper's mutator-vs-GC and lock-wait breakdowns, and summarizes
+//! the lock table's hold/wait histograms as p50/p95/p99 percentiles —
+//! all from data every run already records, no tracing required.
+
+use scalesim_core::RunReport;
+use scalesim_metrics::LogHistogram;
+
+/// Where a run's thread-time went, in nanoseconds summed over all
+/// mutator threads.
+///
+/// The six scheduler states collapse to five reported bins:
+/// `blocked_starved` and `blocked_sleep` merge into `condition_wait_ns`
+/// (both are "parked until someone signals work/time", the monitor
+/// `wait()` analog), while GC stop-the-world pauses — which subsume
+/// safepoint time in this simulator — stay their own bin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TimeProfile {
+    /// Mutator threads in the run.
+    pub threads: usize,
+    /// On-core execution time (the paper's mutator time).
+    pub running_ns: u64,
+    /// Runnable but waiting for a core (CPU starvation).
+    pub runnable_wait_ns: u64,
+    /// Blocked on contended monitors (lock wait).
+    pub lock_blocked_ns: u64,
+    /// Parked waiting for work or in voluntary sleeps.
+    pub condition_wait_ns: u64,
+    /// Frozen by stop-the-world GC (includes safepoint ramp-down).
+    pub gc_paused_ns: u64,
+    /// End-to-end wall time of the run.
+    pub wall_ns: u64,
+    /// Wall time minus GC pauses (the paper's mutator wall).
+    pub mutator_wall_ns: u64,
+    /// Sum of stop-the-world pauses (the paper's GC time).
+    pub gc_wall_ns: u64,
+}
+
+impl TimeProfile {
+    /// Builds the profile from one run's report.
+    #[must_use]
+    pub fn from_report(report: &RunReport) -> TimeProfile {
+        let mut p = TimeProfile {
+            threads: report.threads,
+            wall_ns: report.wall_time.as_nanos(),
+            mutator_wall_ns: report.mutator_wall().as_nanos(),
+            gc_wall_ns: report.gc_time.as_nanos(),
+            ..TimeProfile::default()
+        };
+        for t in &report.per_thread {
+            p.running_ns += t.times.running.as_nanos();
+            p.runnable_wait_ns += t.times.runnable_wait.as_nanos();
+            p.lock_blocked_ns += t.times.blocked_monitor.as_nanos();
+            p.condition_wait_ns +=
+                t.times.blocked_starved.as_nanos() + t.times.blocked_sleep.as_nanos();
+            p.gc_paused_ns += t.times.gc_paused.as_nanos();
+        }
+        p
+    }
+
+    /// Total accounted thread-time (sum of all five bins).
+    #[must_use]
+    pub fn accounted_ns(&self) -> u64 {
+        self.running_ns
+            + self.runnable_wait_ns
+            + self.lock_blocked_ns
+            + self.condition_wait_ns
+            + self.gc_paused_ns
+    }
+
+    /// GC share of wall time, in `[0, 1]`.
+    #[must_use]
+    pub fn gc_share(&self) -> f64 {
+        share(self.gc_wall_ns, self.wall_ns)
+    }
+
+    /// Lock-blocked share of accounted thread-time, in `[0, 1]`.
+    #[must_use]
+    pub fn lock_share(&self) -> f64 {
+        share(self.lock_blocked_ns, self.accounted_ns())
+    }
+}
+
+fn share(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        part as f64 / whole as f64
+    }
+}
+
+/// p50/p95/p99 summary of a log-bucketed histogram (nanoseconds).
+///
+/// Quantiles are bucket upper bounds (`2^(i+1) − 1`), the resolution
+/// the histogram actually stores; all zero when the histogram is empty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Percentiles {
+    /// Samples recorded.
+    pub count: u64,
+    /// Median.
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+impl Percentiles {
+    /// Summarizes one histogram.
+    #[must_use]
+    pub fn from_histogram(h: &LogHistogram) -> Percentiles {
+        Percentiles {
+            count: h.count(),
+            p50: h.quantile(0.50).unwrap_or(0),
+            p95: h.quantile(0.95).unwrap_or(0),
+            p99: h.quantile(0.99).unwrap_or(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_of_empty_histogram_are_zero() {
+        let p = Percentiles::from_histogram(&LogHistogram::new());
+        assert_eq!(p, Percentiles::default());
+    }
+
+    #[test]
+    fn percentiles_are_monotone_bucket_bounds() {
+        let mut h = LogHistogram::new();
+        for v in [10u64, 100, 1_000, 10_000, 100_000] {
+            h.record_n(v, 20);
+        }
+        let p = Percentiles::from_histogram(&h);
+        assert_eq!(p.count, 100);
+        assert!(p.p50 <= p.p95 && p.p95 <= p.p99, "{p:?}");
+        assert!(p.p99 >= 100_000, "{p:?}");
+    }
+
+    #[test]
+    fn shares_handle_zero_denominators() {
+        let p = TimeProfile::default();
+        assert_eq!(p.gc_share(), 0.0);
+        assert_eq!(p.lock_share(), 0.0);
+        assert_eq!(p.accounted_ns(), 0);
+    }
+}

@@ -1,0 +1,34 @@
+//! Offline scalability analytics over completed sweeps.
+//!
+//! This crate is the answer layer on top of five PRs of recorded
+//! telemetry: it takes the per-run [`RunReport`]s a sweep already
+//! produced (live, from a resumed checkpoint, or from a merged
+//! campaign — all Debug-identical) and derives *why* each workload
+//! scales or fails to, with no re-simulation and no host-time inputs:
+//!
+//! 1. **USL fitting** ([`usl`]) — a std-only least-squares fit of each
+//!    throughput-vs-threads curve to Gunther's Universal Scalability
+//!    Law, yielding the contention coefficient σ, the coherency
+//!    coefficient κ, the peak concurrency `n*`, the predicted collapse
+//!    point, and an automatic scalable / contention-limited /
+//!    coherency-collapsed classification.
+//! 2. **Time attribution** ([`attribution`]) — per-run aggregation of
+//!    the scheduler's per-thread state accounting into the paper's
+//!    mutator-vs-GC and lock-wait breakdowns, plus p50/p95/p99
+//!    monitor-hold and lock-wait percentiles from the lock table's
+//!    histograms.
+//! 3. **The artifact** ([`report`]) — a deterministic, fingerprinted
+//!    `analytics.json` plus a rendered text report.
+//!
+//! The experiments crate assembles the inputs and owns the file I/O;
+//! this crate is pure computation, usable on any collection of reports.
+//!
+//! [`RunReport`]: scalesim_core::RunReport
+
+mod attribution;
+mod report;
+mod usl;
+
+pub use attribution::{Percentiles, TimeProfile};
+pub use report::{AnalyticsReport, WorkloadAnalysis, ANALYTICS_VERSION};
+pub use usl::{fit_usl, UslClass, UslFit, SCALABLE_EFFICIENCY_THRESHOLD};

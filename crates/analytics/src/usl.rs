@@ -1,0 +1,335 @@
+//! Least-squares fitting of Gunther's Universal Scalability Law.
+//!
+//! The USL models throughput at concurrency `n` as
+//!
+//! ```text
+//! X(n) = λ·n / (1 + σ·(n−1) + κ·n·(n−1))
+//! ```
+//!
+//! where λ is the single-thread throughput, σ the serial (contention)
+//! fraction and κ the coherency (crosstalk) cost. The law is linear in
+//! disguise: dividing through gives `n/X(n) = a + b·(n−1) + c·n·(n−1)`
+//! with `a = 1/λ`, `b = σ/λ`, `c = κ/λ`, so an ordinary least-squares
+//! fit over the basis `[1, (n−1), n·(n−1)]` recovers all three
+//! parameters without any iterative solver — std-only, deterministic.
+
+/// Fitted-efficiency fraction at the largest thread count above which a
+/// curve is classified scalable.
+///
+/// A perfectly scalable app retains efficiency 1.0 (speedup equals the
+/// thread ratio); a serialized app tends to `min_n/max_n`. The 0.25 cut
+/// reproduces the experiments crate's absolute speedup threshold (3×) on
+/// the paper's 4→48 sweep, but stays meaningful for other grids.
+pub const SCALABLE_EFFICIENCY_THRESHOLD: f64 = 0.25;
+
+/// The three USL parameters plus goodness of fit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UslFit {
+    /// Ideal per-thread throughput (the `λ` coefficient).
+    pub lambda: f64,
+    /// Serial / contention fraction (`σ`), clamped to `[0, ∞)`.
+    pub sigma: f64,
+    /// Coherency / crosstalk cost (`κ`), clamped to `[0, ∞)`.
+    pub kappa: f64,
+    /// Root-mean-square *relative* residual of the (clamped) fit over
+    /// the input points: 0 means the curve passes through every point.
+    pub rms_residual: f64,
+}
+
+/// Automatic classification of a fitted curve over a given sweep range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UslClass {
+    /// Fitted efficiency at the top of the sweep stays above
+    /// [`SCALABLE_EFFICIENCY_THRESHOLD`].
+    Scalable,
+    /// Not scalable, but throughput has no predicted maximum inside the
+    /// sweep: σ dominates (Amdahl-style saturation).
+    ContentionLimited,
+    /// Not scalable and the predicted peak `n*` lies inside the sweep:
+    /// κ dominates and adding threads makes throughput *fall*.
+    CoherencyCollapsed,
+}
+
+impl UslClass {
+    /// Stable lowercase label used in JSON artifacts and tables.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            UslClass::Scalable => "scalable",
+            UslClass::ContentionLimited => "contention-limited",
+            UslClass::CoherencyCollapsed => "coherency-collapsed",
+        }
+    }
+
+    /// Whether this class agrees with the paper's coarse two-way label
+    /// (`"scalable"` / `"non-scalable"`).
+    #[must_use]
+    pub fn matches_expected(self, expected: &str) -> bool {
+        match self {
+            UslClass::Scalable => expected == "scalable",
+            _ => expected == "non-scalable",
+        }
+    }
+}
+
+impl UslFit {
+    /// Predicted throughput at concurrency `n`.
+    #[must_use]
+    pub fn predict(&self, n: f64) -> f64 {
+        let denom = 1.0 + self.sigma * (n - 1.0) + self.kappa * n * (n - 1.0);
+        if denom <= 0.0 {
+            0.0
+        } else {
+            self.lambda * n / denom
+        }
+    }
+
+    /// Concurrency at which predicted throughput peaks:
+    /// `n* = sqrt((1−σ)/κ)`. Infinite when κ = 0 (no coherency cost ⇒
+    /// throughput only saturates, never falls); 1 when σ ≥ 1.
+    #[must_use]
+    pub fn peak_concurrency(&self) -> f64 {
+        if self.kappa <= 0.0 {
+            f64::INFINITY
+        } else if self.sigma >= 1.0 {
+            1.0
+        } else {
+            ((1.0 - self.sigma) / self.kappa).sqrt()
+        }
+    }
+
+    /// Predicted collapse point: the concurrency past the peak where
+    /// throughput falls back to its single-thread level, `(1−σ)/κ`
+    /// (the closed-form root of `X(n) = X(1)` for `n > 1`). Infinite
+    /// when κ = 0.
+    #[must_use]
+    pub fn collapse_point(&self) -> f64 {
+        if self.kappa <= 0.0 {
+            f64::INFINITY
+        } else if self.sigma >= 1.0 {
+            1.0
+        } else {
+            (1.0 - self.sigma) / self.kappa
+        }
+    }
+
+    /// Classifies the fitted curve over the sweep `[min_n, max_n]`.
+    #[must_use]
+    pub fn classify(&self, min_n: f64, max_n: f64) -> UslClass {
+        let base = self.predict(min_n);
+        let ideal = if min_n > 0.0 { max_n / min_n } else { 1.0 };
+        let fitted = if base > 0.0 {
+            self.predict(max_n) / base
+        } else {
+            0.0
+        };
+        if fitted >= SCALABLE_EFFICIENCY_THRESHOLD * ideal {
+            UslClass::Scalable
+        } else if self.peak_concurrency() <= max_n {
+            UslClass::CoherencyCollapsed
+        } else {
+            UslClass::ContentionLimited
+        }
+    }
+}
+
+/// Fits the USL to `(threads, throughput)` points by linear least
+/// squares over the transformed curve `n/X(n)`.
+///
+/// Points with non-positive thread count or throughput are ignored
+/// (quarantined sweep cells produce zero throughput). Fitting degrades
+/// gracefully with the number of *distinct* thread counts: three or
+/// more fit all of (λ, σ, κ); two fix κ = 0; one fixes σ = κ = 0.
+/// Returns `None` when no usable point remains or the system is
+/// singular / yields a non-positive λ.
+#[must_use]
+pub fn fit_usl(points: &[(f64, f64)]) -> Option<UslFit> {
+    let usable: Vec<(f64, f64)> = points
+        .iter()
+        .copied()
+        .filter(|&(n, x)| n >= 1.0 && x > 0.0 && n.is_finite() && x.is_finite())
+        .collect();
+    if usable.is_empty() {
+        return None;
+    }
+    let mut distinct: Vec<f64> = usable.iter().map(|&(n, _)| n).collect();
+    distinct.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    distinct.dedup();
+    let k = distinct.len().min(3);
+
+    // Normal equations over basis [1, (n−1), n·(n−1)] for y = n/X.
+    let mut ata = [[0.0f64; 3]; 3];
+    let mut aty = [0.0f64; 3];
+    for &(n, x) in &usable {
+        let phi = [1.0, n - 1.0, n * (n - 1.0)];
+        let y = n / x;
+        for i in 0..k {
+            for j in 0..k {
+                ata[i][j] += phi[i] * phi[j];
+            }
+            aty[i] += phi[i] * y;
+        }
+    }
+    let w = solve(&mut ata, &mut aty, k)?;
+    let a = w[0];
+    if !(a.is_finite() && a > 0.0) {
+        return None;
+    }
+    let mut fit = UslFit {
+        lambda: 1.0 / a,
+        sigma: (w[1] / a).max(0.0),
+        kappa: (w[2] / a).max(0.0),
+        rms_residual: 0.0,
+    };
+    // Residuals are recomputed after clamping so they price the model we
+    // actually report, not the unconstrained solution.
+    let mut sq = 0.0;
+    for &(n, x) in &usable {
+        let rel = (fit.predict(n) - x) / x;
+        sq += rel * rel;
+    }
+    fit.rms_residual = (sq / usable.len() as f64).sqrt();
+    Some(fit)
+}
+
+/// Solves the leading `k×k` block of `A·w = b` by Gaussian elimination
+/// with partial pivoting; trailing unknowns are fixed at zero.
+#[allow(clippy::needless_range_loop)] // textbook elimination reads clearest indexed
+fn solve(a: &mut [[f64; 3]; 3], b: &mut [f64; 3], k: usize) -> Option<[f64; 3]> {
+    for col in 0..k {
+        let pivot = (col..k).max_by(|&i, &j| {
+            a[i][col]
+                .abs()
+                .partial_cmp(&a[j][col].abs())
+                .expect("finite")
+        })?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in col + 1..k {
+            let f = a[row][col] / a[col][col];
+            for c in col..k {
+                a[row][c] -= f * a[col][c];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    let mut w = [0.0f64; 3];
+    for col in (0..k).rev() {
+        let mut acc = b[col];
+        for c in col + 1..k {
+            acc -= a[col][c] * w[c];
+        }
+        w[col] = acc / a[col][col];
+    }
+    if w.iter().all(|v| v.is_finite()) {
+        Some(w)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synth(lambda: f64, sigma: f64, kappa: f64, ns: &[f64]) -> Vec<(f64, f64)> {
+        let truth = UslFit {
+            lambda,
+            sigma,
+            kappa,
+            rms_residual: 0.0,
+        };
+        ns.iter().map(|&n| (n, truth.predict(n))).collect()
+    }
+
+    #[test]
+    fn recovers_exact_parameters_from_clean_curve() {
+        let pts = synth(1000.0, 0.08, 0.0005, &[1.0, 4.0, 8.0, 16.0, 32.0, 48.0]);
+        let fit = fit_usl(&pts).expect("fit");
+        assert!((fit.lambda - 1000.0).abs() < 1e-6, "{fit:?}");
+        assert!((fit.sigma - 0.08).abs() < 1e-9, "{fit:?}");
+        assert!((fit.kappa - 0.0005).abs() < 1e-9, "{fit:?}");
+        assert!(fit.rms_residual < 1e-9, "{fit:?}");
+    }
+
+    #[test]
+    fn peak_and_collapse_closed_forms() {
+        let fit = UslFit {
+            lambda: 100.0,
+            sigma: 0.1,
+            kappa: 0.01,
+            rms_residual: 0.0,
+        };
+        // n* = sqrt(0.9/0.01) ≈ 9.487; collapse = 0.9/0.01 = 90.
+        assert!((fit.peak_concurrency() - 90.0f64.sqrt()).abs() < 1e-12);
+        assert!((fit.collapse_point() - 90.0).abs() < 1e-12);
+        // Throughput at the collapse point is back to X(1) = λ.
+        assert!((fit.predict(90.0) - fit.predict(1.0)).abs() < 1e-9);
+        // κ = 0 ⇒ no peak, no collapse.
+        let amdahl = UslFit { kappa: 0.0, ..fit };
+        assert!(amdahl.peak_concurrency().is_infinite());
+        assert!(amdahl.collapse_point().is_infinite());
+    }
+
+    #[test]
+    fn classification_covers_all_three_regimes() {
+        let scalable =
+            fit_usl(&synth(100.0, 0.01, 0.00001, &[4.0, 8.0, 16.0, 32.0, 48.0])).expect("fit");
+        assert_eq!(scalable.classify(4.0, 48.0), UslClass::Scalable);
+
+        let contended =
+            fit_usl(&synth(100.0, 0.6, 0.0, &[4.0, 8.0, 16.0, 32.0, 48.0])).expect("fit");
+        assert_eq!(contended.classify(4.0, 48.0), UslClass::ContentionLimited);
+
+        let collapsed =
+            fit_usl(&synth(100.0, 0.2, 0.01, &[4.0, 8.0, 16.0, 32.0, 48.0])).expect("fit");
+        assert_eq!(collapsed.classify(4.0, 48.0), UslClass::CoherencyCollapsed);
+    }
+
+    #[test]
+    fn degenerate_point_counts_degrade_gracefully() {
+        // One distinct n: pure λ fit.
+        let one = fit_usl(&[(8.0, 400.0)]).expect("fit");
+        assert!((one.predict(8.0) - 400.0).abs() < 1e-9);
+        assert_eq!((one.sigma, one.kappa), (0.0, 0.0));
+        // Two distinct n: κ pinned to zero.
+        let two = fit_usl(&synth(100.0, 0.3, 0.0, &[4.0, 16.0])).expect("fit");
+        assert!((two.sigma - 0.3).abs() < 1e-9, "{two:?}");
+        assert_eq!(two.kappa, 0.0);
+        // Nothing usable.
+        assert!(fit_usl(&[]).is_none());
+        assert!(fit_usl(&[(4.0, 0.0)]).is_none());
+    }
+
+    #[test]
+    fn negative_coefficients_clamp_and_reprice_residual() {
+        // Superlinear data would drive σ negative; the clamp keeps the
+        // reported model physical and the residual honest about it.
+        let pts = [(1.0, 100.0), (2.0, 230.0), (4.0, 520.0)];
+        let fit = fit_usl(&pts).expect("fit");
+        assert!(fit.sigma >= 0.0 && fit.kappa >= 0.0);
+        assert!(fit.rms_residual > 0.0);
+    }
+
+    #[test]
+    fn ignores_quarantined_zero_throughput_cells() {
+        let mut pts = synth(1000.0, 0.05, 0.0001, &[4.0, 8.0, 16.0, 32.0]);
+        pts.push((48.0, 0.0)); // quarantined cell
+        let fit = fit_usl(&pts).expect("fit");
+        assert!((fit.sigma - 0.05).abs() < 1e-9, "{fit:?}");
+    }
+
+    #[test]
+    fn class_labels_and_expected_matching() {
+        assert_eq!(UslClass::Scalable.label(), "scalable");
+        assert_eq!(UslClass::ContentionLimited.label(), "contention-limited");
+        assert_eq!(UslClass::CoherencyCollapsed.label(), "coherency-collapsed");
+        assert!(UslClass::Scalable.matches_expected("scalable"));
+        assert!(!UslClass::Scalable.matches_expected("non-scalable"));
+        assert!(UslClass::ContentionLimited.matches_expected("non-scalable"));
+        assert!(UslClass::CoherencyCollapsed.matches_expected("non-scalable"));
+    }
+}

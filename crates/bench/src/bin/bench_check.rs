@@ -13,7 +13,9 @@
 //! * `trace_off_overhead_pct` <= 2% (trace-off is the production path);
 //! * `audit_overhead_pct` <= 3%;
 //! * `campaign_overhead_pct` <= 3% (lease files, segment appends, and
-//!   the deterministic merge over running the sweep in-process).
+//!   the deterministic merge over running the sweep in-process);
+//! * `analytics_overhead_pct` <= 3% (the offline USL-fit + attribution
+//!   pass over producing the sweep it analyzes).
 //!
 //! Usage: `bench_check [BENCH_sweep.json]`. Exits 0 when every budget
 //! holds, 1 with one line per violation otherwise, 2 when the file is
@@ -49,6 +51,7 @@ fn main() -> ExitCode {
         ("trace_off_overhead_pct", 2.0),
         ("audit_overhead_pct", 3.0),
         ("campaign_overhead_pct", 3.0),
+        ("analytics_overhead_pct", 3.0),
     ];
     let mut violations = 0;
     for (key, budget) in budgets {

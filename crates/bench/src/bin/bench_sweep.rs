@@ -36,6 +36,12 @@
 //!    larger units than the broad bench grid so the fixed per-unit
 //!    machinery cost is priced against realistically-sized runs. This
 //!    prices the fault-tolerance machinery, not multi-process scaling.
+//! 9. **Analytics overhead** — the offline scalability-analytics pass
+//!    (USL fitting, time attribution, artifact serialization) over a
+//!    just-completed scalability sweep, relative to producing the sweep
+//!    itself (budgeted at <= 3%). The sweep leaves the memo cache warm,
+//!    so the timed pass prices only the analytics, and like the audit it
+//!    is timed directly (best pass wall over best sweep wall).
 //!
 //! Every A/B overhead above is measured over **N interleaved
 //! (base, variant) pairs** after warmup, as the ratio of the two sides'
@@ -57,9 +63,9 @@ use scalesim_bench::bench_params;
 use scalesim_core::{Jvm, JvmConfig, TraceConfig};
 use scalesim_experiments::campaign::{self, CampaignSpec};
 use scalesim_experiments::{
-    cached_event_total, checkpoint, clear_run_cache, run_biased_sched, run_cache_size,
-    run_fig1_locks, run_fig1c, run_fig1d, run_fig2, run_heaplets, run_scalability, run_workdist,
-    take_run_manifests, take_sweep_failures, ExpParams,
+    cached_event_total, checkpoint, clear_run_cache, run_analytics, run_biased_sched,
+    run_cache_size, run_fig1_locks, run_fig1c, run_fig1d, run_fig2, run_heaplets, run_scalability,
+    run_workdist, take_run_manifests, take_sweep_failures, ExpParams,
 };
 use scalesim_simkit::baseline::BaselineQueue;
 use scalesim_simkit::{EventQueue, SimDuration};
@@ -460,8 +466,42 @@ fn main() {
     let audit_overhead_pct = audit_ns[0] as f64 * 100.0 / audit_run_ns[0].max(1) as f64;
     eprintln!("  audit overhead {audit_overhead_pct:.1}% (budget <= 3%)");
 
+    eprintln!("analytics overhead (USL fit + attribution over a cached scalability sweep)...");
+    // Same shape as the audit measurement: the analytics pass runs over
+    // results the sweep already produced, and is far cheaper than the
+    // sweep, so an A/B pair difference would drown in host noise. Each
+    // round runs the sweep cold (pricing the producer) and then the
+    // analytics pass against the now-warm memo cache (pricing only the
+    // fitting, attribution, and serialization work); the overhead is the
+    // ratio of the two best samples.
+    let analytics_rounds = 7usize;
+    let mut analytics_sweep_ns: Vec<u128> = Vec::with_capacity(analytics_rounds);
+    let mut analytics_ns: Vec<u128> = Vec::with_capacity(analytics_rounds);
+    for round in 0..=analytics_rounds {
+        clear_run_cache();
+        let start = Instant::now();
+        black_box(run_scalability(&params).expect("scaletable"));
+        let sweep_ns = start.elapsed().as_nanos();
+        let start = Instant::now();
+        let report = run_analytics(&params).expect("analytics");
+        black_box(report.to_json_string());
+        let pass_ns = start.elapsed().as_nanos();
+        let _ = take_run_manifests();
+        let _ = take_sweep_failures();
+        if round > 0 {
+            // Round 0 is untimed warmup.
+            analytics_sweep_ns.push(sweep_ns);
+            analytics_ns.push(pass_ns);
+        }
+    }
+    analytics_sweep_ns.sort_unstable();
+    analytics_ns.sort_unstable();
+    let analytics_overhead_pct =
+        analytics_ns[0] as f64 * 100.0 / analytics_sweep_ns[0].max(1) as f64;
+    eprintln!("  analytics overhead {analytics_overhead_pct:.1}% (budget <= 3%)");
+
     let json = format!(
-        "{{\n  \"seed\": {seed},\n  \"events_per_sec\": {eps:.0},\n  \"sweep_wall_ms\": {memo:.1},\n  \"sweep_wall_ms_nomemo\": {nomemo:.1},\n  \"sweep_wall_ms_checkpoint\": {ckpt:.1},\n  \"checkpoint_overhead_pct\": {ckpt_pct:.2},\n  \"memo_speedup\": {mspeed:.2},\n  \"unique_runs\": {runs},\n  \"events_simulated\": {events},\n  \"queue_events_per_sec_slab\": {qslab:.0},\n  \"queue_events_per_sec_baseline\": {qbase:.0},\n  \"queue_speedup\": {qspeed:.2},\n  \"events_per_sec_monitors_on\": {mon_on:.0},\n  \"events_per_sec_monitors_off\": {mon_off:.0},\n  \"monitor_overhead_pct\": {mon_pct:.2},\n  \"events_per_sec_trace_off\": {troff:.0},\n  \"events_per_sec_trace_on\": {tron:.0},\n  \"trace_overhead_pct\": {tr_pct:.2},\n  \"trace_off_overhead_pct\": {troff_pct:.2},\n  \"audit_overhead_pct\": {audit_pct:.2},\n  \"campaign_overhead_pct\": {camp_pct:.2}\n}}\n",
+        "{{\n  \"seed\": {seed},\n  \"events_per_sec\": {eps:.0},\n  \"sweep_wall_ms\": {memo:.1},\n  \"sweep_wall_ms_nomemo\": {nomemo:.1},\n  \"sweep_wall_ms_checkpoint\": {ckpt:.1},\n  \"checkpoint_overhead_pct\": {ckpt_pct:.2},\n  \"memo_speedup\": {mspeed:.2},\n  \"unique_runs\": {runs},\n  \"events_simulated\": {events},\n  \"queue_events_per_sec_slab\": {qslab:.0},\n  \"queue_events_per_sec_baseline\": {qbase:.0},\n  \"queue_speedup\": {qspeed:.2},\n  \"events_per_sec_monitors_on\": {mon_on:.0},\n  \"events_per_sec_monitors_off\": {mon_off:.0},\n  \"monitor_overhead_pct\": {mon_pct:.2},\n  \"events_per_sec_trace_off\": {troff:.0},\n  \"events_per_sec_trace_on\": {tron:.0},\n  \"trace_overhead_pct\": {tr_pct:.2},\n  \"trace_off_overhead_pct\": {troff_pct:.2},\n  \"audit_overhead_pct\": {audit_pct:.2},\n  \"campaign_overhead_pct\": {camp_pct:.2},\n  \"analytics_overhead_pct\": {ana_pct:.2}\n}}\n",
         seed = params.seed,
         eps = events_per_sec,
         memo = memo_ms,
@@ -483,6 +523,7 @@ fn main() {
         troff_pct = trace_off_overhead_pct,
         audit_pct = audit_overhead_pct,
         camp_pct = campaign_overhead_pct,
+        ana_pct = analytics_overhead_pct,
     );
     scalesim_trace::write_atomic(std::path::Path::new(&out), &json)
         .expect("write benchmark report");

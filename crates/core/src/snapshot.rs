@@ -251,6 +251,8 @@ fn locks_to_json(locks: &LockReport) -> JsonValue {
     obj(vec![
         ("total", stats_to_json(&locks.total)),
         ("by_class", JsonValue::Arr(by_class)),
+        ("hold_hist", hist_to_json(&locks.hold_hist)),
+        ("wait_hist", hist_to_json(&locks.wait_hist)),
     ])
 }
 
@@ -269,6 +271,8 @@ fn locks_from_json(v: &JsonValue) -> Result<LockReport, SnapshotError> {
     Ok(LockReport {
         by_class,
         total: stats_from_json(get(v, "total")?)?,
+        hold_hist: hist_from_json(get(v, "hold_hist")?)?,
+        wait_hist: hist_from_json(get(v, "wait_hist")?)?,
     })
 }
 

@@ -1,0 +1,188 @@
+//! The `analyze` pass: turns a completed sweep into an
+//! [`AnalyticsReport`] and the on-disk `analytics.json` artifact.
+//!
+//! Analysis reuses the ordinary sweep harness, so a checkpoint resume
+//! or a merged campaign (both of which seed the memo cache) serves
+//! every run from cache and the pass is pure computation — the emitted
+//! artifact is byte-identical however the reports were obtained. No
+//! input read here depends on `host_ns` or any other host-side value.
+
+use std::path::{Path, PathBuf};
+
+use scalesim_analytics::{fit_usl, AnalyticsReport, Percentiles, TimeProfile, WorkloadAnalysis};
+use scalesim_core::{RunReport, SimError};
+use scalesim_trace::write_atomic;
+use scalesim_workloads::{all_apps, AppModel};
+
+use crate::params::ExpParams;
+use crate::sweep::{grid_specs, run_all};
+
+/// Runs (or replays, when memoized/checkpointed) the figure sweep and
+/// derives the analytics report.
+///
+/// # Errors
+///
+/// Currently infallible (the sweep quarantines failing runs; analysis
+/// skips quarantined cells), but shares the drivers' common `Result`
+/// signature.
+pub fn run_analytics(params: &ExpParams) -> Result<AnalyticsReport, SimError> {
+    let apps = all_apps();
+    let specs = grid_specs(&apps, params);
+    let reports = run_all(&specs);
+    Ok(analytics_from_reports(params, &reports))
+}
+
+/// Builds the report from sweep-ordered reports (app-major,
+/// thread-minor — the order [`grid_specs`] emits).
+pub(crate) fn analytics_from_reports(params: &ExpParams, reports: &[RunReport]) -> AnalyticsReport {
+    let apps = all_apps();
+    let per_app = params.thread_counts.len();
+    let workloads = apps
+        .iter()
+        .enumerate()
+        .map(|(a, app)| {
+            let rows = &reports[a * per_app..(a + 1) * per_app];
+            analyze_workload(app.name(), app.class().label(), &params.thread_counts, rows)
+        })
+        .collect();
+    AnalyticsReport {
+        seed: params.seed,
+        threads: params.thread_counts.clone(),
+        workloads,
+    }
+}
+
+fn analyze_workload(
+    app: &str,
+    expected: &str,
+    thread_counts: &[usize],
+    rows: &[RunReport],
+) -> WorkloadAnalysis {
+    let points: Vec<(usize, f64)> = thread_counts
+        .iter()
+        .zip(rows)
+        .map(|(&t, r)| (t, throughput(r)))
+        .collect();
+    let float_pts: Vec<(f64, f64)> = points.iter().map(|&(t, x)| (t as f64, x)).collect();
+    let fit = fit_usl(&float_pts);
+    let (min_n, max_n) = (
+        thread_counts.first().copied().unwrap_or(1) as f64,
+        thread_counts.last().copied().unwrap_or(1) as f64,
+    );
+    let class = fit.map(|f| f.classify(min_n, max_n));
+    // Attribution and percentiles come from the top of the sweep — the
+    // highest thread count whose run actually completed — where the
+    // paper's mutator/GC/lock-wait split is most diagnostic.
+    let top = rows.iter().rev().find(|r| !r.wall_time.is_zero());
+    WorkloadAnalysis {
+        app: app.to_owned(),
+        expected: expected.to_owned(),
+        points,
+        fit,
+        class,
+        profile: top.map(TimeProfile::from_report).unwrap_or_default(),
+        hold: top.map_or_else(Percentiles::default, |r| {
+            Percentiles::from_histogram(&r.locks.hold_hist)
+        }),
+        wait: top.map_or_else(Percentiles::default, |r| {
+            Percentiles::from_histogram(&r.locks.wait_hist)
+        }),
+    }
+}
+
+/// Throughput of one sweep cell in items per simulated second; zero for
+/// quarantined cells (no wall time), which the USL fitter then skips.
+fn throughput(r: &RunReport) -> f64 {
+    if r.wall_time.is_zero() {
+        0.0
+    } else {
+        r.total_items() as f64 / r.wall_time.as_secs_f64()
+    }
+}
+
+/// Writes `analytics.json` atomically into `dir` and returns its path.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from directory creation or the write.
+pub fn write_analytics(dir: &Path, report: &AnalyticsReport) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join("analytics.json");
+    write_atomic(&path, report.to_json_string())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scalesim_simkit::SimDuration;
+
+    fn stub(app: &str, threads: usize, items: u64, wall_ns: u64) -> RunReport {
+        let mut r = RunReport::quarantined(app, threads, threads, String::new());
+        r.outcome = scalesim_core::RunOutcome::Ok;
+        r.wall_time = SimDuration::from_nanos(wall_ns);
+        r.per_thread = vec![scalesim_core::ThreadReport {
+            items_done: items,
+            times: scalesim_sched::StateTimes::default(),
+            dispatches: 0,
+            preemptions: 0,
+        }];
+        r
+    }
+
+    #[test]
+    fn reports_map_onto_grid_order() {
+        let params = ExpParams::quick().with_threads(vec![4, 8]);
+        let mut reports = Vec::new();
+        for app in all_apps() {
+            // Perfectly scalable synthetic curve for every app.
+            reports.push(stub(app.name(), 4, 400, 1_000_000_000));
+            reports.push(stub(app.name(), 8, 800, 1_000_000_000));
+        }
+        let analytics = analytics_from_reports(&params, &reports);
+        assert_eq!(analytics.workloads.len(), all_apps().len());
+        assert_eq!(analytics.threads, vec![4, 8]);
+        for w in &analytics.workloads {
+            assert_eq!(w.points.len(), 2);
+            assert!((w.points[0].1 - 400.0).abs() < 1e-9);
+            let fit = w.fit.expect("fit");
+            assert!(fit.sigma < 1e-9, "{fit:?}");
+            assert_eq!(w.profile.threads, 8, "attribution from the top row");
+        }
+    }
+
+    #[test]
+    fn quarantined_top_falls_back_to_last_completed_row() {
+        let params = ExpParams::quick().with_threads(vec![4, 8]);
+        let mut reports = Vec::new();
+        for app in all_apps() {
+            reports.push(stub(app.name(), 4, 400, 1_000_000_000));
+            reports.push(RunReport::quarantined(app.name(), 8, 8, "boom".into()));
+        }
+        let analytics = analytics_from_reports(&params, &reports);
+        for w in &analytics.workloads {
+            assert_eq!(w.points[1].1, 0.0, "quarantined cell has zero throughput");
+            assert_eq!(
+                w.profile.threads, 4,
+                "attribution skips the quarantined top"
+            );
+            assert!(w.fit.is_some(), "fit survives on the remaining point");
+        }
+    }
+
+    #[test]
+    fn write_analytics_emits_parseable_file() {
+        let dir =
+            std::env::temp_dir().join(format!("scalesim-analyze-test-{}", std::process::id()));
+        let params = ExpParams::quick().with_threads(vec![4]);
+        let reports: Vec<RunReport> = all_apps()
+            .iter()
+            .map(|a| stub(a.name(), 4, 100, 1_000_000_000))
+            .collect();
+        let analytics = analytics_from_reports(&params, &reports);
+        let path = write_analytics(&dir, &analytics).expect("write");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        assert_eq!(text, analytics.to_json_string());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,10 +1,12 @@
 //! Offline validator for the observability artifacts CI produces: a
-//! Chrome trace-event export and (optionally) a run-manifest JSONL.
+//! Chrome trace-event export (optionally plus a run-manifest JSONL), or
+//! an `analytics.json` scalability-analytics artifact.
 //!
 //! ```sh
 //! trace_check trace.json                       # validate the export
 //! trace_check trace.json manifest.jsonl 2      # plus the manifest,
 //!                                              # expecting 2 lines
+//! trace_check --analytics analytics.json       # validate analytics
 //! ```
 //!
 //! The container builds fully offline — no `jq`, no Python — so this
@@ -14,12 +16,42 @@
 
 use std::process::ExitCode;
 
-use scalesim_trace::check::{validate_chrome_trace, validate_manifest_line};
+use scalesim_trace::check::{validate_analytics, validate_chrome_trace, validate_manifest_line};
 
-const USAGE: &str = "usage: trace_check <trace.json> [<manifest.jsonl> <expected-lines>]";
+const USAGE: &str = "usage: trace_check <trace.json> [<manifest.jsonl> <expected-lines>]\n\
+       trace_check --analytics <analytics.json>";
+
+/// Validates an analytics artifact and prints its classification rows
+/// (`app=class`), so CI logs double as a stability record.
+fn run_analytics_check(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let check = validate_analytics(&text).map_err(|e| format!("{path}: {e}"))?;
+    if check.workloads == 0 {
+        return Err(format!("{path}: artifact carries no workloads"));
+    }
+    let classes: Vec<String> = check
+        .classes
+        .iter()
+        .map(|(app, class)| format!("{app}={class}"))
+        .collect();
+    println!(
+        "{path}: ok ({} workloads; paper split reproduced: {}; fingerprint {}; {})",
+        check.workloads,
+        check.all_match_paper,
+        check.fingerprint,
+        classes.join(" ")
+    );
+    Ok(())
+}
 
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--analytics") {
+        return match args.len() {
+            2 => run_analytics_check(&args[1]),
+            _ => Err(USAGE.to_owned()),
+        };
+    }
     let (trace_path, manifest) = match args.len() {
         1 => (&args[0], None),
         3 => {

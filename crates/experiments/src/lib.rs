@@ -37,7 +37,11 @@
 //! finding-bearing run as an `audit-<key>.json` repro artifact. A fifth
 //! layer scales out: [`campaign`] lets N independent worker *processes*
 //! drain one sweep over a shared directory with lease-based claiming,
-//! crash recovery, and byte-identical merges.
+//! crash recovery, and byte-identical merges. Completed sweeps feed the
+//! offline analytics layer ([`run_analytics`] / `scalesim-analytics`):
+//! USL fitting with collapse prediction, scalability classification,
+//! and per-run time attribution, emitted as a deterministic
+//! fingerprinted `analytics.json` ([`write_analytics`]).
 //!
 //! ```
 //! use scalesim_experiments::{run_fig1d, ExpParams};
@@ -52,6 +56,7 @@
 #![warn(missing_debug_implementations)]
 
 mod ablation;
+mod analyze;
 mod artifacts;
 mod auditing;
 pub mod campaign;
@@ -68,6 +73,7 @@ mod topo;
 mod workdist;
 
 pub use ablation::{run_biased_sched, run_heaplets, Ablation, AblationRow};
+pub use analyze::{run_analytics, write_analytics};
 pub use artifacts::{artifact_tables, ArtifactTable, ALL_ARTIFACTS};
 pub use auditing::{audit_spec, write_audit_repro, AUDIT_EVENT_BACKSTOP};
 pub use checkpoint::ResumeStats;

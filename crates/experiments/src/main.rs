@@ -12,9 +12,9 @@ use std::process::ExitCode;
 use scalesim_core::{JsonValue, Jvm, JvmConfig, ReproSpec, SimError, TraceConfig};
 use scalesim_experiments::campaign::{self, CampaignError, CampaignSpec};
 use scalesim_experiments::{
-    artifact_tables, audit_spec, checkpoint, run_isolated, shrink_failure, take_run_manifests,
-    take_sweep_failures, write_audit_repro, write_repro, ExpParams, RunSpec, SweepFailureKind,
-    ALL_ARTIFACTS,
+    artifact_tables, audit_spec, checkpoint, run_analytics, run_isolated, shrink_failure,
+    take_run_manifests, take_sweep_failures, write_analytics, write_audit_repro, write_repro,
+    ExpParams, RunSpec, SweepFailureKind, ALL_ARTIFACTS,
 };
 use scalesim_metrics::Table;
 use scalesim_trace::write_atomic;
@@ -22,8 +22,9 @@ use scalesim_workloads::{h2, lusearch, xalan};
 
 const USAGE: &str = "\
 usage: scalesim-experiments <artifact> [--scale F] [--seed N] [--threads a,b,c] [--out DIR]
-                            [--trace FILE] [--checkpoint DIR] [--resume] [--audit]
+                            [--trace FILE] [--checkpoint DIR] [--resume] [--audit] [--analyze]
        scalesim-experiments campaign <artifact> --dir DIR [--workers N] [options]
+       scalesim-experiments analyze [--dir CKPT] [options]
        scalesim-experiments repro FILE
        scalesim-experiments audit [--seed N] [--out DIR]
 
@@ -63,6 +64,17 @@ artifacts:
               unexpected findings, 2 when every finding is explained
               by an injected fault; writes audit-<key>.json repros
               for findings into --out (or the current directory)
+  analyze     fit the figure sweep's throughput curves to the
+              Universal Scalability Law (per-workload sigma/kappa,
+              peak concurrency, predicted collapse point, automatic
+              scalable / contention-limited / coherency-collapsed
+              classification), attribute thread-time (mutator / GC /
+              lock wait), and report p50/p95/p99 monitor hold and
+              lock-wait latencies; writes a deterministic,
+              fingerprinted analytics.json into --out (or the current
+              directory). With --dir CKPT the sweep is replayed from
+              that checkpoint store, so the artifact is re-derived
+              without re-simulation and byte-identical to the live run
 
 options:
   --scale F      workload scale factor (default 1.0 = paper-sized)
@@ -85,7 +97,13 @@ options:
                  auditor over the recovered timeline; audit-<key>.json
                  repros land next to the shrinker's repro files
                  (SCALESIM_AUDIT=1 too)
-  --dir DIR      (campaign) the shared campaign directory
+  --analyze      after the artifact, run the analytics pass over the
+                 figure sweep (memoized runs are reused) and write
+                 analytics.json next to the CSVs; manifest.jsonl rows
+                 gain analytics/analytics_fp cross-links
+                 (SCALESIM_ANALYZE=1 too)
+  --dir DIR      (campaign) the shared campaign directory;
+                 (analyze) a checkpoint store to re-derive from
   --workers N    (campaign) worker processes to spawn (default
                  SCALESIM_CAMPAIGN_WORKERS or 2; 0 = drain in-process)
 
@@ -105,6 +123,7 @@ struct Cli {
     checkpoint: Option<PathBuf>,
     resume: bool,
     audit: bool,
+    analyze: bool,
 }
 
 /// CLI failure split by exit code: bad input (3, with usage) vs a
@@ -138,6 +157,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut checkpoint = None;
     let mut resume = false;
     let mut audit = false;
+    let mut analyze = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -176,6 +196,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             }
             "--resume" => resume = true,
             "--audit" => audit = true,
+            "--analyze" => analyze = true,
             "--dir" => {
                 let v = it.next().ok_or("--dir needs a directory")?;
                 dir = Some(PathBuf::from(v));
@@ -229,6 +250,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         checkpoint,
         resume,
         audit,
+        analyze,
     })
 }
 
@@ -257,20 +279,48 @@ fn export_trace(cli: &Cli, path: &std::path::Path) -> Result<(), String> {
 }
 
 /// Writes run manifests as `manifest.jsonl` in `dir` (atomically, so a
-/// crash mid-write never leaves a truncated file behind).
+/// crash mid-write never leaves a truncated file behind). When the run
+/// also emitted an analytics artifact, every row gains `analytics` /
+/// `analytics_fp` keys cross-linking it to `analytics.json` (manifest
+/// validators ignore unknown keys, so old consumers keep working).
 fn write_manifests(
     dir: &std::path::Path,
     manifests: &[scalesim_experiments::RunManifest],
+    analytics_fp: Option<u64>,
 ) -> Result<(), String> {
     let path = dir.join("manifest.jsonl");
     let mut body = String::new();
     for m in manifests {
-        body.push_str(&m.to_json_line());
+        let mut line = m.to_json_line();
+        if let Some(fp) = analytics_fp {
+            debug_assert!(line.ends_with('}'));
+            line.pop();
+            line.push_str(&format!(
+                ",\"analytics\":\"analytics.json\",\"analytics_fp\":\"{fp:016x}\"}}"
+            ));
+        }
+        body.push_str(&line);
         body.push('\n');
     }
     write_atomic(&path, body).map_err(|e| format!("write {}: {e}", path.display()))?;
     println!("wrote {} ({} runs)", path.display(), manifests.len());
     Ok(())
+}
+
+/// Runs the analytics pass (USL fit + time attribution + percentiles)
+/// over the figure sweep — served from the memo cache whenever the
+/// sweep already ran in this process or was replayed from a checkpoint
+/// or campaign — prints the rendered report, and writes
+/// `analytics.json` into `dir`. Returns the artifact fingerprint for
+/// manifest cross-linking.
+fn emit_analytics(params: &ExpParams, dir: &std::path::Path) -> Result<u64, CliError> {
+    let analytics = run_analytics(params).map_err(|e| classify(&e))?;
+    print!("{}", analytics.render());
+    let path = write_analytics(dir, &analytics)
+        .map_err(|e| CliError::Runtime(format!("write analytics.json: {e}")))?;
+    let fp = analytics.fingerprint();
+    println!("wrote {} (fingerprint {fp:016x})\n", path.display());
+    Ok(fp)
 }
 
 fn emit(out: &Option<PathBuf>, name: &str, title: &str, table: &Table) -> Result<(), CliError> {
@@ -443,8 +493,20 @@ fn run_campaign(cli: &Cli) -> ExitCode {
     }
     let repro_dir = cli.out.clone().unwrap_or_else(|| PathBuf::from("."));
     let _ = shrink_quarantined(&outcome.failures, &repro_dir);
+    // The merge seeded the memo cache with every campaign unit, so the
+    // analytics pass over a figure-sweep campaign is pure re-derivation
+    // and its artifact byte-identical to a single-process --analyze run.
+    let analyze_on = cli.analyze || std::env::var_os("SCALESIM_ANALYZE").is_some_and(|v| v == "1");
+    let mut analytics_fp = None;
+    if analyze_on {
+        match emit_analytics(&cli.params, &repro_dir) {
+            Ok(fp) => analytics_fp = Some(fp),
+            Err(CliError::Config(msg)) => return campaign_fail(&CampaignError::Config(msg)),
+            Err(CliError::Runtime(msg)) => return campaign_fail(&CampaignError::Runtime(msg)),
+        }
+    }
     if let Some(out) = &cli.out {
-        if let Err(msg) = write_manifests(out, &outcome.manifests) {
+        if let Err(msg) = write_manifests(out, &outcome.manifests, analytics_fp) {
             return campaign_fail(&CampaignError::Runtime(msg));
         }
     }
@@ -676,12 +738,24 @@ fn main() -> ExitCode {
     }
 
     // Checkpointing: CLI flags win, env vars (SCALESIM_CHECKPOINT /
-    // SCALESIM_RESUME=1) reach the same machinery from wrappers.
+    // SCALESIM_RESUME=1) reach the same machinery from wrappers. For
+    // the analyze subcommand `--dir CKPT` is resume sugar: replay the
+    // store, then derive the artifact from the replayed runs.
+    let analyze_from_dir = cli.artifact == "analyze" && cli.dir.is_some();
     let ckpt_dir = cli
         .checkpoint
         .clone()
+        .or_else(|| {
+            if analyze_from_dir {
+                cli.dir.clone()
+            } else {
+                None
+            }
+        })
         .or_else(|| std::env::var_os("SCALESIM_CHECKPOINT").map(PathBuf::from));
-    let resume = cli.resume || std::env::var_os("SCALESIM_RESUME").is_some_and(|v| v == "1");
+    let resume = cli.resume
+        || analyze_from_dir
+        || std::env::var_os("SCALESIM_RESUME").is_some_and(|v| v == "1");
     if let Some(dir) = &ckpt_dir {
         let activated = if resume {
             checkpoint::resume_from(dir).map(|stats| {
@@ -707,7 +781,22 @@ fn main() -> ExitCode {
         return ExitCode::from(3);
     }
 
-    let mut result = run_artifact(&cli, &cli.artifact.clone());
+    let mut result = if cli.artifact == "analyze" {
+        Ok(())
+    } else {
+        run_artifact(&cli, &cli.artifact.clone())
+    };
+    let analyze_on = cli.artifact == "analyze"
+        || cli.analyze
+        || std::env::var_os("SCALESIM_ANALYZE").is_some_and(|v| v == "1");
+    let mut analytics_fp = None;
+    if result.is_ok() && analyze_on {
+        let dir = cli.out.clone().unwrap_or_else(|| PathBuf::from("."));
+        match emit_analytics(&cli.params, &dir) {
+            Ok(fp) => analytics_fp = Some(fp),
+            Err(e) => result = Err(e),
+        }
+    }
     if result.is_ok() {
         if let Some(path) = &cli.trace {
             result = export_trace(&cli, path).map_err(CliError::Runtime);
@@ -734,7 +823,7 @@ fn main() -> ExitCode {
     let manifests = take_run_manifests();
     if result.is_ok() {
         if let Some(dir) = &cli.out {
-            result = write_manifests(dir, &manifests).map_err(CliError::Runtime);
+            result = write_manifests(dir, &manifests, analytics_fp).map_err(CliError::Runtime);
         }
     }
     let degraded = !failures.is_empty() || manifests.iter().any(|m| m.outcome != "ok");
@@ -823,6 +912,21 @@ mod tests {
         assert_eq!(cli.artifact, "audit");
         assert_eq!(cli.params.seed, 9);
         assert_eq!(cli.out.unwrap(), PathBuf::from("/tmp/a"));
+    }
+
+    #[test]
+    fn analyze_flag_and_subcommand_parse() {
+        let cli = parse_args(&s(&["fig2", "--analyze"])).unwrap();
+        assert!(cli.analyze);
+        let cli = parse_args(&s(&["fig2"])).unwrap();
+        assert!(!cli.analyze);
+        let cli = parse_args(&s(&["analyze", "--dir", "/tmp/ck", "--threads", "4,8"])).unwrap();
+        assert_eq!(cli.artifact, "analyze");
+        assert_eq!(cli.dir.unwrap(), PathBuf::from("/tmp/ck"));
+        assert_eq!(cli.params.thread_counts, vec![4, 8]);
+        // --dir is optional for analyze (live sweep when absent).
+        let cli = parse_args(&s(&["analyze"])).unwrap();
+        assert!(cli.dir.is_none());
     }
 
     #[test]

@@ -37,12 +37,20 @@ impl ScalabilityRow {
     /// Speedup of the last sweep point relative to the first.
     #[must_use]
     pub fn speedup(&self) -> f64 {
+        self.speedup_at(self.walls.len().saturating_sub(1))
+    }
+
+    /// Speedup of sweep point `i` relative to the baseline (leftmost,
+    /// smallest thread count) column — 1.0 for the baseline itself, and
+    /// for quarantined cells with no wall time.
+    #[must_use]
+    pub fn speedup_at(&self, i: usize) -> f64 {
         let first = self.walls.first().expect("non-empty sweep").1;
-        let last = self.walls.last().expect("non-empty sweep").1;
-        if last.is_zero() {
+        let at = self.walls.get(i).expect("sweep point in range").1;
+        if at.is_zero() {
             1.0
         } else {
-            first.as_secs_f64() / last.as_secs_f64()
+            first.as_secs_f64() / at.as_secs_f64()
         }
     }
 
@@ -108,9 +116,12 @@ impl Scalability {
         for r in &self.rows {
             let mut row = vec![r.app.clone(), r.expected.label().to_owned()];
             for (i, &(_, w)) in r.walls.iter().enumerate() {
+                // Wall time plus speedup vs. the baseline column, so a
+                // non-scalable app is legible straight off the table.
+                let base = format!("{} ({}x)", w, fmt2(r.speedup_at(i)));
                 let cell = match r.outcomes.get(i) {
-                    Some(outcome) => mark_cell(w.to_string(), outcome),
-                    None => w.to_string(),
+                    Some(outcome) => mark_cell(base, outcome),
+                    None => base,
                 };
                 row.push(cell);
             }
@@ -176,8 +187,27 @@ mod tests {
             outcomes: vec![],
         };
         assert!((row.speedup() - 12.0).abs() < 1e-9);
+        assert!((row.speedup_at(0) - 1.0).abs() < 1e-9);
+        assert!((row.speedup_at(1) - 12.0).abs() < 1e-9);
         assert_eq!(row.measured(), ScalabilityClass::Scalable);
         assert!(row.matches_paper());
+    }
+
+    #[test]
+    fn table_cells_carry_per_cell_speedups() {
+        let row = ScalabilityRow {
+            app: "x".into(),
+            expected: ScalabilityClass::Scalable,
+            walls: vec![
+                (4, SimDuration::from_millis(120)),
+                (48, SimDuration::from_millis(10)),
+            ],
+            outcomes: vec![RunOutcome::Ok, RunOutcome::Ok],
+        };
+        let t = Scalability { rows: vec![row] }.table();
+        let cells = &t.rows()[0];
+        assert!(cells[2].ends_with("(1.00x)"), "{cells:?}");
+        assert!(cells[3].ends_with("(12.00x)"), "{cells:?}");
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use scalesim_metrics::LogHistogram;
 use scalesim_sched::ThreadId;
 use scalesim_simkit::SimTime;
 use scalesim_trace::{EventKind, Timeline};
@@ -34,6 +35,12 @@ pub struct LockTable {
     monitors: Vec<Monitor>,
     /// Timeline recorder for hold/wait spans (disabled by default).
     timeline: Timeline,
+    /// Distribution of completed hold durations (ns) over every monitor
+    /// — the monitor-hold percentiles the analytics layer reports.
+    hold_hist: LogHistogram,
+    /// Distribution of completed contended-wait durations (ns) — the
+    /// lock-acquisition latency percentiles.
+    wait_hist: LogHistogram,
 }
 
 impl LockTable {
@@ -109,6 +116,11 @@ impl LockTable {
         let held_since = self.monitors[m.0].held_since();
         let grant = self.monitors[m.0].release(tid, now);
         let track = m.0 as u32;
+        self.hold_hist
+            .record(now.saturating_since(held_since).as_nanos());
+        if let Some(g) = grant {
+            self.wait_hist.record(g.waited.as_nanos());
+        }
         self.timeline.span(
             EventKind::MonitorHold,
             track,
@@ -172,7 +184,12 @@ impl LockTable {
                 .merge(&mon.stats);
             total.merge(&mon.stats);
         }
-        LockReport { by_class, total }
+        LockReport {
+            by_class,
+            total,
+            hold_hist: self.hold_hist.clone(),
+            wait_hist: self.wait_hist.clone(),
+        }
     }
 }
 
@@ -184,6 +201,10 @@ pub struct LockReport {
     pub by_class: BTreeMap<String, MonitorStats>,
     /// Statistics over every monitor in the VM.
     pub total: MonitorStats,
+    /// Distribution of hold durations (ns) across all monitors.
+    pub hold_hist: LogHistogram,
+    /// Distribution of contended-wait durations (ns) across all monitors.
+    pub wait_hist: LogHistogram,
 }
 
 impl LockReport {
@@ -327,6 +348,30 @@ mod tests {
         assert_eq!(enqueues[0].arg, 1, "waiter attribution");
         // The recorder left behind is disabled.
         assert_eq!(lt.take_timeline().len(), 0);
+    }
+
+    #[test]
+    fn report_histograms_record_holds_and_waits() {
+        let mut lt = LockTable::new();
+        let m = lt.create("db");
+        // Uncontended acquire/release: one hold sample, no wait sample.
+        lt.acquire(m, tid(0), t(0));
+        lt.release(m, tid(0), t(100));
+        // Contended handoff: second hold sample plus one wait sample.
+        lt.acquire(m, tid(0), t(200));
+        lt.acquire(m, tid(1), t(210));
+        lt.release(m, tid(0), t(250)); // tid1 waited 40 ns
+        lt.release(m, tid(1), t(300)); // tid1 held 50 ns
+
+        let r = lt.report();
+        assert_eq!(r.hold_hist.count(), 3);
+        assert_eq!(r.wait_hist.count(), 1);
+        assert_eq!(r.hold_hist.sum(), 100 + 50 + 50);
+        assert_eq!(r.wait_hist.sum(), 40);
+        // Quantiles report power-of-two bucket upper bounds.
+        let p50 = r.hold_hist.quantile(0.5).expect("non-empty");
+        assert!(p50 >= 50, "{p50}");
+        assert!(r.wait_hist.quantile(0.99).expect("non-empty") >= 40);
     }
 
     #[test]

@@ -357,6 +357,106 @@ pub fn validate_manifest_line(line: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Summary of a validated `analytics.json` artifact.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AnalyticsCheck {
+    /// Workload entries in the artifact.
+    pub workloads: usize,
+    /// Whether the artifact says every workload matched the paper's
+    /// scalable / non-scalable split.
+    pub all_match_paper: bool,
+    /// The embedded 16-hex-digit fingerprint.
+    pub fingerprint: String,
+    /// `(app, class)` per workload, in artifact order — CI smokes
+    /// assert classification stability against these.
+    pub classes: Vec<(String, String)>,
+}
+
+/// Parses and structurally validates an `analytics.json` artifact.
+///
+/// Checks the schema version, the fingerprint shape, and that every
+/// workload entry carries its classification, USL parameters
+/// (sigma/kappa plus the predicted collapse point), time-attribution
+/// breakdown, and hold/wait percentile blocks.
+///
+/// # Errors
+///
+/// Returns a description of the first structural problem (or a JSON
+/// syntax error from [`parse_json`]).
+pub fn validate_analytics(text: &str) -> Result<AnalyticsCheck, String> {
+    let doc = parse_json(text.trim_end())?;
+    if !matches!(doc, JsonValue::Obj(_)) {
+        return Err("analytics artifact is not an object".to_owned());
+    }
+    if doc.get("v").and_then(JsonValue::as_num) != Some(1.0) {
+        return Err("analytics artifact missing schema version `v` = 1".to_owned());
+    }
+    let fingerprint = doc
+        .get("fingerprint")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing string `fingerprint`")?;
+    if fingerprint.len() != 16 || !fingerprint.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return Err(format!("malformed fingerprint `{fingerprint}`"));
+    }
+    let all_match_paper = match doc.get("all_match_paper") {
+        Some(JsonValue::Bool(b)) => *b,
+        _ => return Err("missing boolean `all_match_paper`".to_owned()),
+    };
+    let Some(JsonValue::Arr(entries)) = doc.get("workloads") else {
+        return Err("missing array `workloads`".to_owned());
+    };
+    let mut classes = Vec::new();
+    for (i, w) in entries.iter().enumerate() {
+        let app = w
+            .get("app")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("workload {i}: missing string `app`"))?;
+        let class = w
+            .get("class")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("workload {i}: missing string `class`"))?;
+        for key in [
+            "expected",
+            "points",
+            "usl",
+            "attribution",
+            "hold_ns",
+            "wait_ns",
+        ] {
+            if w.get(key).is_none() {
+                return Err(format!("workload {i} ({app}): missing `{key}`"));
+            }
+        }
+        if class != "unclassified" {
+            for key in ["sigma", "kappa", "collapse_point"] {
+                if w.get("usl").and_then(|u| u.get(key)).is_none() {
+                    return Err(format!("workload {i} ({app}): usl missing `{key}`"));
+                }
+            }
+        }
+        for block in ["hold_ns", "wait_ns"] {
+            for key in ["count", "p50", "p95", "p99"] {
+                if w.get(block)
+                    .and_then(|b| b.get(key))
+                    .and_then(JsonValue::as_num)
+                    .is_none()
+                {
+                    return Err(format!(
+                        "workload {i} ({app}): {block} missing numeric `{key}`"
+                    ));
+                }
+            }
+        }
+        classes.push((app.to_owned(), class.to_owned()));
+    }
+    Ok(AnalyticsCheck {
+        workloads: entries.len(),
+        all_match_paper,
+        fingerprint: fingerprint.to_owned(),
+        classes,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -422,6 +522,44 @@ mod tests {
         assert!(err.contains("tid"), "{err}");
         let bad_ts = r#"{"traceEvents":[{"ph":"I","pid":1,"tid":0}]}"#;
         assert!(validate_chrome_trace(bad_ts).unwrap_err().contains("ts"));
+    }
+
+    #[test]
+    fn analytics_artifacts_validate() {
+        let good = r#"{"v":1,"seed":42,"threads":[4,8],"workloads":[
+            {"app":"sunflow","expected":"scalable","class":"scalable",
+             "points":[[4,"100.0"]],
+             "usl":{"lambda":"1.0","sigma":"0.1","kappa":"0.001",
+                    "peak_concurrency":"30.0","collapse_point":"900.0",
+                    "rms_residual":"0.0"},
+             "attribution":{"threads":8,"running_ns":1,"wall_ns":2},
+             "hold_ns":{"count":1,"p50":1,"p95":3,"p99":3},
+             "wait_ns":{"count":0,"p50":0,"p95":0,"p99":0},
+             "matches_paper":true}],
+            "all_match_paper":true,"fingerprint":"0123456789abcdef"}"#;
+        let check = validate_analytics(good).unwrap();
+        assert_eq!(check.workloads, 1);
+        assert!(check.all_match_paper);
+        assert_eq!(check.fingerprint, "0123456789abcdef");
+        assert_eq!(
+            check.classes,
+            vec![("sunflow".to_owned(), "scalable".to_owned())]
+        );
+
+        assert!(validate_analytics("[]").is_err());
+        assert!(validate_analytics(r#"{"v":2}"#)
+            .unwrap_err()
+            .contains("schema"));
+        let bad_fp = good.replace("0123456789abcdef", "zz");
+        assert!(validate_analytics(&bad_fp)
+            .unwrap_err()
+            .contains("fingerprint"));
+        let no_usl_key = good.replace("\"sigma\":\"0.1\",", "");
+        assert!(validate_analytics(&no_usl_key)
+            .unwrap_err()
+            .contains("sigma"));
+        let no_pct = good.replace("\"p95\":3,", "");
+        assert!(validate_analytics(&no_pct).unwrap_err().contains("p95"));
     }
 
     #[test]

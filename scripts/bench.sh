@@ -1,13 +1,20 @@
 #!/usr/bin/env bash
 # Times the full figure sweep at the pinned paper seed and writes
 # BENCH_sweep.json ({events_per_sec, sweep_wall_ms, ...}) at the repo
-# root. Pass an alternative output path as $1.
+# root. Pass an alternative output path as $1. Every successful run is
+# also appended (git SHA + date + full report) to
+# results/bench_history.jsonl so performance drift stays diagnosable.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_sweep.json}"
-cargo build --release -p scalesim-bench --bin bench_sweep --bin bench_check
+cargo build --release -p scalesim-bench \
+  --bin bench_sweep --bin bench_check --bin bench_history
 ./target/release/bench_sweep "$out"
 # Fail when any recorded overhead exceeds its stated budget (or is
 # negative, which means the measurement itself is broken).
-exec ./target/release/bench_check "$out"
+./target/release/bench_check "$out"
+# Budgets hold: record the run in the durable history ledger.
+sha="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+date="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+./target/release/bench_history "$out" results/bench_history.jsonl "$sha" "$date"

@@ -80,6 +80,21 @@ SCALESIM_CHAOS='panic-at=2000' \
     --dir target/ci-campaign/chaos --workers 2 \
     --out target/ci-campaign/chaos-out > /dev/null 2>&1 || rc=$?
 [ "$rc" -eq 2 ] || { echo "expected degraded campaign exit 2, got $rc"; exit 1; }
+echo '== analyze smoke (analytics.json must validate, re-derive byte-identical, stay stable)'
+rm -rf target/ci-analyze
+cargo run --release -q -p scalesim-experiments -- \
+    scaletable --scale 0.02 --threads 4,8 \
+    --out target/ci-analyze/a --checkpoint target/ci-analyze/ckpt \
+    --analyze > /dev/null
+cargo run --release -q -p scalesim-experiments -- \
+    analyze --scale 0.02 --threads 4,8 \
+    --dir target/ci-analyze/ckpt --out target/ci-analyze/b > /dev/null
+# Re-deriving from the checkpoint store must reproduce the exact bytes.
+cmp target/ci-analyze/a/analytics.json target/ci-analyze/b/analytics.json
+cargo run --release -q -p scalesim-experiments --bin trace_check -- \
+    --analytics target/ci-analyze/a/analytics.json
+# The sweep manifest must cross-link the artifact it was emitted with.
+grep -q '"analytics":"analytics.json"' target/ci-analyze/a/manifest.jsonl
 echo '== bench budget check (committed BENCH_sweep.json must respect its budgets)'
 cargo run --release -q -p scalesim-bench --bin bench_check -- BENCH_sweep.json
 echo '== traced smoke (timeline export + run manifest must validate)'

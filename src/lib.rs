@@ -17,6 +17,7 @@
 //! * [`workloads`] — six DaCapo-inspired synthetic applications,
 //! * [`runtime`] — the JVM-like runtime tying it all together,
 //! * [`audit`] — offline concurrency auditor over recorded timelines,
+//! * [`analytics`] — offline USL fitting, collapse prediction, attribution,
 //! * [`experiments`] — drivers that regenerate every figure in the paper,
 //! * [`metrics`] — histograms, CDFs and table rendering.
 //!
@@ -33,6 +34,7 @@
 //! assert!(report.gc.collections() > 0);
 //! ```
 
+pub use scalesim_analytics as analytics;
 pub use scalesim_audit as audit;
 pub use scalesim_core as runtime;
 pub use scalesim_experiments as experiments;

@@ -726,3 +726,85 @@ fn snapshot_round_trip_preserves_any_small_report() {
         assert_eq!(format!("{report:?}"), format!("{back:?}"));
     });
 }
+
+// ---------------------------------------------------------------------
+// USL fitting
+// ---------------------------------------------------------------------
+
+/// The USL fitter inverts its own model exactly: for random positive
+/// (λ, σ, κ) and a noiseless curve sampled from
+/// `X(n) = λn / (1 + σ(n−1) + κn(n−1))`, the recovered parameters match
+/// to within numerical round-off.
+#[test]
+fn usl_fit_recovers_exact_parameters_from_clean_curves() {
+    use scalesim::analytics::fit_usl;
+
+    for_cases(256, |rng| {
+        let lambda = rng.gen_range(1.0..10_000.0);
+        let sigma = rng.gen_range(0.0..0.8);
+        let kappa = rng.gen_range(0.0..0.02);
+        let points: Vec<(f64, f64)> = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 48.0]
+            .iter()
+            .map(|&n| {
+                let x = lambda * n / (1.0 + sigma * (n - 1.0) + kappa * n * (n - 1.0));
+                (n, x)
+            })
+            .collect();
+        let fit = fit_usl(&points).expect("clean curve must fit");
+        assert!(
+            (fit.lambda - lambda).abs() / lambda < 1e-6,
+            "lambda {lambda} -> {}",
+            fit.lambda
+        );
+        assert!(
+            (fit.sigma - sigma).abs() < 1e-6,
+            "sigma {sigma} -> {}",
+            fit.sigma
+        );
+        assert!(
+            (fit.kappa - kappa).abs() < 1e-6,
+            "kappa {kappa} -> {}",
+            fit.kappa
+        );
+        assert!(fit.rms_residual < 1e-9, "residual {}", fit.rms_residual);
+    });
+}
+
+/// Recovery degrades gracefully under measurement noise: with every
+/// throughput sample perturbed by up to ±1%, the recovered contention
+/// and coherency coefficients stay close to the generating values, and
+/// the residual reflects the injected noise instead of vanishing.
+#[test]
+fn usl_fit_recovers_parameters_from_noisy_curves() {
+    use scalesim::analytics::fit_usl;
+
+    for_cases(128, |rng| {
+        let lambda = rng.gen_range(10.0..1000.0);
+        let sigma = rng.gen_range(0.0..0.5);
+        let kappa = rng.gen_range(0.0..0.01);
+        let points: Vec<(f64, f64)> = [1.0, 2.0, 4.0, 8.0, 12.0, 16.0, 24.0, 32.0, 48.0]
+            .iter()
+            .map(|&n| {
+                let x = lambda * n / (1.0 + sigma * (n - 1.0) + kappa * n * (n - 1.0));
+                (n, x * (1.0 + rng.gen_range(-0.01..0.01)))
+            })
+            .collect();
+        let fit = fit_usl(&points).expect("noisy curve must fit");
+        assert!(
+            (fit.lambda - lambda).abs() / lambda < 0.1,
+            "lambda {lambda} -> {}",
+            fit.lambda
+        );
+        assert!(
+            (fit.sigma - sigma).abs() < 0.05,
+            "sigma {sigma} -> {} (lambda {lambda}, kappa {kappa})",
+            fit.sigma
+        );
+        assert!(
+            (fit.kappa - kappa).abs() < 0.005,
+            "kappa {kappa} -> {} (lambda {lambda}, sigma {sigma})",
+            fit.kappa
+        );
+        assert!(fit.rms_residual < 0.05, "residual {}", fit.rms_residual);
+    });
+}
