@@ -91,7 +91,7 @@ fn share(part: u64, whole: u64) -> f64 {
     }
 }
 
-/// p50/p95/p99 summary of a log-bucketed histogram (nanoseconds).
+/// p50/p95/p99/p99.9 summary of a log-bucketed histogram (nanoseconds).
 ///
 /// Quantiles are bucket upper bounds (`2^(i+1) − 1`), the resolution
 /// the histogram actually stores; all zero when the histogram is empty.
@@ -105,6 +105,9 @@ pub struct Percentiles {
     pub p95: u64,
     /// 99th percentile.
     pub p99: u64,
+    /// 99.9th percentile — the tail that dominates a server workload's
+    /// user-visible latency.
+    pub p999: u64,
 }
 
 impl Percentiles {
@@ -116,6 +119,7 @@ impl Percentiles {
             p50: h.quantile(0.50).unwrap_or(0),
             p95: h.quantile(0.95).unwrap_or(0),
             p99: h.quantile(0.99).unwrap_or(0),
+            p999: h.quantile(0.999).unwrap_or(0),
         }
     }
 }
@@ -138,8 +142,8 @@ mod tests {
         }
         let p = Percentiles::from_histogram(&h);
         assert_eq!(p.count, 100);
-        assert!(p.p50 <= p.p95 && p.p95 <= p.p99, "{p:?}");
-        assert!(p.p99 >= 100_000, "{p:?}");
+        assert!(p.p50 <= p.p95 && p.p95 <= p.p99 && p.p99 <= p.p999, "{p:?}");
+        assert!(p.p999 >= 100_000, "{p:?}");
     }
 
     #[test]

@@ -146,8 +146,8 @@ impl AnalyticsReport {
             "mutator",
             "gc",
             "lock wait",
-            "hold p50/p95/p99",
-            "wait p50/p95/p99",
+            "hold p50/p95/p99/p999",
+            "wait p50/p95/p99/p999",
         ]);
         for w in &self.workloads {
             attr.row(vec![
@@ -228,6 +228,7 @@ fn pcts_to_json(p: &Percentiles) -> JsonValue {
         ("p50", JsonValue::U64(p.p50)),
         ("p95", JsonValue::U64(p.p95)),
         ("p99", JsonValue::U64(p.p99)),
+        ("p999", JsonValue::U64(p.p999)),
     ])
 }
 
@@ -259,7 +260,7 @@ fn fmt_inf(x: f64) -> String {
 }
 
 fn fmt_pcts(p: &Percentiles) -> String {
-    format!("{}/{}/{}", p.p50, p.p95, p.p99)
+    format!("{}/{}/{}/{}", p.p50, p.p95, p.p99, p.p999)
 }
 
 #[cfg(test)]
@@ -297,6 +298,7 @@ mod tests {
                     p50: 127,
                     p95: 255,
                     p99: 511,
+                    p999: 511,
                 },
                 wait: Percentiles::default(),
             }],

@@ -247,7 +247,8 @@ pub(crate) fn counter_checks(ctx: &AuditCtx, counters: &Counters) -> Vec<Finding
     let local_minor = ctx.local_minor_gcs;
     let full = ctx.full_gcs;
     let conc = ctx.conc_phases;
-    let chaos = (ctx.drops.len() + ctx.spurious.len() + ctx.stalls.len()) as u64;
+    let chaos =
+        (ctx.drops.len() + ctx.spurious.len() + ctx.stalls.len() + ctx.req_drops.len()) as u64;
     let stw_pairs = {
         let mut pairs: BTreeSet<(u64, u64)> = BTreeSet::new();
         for &(at, dur) in &ctx.safepoints {
@@ -473,6 +474,29 @@ mod tests {
         assert_eq!(findings[0].class, "counter-mismatch");
         assert!(
             findings[0].detail.contains("MinorGcs"),
+            "{}",
+            findings[0].detail
+        );
+    }
+
+    #[test]
+    fn request_drop_instants_count_as_chaos_injections() {
+        let events = sorted(vec![
+            instant(scalesim_trace::EventKind::ChaosRequestDrop, 0, 10, 7),
+            instant(ChaosGcStall, 0, 20, 5),
+        ]);
+        let ctx = AuditCtx::new(&events, false, true);
+        let mut counters = Counters::new();
+        counters.inc(CounterId::ChaosInjections);
+        counters.inc(CounterId::ChaosInjections);
+        assert!(counter_checks(&ctx, &counters).is_empty());
+        // Without the request-drop bucket the tally would read one short.
+        let mut short = Counters::new();
+        short.inc(CounterId::ChaosInjections);
+        let findings = counter_checks(&ctx, &short);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(
+            findings[0].detail.contains("chaos instants"),
             "{}",
             findings[0].detail
         );

@@ -393,6 +393,8 @@ pub(crate) struct AuditCtx {
     pub spurious: Vec<(SimTime, u64)>,
     /// `ChaosGcStall` instants: `(at, extra pause nanoseconds)`.
     pub stalls: Vec<(SimTime, u64)>,
+    /// `ChaosRequestDrop` instants: `(at, dropped request id)`.
+    pub req_drops: Vec<(SimTime, u64)>,
     /// Whether the run ended abnormally (quarantined or truncated). Waits
     /// legitimately dangle at an abort, so abort runs mark pairing
     /// findings as expected.
@@ -431,6 +433,7 @@ impl AuditCtx {
             drops: Vec::new(),
             spurious: Vec::new(),
             stalls: Vec::new(),
+            req_drops: Vec::new(),
             aborted,
             complete,
             last_at: SimTime::ZERO,
@@ -506,6 +509,7 @@ impl AuditCtx {
                 EventKind::ChaosDropWakeup => ctx.drops.push((e.at, e.arg)),
                 EventKind::ChaosSpuriousWakeup => ctx.spurious.push((e.at, e.arg)),
                 EventKind::ChaosGcStall => ctx.stalls.push((e.at, e.arg)),
+                EventKind::ChaosRequestDrop => ctx.req_drops.push((e.at, e.arg)),
                 _ => {}
             }
             if e.end() > ctx.last_at {

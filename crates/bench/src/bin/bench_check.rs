@@ -14,8 +14,16 @@
 //! * `audit_overhead_pct` <= 3%;
 //! * `campaign_overhead_pct` <= 3% (lease files, segment appends, and
 //!   the deterministic merge over running the sweep in-process);
+//! * `server_overhead_pct` <= 3% (the robust overload-control machinery
+//!   — admission counting, deadline bookkeeping, armed backoff — over
+//!   the naive per-request path on an identical healthy load);
 //! * `analytics_overhead_pct` <= 3% (the offline USL-fit + attribution
 //!   pass over producing the sweep it analyzes).
+//!
+//! `campaign_overhead_median_pct` is recorded but not budgeted: it is
+//! the *signed* median per-pair delta kept alongside the clamped
+//! min-ratio bound so a real-but-sub-noise campaign cost cannot hide
+//! behind a `0.00` reading. It must be present and may be negative.
 //!
 //! Usage: `bench_check [BENCH_sweep.json]`. Exits 0 when every budget
 //! holds, 1 with one line per violation otherwise, 2 when the file is
@@ -51,6 +59,7 @@ fn main() -> ExitCode {
         ("trace_off_overhead_pct", 2.0),
         ("audit_overhead_pct", 3.0),
         ("campaign_overhead_pct", 3.0),
+        ("server_overhead_pct", 3.0),
         ("analytics_overhead_pct", 3.0),
     ];
     let mut violations = 0;
@@ -67,6 +76,16 @@ fn main() -> ExitCode {
             violations += 1;
         } else {
             println!("ok: {key} = {v:.2}%");
+        }
+    }
+    // The signed median is a second opinion, not a budget: it must be
+    // recorded (so the min-ratio clamp cannot silently hide a real
+    // cost), but a negative value is legitimate host drift.
+    match field(&json, "campaign_overhead_median_pct") {
+        Some(v) => println!("ok: campaign_overhead_median_pct = {v:+.2}% (recorded, unbudgeted)"),
+        None => {
+            eprintln!("error: {path}: missing field campaign_overhead_median_pct");
+            return ExitCode::from(2);
         }
     }
     if violations > 0 {

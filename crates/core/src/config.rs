@@ -110,6 +110,11 @@ pub struct JvmConfig {
     ///
     /// [`RunOutcome::Quarantined`]: crate::report::RunOutcome::Quarantined
     pub salvage: bool,
+    /// When set, the run executes this server-scale request workload
+    /// (open/closed-loop arrivals, overload-control policies) instead of
+    /// interpreting the app's batch work items. The carrier app still
+    /// names the run and sizes the heap.
+    pub server: Option<scalesim_workloads::ServerSpec>,
     /// Master random seed; a run is a pure function of (config, app).
     pub seed: u64,
 }
@@ -237,6 +242,7 @@ impl JvmConfigBuilder {
                 ),
                 trace: TraceConfig::from_env(),
                 salvage: false,
+                server: None,
                 seed: 42,
             },
         }
@@ -374,6 +380,13 @@ impl JvmConfigBuilder {
     /// (with their timeline and counters) instead of returning an error.
     pub fn salvage(&mut self, on: bool) -> &mut Self {
         self.config.salvage = on;
+        self
+    }
+
+    /// Runs a server-scale request workload instead of the app's batch
+    /// items.
+    pub fn server(&mut self, spec: scalesim_workloads::ServerSpec) -> &mut Self {
+        self.config.server = Some(spec);
         self
     }
 

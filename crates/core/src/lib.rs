@@ -44,13 +44,14 @@ pub mod json;
 mod replay;
 mod report;
 mod runtime;
+mod server;
 pub mod snapshot;
 
 pub use config::{JvmConfig, JvmConfigBuilder, OldGenPolicy};
 pub use error::{ConfigError, InvariantViolation, MonitorKind, SimError};
 pub use json::JsonValue;
 pub use replay::{replay_gc, ReplayOutcome};
-pub use report::{RunOutcome, RunReport, ThreadReport};
+pub use report::{RunOutcome, RunReport, ServerStats, ThreadReport};
 pub use runtime::Jvm;
 pub use scalesim_trace::TraceConfig;
 pub use snapshot::{report_from_json, report_to_json, ReproSpec, SnapshotError};

@@ -4,7 +4,7 @@ use std::fmt;
 
 use scalesim_gc::GcLog;
 use scalesim_heap::HeapStats;
-use scalesim_metrics::Summary;
+use scalesim_metrics::{LogHistogram, Summary};
 use scalesim_objtrace::ObjectTracer;
 use scalesim_sched::StateTimes;
 use scalesim_simkit::{AbortReason, SimDuration};
@@ -67,6 +67,70 @@ pub struct ThreadReport {
     pub preemptions: u64,
 }
 
+/// Request-level results from a server-workload run.
+///
+/// Attempts partition into completions, sheds and timeouts; whatever is
+/// still unsettled at the horizon is `in_flight`, so
+/// `arrivals == goodput + orphan_completions + sheds + timeouts + in_flight`
+/// holds exactly ([`ServerStats::conserves`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Policy label from the spec ("naive", "robust", …).
+    pub policy: String,
+    /// Request attempts issued (first attempts and retries).
+    pub arrivals: u64,
+    /// Attempts completed within their client's timeout.
+    pub goodput: u64,
+    /// Attempts the server finished after the client had already timed
+    /// out — wasted (orphan) work, the retry storm's fuel.
+    pub orphan_completions: u64,
+    /// Attempts shed at the door or at dequeue.
+    pub sheds: u64,
+    /// Attempts whose client-side timeout fired first.
+    pub timeouts: u64,
+    /// Retries issued by clients.
+    pub retries: u64,
+    /// Attempts still unsettled at the horizon.
+    pub in_flight: u64,
+    /// True when degraded-mode priority shedding engaged at least once.
+    pub degraded: bool,
+    /// Attempt-to-reply latency of in-deadline completions, nanoseconds.
+    pub latency: LogHistogram,
+    /// Accept-queue depth sampled at each arrival.
+    pub queue_depth: LogHistogram,
+    /// Goodput restricted to attempts arriving in the measurement tail
+    /// `[measure_from, horizon)` — the metastability verdict window.
+    pub tail_goodput: u64,
+    /// First attempts arriving in the measurement tail (denominator for
+    /// the tail goodput ratio).
+    pub tail_arrivals: u64,
+}
+
+impl ServerStats {
+    /// Latency quantile in nanoseconds (`None` when nothing completed).
+    #[must_use]
+    pub fn latency_p(&self, q: f64) -> Option<u64> {
+        self.latency.quantile(q)
+    }
+
+    /// Checks the attempt-conservation invariant.
+    #[must_use]
+    pub fn conserves(&self) -> bool {
+        self.arrivals
+            == self.goodput + self.orphan_completions + self.sheds + self.timeouts + self.in_flight
+    }
+
+    /// Tail goodput as a fraction of tail first-attempts, in `[0, 1]`.
+    #[must_use]
+    pub fn tail_goodput_ratio(&self) -> f64 {
+        if self.tail_arrivals == 0 {
+            0.0
+        } else {
+            self.tail_goodput as f64 / self.tail_arrivals as f64
+        }
+    }
+}
+
 /// Everything measured during one simulated run.
 ///
 /// * Figure 1a/1b read [`RunReport::locks`],
@@ -113,6 +177,8 @@ pub struct RunReport {
     /// How the run ended: complete, budget-truncated, or quarantined by
     /// the sweep harness.
     pub outcome: RunOutcome,
+    /// Request-level results when the run executed a server workload.
+    pub server: Option<ServerStats>,
 }
 
 impl RunReport {
@@ -137,6 +203,7 @@ impl RunReport {
             timeline: Timeline::disabled(),
             host_ns: 0,
             outcome: RunOutcome::Quarantined(why),
+            server: None,
         }
     }
 
@@ -271,6 +338,7 @@ mod tests {
             timeline: Timeline::disabled(),
             host_ns: 0,
             outcome: RunOutcome::Ok,
+            server: None,
         }
     }
 

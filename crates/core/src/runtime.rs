@@ -106,6 +106,11 @@ impl Jvm {
     /// inconsistent runtime state (which injected chaos faults are
     /// designed to provoke).
     pub fn run(&self, app: &dyn AppModel) -> Result<RunReport, SimError> {
+        if let Some(spec) = &self.config.server {
+            // Server mode: the app is only a carrier for memoization and
+            // repro plumbing; the request workload drives the run.
+            return crate::server::run_server(&self.config, spec, self.cancel.clone());
+        }
         Sim::new(&self.config, app, self.cancel.clone()).run()
     }
 }
@@ -602,6 +607,7 @@ impl<'a> Sim<'a> {
             timeline,
             host_ns: 0,
             outcome,
+            server: None,
         })
     }
 

@@ -1,0 +1,870 @@
+//! The request-serving engine: executes a [`ServerSpec`] instead of a
+//! batch benchmark, against the same subsystems the batch runtime uses
+//! (the `scalesim-sync` monitor table, the generational heap and
+//! collector, the chaos plan, the trace registry).
+//!
+//! # Execution model
+//!
+//! Requests arrive open-loop (a Poisson schedule that keeps coming
+//! regardless of server state) or closed-loop (clients that think, issue,
+//! and wait). Each arrival is admitted into a bounded accept queue —
+//! subject to admission control, a degraded-mode priority watermark and
+//! the queue bound itself — and served by a fixed worker pool (one worker
+//! per configured mutator thread). Serving a request allocates its
+//! class's burst (driving real minor collections), optionally takes a
+//! monitor critical section (driving real contention), then computes for
+//! the class's service time.
+//!
+//! Clients time out, retry with their configured backoff, and stop at
+//! their retry budget. The failure mode under study is *metastable*: a
+//! transient GC stall freezes the workers while open-loop arrivals keep
+//! queueing; once queue delay exceeds the client timeout, naive immediate
+//! retries multiply the offered load and the server stays saturated long
+//! after the stall has ended, its capacity wasted on orphan work nobody
+//! is waiting for. Admission control plus backoff removes the
+//! amplification loop, and goodput recovers as soon as the backlog
+//! drains.
+//!
+//! # Stop-the-world without a clock shift
+//!
+//! The batch runtime realizes a pause by shifting every pending event.
+//! Here that would be wrong: client timers and future arrivals are
+//! *outside* the server and must not freeze. Instead the engine keeps a
+//! cumulative STW counter; every in-service completion event carries the
+//! counter value at schedule time and, on firing, re-schedules itself by
+//! the pause time that accrued in between. Work stretches, the outside
+//! world does not — which is exactly how a backlog forms.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use rand::rngs::StdRng;
+
+use scalesim_gc::{Collector, GcCostModel, GcKind};
+use scalesim_heap::{AllocResult, Heap, HeapConfig, NurseryLayout, ObjectId};
+use scalesim_metrics::LogHistogram;
+use scalesim_objtrace::ObjectTracer;
+use scalesim_sched::{StateTimes, ThreadId};
+use scalesim_simkit::{
+    AbortReason, CancelToken, ChaosPlan, EventId, EventQueue, FaultClass, RngFactory, SimDuration,
+    SimTime,
+};
+use scalesim_sync::{AcquireOutcome, LockTable, MonitorId};
+use scalesim_trace::{to_chrome_json, write_atomic, CounterId, Counters, EventKind, Timeline};
+use scalesim_workloads::{poisson_gap_ns, think_ns, ArrivalProcess, ServerSpec};
+
+use crate::config::JvmConfig;
+use crate::error::SimError;
+use crate::report::{RunOutcome, RunReport, ServerStats, ThreadReport};
+
+/// Cadence, in events, of watchdog/budget polling (the event-count check
+/// is a plain compare and runs on every event).
+const BUDGET_CHECK_PERIOD: u64 = 1 << 10;
+
+/// Heap floor when the config has no explicit sizing: small enough that
+/// the allocation bursts produce regular minor collections for the chaos
+/// plan to amplify.
+const SERVER_MIN_HEAP: u64 = 4 << 20;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    /// The next open-loop arrival fires (the schedule is generated
+    /// lazily, one gap at a time, from the `server-arrival` RNG stream).
+    OpenArrival,
+    /// A request attempt reaches the server.
+    Arrival { req: u64, attempt: u32 },
+    /// A client's per-attempt timer expires.
+    Timeout { req: u64, attempt: u32 },
+    /// A worker's critical-section hold ends; release and continue into
+    /// the compute phase. `accum` is the STW counter at schedule time.
+    HoldDone { worker: usize, accum: u64 },
+    /// A worker's compute phase ends; the reply is ready.
+    Done { worker: usize, accum: u64 },
+}
+
+/// Where an admitted attempt currently is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// In the accept queue.
+    Queued,
+    /// On a worker.
+    InService,
+    /// Silently discarded by the request-drop chaos fault; the client
+    /// will find out at its timeout.
+    DroppedSilent,
+}
+
+#[derive(Debug)]
+struct Attempt {
+    class: usize,
+    arrival_at: u64,
+    phase: Phase,
+    /// The client's timer fired; a later completion is orphan work.
+    timed_out: bool,
+    timeout_ev: EventId,
+    /// Closed-loop issuer (client index), when applicable.
+    client: Option<usize>,
+    /// The allocation burst's object, once in service.
+    obj: Option<ObjectId>,
+}
+
+#[derive(Debug, Default)]
+struct Worker {
+    /// The attempt being served, if any (including blocked on a monitor).
+    busy: Option<(u64, u32)>,
+    /// Waiting in a monitor queue (dispatch must not hand it new work).
+    blocked: bool,
+    service_start_ns: u64,
+    busy_ns: u64,
+    items_done: u64,
+    dispatches: u64,
+}
+
+struct ServerSim<'a> {
+    config: &'a JvmConfig,
+    spec: &'a ServerSpec,
+    seed: u64,
+    queue: EventQueue<Ev>,
+    locks: LockTable,
+    /// Monitor per distinct lock-profile class name.
+    monitors: BTreeMap<String, MonitorId>,
+    heap: Heap,
+    collector: Collector,
+    chaos: ChaosPlan,
+    timeline: Timeline,
+    counters: Counters,
+    cancel: Option<CancelToken>,
+    arrival_rng: StdRng,
+    accept: VecDeque<(u64, u32)>,
+    attempts: BTreeMap<(u64, u32), Attempt>,
+    workers: Vec<Worker>,
+    /// Cumulative stop-the-world nanoseconds (see module docs).
+    stw_accum: u64,
+    next_req: u64,
+    retries_issued: u64,
+    /// Closed-loop round counter per client.
+    client_round: Vec<u64>,
+    /// Closed-loop request ownership: which client is waiting on a
+    /// request (across its retries). Open loop leaves this empty.
+    client_owner: BTreeMap<u64, usize>,
+    stats: ServerStats,
+}
+
+/// Runs `spec` under `config` and returns the standard report with
+/// [`RunReport::server`] populated.
+pub(crate) fn run_server(
+    config: &JvmConfig,
+    spec: &ServerSpec,
+    cancel: Option<CancelToken>,
+) -> Result<RunReport, SimError> {
+    Ok(ServerSim::new(config, spec, cancel).run())
+}
+
+impl<'a> ServerSim<'a> {
+    fn new(config: &'a JvmConfig, spec: &'a ServerSpec, cancel: Option<CancelToken>) -> Self {
+        let cores = config.placement.enabled(&config.machine, config.cores());
+        let mean_numa = config.machine.mean_numa_factor_of(&cores);
+        let gc_model = config
+            .gc_model_override
+            .unwrap_or_else(|| GcCostModel::hotspot_like(config.gc_workers(), mean_numa));
+        let mut collector = Collector::new(gc_model);
+        collector.set_timeline(config.trace.recorder());
+        let heap = Heap::new(HeapConfig::new(
+            config.heap_bytes(SERVER_MIN_HEAP),
+            config.nursery_fraction,
+            NurseryLayout::Shared,
+        ));
+        let mut locks = LockTable::new();
+        locks.set_timeline(config.trace.recorder());
+        let mut monitors = BTreeMap::new();
+        for class in &spec.classes {
+            if let Some(lock) = &class.lock {
+                if !monitors.contains_key(&lock.class) {
+                    let m = locks.create(&lock.class);
+                    monitors.insert(lock.class.clone(), m);
+                }
+            }
+        }
+        let clients = match spec.arrival {
+            ArrivalProcess::ClosedLoop { clients, .. } => clients,
+            ArrivalProcess::OpenPoisson { .. } => 0,
+        };
+        ServerSim {
+            config,
+            spec,
+            seed: config.seed,
+            queue: EventQueue::new(),
+            locks,
+            monitors,
+            heap,
+            collector,
+            chaos: ChaosPlan::new(config.chaos, config.seed),
+            timeline: config.trace.recorder(),
+            counters: Counters::new(),
+            cancel,
+            arrival_rng: RngFactory::new(config.seed).stream("server-arrival", 0),
+            accept: VecDeque::new(),
+            attempts: BTreeMap::new(),
+            workers: (0..config.threads).map(|_| Worker::default()).collect(),
+            stw_accum: 0,
+            next_req: 0,
+            retries_issued: 0,
+            client_round: vec![0; clients],
+            client_owner: BTreeMap::new(),
+            stats: ServerStats {
+                policy: spec.name.clone(),
+                arrivals: 0,
+                goodput: 0,
+                orphan_completions: 0,
+                sheds: 0,
+                timeouts: 0,
+                retries: 0,
+                in_flight: 0,
+                degraded: false,
+                latency: LogHistogram::new(),
+                queue_depth: LogHistogram::new(),
+                tail_goodput: 0,
+                tail_arrivals: 0,
+            },
+        }
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.queue.now().as_nanos()
+    }
+
+    // ------------------------------------------------------------------
+    // Main loop
+    // ------------------------------------------------------------------
+
+    fn run(mut self) -> RunReport {
+        let host_start = std::time::Instant::now();
+        match self.spec.arrival {
+            ArrivalProcess::OpenPoisson { rate_per_sec } => {
+                if rate_per_sec > 0 {
+                    let gap = poisson_gap_ns(rate_per_sec, &mut self.arrival_rng);
+                    self.queue
+                        .schedule_at(SimTime::from_nanos(gap), Ev::OpenArrival);
+                }
+            }
+            ArrivalProcess::ClosedLoop {
+                clients,
+                think_ns: range,
+            } => {
+                for c in 0..clients {
+                    let at = think_ns(self.seed, c as u64, 0, range).max(1);
+                    let req = self.next_req;
+                    self.next_req += 1;
+                    self.client_owner.insert(req, c);
+                    self.queue
+                        .schedule_at(SimTime::from_nanos(at), Ev::Arrival { req, attempt: 1 });
+                }
+            }
+        }
+
+        let budget = self.config.budget;
+        let timed_budget = budget.max_sim_time.is_some() || budget.max_host_ms.is_some();
+        let horizon = SimTime::from_nanos(self.spec.horizon_ns);
+        let mut wall = SimTime::ZERO;
+        let mut outcome = RunOutcome::Ok;
+        loop {
+            match self.queue.peek_time() {
+                None => break,
+                Some(at) if at >= horizon => break,
+                Some(_) => {}
+            }
+            let (at, ev) = self.queue.pop().expect("peeked event vanished");
+            wall = at;
+            let processed = self.queue.popped_total();
+            if processed > budget.max_events {
+                outcome = RunOutcome::Truncated(AbortReason::MaxEvents(budget.max_events));
+                break;
+            }
+            if self.chaos.panics_at(processed) {
+                panic!("chaos: deliberate panic at event {processed}");
+            }
+            self.handle(ev);
+            if processed.is_multiple_of(BUDGET_CHECK_PERIOD) {
+                if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                    outcome = RunOutcome::Truncated(AbortReason::Watchdog);
+                    break;
+                }
+                if timed_budget {
+                    let host_ms = host_start.elapsed().as_millis() as u64;
+                    if let Some(reason) = budget.check(processed, wall, host_ms) {
+                        outcome = RunOutcome::Truncated(reason);
+                        break;
+                    }
+                }
+            }
+        }
+        if outcome == RunOutcome::Ok {
+            wall = horizon;
+        }
+        self.finish(wall, outcome)
+    }
+
+    fn handle(&mut self, ev: Ev) {
+        match ev {
+            Ev::OpenArrival => self.on_open_arrival(),
+            Ev::Arrival { req, attempt } => self.on_arrival(req, attempt),
+            Ev::Timeout { req, attempt } => self.on_timeout(req, attempt),
+            Ev::HoldDone { worker, accum } => self.on_hold_done(worker, accum),
+            Ev::Done { worker, accum } => self.on_done(worker, accum),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Arrivals and admission
+    // ------------------------------------------------------------------
+
+    fn on_open_arrival(&mut self) {
+        let req = self.next_req;
+        self.next_req += 1;
+        self.on_arrival(req, 1);
+        let ArrivalProcess::OpenPoisson { rate_per_sec } = self.spec.arrival else {
+            unreachable!("open arrival under closed-loop spec");
+        };
+        let gap = poisson_gap_ns(rate_per_sec, &mut self.arrival_rng);
+        let next = self.now_ns() + gap;
+        if next < self.spec.horizon_ns {
+            self.queue
+                .schedule_at(SimTime::from_nanos(next), Ev::OpenArrival);
+        }
+    }
+
+    fn on_arrival(&mut self, req: u64, attempt: u32) {
+        let now = self.now_ns();
+        let class = self.spec.class_of(self.seed, req);
+        self.stats.arrivals += 1;
+        if attempt == 1 && now >= self.spec.measure_from_ns {
+            self.stats.tail_arrivals += 1;
+        }
+        self.stats.queue_depth.record(self.accept.len() as u64);
+
+        // The client retains ownership across retries of the same req.
+        let client = self.client_owner.get(&req).copied();
+
+        // Door checks, most drastic first. A shed is answered
+        // immediately — the client reacts now, not at its timeout.
+        let depth = self.accept.len();
+        let in_service = self.workers.iter().filter(|w| w.busy.is_some()).count();
+        let degraded_shed = match self.spec.policy.degrade_above {
+            Some(mark) if depth >= mark => {
+                self.stats.degraded = true;
+                self.spec.classes[class].priority > 0
+            }
+            _ => false,
+        };
+        let admission_shed = match self.spec.policy.admission_cap {
+            Some(cap) => depth + in_service >= cap,
+            None => false,
+        };
+        if degraded_shed || admission_shed || depth >= self.spec.policy.queue_cap {
+            self.shed(req, attempt, class, client);
+            return;
+        }
+
+        // Admitted. The request-drop chaos fault discards it silently:
+        // the server took it and nothing will ever come back.
+        let timeout_ev = self.queue.schedule_at(
+            SimTime::from_nanos(now + self.spec.client.timeout_ns),
+            Ev::Timeout { req, attempt },
+        );
+        let phase = if self.chaos.fires(FaultClass::RequestDrop) {
+            self.counters.inc(CounterId::ChaosInjections);
+            self.timeline
+                .instant(EventKind::ChaosRequestDrop, 0, self.queue.now(), req);
+            Phase::DroppedSilent
+        } else {
+            self.accept.push_back((req, attempt));
+            Phase::Queued
+        };
+        self.attempts.insert(
+            (req, attempt),
+            Attempt {
+                class,
+                arrival_at: now,
+                phase,
+                timed_out: false,
+                timeout_ev,
+                client,
+                obj: None,
+            },
+        );
+        self.dispatch_idle_workers();
+    }
+
+    fn shed(&mut self, req: u64, attempt: u32, class: usize, client: Option<usize>) {
+        self.stats.sheds += 1;
+        self.timeline
+            .instant(EventKind::ReqShed, class as u32, self.queue.now(), req);
+        self.client_reacts(req, attempt, class, client);
+    }
+
+    /// The client learned this attempt failed (shed reply or timeout):
+    /// retry with backoff if attempts and budget remain, else abandon.
+    fn client_reacts(&mut self, req: u64, attempt: u32, class: usize, client: Option<usize>) {
+        let can_retry = attempt <= self.spec.client.max_retries
+            && self.retries_issued < self.spec.client.retry_budget;
+        if can_retry {
+            self.retries_issued += 1;
+            self.stats.retries += 1;
+            self.timeline
+                .instant(EventKind::ReqRetry, class as u32, self.queue.now(), req);
+            let delay = self.spec.client.backoff.delay_ns(self.seed, req, attempt);
+            self.queue.schedule_at(
+                SimTime::from_nanos(self.now_ns() + delay.max(1)),
+                Ev::Arrival {
+                    req,
+                    attempt: attempt + 1,
+                },
+            );
+        } else if let Some(c) = client {
+            // The request is abandoned; the closed-loop client moves on.
+            self.client_owner.remove(&req);
+            self.next_client_round(c);
+        }
+    }
+
+    /// Schedules closed-loop client `c`'s next request after a think.
+    fn next_client_round(&mut self, c: usize) {
+        let ArrivalProcess::ClosedLoop {
+            think_ns: range, ..
+        } = self.spec.arrival
+        else {
+            return;
+        };
+        self.client_round[c] += 1;
+        let round = self.client_round[c];
+        let req = self.next_req;
+        self.next_req += 1;
+        let delay = think_ns(self.seed, c as u64, round, range).max(1);
+        let at = self.now_ns() + delay;
+        if at < self.spec.horizon_ns {
+            self.queue
+                .schedule_at(SimTime::from_nanos(at), Ev::Arrival { req, attempt: 1 });
+        }
+        // The Arrival handler re-derives the issuer via this marker.
+        self.client_owner.insert(req, c);
+    }
+
+    // ------------------------------------------------------------------
+    // Service
+    // ------------------------------------------------------------------
+
+    fn dispatch_idle_workers(&mut self) {
+        for w in 0..self.workers.len() {
+            if self.workers[w].busy.is_some() || self.workers[w].blocked {
+                continue;
+            }
+            self.dispatch_one(w);
+        }
+    }
+
+    fn dispatch_one(&mut self, w: usize) {
+        while let Some((req, attempt)) = self.accept.pop_front() {
+            // Lazily skip entries resolved while queued (timeouts).
+            let Some(state) = self.attempts.get(&(req, attempt)) else {
+                continue;
+            };
+            if state.phase != Phase::Queued {
+                continue;
+            }
+            // Deadline shedding: don't waste a worker on a request that
+            // has already waited past the deadline.
+            if let Some(deadline) = self.spec.policy.deadline_shed_ns {
+                if self.now_ns().saturating_sub(state.arrival_at) > deadline {
+                    let (class, client) = (state.class, state.client);
+                    let timeout_ev = state.timeout_ev;
+                    self.attempts.remove(&(req, attempt));
+                    self.queue.cancel(timeout_ev);
+                    self.shed(req, attempt, class, client);
+                    continue;
+                }
+            }
+            self.start_service(w, req, attempt);
+            return;
+        }
+    }
+
+    fn start_service(&mut self, w: usize, req: u64, attempt: u32) {
+        let now = self.now_ns();
+        let state = self
+            .attempts
+            .get_mut(&(req, attempt))
+            .expect("dispatched attempt exists");
+        state.phase = Phase::InService;
+        let class = state.class;
+        self.workers[w].busy = Some((req, attempt));
+        self.workers[w].dispatches += 1;
+        self.workers[w].service_start_ns = now;
+
+        // Allocation burst first (the session / response buffers), which
+        // may stop the world.
+        let mut pause_ns = 0u64;
+        let bytes = self.spec.classes[class].alloc_bytes;
+        if bytes > 0 {
+            let tid = ThreadId::new(w);
+            loop {
+                match self.heap.alloc(tid, bytes) {
+                    AllocResult::Ok(obj) => {
+                        self.attempts
+                            .get_mut(&(req, attempt))
+                            .expect("still serving")
+                            .obj = Some(obj);
+                        break;
+                    }
+                    AllocResult::NurseryFull { region } => {
+                        pause_ns += self.minor_gc(region);
+                    }
+                }
+            }
+        }
+
+        // Critical section (if the class has one), then compute.
+        if let Some(lock) = &self.spec.classes[class].lock {
+            let m = self.monitors[&lock.class];
+            let tid = ThreadId::new(w);
+            match self.locks.acquire(m, tid, self.queue.now()) {
+                AcquireOutcome::Acquired => {
+                    self.counters.inc(CounterId::LockAcquires);
+                    let hold = self
+                        .spec
+                        .hold_ns(self.seed, req, class)
+                        .expect("locked class has a hold draw");
+                    self.queue.schedule_at(
+                        SimTime::from_nanos(now + pause_ns + hold),
+                        Ev::HoldDone {
+                            worker: w,
+                            accum: self.stw_accum,
+                        },
+                    );
+                }
+                AcquireOutcome::Contended => {
+                    self.counters.inc(CounterId::LockContentions);
+                    self.workers[w].blocked = true;
+                }
+            }
+        } else {
+            let svc = self.spec.service_ns(self.seed, req, class);
+            self.queue.schedule_at(
+                SimTime::from_nanos(now + pause_ns + svc),
+                Ev::Done {
+                    worker: w,
+                    accum: self.stw_accum,
+                },
+            );
+        }
+    }
+
+    /// Re-schedules an in-service event by the STW time that accrued
+    /// since it was scheduled. Returns `true` when the event was pushed
+    /// forward and must not be handled now.
+    fn stretch(&mut self, ev: Ev, accum: u64) -> bool {
+        if self.stw_accum > accum {
+            let delta = self.stw_accum - accum;
+            let at = SimTime::from_nanos(self.now_ns() + delta);
+            let pushed = match ev {
+                Ev::HoldDone { worker, .. } => Ev::HoldDone {
+                    worker,
+                    accum: self.stw_accum,
+                },
+                Ev::Done { worker, .. } => Ev::Done {
+                    worker,
+                    accum: self.stw_accum,
+                },
+                other => other,
+            };
+            self.queue.schedule_at(at, pushed);
+            return true;
+        }
+        false
+    }
+
+    fn on_hold_done(&mut self, w: usize, accum: u64) {
+        if self.stretch(Ev::HoldDone { worker: w, accum }, accum) {
+            return;
+        }
+        let (req, attempt) = self.workers[w].busy.expect("hold ends on a busy worker");
+        let class = self.attempts[&(req, attempt)].class;
+        let lock = self.spec.classes[class]
+            .lock
+            .as_ref()
+            .expect("held class has a lock profile");
+        let m = self.monitors[&lock.class];
+        let tid = ThreadId::new(w);
+        if let Some(grant) = self.locks.release(m, tid, self.queue.now()) {
+            // Hand the monitor to the blocked worker and start its hold.
+            let next = grant.next.index();
+            self.counters.inc(CounterId::LockAcquires);
+            self.workers[next].blocked = false;
+            let key = self.workers[next].busy.expect("waiter is mid-request");
+            let nclass = self.attempts[&key].class;
+            let hold = self
+                .spec
+                .hold_ns(self.seed, key.0, nclass)
+                .expect("waiter's class has a hold draw");
+            self.queue.schedule_at(
+                SimTime::from_nanos(self.now_ns() + hold),
+                Ev::HoldDone {
+                    worker: next,
+                    accum: self.stw_accum,
+                },
+            );
+        }
+        let svc = self.spec.service_ns(self.seed, req, class);
+        self.queue.schedule_at(
+            SimTime::from_nanos(self.now_ns() + svc),
+            Ev::Done {
+                worker: w,
+                accum: self.stw_accum,
+            },
+        );
+    }
+
+    fn on_done(&mut self, w: usize, accum: u64) {
+        if self.stretch(Ev::Done { worker: w, accum }, accum) {
+            return;
+        }
+        let now = self.now_ns();
+        let (req, attempt) = self.workers[w].busy.take().expect("done on a busy worker");
+        self.workers[w].items_done += 1;
+        self.workers[w].busy_ns += now.saturating_sub(self.workers[w].service_start_ns);
+        let state = self
+            .attempts
+            .remove(&(req, attempt))
+            .expect("serving attempt exists");
+        if let Some(obj) = state.obj {
+            if self.heap.is_live(obj) {
+                self.heap.kill(obj);
+            }
+        }
+        if state.timed_out {
+            // Nobody is waiting: the reply is orphan work.
+            self.stats.orphan_completions += 1;
+        } else {
+            self.queue.cancel(state.timeout_ev);
+            self.stats.goodput += 1;
+            self.stats
+                .latency
+                .record(now.saturating_sub(state.arrival_at));
+            if state.arrival_at >= self.spec.measure_from_ns {
+                self.stats.tail_goodput += 1;
+            }
+            if let Some(c) = state.client {
+                self.client_owner.remove(&req);
+                self.next_client_round(c);
+            }
+        }
+        self.dispatch_one(w);
+    }
+
+    // ------------------------------------------------------------------
+    // Timeouts and faults
+    // ------------------------------------------------------------------
+
+    fn on_timeout(&mut self, req: u64, attempt: u32) {
+        let Some(state) = self.attempts.get_mut(&(req, attempt)) else {
+            return; // resolved in the meantime; cancel raced the pop
+        };
+        if state.timed_out {
+            return;
+        }
+        state.timed_out = true;
+        let (class, phase, client) = (state.class, state.phase, state.client);
+        self.timeline
+            .instant(EventKind::ReqTimeout, class as u32, self.queue.now(), req);
+        match phase {
+            Phase::InService => {
+                // The server keeps going; resolution (orphan) happens at
+                // completion. The client moves on now.
+            }
+            Phase::Queued | Phase::DroppedSilent => {
+                // Never served and never will be: resolve as a timeout.
+                self.attempts.remove(&(req, attempt));
+                self.stats.timeouts += 1;
+            }
+        }
+        self.client_reacts(req, attempt, class, client);
+    }
+
+    /// One minor collection, amplified by the GC-stall chaos fault when
+    /// inside the spec's fault window. Returns the pause in nanoseconds
+    /// and adds it to the cumulative STW counter.
+    fn minor_gc(&mut self, region: usize) -> u64 {
+        let at = self.queue.now();
+        let mut pause =
+            self.collector
+                .collect_minor(&mut self.heap, region, self.workers.len(), at);
+        let in_window = match self.spec.fault_window_ns {
+            Some((start, end)) => {
+                let now = at.as_nanos();
+                now >= start && now < end
+            }
+            None => false,
+        };
+        if in_window && self.chaos.fires(FaultClass::GcStall) {
+            let extra = pause.mul_f64(self.chaos.config().gc_stall_factor);
+            self.counters.inc(CounterId::ChaosInjections);
+            self.timeline
+                .instant(EventKind::ChaosGcStall, 0, at, extra.as_nanos());
+            pause += extra;
+        }
+        self.stw_accum += pause.as_nanos();
+        pause.as_nanos()
+    }
+
+    // ------------------------------------------------------------------
+    // Report assembly
+    // ------------------------------------------------------------------
+
+    fn finish(mut self, wall: SimTime, outcome: RunOutcome) -> RunReport {
+        self.stats.in_flight = self.attempts.len() as u64;
+        debug_assert!(self.stats.conserves(), "attempt conservation broke");
+
+        let per_thread: Vec<ThreadReport> = self
+            .workers
+            .iter()
+            .map(|w| ThreadReport {
+                items_done: w.items_done,
+                times: StateTimes {
+                    running: SimDuration::from_nanos(w.busy_ns),
+                    ..StateTimes::default()
+                },
+                dispatches: w.dispatches,
+                preemptions: 0,
+            })
+            .collect();
+        let mutator_cpu: SimDuration = per_thread.iter().map(|t| t.times.running).sum();
+
+        let timeline = Timeline::merge(vec![
+            self.locks.take_timeline(),
+            self.collector.take_timeline(),
+            std::mem::take(&mut self.timeline),
+        ]);
+        let log = self.collector.log();
+        self.counters
+            .set(CounterId::MinorGcs, log.count(GcKind::Minor) as u64);
+        self.counters
+            .set(CounterId::FullGcs, log.count(GcKind::Full) as u64);
+        self.counters
+            .set(CounterId::EventsProcessed, self.queue.popped_total());
+        self.counters
+            .set(CounterId::TimelineDropped, timeline.dropped());
+        self.counters
+            .set(CounterId::ReqArrivals, self.stats.arrivals);
+        self.counters.set(CounterId::ReqGoodput, self.stats.goodput);
+        self.counters.set(CounterId::ReqSheds, self.stats.sheds);
+        self.counters
+            .set(CounterId::ReqTimeouts, self.stats.timeouts);
+        self.counters.set(CounterId::ReqRetries, self.stats.retries);
+        self.counters
+            .set(CounterId::ReqInFlight, self.stats.in_flight);
+
+        if let Some(path) = &self.config.trace.path {
+            if timeline.is_enabled() {
+                if let Err(e) = write_atomic(std::path::Path::new(path), to_chrome_json(&timeline))
+                {
+                    eprintln!("scalesim: failed to write trace to {path}: {e}");
+                }
+            }
+        }
+
+        RunReport {
+            app: self.spec.name.clone(),
+            threads: self.config.threads,
+            cores: self.config.cores(),
+            wall_time: wall.saturating_since(SimTime::ZERO),
+            gc_time: self.collector.log().total_pause(),
+            mutator_cpu,
+            gc: self.collector.into_log(),
+            locks: self.locks.report(),
+            trace: ObjectTracer::new(self.config.retention),
+            heap: *self.heap.stats(),
+            per_thread,
+            events_processed: self.queue.popped_total(),
+            counters: self.counters,
+            timeline,
+            host_ns: 0,
+            outcome,
+            server: Some(self.stats),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Jvm;
+    use scalesim_workloads::xalan;
+
+    fn run_spec(spec: ServerSpec, threads: usize, seed: u64) -> RunReport {
+        let config = JvmConfig::builder()
+            .threads(threads)
+            .seed(seed)
+            .server(spec)
+            .build()
+            .unwrap();
+        Jvm::new(config).run(&xalan()).unwrap()
+    }
+
+    fn short(mut spec: ServerSpec) -> ServerSpec {
+        spec.horizon_ns = 200_000_000;
+        spec.measure_from_ns = 100_000_000;
+        spec
+    }
+
+    #[test]
+    fn open_loop_run_serves_requests_and_conserves_attempts() {
+        let report = run_spec(short(ServerSpec::naive(20_000)), 4, 42);
+        let stats = report.server.as_ref().unwrap();
+        assert!(stats.arrivals > 3_000, "{} arrivals", stats.arrivals);
+        assert!(stats.goodput > 0);
+        assert!(stats.conserves(), "{stats:?}");
+        assert!(stats.latency.count() == stats.goodput);
+        assert!(report.locks.total.acquisitions > 0, "session lock used");
+        assert_eq!(report.app, "naive");
+    }
+
+    #[test]
+    fn server_runs_are_deterministic() {
+        let a = run_spec(short(ServerSpec::robust(20_000, 64)), 4, 7);
+        let b = run_spec(short(ServerSpec::robust(20_000, 64)), 4, 7);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        let c = run_spec(short(ServerSpec::robust(20_000, 64)), 4, 8);
+        assert_ne!(format!("{a:?}"), format!("{c:?}"), "seed matters");
+    }
+
+    #[test]
+    fn closed_loop_is_self_limiting() {
+        let mut spec = short(ServerSpec::naive(0));
+        spec.arrival = ArrivalProcess::ClosedLoop {
+            clients: 8,
+            think_ns: (50_000, 150_000),
+        };
+        let report = run_spec(spec, 4, 42);
+        let stats = report.server.as_ref().unwrap();
+        assert!(stats.conserves(), "{stats:?}");
+        assert!(stats.goodput > 100, "{} goodput", stats.goodput);
+        // Eight clients with one outstanding request each can never
+        // queue deeper than the client count.
+        assert!(stats.queue_depth.max().unwrap_or(0) <= 8);
+        assert_eq!(stats.sheds, 0);
+    }
+
+    #[test]
+    fn allocation_bursts_drive_minor_collections() {
+        let mut spec = short(ServerSpec::naive(20_000));
+        spec.classes[1].alloc_bytes = 32_768;
+        let config = JvmConfig::builder()
+            .threads(4)
+            .seed(42)
+            .heap_bytes(8 << 20)
+            .server(spec)
+            .build()
+            .unwrap();
+        let report = Jvm::new(config).run(&xalan()).unwrap();
+        assert!(report.gc.count(GcKind::Minor) > 0, "nursery pressure");
+        assert!(report.gc_time.as_nanos() > 0);
+    }
+}

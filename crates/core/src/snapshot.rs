@@ -24,12 +24,15 @@ use scalesim_sched::StateTimes;
 use scalesim_simkit::{AbortReason, ChaosConfig, RunBudget, SimDuration, SimTime};
 use scalesim_sync::{LockReport, MonitorStats};
 use scalesim_trace::{CounterId, Counters, EventKind, Timeline, TimelineEvent, TraceConfig};
-use scalesim_workloads::{app_by_name, AppModel, SyntheticApp};
+use scalesim_workloads::{
+    app_by_name, AppModel, ArrivalProcess, Backoff, ClientPolicy, LockProfile, RequestClass,
+    ServerPolicy, ServerSpec, SyntheticApp,
+};
 
 use crate::config::JvmConfig;
 use crate::error::SimError;
 use crate::json::JsonValue;
-use crate::report::{RunOutcome, RunReport, ThreadReport};
+use crate::report::{RunOutcome, RunReport, ServerStats, ThreadReport};
 
 /// A snapshot (de)serialization failure: a missing key, a wrong shape,
 /// or an unknown enum tag.
@@ -152,6 +155,42 @@ fn hist_from_json(v: &JsonValue) -> Result<LogHistogram, SnapshotError> {
         get_u64(v, "min")?,
         get_u64(v, "max")?,
     ))
+}
+
+fn server_stats_to_json(stats: &ServerStats) -> JsonValue {
+    obj(vec![
+        ("policy", s(&stats.policy)),
+        ("arrivals", u(stats.arrivals)),
+        ("goodput", u(stats.goodput)),
+        ("orphans", u(stats.orphan_completions)),
+        ("sheds", u(stats.sheds)),
+        ("timeouts", u(stats.timeouts)),
+        ("retries", u(stats.retries)),
+        ("in_flight", u(stats.in_flight)),
+        ("degraded", JsonValue::Bool(stats.degraded)),
+        ("latency", hist_to_json(&stats.latency)),
+        ("queue_depth", hist_to_json(&stats.queue_depth)),
+        ("tail_goodput", u(stats.tail_goodput)),
+        ("tail_arrivals", u(stats.tail_arrivals)),
+    ])
+}
+
+fn server_stats_from_json(v: &JsonValue) -> Result<ServerStats, SnapshotError> {
+    Ok(ServerStats {
+        policy: get_str(v, "policy")?.to_owned(),
+        arrivals: get_u64(v, "arrivals")?,
+        goodput: get_u64(v, "goodput")?,
+        orphan_completions: get_u64(v, "orphans")?,
+        sheds: get_u64(v, "sheds")?,
+        timeouts: get_u64(v, "timeouts")?,
+        retries: get_u64(v, "retries")?,
+        in_flight: get_u64(v, "in_flight")?,
+        degraded: get_bool(v, "degraded")?,
+        latency: hist_from_json(get(v, "latency")?)?,
+        queue_depth: hist_from_json(get(v, "queue_depth")?)?,
+        tail_goodput: get_u64(v, "tail_goodput")?,
+        tail_arrivals: get_u64(v, "tail_arrivals")?,
+    })
 }
 
 fn gc_kind_name(kind: GcKind) -> &'static str {
@@ -560,7 +599,7 @@ fn outcome_from_json(v: &JsonValue) -> Result<RunOutcome, SnapshotError> {
 /// checkpointed records byte for byte.
 #[must_use]
 pub fn report_to_json(report: &RunReport) -> JsonValue {
-    obj(vec![
+    let mut pairs = vec![
         ("v", u(1)),
         ("app", s(&report.app)),
         ("threads", u(report.threads as u64)),
@@ -595,7 +634,11 @@ pub fn report_to_json(report: &RunReport) -> JsonValue {
         ("timeline", timeline_to_json(&report.timeline)),
         ("host_ns", u(report.host_ns)),
         ("outcome", outcome_to_json(&report.outcome)),
-    ])
+    ];
+    if let Some(stats) = &report.server {
+        pairs.push(("server", server_stats_to_json(stats)));
+    }
+    obj(pairs)
 }
 
 /// Rebuilds a [`RunReport`] from [`report_to_json`] output.
@@ -638,6 +681,10 @@ pub fn report_from_json(v: &JsonValue) -> Result<RunReport, SnapshotError> {
         timeline: timeline_from_json(get(v, "timeline")?)?,
         host_ns: get_u64(v, "host_ns")?,
         outcome: outcome_from_json(get(v, "outcome")?)?,
+        server: match v.get("server") {
+            None => None,
+            Some(stats) => Some(server_stats_from_json(stats)?),
+        },
     })
 }
 
@@ -675,6 +722,10 @@ pub struct ReproSpec {
     pub chaos: ChaosConfig,
     /// Run budget (including any watchdog deadline).
     pub budget: RunBudget,
+    /// Server-workload spec, when the failing run was a request-serving
+    /// run rather than a batch benchmark (the app is then only a memo
+    /// carrier).
+    pub server: Option<ServerSpec>,
     /// Memo key of the spec this file reproduces.
     pub spec_key: u64,
     /// Whether reconstruction was verified key-exact at emit time.
@@ -690,6 +741,7 @@ fn chaos_to_json(chaos: &ChaosConfig) -> JsonValue {
         // to the identical bits.
         ("gc_stall_factor", s(&chaos.gc_stall_factor.to_string())),
         ("memo", u(chaos.memo_corrupt_period)),
+        ("request_drop", u(chaos.request_drop_period)),
         ("panic_at", u(chaos.panic_at_event)),
     ])
 }
@@ -703,7 +755,166 @@ fn chaos_from_json(v: &JsonValue) -> Result<ChaosConfig, SnapshotError> {
             .parse()
             .map_err(|_| err("gc_stall_factor is not a float"))?,
         memo_corrupt_period: get_u64(v, "memo")?,
+        request_drop_period: get_u64(v, "request_drop")?,
         panic_at_event: get_u64(v, "panic_at")?,
+    })
+}
+
+fn server_spec_to_json(spec: &ServerSpec) -> JsonValue {
+    let arrival = match &spec.arrival {
+        ArrivalProcess::OpenPoisson { rate_per_sec } => obj(vec![
+            ("kind", s("open")),
+            ("rate_per_sec", u(*rate_per_sec)),
+        ]),
+        ArrivalProcess::ClosedLoop { clients, think_ns } => obj(vec![
+            ("kind", s("closed")),
+            ("clients", u(*clients as u64)),
+            ("think_lo", u(think_ns.0)),
+            ("think_hi", u(think_ns.1)),
+        ]),
+    };
+    let classes: Vec<JsonValue> = spec
+        .classes
+        .iter()
+        .map(|c| {
+            let mut pairs = vec![
+                ("name", s(&c.name)),
+                ("weight", u(u64::from(c.weight))),
+                ("priority", u(u64::from(c.priority))),
+                ("svc_lo", u(c.service_ns.0)),
+                ("svc_hi", u(c.service_ns.1)),
+                ("alloc_bytes", u(c.alloc_bytes)),
+            ];
+            if let Some(lock) = &c.lock {
+                pairs.extend([
+                    ("lock_class", s(&lock.class)),
+                    ("hold_lo", u(lock.held_ns.0)),
+                    ("hold_hi", u(lock.held_ns.1)),
+                ]);
+            }
+            obj(pairs)
+        })
+        .collect();
+    let backoff = match spec.client.backoff {
+        Backoff::None => obj(vec![("kind", s("none"))]),
+        Backoff::Exponential { base_ns, cap_ns } => obj(vec![
+            ("kind", s("exp")),
+            ("base_ns", u(base_ns)),
+            ("cap_ns", u(cap_ns)),
+        ]),
+    };
+    let client = obj(vec![
+        ("timeout_ns", u(spec.client.timeout_ns)),
+        ("max_retries", u(u64::from(spec.client.max_retries))),
+        ("backoff", backoff),
+        ("retry_budget", u(spec.client.retry_budget)),
+    ]);
+    let mut policy = vec![("queue_cap", u(spec.policy.queue_cap as u64))];
+    if let Some(cap) = spec.policy.admission_cap {
+        policy.push(("admission_cap", u(cap as u64)));
+    }
+    if let Some(ns) = spec.policy.deadline_shed_ns {
+        policy.push(("deadline_shed_ns", u(ns)));
+    }
+    if let Some(mark) = spec.policy.degrade_above {
+        policy.push(("degrade_above", u(mark as u64)));
+    }
+    let mut pairs = vec![
+        ("name", s(&spec.name)),
+        ("arrival", arrival),
+        ("horizon_ns", u(spec.horizon_ns)),
+        ("classes", JsonValue::Arr(classes)),
+        ("client", client),
+        ("policy", obj(policy)),
+        ("measure_from_ns", u(spec.measure_from_ns)),
+    ];
+    if let Some((start, end)) = spec.fault_window_ns {
+        pairs.push(("fault_start", u(start)));
+        pairs.push(("fault_end", u(end)));
+    }
+    obj(pairs)
+}
+
+fn opt_u64(v: &JsonValue, key: &str) -> Result<Option<u64>, SnapshotError> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(entry) => entry
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| err(format!("`{key}` is not an integer"))),
+    }
+}
+
+fn server_spec_from_json(v: &JsonValue) -> Result<ServerSpec, SnapshotError> {
+    let av = get(v, "arrival")?;
+    let arrival = match get_str(av, "kind")? {
+        "open" => ArrivalProcess::OpenPoisson {
+            rate_per_sec: get_u64(av, "rate_per_sec")?,
+        },
+        "closed" => ArrivalProcess::ClosedLoop {
+            clients: get_usize(av, "clients")?,
+            think_ns: (get_u64(av, "think_lo")?, get_u64(av, "think_hi")?),
+        },
+        other => return Err(err(format!("unknown arrival kind `{other}`"))),
+    };
+    let mut classes = Vec::new();
+    for cv in get_arr(v, "classes")? {
+        let lock = match cv.get("lock_class") {
+            None => None,
+            Some(_) => Some(LockProfile {
+                class: get_str(cv, "lock_class")?.to_owned(),
+                held_ns: (get_u64(cv, "hold_lo")?, get_u64(cv, "hold_hi")?),
+            }),
+        };
+        classes.push(RequestClass {
+            name: get_str(cv, "name")?.to_owned(),
+            weight: u32::try_from(get_u64(cv, "weight")?)
+                .map_err(|_| err("class weight exceeds u32"))?,
+            priority: u8::try_from(get_u64(cv, "priority")?)
+                .map_err(|_| err("class priority exceeds u8"))?,
+            service_ns: (get_u64(cv, "svc_lo")?, get_u64(cv, "svc_hi")?),
+            lock,
+            alloc_bytes: get_u64(cv, "alloc_bytes")?,
+        });
+    }
+    let clv = get(v, "client")?;
+    let bv = get(clv, "backoff")?;
+    let backoff = match get_str(bv, "kind")? {
+        "none" => Backoff::None,
+        "exp" => Backoff::Exponential {
+            base_ns: get_u64(bv, "base_ns")?,
+            cap_ns: get_u64(bv, "cap_ns")?,
+        },
+        other => return Err(err(format!("unknown backoff kind `{other}`"))),
+    };
+    let client = ClientPolicy {
+        timeout_ns: get_u64(clv, "timeout_ns")?,
+        max_retries: u32::try_from(get_u64(clv, "max_retries")?)
+            .map_err(|_| err("max_retries exceeds u32"))?,
+        backoff,
+        retry_budget: get_u64(clv, "retry_budget")?,
+    };
+    let pv = get(v, "policy")?;
+    let policy = ServerPolicy {
+        queue_cap: get_usize(pv, "queue_cap")?,
+        admission_cap: opt_u64(pv, "admission_cap")?.map(|n| n as usize),
+        deadline_shed_ns: opt_u64(pv, "deadline_shed_ns")?,
+        degrade_above: opt_u64(pv, "degrade_above")?.map(|n| n as usize),
+    };
+    let fault_window_ns = match (opt_u64(v, "fault_start")?, opt_u64(v, "fault_end")?) {
+        (Some(start), Some(end)) => Some((start, end)),
+        (None, None) => None,
+        _ => return Err(err("fault_start/fault_end must appear together")),
+    };
+    Ok(ServerSpec {
+        name: get_str(v, "name")?.to_owned(),
+        arrival,
+        horizon_ns: get_u64(v, "horizon_ns")?,
+        classes,
+        client,
+        policy,
+        fault_window_ns,
+        measure_from_ns: get_u64(v, "measure_from_ns")?,
     })
 }
 
@@ -756,6 +967,7 @@ impl ReproSpec {
             retention: config.retention,
             chaos: config.chaos,
             budget: config.budget,
+            server: config.server.clone(),
             spec_key,
             exact: false,
         }
@@ -782,6 +994,11 @@ impl ReproSpec {
             ("retention", s(retention_name(self.retention))),
             ("chaos", chaos_to_json(&self.chaos)),
             ("budget", budget_to_json(&self.budget)),
+        ]);
+        if let Some(spec) = &self.server {
+            pairs.push(("server", server_spec_to_json(spec)));
+        }
+        pairs.extend([
             ("spec_key", s(&format!("{:016x}", self.spec_key))),
             ("exact", JsonValue::Bool(self.exact)),
         ]);
@@ -822,6 +1039,10 @@ impl ReproSpec {
             retention: retention_from_name(get_str(v, "retention")?)?,
             chaos: chaos_from_json(get(v, "chaos")?)?,
             budget: budget_from_json(get(v, "budget")?)?,
+            server: match v.get("server") {
+                None => None,
+                Some(spec) => Some(server_spec_from_json(spec)?),
+            },
             spec_key,
             exact: get_bool(v, "exact")?,
         })
@@ -852,6 +1073,9 @@ impl ReproSpec {
             .chaos(self.chaos)
             .budget(self.budget)
             .trace(TraceConfig::off());
+        if let Some(spec) = &self.server {
+            builder.server(spec.clone());
+        }
         if let Some(cores) = self.cores_override {
             builder.cores(cores);
         }
@@ -959,6 +1183,7 @@ mod tests {
                 max_host_ms: None,
                 watchdog_ms: Some(500),
             },
+            server: Some(scalesim_workloads::ServerSpec::robust(25_000, 64)),
             spec_key: 0xdead_beef_0badu64,
             exact: true,
         };
@@ -987,6 +1212,7 @@ mod tests {
             retention: Retention::HistogramOnly,
             chaos: ChaosConfig::default(),
             budget: RunBudget::default(),
+            server: None,
             spec_key: 0,
             exact: false,
         };

@@ -18,6 +18,7 @@ use crate::fig1_locks::run_fig1_locks;
 use crate::fig2_gc::run_fig2;
 use crate::params::ExpParams;
 use crate::scalability::run_scalability;
+use crate::server::run_server_study;
 use crate::topo::run_topology;
 use crate::workdist::run_workdist;
 
@@ -40,6 +41,7 @@ pub const ALL_ARTIFACTS: &[&str] = &[
     "ext-heapsize",
     "ext-concurrent",
     "ext-topo",
+    "ext-server",
 ];
 
 /// One rendered table of an artifact: the CSV base name, the banner
@@ -157,6 +159,11 @@ pub fn artifact_tables(
             "ext_topo",
             "Extension: machine-topology sweep on xalan (AMD / Xeon / SPARC-T3)",
             run_topology("xalan", p).map(|s| s.table()),
+        ),
+        "ext-server" => one(
+            "ext_server",
+            "Extension: server request workloads with overload control (metastable failure)",
+            run_server_study(p).map(|s| s.table()),
         ),
         _ => return None,
     };

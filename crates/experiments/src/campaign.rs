@@ -67,6 +67,7 @@ use crate::artifacts::{artifact_tables, ArtifactTable};
 use crate::checkpoint::{self, decode_record, encode_record, Record};
 use crate::fig1_lifespan::lifespan_specs;
 use crate::params::ExpParams;
+use crate::server::server_specs;
 use crate::sweep::{
     attempt, checkpointable, clear_run_cache, fingerprint, grid_specs, seed_cache_entry,
     take_run_manifests, take_sweep_failures, worker_budget, RunManifest, RunSpec, SweepFailure,
@@ -85,6 +86,7 @@ pub const CAMPAIGN_ARTIFACTS: &[&str] = &[
     "fig1d",
     "fig2",
     "ext-topo",
+    "ext-server",
 ];
 
 /// What one campaign runs: an artifact id plus the shared sweep
@@ -196,10 +198,15 @@ pub struct MergeOutcome {
 
 impl MergeOutcome {
     /// Whether the campaign finished degraded (any quarantined,
-    /// truncated, or memo-corrupted unit) — the CLI's exit-2 condition.
+    /// truncated, or memo-corrupted unit, or a server run that entered
+    /// degraded mode) — the CLI's exit-2 condition.
     #[must_use]
     pub fn degraded(&self) -> bool {
-        !self.failures.is_empty() || self.manifests.iter().any(|m| m.outcome != "ok")
+        !self.failures.is_empty()
+            || self
+                .manifests
+                .iter()
+                .any(|m| m.outcome != "ok" || m.degraded)
     }
 }
 
@@ -251,6 +258,7 @@ pub fn campaign_units(
         "fig1c" => Some(lifespan_specs("eclipse", params)),
         "fig1d" => Some(lifespan_specs("xalan", params)),
         "ext-topo" => Some(topo_specs("xalan", params)),
+        "ext-server" => Some(server_specs(params)),
         _ => None,
     }
 }
@@ -972,6 +980,8 @@ mod tests {
         assert_eq!(lifespan.len(), 2);
         let topo = campaign_units("ext-topo", &params).unwrap().unwrap();
         assert_eq!(topo.len(), 3 * 2);
+        let server = campaign_units("ext-server", &params).unwrap().unwrap();
+        assert_eq!(server.len(), 3 * 2, "three scenarios x two thread counts");
         assert!(campaign_units("abl-sched", &params).is_none());
         // The dedup preserves first-occurrence order and drops nothing
         // from an all-distinct grid.

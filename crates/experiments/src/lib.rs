@@ -21,6 +21,7 @@
 //! | `ext-heapsize` | extension: trace-replay heap-size sweep | [`run_heap_size`] |
 //! | `ext-concurrent` | extension: mostly-concurrent old generation | [`run_concurrent_old_gen`] |
 //! | `ext-topo` | extension: machine-topology sweep | [`run_topology`] |
+//! | `ext-server` | extension: server workloads with overload control | [`run_server_study`] |
 //!
 //! Sweeps run in parallel across host cores ([`run_all`]); every
 //! simulation itself is deterministic and single-threaded, so results are
@@ -67,6 +68,7 @@ mod fig1_locks;
 mod fig2_gc;
 mod params;
 mod scalability;
+mod server;
 mod shrink;
 mod sweep;
 mod topo;
@@ -90,6 +92,7 @@ pub use fig1_locks::{run_fig1_locks, Fig1Locks};
 pub use fig2_gc::{run_fig2, Fig2, Fig2Row};
 pub use params::ExpParams;
 pub use scalability::{run_scalability, Scalability, ScalabilityRow, SCALABLE_SPEEDUP_THRESHOLD};
+pub use server::{run_server_study, ServerRow, ServerStudy, SERVER_SCENARIOS};
 pub use shrink::{run_isolated, shrink_failure, write_repro, ShrinkOutcome, SHRINK_ATTEMPT_BUDGET};
 pub use sweep::{
     cached_event_total, clear_run_cache, run_all, run_cache_size, take_run_manifests,

@@ -46,6 +46,14 @@ artifacts:
   ext-heapsize extension: trace-replay heap-size sweep (3x-min-heap rule)
   ext-concurrent extension: mostly-concurrent old-gen collector
   ext-topo    extension: machine-topology sweep (AMD / Xeon / SPARC-T3)
+  ext-server  extension: server request workloads with overload control
+              (no-fault / naive / robust policies under a transient GC
+              stall; reproduces retry-storm metastable failure and its
+              elimination by backoff + admission control). Knobs:
+              SCALESIM_SERVER_RATE, SCALESIM_SERVER_TIMEOUT_US,
+              SCALESIM_SERVER_QUEUE, SCALESIM_SERVER_ADMIT (0 = none),
+              SCALESIM_SERVER_DEGRADE (0 = none). A run whose server
+              enters degraded mode exits 2 like a quarantined run
   all         everything above
   campaign <artifact>  drain one artifact's sweep cooperatively across
               N worker processes sharing --dir: units are claimed with
@@ -55,6 +63,7 @@ artifacts:
               single-process run no matter how many workers ran or
               crashed (SIGKILL included). Campaignable artifacts:
               workdist scaletable fig1a fig1b fig1c fig1d fig2 ext-topo
+              ext-server
   repro FILE  re-execute a shrunk failure spec (repro-*.json or
               audit-*.json) exactly; exits 0 when the failure
               reproduces, 1 when it does not
@@ -108,7 +117,8 @@ options:
                  SCALESIM_CAMPAIGN_WORKERS or 2; 0 = drain in-process)
 
 exit codes: 0 clean; 1 runtime failure; 2 finished but some run was
-quarantined, truncated, or memo-corrupted; 3 usage/config error
+quarantined, truncated, memo-corrupted, or served degraded; 3 usage/
+config error
 ";
 
 struct Cli {
@@ -826,7 +836,8 @@ fn main() -> ExitCode {
             result = write_manifests(dir, &manifests, analytics_fp).map_err(CliError::Runtime);
         }
     }
-    let degraded = !failures.is_empty() || manifests.iter().any(|m| m.outcome != "ok");
+    let degraded =
+        !failures.is_empty() || manifests.iter().any(|m| m.outcome != "ok" || m.degraded);
     match result {
         Ok(()) if degraded => ExitCode::from(2),
         Ok(()) => ExitCode::SUCCESS,

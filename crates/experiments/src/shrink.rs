@@ -135,14 +135,15 @@ pub fn shrink_failure(spec: &RunSpec) -> Option<ShrinkOutcome> {
     // 3. Chaos classes: zero one at a time, keeping each removal while
     // the failure survives without it. (`panic_at_event` stays: it is
     // the direct cause whenever it is set.)
-    for class in 0..4usize {
+    for class in 0..5usize {
         let mut candidate = current.clone();
         let chaos = &mut candidate.config.chaos;
         let field = match class {
             0 => &mut chaos.drop_wakeup_period,
             1 => &mut chaos.spurious_wakeup_period,
             2 => &mut chaos.gc_stall_period,
-            _ => &mut chaos.memo_corrupt_period,
+            3 => &mut chaos.memo_corrupt_period,
+            _ => &mut chaos.request_drop_period,
         };
         if *field == 0 {
             continue;

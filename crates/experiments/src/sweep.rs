@@ -274,6 +274,19 @@ pub struct RunManifest {
     pub trace_events: u64,
     /// Timeline events dropped by ring retention.
     pub trace_dropped: u64,
+    /// Server policy label ("naive", "robust", …); empty for batch runs.
+    pub policy: String,
+    /// Server p50 request latency, nanoseconds (0 for batch runs or a
+    /// server run with no goodput).
+    pub lat_p50_ns: u64,
+    /// Server p99 request latency, nanoseconds.
+    pub lat_p99_ns: u64,
+    /// Server p99.9 request latency, nanoseconds.
+    pub lat_p999_ns: u64,
+    /// The server entered degraded mode (always false for batch runs).
+    /// Surfaced so CI can exit 2 on a degraded service the way it does
+    /// for quarantined runs.
+    pub degraded: bool,
 }
 
 fn json_escape(s: &str) -> String {
@@ -303,7 +316,9 @@ impl RunManifest {
                 "{{\"app\":\"{}\",\"threads\":{},\"seed\":{},\"outcome\":\"{}\",",
                 "\"detail\":\"{}\",\"host_ns\":{},\"events\":{},\"sim_wall_ns\":{},",
                 "\"gc_ns\":{},\"memo\":\"{}\",\"retries\":{},\"memo_evicted\":{},",
-                "\"monitor_scans\":{},\"trace_events\":{},\"trace_dropped\":{}}}"
+                "\"monitor_scans\":{},\"trace_events\":{},\"trace_dropped\":{},",
+                "\"policy\":\"{}\",\"lat_p50_ns\":{},\"lat_p99_ns\":{},",
+                "\"lat_p999_ns\":{},\"degraded\":{}}}"
             ),
             json_escape(&self.app),
             self.threads,
@@ -320,6 +335,11 @@ impl RunManifest {
             self.monitor_scans,
             self.trace_events,
             self.trace_dropped,
+            json_escape(&self.policy),
+            self.lat_p50_ns,
+            self.lat_p99_ns,
+            self.lat_p999_ns,
+            self.degraded,
         )
     }
 }
@@ -757,6 +777,26 @@ pub fn run_all(specs: &[RunSpec]) -> Vec<RunReport> {
                 monitor_scans: r.counters.get(CounterId::MonitorScans),
                 trace_events: r.timeline.len() as u64,
                 trace_dropped: r.timeline.dropped(),
+                policy: r
+                    .server
+                    .as_ref()
+                    .map_or_else(String::new, |s| s.policy.clone()),
+                lat_p50_ns: r
+                    .server
+                    .as_ref()
+                    .and_then(|s| s.latency_p(0.50))
+                    .unwrap_or(0),
+                lat_p99_ns: r
+                    .server
+                    .as_ref()
+                    .and_then(|s| s.latency_p(0.99))
+                    .unwrap_or(0),
+                lat_p999_ns: r
+                    .server
+                    .as_ref()
+                    .and_then(|s| s.latency_p(0.999))
+                    .unwrap_or(0),
+                degraded: r.server.as_ref().is_some_and(|s| s.degraded),
             }
         })
         .collect();

@@ -13,11 +13,12 @@ use std::fmt;
 
 /// Per-class salt folded into the firing hash so the classes draw
 /// independent deterministic streams from one seed.
-const SALTS: [u64; 4] = [
+const SALTS: [u64; 5] = [
     0x7c15_9e37_79b9_7f4a, // drop wakeup
     0xe5b9_bf58_476d_1ce4, // spurious wakeup
     0x11eb_94d0_49bb_1331, // gc stall
     0xd463_2545_f491_4f6c, // memo corrupt
+    0x9e6c_63d0_a52f_2f61, // request drop
 ];
 
 /// The kinds of fault a [`ChaosPlan`] can inject.
@@ -33,6 +34,9 @@ pub enum FaultClass {
     GcStall,
     /// A memo-cache entry in the sweep harness is corrupted after insert.
     MemoCorrupt,
+    /// An admitted server request is silently dropped before service — the
+    /// client sees no reply and must rely on its timeout to recover.
+    RequestDrop,
 }
 
 impl FaultClass {
@@ -42,6 +46,7 @@ impl FaultClass {
             FaultClass::SpuriousWakeup => 1,
             FaultClass::GcStall => 2,
             FaultClass::MemoCorrupt => 3,
+            FaultClass::RequestDrop => 4,
         }
     }
 }
@@ -53,6 +58,7 @@ impl fmt::Display for FaultClass {
             FaultClass::SpuriousWakeup => "spurious-wakeup",
             FaultClass::GcStall => "gc-stall",
             FaultClass::MemoCorrupt => "memo-corrupt",
+            FaultClass::RequestDrop => "request-drop",
         };
         f.write_str(name)
     }
@@ -77,6 +83,8 @@ pub struct ChaosConfig {
     pub gc_stall_factor: f64,
     /// Average period, in cache inserts, between corrupted memo entries.
     pub memo_corrupt_period: u64,
+    /// Average period, in admitted server requests, between silent drops.
+    pub request_drop_period: u64,
     /// If nonzero, the run deliberately panics when the engine has
     /// processed exactly this many events (crash-isolation testing).
     pub panic_at_event: u64,
@@ -90,6 +98,7 @@ impl Default for ChaosConfig {
             gc_stall_period: 0,
             gc_stall_factor: 4.0,
             memo_corrupt_period: 0,
+            request_drop_period: 0,
             panic_at_event: 0,
         }
     }
@@ -103,6 +112,7 @@ impl ChaosConfig {
             && self.spurious_wakeup_period == 0
             && self.gc_stall_period == 0
             && self.memo_corrupt_period == 0
+            && self.request_drop_period == 0
             && self.panic_at_event == 0
     }
 
@@ -110,7 +120,7 @@ impl ChaosConfig {
     /// or the all-off default when it is unset or empty.
     ///
     /// The format is a comma-separated `key=value` list, e.g.
-    /// `drop-wakeup=64,spurious=97,gc-stall=3,gc-stall-factor=2.5,memo=5`.
+    /// `drop-wakeup=64,spurious=97,gc-stall=3,gc-stall-factor=2.5,memo=5,request-drop=11`.
     /// A malformed spec falls back to the all-off default (the engine must
     /// not refuse to run because of a typo in a chaos knob).
     #[must_use]
@@ -150,6 +160,7 @@ impl ChaosConfig {
                         .map_err(|_| format!("bad factor in `{part}`"))?;
                 }
                 "memo" => cfg.memo_corrupt_period = parse_u64(value)?,
+                "request-drop" => cfg.request_drop_period = parse_u64(value)?,
                 "panic-at" => cfg.panic_at_event = parse_u64(value)?,
                 other => return Err(format!("unknown chaos key `{other}`")),
             }
@@ -168,8 +179,8 @@ impl ChaosConfig {
 pub struct ChaosPlan {
     config: ChaosConfig,
     seed: u64,
-    counters: [u64; 4],
-    injected: [u64; 4],
+    counters: [u64; 5],
+    injected: [u64; 5],
 }
 
 impl ChaosPlan {
@@ -179,8 +190,8 @@ impl ChaosPlan {
         ChaosPlan {
             config,
             seed,
-            counters: [0; 4],
-            injected: [0; 4],
+            counters: [0; 5],
+            injected: [0; 5],
         }
     }
 
@@ -196,6 +207,7 @@ impl ChaosPlan {
             FaultClass::SpuriousWakeup => self.config.spurious_wakeup_period,
             FaultClass::GcStall => self.config.gc_stall_period,
             FaultClass::MemoCorrupt => self.config.memo_corrupt_period,
+            FaultClass::RequestDrop => self.config.request_drop_period,
         }
     }
 
@@ -359,15 +371,43 @@ mod tests {
 
     #[test]
     fn parse_full_spec() {
-        let cfg =
-            ChaosConfig::parse("drop-wakeup=64, spurious=97,gc-stall=3,gc-stall-factor=2.5,memo=5")
-                .unwrap();
+        let cfg = ChaosConfig::parse(
+            "drop-wakeup=64, spurious=97,gc-stall=3,gc-stall-factor=2.5,memo=5,request-drop=11",
+        )
+        .unwrap();
         assert_eq!(cfg.drop_wakeup_period, 64);
         assert_eq!(cfg.spurious_wakeup_period, 97);
         assert_eq!(cfg.gc_stall_period, 3);
         assert!((cfg.gc_stall_factor - 2.5).abs() < 1e-12);
         assert_eq!(cfg.memo_corrupt_period, 5);
+        assert_eq!(cfg.request_drop_period, 11);
         assert!(!cfg.is_off());
+    }
+
+    #[test]
+    fn request_drop_is_an_independent_deterministic_stream() {
+        let only_drop = ChaosConfig {
+            request_drop_period: 4,
+            ..ChaosConfig::default()
+        };
+        let both = ChaosConfig {
+            request_drop_period: 4,
+            gc_stall_period: 2,
+            ..ChaosConfig::default()
+        };
+        let fires = |cfg: ChaosConfig, seed| {
+            let mut plan = ChaosPlan::new(cfg, seed);
+            (0..256)
+                .map(|_| {
+                    plan.fires(FaultClass::GcStall);
+                    plan.fires(FaultClass::RequestDrop)
+                })
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(fires(only_drop, 42), fires(both, 42));
+        assert_eq!(fires(both, 42), fires(both, 42));
+        assert_ne!(fires(both, 42), fires(both, 43));
+        assert_eq!(FaultClass::RequestDrop.to_string(), "request-drop");
     }
 
     #[test]

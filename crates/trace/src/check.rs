@@ -435,7 +435,7 @@ pub fn validate_analytics(text: &str) -> Result<AnalyticsCheck, String> {
             }
         }
         for block in ["hold_ns", "wait_ns"] {
-            for key in ["count", "p50", "p95", "p99"] {
+            for key in ["count", "p50", "p95", "p99", "p999"] {
                 if w.get(block)
                     .and_then(|b| b.get(key))
                     .and_then(JsonValue::as_num)
@@ -533,8 +533,8 @@ mod tests {
                     "peak_concurrency":"30.0","collapse_point":"900.0",
                     "rms_residual":"0.0"},
              "attribution":{"threads":8,"running_ns":1,"wall_ns":2},
-             "hold_ns":{"count":1,"p50":1,"p95":3,"p99":3},
-             "wait_ns":{"count":0,"p50":0,"p95":0,"p99":0},
+             "hold_ns":{"count":1,"p50":1,"p95":3,"p99":3,"p999":3},
+             "wait_ns":{"count":0,"p50":0,"p95":0,"p99":0,"p999":0},
              "matches_paper":true}],
             "all_match_paper":true,"fingerprint":"0123456789abcdef"}"#;
         let check = validate_analytics(good).unwrap();

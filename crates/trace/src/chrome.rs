@@ -38,6 +38,7 @@ fn track_name(process: Process, track: u32) -> String {
         Process::Monitors => format!("monitor{track}"),
         Process::Gc => format!("gc-region{track}"),
         Process::Runtime => "chaos".to_owned(),
+        Process::Server => format!("class{track}"),
     }
 }
 

@@ -15,7 +15,7 @@
 use std::fmt;
 
 /// Number of slots in a [`Counters`] registry.
-pub const COUNTER_SLOTS: usize = 16;
+pub const COUNTER_SLOTS: usize = 22;
 
 /// A fixed slot in the counters registry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,6 +53,19 @@ pub enum CounterId {
     EventsProcessed,
     /// Gauge: timeline events evicted by ring retention.
     TimelineDropped,
+    /// Server request arrivals (first attempts and retries both count).
+    ReqArrivals,
+    /// Server requests completed within their client's deadline (goodput).
+    ReqGoodput,
+    /// Server request attempts shed at the door (queue full, admission
+    /// cap, deadline shed, or degraded-mode class shedding).
+    ReqSheds,
+    /// Server request attempts whose client-side timeout fired first.
+    ReqTimeouts,
+    /// Client retries issued after a timeout or shed.
+    ReqRetries,
+    /// Gauge: request attempts still unsettled when the run ended.
+    ReqInFlight,
 }
 
 impl CounterId {
@@ -74,6 +87,12 @@ impl CounterId {
         CounterId::ConcGcPhases,
         CounterId::EventsProcessed,
         CounterId::TimelineDropped,
+        CounterId::ReqArrivals,
+        CounterId::ReqGoodput,
+        CounterId::ReqSheds,
+        CounterId::ReqTimeouts,
+        CounterId::ReqRetries,
+        CounterId::ReqInFlight,
     ];
 
     /// The slot's array index.
@@ -96,6 +115,12 @@ impl CounterId {
             CounterId::ConcGcPhases => 13,
             CounterId::EventsProcessed => 14,
             CounterId::TimelineDropped => 15,
+            CounterId::ReqArrivals => 16,
+            CounterId::ReqGoodput => 17,
+            CounterId::ReqSheds => 18,
+            CounterId::ReqTimeouts => 19,
+            CounterId::ReqRetries => 20,
+            CounterId::ReqInFlight => 21,
         }
     }
 
@@ -119,6 +144,12 @@ impl CounterId {
             CounterId::ConcGcPhases => "conc-gc-phases",
             CounterId::EventsProcessed => "events-processed",
             CounterId::TimelineDropped => "timeline-dropped",
+            CounterId::ReqArrivals => "req-arrivals",
+            CounterId::ReqGoodput => "req-goodput",
+            CounterId::ReqSheds => "req-sheds",
+            CounterId::ReqTimeouts => "req-timeouts",
+            CounterId::ReqRetries => "req-retries",
+            CounterId::ReqInFlight => "req-in-flight",
         }
     }
 
@@ -134,6 +165,7 @@ impl CounterId {
                 | CounterId::ConcGcPhases
                 | CounterId::EventsProcessed
                 | CounterId::TimelineDropped
+                | CounterId::ReqInFlight
         )
     }
 }

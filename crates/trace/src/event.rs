@@ -29,6 +29,9 @@ pub enum Process {
     Gc,
     /// Runtime-level instants: chaos injections (`tid` = 0).
     Runtime,
+    /// Server request-lifecycle instants: sheds, retries, timeouts
+    /// (`tid` = request class index).
+    Server,
 }
 
 impl Process {
@@ -40,6 +43,7 @@ impl Process {
             Process::Monitors => 2,
             Process::Gc => 3,
             Process::Runtime => 4,
+            Process::Server => 5,
         }
     }
 
@@ -51,6 +55,7 @@ impl Process {
             Process::Monitors => "monitors",
             Process::Gc => "gc",
             Process::Runtime => "runtime",
+            Process::Server => "server",
         }
     }
 }
@@ -112,6 +117,18 @@ pub enum EventKind {
     /// Chaos instant: a GC pause was inflated by a stalled worker. `arg` =
     /// extra pause nanoseconds.
     ChaosGcStall,
+    /// Chaos instant: an admitted server request was silently dropped.
+    /// `arg` = the dropped request's id.
+    ChaosRequestDrop,
+    /// Server instant: a request attempt was shed at the door. `arg` =
+    /// the request's id.
+    ReqShed,
+    /// Server instant: a client issued a retry after a timeout or shed.
+    /// `arg` = the request's id.
+    ReqRetry,
+    /// Server instant: a client-side timeout fired before completion.
+    /// `arg` = the request's id.
+    ReqTimeout,
     /// Counter sample: heap bytes in use in a region (allocation
     /// pressure). `arg` = bytes.
     HeapUsed,
@@ -119,7 +136,7 @@ pub enum EventKind {
 
 impl EventKind {
     /// Every kind, in export/declaration order.
-    pub const ALL: [EventKind; 19] = [
+    pub const ALL: [EventKind; 23] = [
         EventKind::ThreadRunning,
         EventKind::ThreadRunnable,
         EventKind::ThreadBlockedMonitor,
@@ -138,6 +155,10 @@ impl EventKind {
         EventKind::ChaosDropWakeup,
         EventKind::ChaosSpuriousWakeup,
         EventKind::ChaosGcStall,
+        EventKind::ChaosRequestDrop,
+        EventKind::ReqShed,
+        EventKind::ReqRetry,
+        EventKind::ReqTimeout,
         EventKind::HeapUsed,
     ];
 
@@ -162,7 +183,11 @@ impl EventKind {
             EventKind::MonitorEnqueue
             | EventKind::ChaosDropWakeup
             | EventKind::ChaosSpuriousWakeup
-            | EventKind::ChaosGcStall => Phase::Instant,
+            | EventKind::ChaosGcStall
+            | EventKind::ChaosRequestDrop
+            | EventKind::ReqShed
+            | EventKind::ReqRetry
+            | EventKind::ReqTimeout => Phase::Instant,
             EventKind::HeapUsed => Phase::CounterSample,
         }
     }
@@ -189,7 +214,9 @@ impl EventKind {
             | EventKind::HeapUsed => Process::Gc,
             EventKind::ChaosDropWakeup
             | EventKind::ChaosSpuriousWakeup
-            | EventKind::ChaosGcStall => Process::Runtime,
+            | EventKind::ChaosGcStall
+            | EventKind::ChaosRequestDrop => Process::Runtime,
+            EventKind::ReqShed | EventKind::ReqRetry | EventKind::ReqTimeout => Process::Server,
         }
     }
 
@@ -215,6 +242,10 @@ impl EventKind {
             EventKind::ChaosDropWakeup => "chaos:drop-wakeup",
             EventKind::ChaosSpuriousWakeup => "chaos:spurious-wakeup",
             EventKind::ChaosGcStall => "chaos:gc-stall",
+            EventKind::ChaosRequestDrop => "chaos:request-drop",
+            EventKind::ReqShed => "req-shed",
+            EventKind::ReqRetry => "req-retry",
+            EventKind::ReqTimeout => "req-timeout",
             EventKind::HeapUsed => "heap-used",
         }
     }
@@ -230,6 +261,7 @@ impl EventKind {
                 _ => "gc",
             },
             Process::Runtime => "chaos",
+            Process::Server => "server",
         }
     }
 
@@ -312,6 +344,7 @@ mod tests {
             Process::Monitors.pid(),
             Process::Gc.pid(),
             Process::Runtime.pid(),
+            Process::Server.pid(),
         ];
         for (i, a) in pids.iter().enumerate() {
             for b in &pids[i + 1..] {

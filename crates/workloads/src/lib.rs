@@ -35,6 +35,7 @@
 
 mod apps;
 mod item;
+mod server;
 mod spec;
 
 use rand::rngs::StdRng;
@@ -44,6 +45,11 @@ pub use apps::{
     sunflow, xalan, SyntheticApp,
 };
 pub use item::{DeathPoint, LockClass, LockClassId, Step, WorkItem};
+pub use server::{
+    keyed_range, open_poisson_times, poisson_gap_ns, think_ns, ArrivalProcess, Backoff,
+    ClientPolicy, LockProfile, RequestClass, ServerPolicy, ServerSpec, SALT_CLASS, SALT_HOLD,
+    SALT_JITTER, SALT_SERVICE, SALT_THINK,
+};
 pub use spec::{
     AppSpec, BatchMerge, CarrySpec, CriticalSpec, Distribution, ItemStateSpec, PermanentSpec,
     ScalabilityClass, TempClass,

@@ -1,0 +1,473 @@
+//! Deterministic server-scale request workload model.
+//!
+//! A [`ServerSpec`] describes a request/response service the runtime can
+//! execute instead of a batch benchmark: an arrival process (open-loop
+//! Poisson or closed-loop clients with think time), a mix of request
+//! classes (service time, an optional critical section against the
+//! `scalesim-sync` monitors, an allocation burst against the heap/GC), a
+//! client-side robustness policy (timeout, capped exponential backoff with
+//! deterministic jitter, retry budget), and a server-side overload policy
+//! (bounded accept queue, admission control, deadline shedding, and a
+//! degraded mode that sheds the lowest-priority classes first).
+//!
+//! Everything here is pure data plus pure functions of `(spec, seed)`:
+//! arrival times, per-request service draws and retry jitter are all keyed
+//! splitmix64 hashes or dedicated [`RngFactory`] streams, so two runs of
+//! the same spec at the same seed are byte-identical — including across
+//! checkpoint resume and multi-process campaign merges.
+
+use rand::Rng;
+use scalesim_simkit::{splitmix64, RngFactory};
+
+/// Salt for per-request service-time draws.
+pub const SALT_SERVICE: u64 = 0x5e2f_9d13_8b67_a905;
+/// Salt for per-request class selection.
+pub const SALT_CLASS: u64 = 0xc3a5_17de_442b_96e8;
+/// Salt for retry-backoff jitter.
+pub const SALT_JITTER: u64 = 0x2b99_6e01_fd5c_4a37;
+/// Salt for per-request critical-section hold draws.
+pub const SALT_HOLD: u64 = 0x81d4_2c6b_50f3_e19a;
+/// Salt for closed-loop think-time draws.
+pub const SALT_THINK: u64 = 0x6fa8_b35c_07e9_d241;
+
+/// How requests arrive at the server.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalProcess {
+    /// Open loop: a Poisson process at a fixed offered rate. Arrivals keep
+    /// coming regardless of server state — the precondition for
+    /// metastable overload (backlog forms during a stall and the offered
+    /// load never relents).
+    OpenPoisson {
+        /// Offered load in requests per second.
+        rate_per_sec: u64,
+    },
+    /// Closed loop: `clients` clients that each think, issue one request,
+    /// wait for the reply (or timeout), and think again. Offered load is
+    /// self-limiting — the setting Gunther's USL load testing assumes.
+    ClosedLoop {
+        /// Number of concurrent clients.
+        clients: usize,
+        /// Think-time range in nanoseconds (inclusive).
+        think_ns: (u64, u64),
+    },
+}
+
+/// An optional per-request critical section against a named monitor class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LockProfile {
+    /// Monitor class name (becomes a `LockTable` class).
+    pub class: String,
+    /// Hold-time range in nanoseconds (inclusive).
+    pub held_ns: (u64, u64),
+}
+
+/// One request class in the arrival mix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestClass {
+    /// Class name (for tables and timeline tracks).
+    pub name: String,
+    /// Relative arrival weight within the mix.
+    pub weight: u32,
+    /// Importance: 0 is most important. Degraded mode sheds the classes
+    /// with the highest value first.
+    pub priority: u8,
+    /// Service-time range in nanoseconds (inclusive).
+    pub service_ns: (u64, u64),
+    /// Optional critical section taken while serving.
+    pub lock: Option<LockProfile>,
+    /// Bytes allocated per request served (drives nursery pressure).
+    pub alloc_bytes: u64,
+}
+
+/// Client retry backoff discipline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Backoff {
+    /// Retry immediately — the naive policy that converts a transient
+    /// stall into a retry storm.
+    None,
+    /// Capped exponential backoff: attempt `k` waits
+    /// `min(base * 2^(k-1), cap)` plus deterministic jitter in
+    /// `[0, base)`.
+    Exponential {
+        /// First-retry delay in nanoseconds.
+        base_ns: u64,
+        /// Upper bound on the delay in nanoseconds.
+        cap_ns: u64,
+    },
+}
+
+impl Backoff {
+    /// Delay before retry attempt `attempt` (1-based) of request `req`,
+    /// with jitter derived from `(seed, req, attempt)`.
+    #[must_use]
+    pub fn delay_ns(&self, seed: u64, req: u64, attempt: u32) -> u64 {
+        match *self {
+            Backoff::None => 0,
+            Backoff::Exponential { base_ns, cap_ns } => {
+                let shift = attempt.saturating_sub(1).min(32);
+                let raw = base_ns.saturating_mul(1u64 << shift).min(cap_ns);
+                let jitter = if base_ns == 0 {
+                    0
+                } else {
+                    splitmix64(seed ^ SALT_JITTER ^ req ^ u64::from(attempt)) % base_ns
+                };
+                raw.saturating_add(jitter)
+            }
+        }
+    }
+}
+
+/// Client-side robustness knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientPolicy {
+    /// Per-request timeout in nanoseconds; a reply after this is wasted
+    /// (orphan) work.
+    pub timeout_ns: u64,
+    /// Maximum retries per original request (0 = never retry).
+    pub max_retries: u32,
+    /// Delay discipline between attempts.
+    pub backoff: Backoff,
+    /// Global retry budget for the whole run: once this many retries have
+    /// been issued, further failures are abandoned instead of retried.
+    pub retry_budget: u64,
+}
+
+/// Server-side overload-control knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerPolicy {
+    /// Bounded accept-queue capacity; arrivals beyond it are shed.
+    pub queue_cap: usize,
+    /// Concurrency-restriction cap on admitted requests (queued plus in
+    /// service); `None` admits up to `queue_cap`.
+    pub admission_cap: Option<usize>,
+    /// Shed a request at dequeue if it has already waited longer than
+    /// this (deadline-based load shedding).
+    pub deadline_shed_ns: Option<u64>,
+    /// Queue-depth watermark: above it the server enters degraded mode
+    /// and sheds arrivals from the lowest-priority classes.
+    pub degrade_above: Option<usize>,
+}
+
+/// Full parameter set for one server run.
+///
+/// The worker-pool size is the run's configured mutator thread count, so
+/// the same spec sweeps across the thread axis like every other workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerSpec {
+    /// Policy label ("naive", "robust", …) for tables and manifests.
+    pub name: String,
+    /// How requests arrive.
+    pub arrival: ArrivalProcess,
+    /// Run length in simulated nanoseconds; whatever is still unsettled
+    /// at the horizon is reported as in-flight.
+    pub horizon_ns: u64,
+    /// The request-class mix (must be non-empty).
+    pub classes: Vec<RequestClass>,
+    /// Client-side policy.
+    pub client: ClientPolicy,
+    /// Server-side policy.
+    pub policy: ServerPolicy,
+    /// Window `[start, end)` during which GC-stall chaos faults are
+    /// consulted — makes the injected fault transient.
+    pub fault_window_ns: Option<(u64, u64)>,
+    /// Goodput is also measured over the tail `[measure_from_ns, horizon)`
+    /// — the window that distinguishes metastable collapse (goodput stays
+    /// depressed after the fault ends) from recovery.
+    pub measure_from_ns: u64,
+}
+
+impl ServerSpec {
+    /// The default two-class request mix: a high-priority "api" class
+    /// with a session-lock critical section and a lower-priority "batch"
+    /// class with a bigger allocation burst.
+    #[must_use]
+    pub fn default_classes() -> Vec<RequestClass> {
+        vec![
+            RequestClass {
+                name: "api".into(),
+                weight: 3,
+                priority: 0,
+                service_ns: (80_000, 120_000),
+                // Short holds: at the top of the thread sweep the mix
+                // offers ~250 k api requests/s through this one monitor,
+                // so a ~2 us mean hold keeps the lock near 50% utilization
+                // — saturated servers should fail through the queue, not
+                // through an accidentally-undersized lock.
+                lock: Some(LockProfile {
+                    class: "session".into(),
+                    held_ns: (1_000, 3_000),
+                }),
+                alloc_bytes: 2_048,
+            },
+            RequestClass {
+                name: "batch".into(),
+                weight: 1,
+                priority: 1,
+                service_ns: (150_000, 250_000),
+                lock: None,
+                alloc_bytes: 8_192,
+            },
+        ]
+    }
+
+    /// The naive policy: generous queue, no admission control, immediate
+    /// retries. This is the configuration that turns a transient stall
+    /// into a persistent retry storm.
+    #[must_use]
+    pub fn naive(rate_per_sec: u64) -> ServerSpec {
+        ServerSpec {
+            name: "naive".into(),
+            arrival: ArrivalProcess::OpenPoisson { rate_per_sec },
+            horizon_ns: 2_000_000_000,
+            classes: Self::default_classes(),
+            client: ClientPolicy {
+                timeout_ns: 10_000_000,
+                max_retries: 8,
+                backoff: Backoff::None,
+                retry_budget: u64::MAX,
+            },
+            policy: ServerPolicy {
+                queue_cap: 65_536,
+                admission_cap: None,
+                deadline_shed_ns: None,
+                degrade_above: None,
+            },
+            fault_window_ns: None,
+            measure_from_ns: 1_000_000_000,
+        }
+    }
+
+    /// The robust policy: admission control (concurrency restriction à la
+    /// Dice & Kogan), deadline shedding at the client timeout, capped
+    /// exponential backoff with jitter, and a bounded retry count.
+    #[must_use]
+    pub fn robust(rate_per_sec: u64, admission_cap: usize) -> ServerSpec {
+        let mut spec = Self::naive(rate_per_sec);
+        spec.name = "robust".into();
+        spec.client.max_retries = 3;
+        spec.client.backoff = Backoff::Exponential {
+            base_ns: 10_000_000,
+            cap_ns: 200_000_000,
+        };
+        spec.client.retry_budget = 100_000;
+        spec.policy.admission_cap = Some(admission_cap);
+        spec.policy.deadline_shed_ns = Some(spec.client.timeout_ns);
+        spec
+    }
+
+    /// Returns a copy with the transient fault window set.
+    #[must_use]
+    pub fn with_fault_window(mut self, start_ns: u64, end_ns: u64) -> ServerSpec {
+        self.fault_window_ns = Some((start_ns, end_ns));
+        self
+    }
+
+    /// Applies `SCALESIM_SERVER_*` environment overrides: `RATE`
+    /// (requests/sec), `TIMEOUT_US`, `QUEUE` (accept-queue capacity),
+    /// `ADMIT` (admission cap; 0 removes it), `DEGRADE` (degraded-mode
+    /// watermark; 0 removes it). Malformed values are ignored — like the
+    /// chaos knobs, a typo must not refuse to run.
+    #[must_use]
+    pub fn with_env_overrides(mut self) -> ServerSpec {
+        if let Some(rate) = env_u64("SCALESIM_SERVER_RATE") {
+            self.arrival = ArrivalProcess::OpenPoisson { rate_per_sec: rate };
+        }
+        if let Some(us) = env_u64("SCALESIM_SERVER_TIMEOUT_US") {
+            self.client.timeout_ns = us.saturating_mul(1_000);
+        }
+        if let Some(cap) = env_u64("SCALESIM_SERVER_QUEUE") {
+            self.policy.queue_cap = cap as usize;
+        }
+        if let Some(cap) = env_u64("SCALESIM_SERVER_ADMIT") {
+            self.policy.admission_cap = if cap == 0 { None } else { Some(cap as usize) };
+        }
+        if let Some(mark) = env_u64("SCALESIM_SERVER_DEGRADE") {
+            self.policy.degrade_above = if mark == 0 { None } else { Some(mark as usize) };
+        }
+        self
+    }
+
+    /// Picks the request class for request `req` from the weighted mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec has no classes or all weights are zero.
+    #[must_use]
+    pub fn class_of(&self, seed: u64, req: u64) -> usize {
+        let total: u64 = self.classes.iter().map(|c| u64::from(c.weight)).sum();
+        assert!(total > 0, "server spec needs a non-empty weighted mix");
+        let mut pick = splitmix64(seed ^ SALT_CLASS ^ req) % total;
+        for (i, class) in self.classes.iter().enumerate() {
+            let w = u64::from(class.weight);
+            if pick < w {
+                return i;
+            }
+            pick -= w;
+        }
+        self.classes.len() - 1
+    }
+
+    /// Service-time draw for attempt-independent request `req`.
+    #[must_use]
+    pub fn service_ns(&self, seed: u64, req: u64, class: usize) -> u64 {
+        keyed_range(seed ^ SALT_SERVICE, req, self.classes[class].service_ns)
+    }
+
+    /// Critical-section hold draw for request `req`, if the class has one.
+    #[must_use]
+    pub fn hold_ns(&self, seed: u64, req: u64, class: usize) -> Option<u64> {
+        self.classes[class]
+            .lock
+            .as_ref()
+            .map(|l| keyed_range(seed ^ SALT_HOLD, req, l.held_ns))
+    }
+}
+
+/// `lo + hash(key) % width` over an inclusive range: order-independent
+/// per-request randomness (the draw depends only on the key, never on how
+/// many draws other requests made first).
+#[must_use]
+pub fn keyed_range(seed: u64, key: u64, (lo, hi): (u64, u64)) -> u64 {
+    assert!(lo <= hi, "empty range {lo}..={hi}");
+    lo + splitmix64(seed ^ key) % (hi - lo + 1)
+}
+
+/// The deterministic open-loop Poisson arrival schedule: every arrival
+/// time in `[0, horizon_ns)` at `rate_per_sec`, from the run's dedicated
+/// `server-arrival` RNG stream. The engine consumes this lazily; tests
+/// assert it directly.
+#[must_use]
+pub fn open_poisson_times(rate_per_sec: u64, seed: u64, horizon_ns: u64) -> Vec<u64> {
+    let mut times = Vec::new();
+    if rate_per_sec == 0 {
+        return times;
+    }
+    let mut rng = RngFactory::new(seed).stream("server-arrival", 0);
+    let mut at = 0u64;
+    loop {
+        at += poisson_gap_ns(rate_per_sec, &mut rng);
+        if at >= horizon_ns {
+            return times;
+        }
+        times.push(at);
+    }
+}
+
+/// One exponential inter-arrival gap (≥ 1 ns so the schedule strictly
+/// advances) drawn from `rng`.
+#[must_use]
+pub fn poisson_gap_ns(rate_per_sec: u64, rng: &mut rand::rngs::StdRng) -> u64 {
+    let u: f64 = rng.gen();
+    let gap = -(1.0 - u).ln() * 1e9 / rate_per_sec as f64;
+    (gap as u64).max(1)
+}
+
+/// Think-time draw for closed-loop client `client`, iteration `round`.
+#[must_use]
+pub fn think_ns(seed: u64, client: u64, round: u64, range: (u64, u64)) -> u64 {
+    keyed_range(
+        seed ^ SALT_THINK,
+        client.wrapping_mul(0x1_0000_0001) ^ round,
+        range,
+    )
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok().and_then(|v| v.parse().ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrival_schedule_is_deterministic_and_rate_accurate() {
+        let a = open_poisson_times(100_000, 42, 1_000_000_000);
+        let b = open_poisson_times(100_000, 42, 1_000_000_000);
+        assert_eq!(a, b);
+        // ~100k arrivals over one second, within 10%.
+        assert!((90_000..110_000).contains(&a.len()), "{} arrivals", a.len());
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "strictly increasing");
+        let c = open_poisson_times(100_000, 43, 1_000_000_000);
+        assert_ne!(a, c, "seed changes the schedule");
+    }
+
+    #[test]
+    fn zero_rate_generates_nothing() {
+        assert!(open_poisson_times(0, 42, 1_000_000_000).is_empty());
+    }
+
+    #[test]
+    fn backoff_is_capped_exponential_with_bounded_jitter() {
+        let b = Backoff::Exponential {
+            base_ns: 1_000,
+            cap_ns: 10_000,
+        };
+        let d1 = b.delay_ns(42, 7, 1);
+        let d2 = b.delay_ns(42, 7, 2);
+        let d3 = b.delay_ns(42, 7, 3);
+        assert!((1_000..2_000).contains(&d1), "{d1}");
+        assert!((2_000..3_000).contains(&d2), "{d2}");
+        assert!((4_000..5_000).contains(&d3), "{d3}");
+        // Past the cap the exponential part stops growing.
+        let d9 = b.delay_ns(42, 7, 9);
+        assert!((10_000..11_000).contains(&d9), "{d9}");
+        // Deterministic per (seed, req, attempt).
+        assert_eq!(b.delay_ns(42, 7, 2), b.delay_ns(42, 7, 2));
+        assert_eq!(Backoff::None.delay_ns(42, 7, 3), 0);
+    }
+
+    #[test]
+    fn class_mix_respects_weights() {
+        let spec = ServerSpec::naive(10_000);
+        let mut counts = vec![0u64; spec.classes.len()];
+        for req in 0..4_000 {
+            counts[spec.class_of(42, req)] += 1;
+        }
+        // 3:1 mix → api picks roughly three quarters.
+        let api_share = counts[0] as f64 / 4_000.0;
+        assert!((0.70..0.80).contains(&api_share), "{api_share}");
+    }
+
+    #[test]
+    fn per_request_draws_are_order_independent() {
+        let spec = ServerSpec::naive(10_000);
+        // The draw for request 5 is the same whether or not other
+        // requests drew first — it is a pure function of the key.
+        let before = spec.service_ns(42, 5, 0);
+        let _ = spec.service_ns(42, 6, 0);
+        let _ = spec.service_ns(42, 7, 1);
+        assert_eq!(spec.service_ns(42, 5, 0), before);
+        let (lo, hi) = spec.classes[0].service_ns;
+        assert!((lo..=hi).contains(&before));
+    }
+
+    #[test]
+    fn presets_differ_only_in_policy() {
+        let naive = ServerSpec::naive(50_000);
+        let robust = ServerSpec::robust(50_000, 96);
+        assert_eq!(naive.arrival, robust.arrival);
+        assert_eq!(naive.classes, robust.classes);
+        assert_eq!(naive.policy.admission_cap, None);
+        assert_eq!(robust.policy.admission_cap, Some(96));
+        assert!(matches!(naive.client.backoff, Backoff::None));
+        assert!(matches!(robust.client.backoff, Backoff::Exponential { .. }));
+        assert_eq!(
+            robust.policy.deadline_shed_ns,
+            Some(robust.client.timeout_ns)
+        );
+    }
+
+    #[test]
+    fn fault_window_builder_sets_the_window() {
+        let spec = ServerSpec::naive(1_000).with_fault_window(5, 10);
+        assert_eq!(spec.fault_window_ns, Some((5, 10)));
+    }
+
+    #[test]
+    fn hold_draw_only_for_locked_classes() {
+        let spec = ServerSpec::naive(1_000);
+        assert!(spec.hold_ns(42, 3, 0).is_some(), "api has a session lock");
+        assert!(spec.hold_ns(42, 3, 1).is_none(), "batch is lock-free");
+    }
+}

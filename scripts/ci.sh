@@ -95,6 +95,21 @@ cargo run --release -q -p scalesim-experiments --bin trace_check -- \
     --analytics target/ci-analyze/a/analytics.json
 # The sweep manifest must cross-link the artifact it was emitted with.
 grep -q '"analytics":"analytics.json"' target/ci-analyze/a/manifest.jsonl
+echo '== server smoke (ext-server artifact must run clean, manifest must carry latency/policy)'
+rm -rf target/ci-server
+cargo run --release -q -p scalesim-experiments -- \
+    ext-server --scale 0.02 --threads 4 --out target/ci-server > /dev/null
+grep -q '"policy":"no-fault"' target/ci-server/manifest.jsonl
+grep -q '"lat_p50_ns":' target/ci-server/manifest.jsonl
+grep -q '"lat_p999_ns":' target/ci-server/manifest.jsonl
+grep -q '"degraded":false' target/ci-server/manifest.jsonl
+echo '== server degraded smoke (forced degraded mode must surface as exit 2)'
+rc=0
+SCALESIM_SERVER_DEGRADE=1 \
+    cargo run --release -q -p scalesim-experiments -- \
+    ext-server --scale 0.02 --threads 4 --out target/ci-server-deg > /dev/null 2>&1 || rc=$?
+[ "$rc" -eq 2 ] || { echo "expected degraded server exit 2, got $rc"; exit 1; }
+grep -q '"degraded":true' target/ci-server-deg/manifest.jsonl
 echo '== bench budget check (committed BENCH_sweep.json must respect its budgets)'
 cargo run --release -q -p scalesim-bench --bin bench_check -- BENCH_sweep.json
 echo '== traced smoke (timeline export + run manifest must validate)'
