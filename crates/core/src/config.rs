@@ -24,6 +24,7 @@ use scalesim_machine::{MachineTopology, Placement};
 use scalesim_objtrace::Retention;
 use scalesim_sched::SchedPolicy;
 use scalesim_simkit::{ChaosConfig, RunBudget, SimDuration};
+use scalesim_sync::LockAlg;
 use scalesim_trace::TraceConfig;
 
 use crate::error::ConfigError;
@@ -115,6 +116,11 @@ pub struct JvmConfig {
     /// interpreting the app's batch work items. The carrier app still
     /// names the run and sizes the heap.
     pub server: Option<scalesim_workloads::ServerSpec>,
+    /// Monitor handoff algorithm (FIFO baseline, MCS queue lock, or
+    /// Malthusian concurrency restriction). Defaults from
+    /// `SCALESIM_LOCK_ALG`, falling back to the paper-calibrated FIFO
+    /// model.
+    pub lock_alg: LockAlg,
     /// Master random seed; a run is a pure function of (config, app).
     pub seed: u64,
 }
@@ -243,6 +249,7 @@ impl JvmConfigBuilder {
                 trace: TraceConfig::from_env(),
                 salvage: false,
                 server: None,
+                lock_alg: LockAlg::from_env(),
                 seed: 42,
             },
         }
@@ -387,6 +394,14 @@ impl JvmConfigBuilder {
     /// items.
     pub fn server(&mut self, spec: scalesim_workloads::ServerSpec) -> &mut Self {
         self.config.server = Some(spec);
+        self
+    }
+
+    /// Selects the monitor handoff algorithm (see
+    /// [`LockAlg`]); the default comes from `SCALESIM_LOCK_ALG`, falling
+    /// back to the paper-calibrated FIFO model.
+    pub fn lock_alg(&mut self, alg: LockAlg) -> &mut Self {
+        self.config.lock_alg = alg;
         self
     }
 

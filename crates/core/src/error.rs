@@ -58,7 +58,9 @@ pub enum MonitorKind {
     /// Scheduler sanity: at most one thread per core, no lost runnable
     /// threads, occupancy consistent with per-thread state.
     Scheduler,
-    /// Monitor protocol: mutual exclusion and FIFO handoff of the grant.
+    /// Monitor protocol: mutual exclusion and well-formed handoff of the
+    /// grant under the configured lock algorithm (re-entrant acquire,
+    /// double enqueue, and non-owner release all land here).
     MonitorProtocol,
     /// Heap conservation: every allocated object is live or collected and
     /// per-region accounting is consistent.

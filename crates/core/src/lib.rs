@@ -53,5 +53,6 @@ pub use json::JsonValue;
 pub use replay::{replay_gc, ReplayOutcome};
 pub use report::{RunOutcome, RunReport, ServerStats, ThreadReport};
 pub use runtime::Jvm;
+pub use scalesim_sync::LockAlg;
 pub use scalesim_trace::TraceConfig;
 pub use snapshot::{report_from_json, report_to_json, ReproSpec, SnapshotError};

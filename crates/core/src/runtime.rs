@@ -164,6 +164,10 @@ struct PendingAcquire {
     held: SimDuration,
     purpose: Purpose,
     granted: bool,
+    /// Handoff cost charged by the lock algorithm (park/wake latency on
+    /// the critical path); added to the critical step's duration when
+    /// the grant is consumed. Zero under the FIFO baseline.
+    penalty: SimDuration,
 }
 
 #[derive(Debug)]
@@ -318,7 +322,7 @@ impl<'a> Sim<'a> {
             collector.set_occupancy_escalation(false);
         }
 
-        let mut locks = LockTable::new();
+        let mut locks = LockTable::with_algorithm(config.lock_alg);
         locks.set_timeline(config.trace.recorder());
         let class_monitors: Vec<Vec<MonitorId>> = app
             .lock_classes()
@@ -590,6 +594,13 @@ impl<'a> Sim<'a> {
             }
         }
 
+        if !matches!(outcome, RunOutcome::Ok) {
+            // The run ended with threads still queued on monitors
+            // (budget truncation or quarantine): account their partial
+            // waits so contention/acquisition equalities stay honest.
+            self.locks.finalize(wall);
+        }
+
         Ok(RunReport {
             app: self.app.name().to_owned(),
             threads: self.config.threads,
@@ -783,9 +794,13 @@ impl<'a> Sim<'a> {
                 return;
             }
             self.ctxs[tid.index()].pending = None;
+            // The algorithm's handoff penalty (park/wake latency) lands
+            // inside the granted hold: the monitor is owned while the
+            // waiter finishes waking and refills its cache.
+            let held = p.held + p.penalty;
             match p.purpose {
                 Purpose::Fetch => {
-                    self.begin_step(tid, StepKind::Fetch(p.monitor), p.held);
+                    self.begin_step(tid, StepKind::Fetch(p.monitor), held);
                 }
                 Purpose::Critical => {
                     self.ctxs[tid.index()]
@@ -793,10 +808,10 @@ impl<'a> Sim<'a> {
                         .as_mut()
                         .expect("critical without an item")
                         .next += 1;
-                    self.begin_step(tid, StepKind::Critical(p.monitor), p.held);
+                    self.begin_step(tid, StepKind::Critical(p.monitor), held);
                 }
                 Purpose::Merge => {
-                    self.begin_step(tid, StepKind::Critical(p.monitor), p.held);
+                    self.begin_step(tid, StepKind::Critical(p.monitor), held);
                 }
             }
             return;
@@ -883,21 +898,29 @@ impl<'a> Sim<'a> {
                 Step::Critical { class, held } => {
                     let mon = self.pick_monitor(tid, class.0);
                     match self.locks.acquire(mon, tid, self.now()) {
-                        AcquireOutcome::Acquired => {
+                        Ok(AcquireOutcome::Acquired) => {
                             self.counters.inc(CounterId::LockAcquires);
                             self.ctxs[tid.index()].cursor.as_mut().expect("item").next += 1;
                             self.begin_step(tid, StepKind::Critical(mon), held);
                             return;
                         }
-                        AcquireOutcome::Contended => {
+                        Ok(AcquireOutcome::Contended) => {
                             self.counters.inc(CounterId::LockContentions);
                             self.ctxs[tid.index()].pending = Some(PendingAcquire {
                                 monitor: mon,
                                 held,
                                 purpose: Purpose::Critical,
                                 granted: false,
+                                penalty: SimDuration::ZERO,
                             });
                             self.block_on_monitor(tid);
+                            return;
+                        }
+                        Err(misuse) => {
+                            self.flag_violation(
+                                MonitorKind::MonitorProtocol,
+                                format!("{misuse} ({mon})"),
+                            );
                             return;
                         }
                     }
@@ -954,20 +977,28 @@ impl<'a> Sim<'a> {
                             SimDuration::from_nanos(rng.gen_range(m.held_ns.0..=m.held_ns.1))
                         };
                         match self.locks.acquire(mon, tid, self.now()) {
-                            AcquireOutcome::Acquired => {
+                            Ok(AcquireOutcome::Acquired) => {
                                 self.counters.inc(CounterId::LockAcquires);
                                 self.begin_step(tid, StepKind::Critical(mon), held);
                                 return WorkOutcome::StepScheduled;
                             }
-                            AcquireOutcome::Contended => {
+                            Ok(AcquireOutcome::Contended) => {
                                 self.counters.inc(CounterId::LockContentions);
                                 self.ctxs[tid.index()].pending = Some(PendingAcquire {
                                     monitor: mon,
                                     held,
                                     purpose: Purpose::Merge,
                                     granted: false,
+                                    penalty: SimDuration::ZERO,
                                 });
                                 self.block_on_monitor(tid);
+                                return WorkOutcome::Blocked;
+                            }
+                            Err(misuse) => {
+                                self.flag_violation(
+                                    MonitorKind::MonitorProtocol,
+                                    format!("{misuse} ({mon})"),
+                                );
                                 return WorkOutcome::Blocked;
                             }
                         }
@@ -979,20 +1010,28 @@ impl<'a> Sim<'a> {
                 let mon = self.class_monitors[lock.0][0];
                 let dispatch = *dispatch;
                 match self.locks.acquire(mon, tid, self.now()) {
-                    AcquireOutcome::Acquired => {
+                    Ok(AcquireOutcome::Acquired) => {
                         self.counters.inc(CounterId::LockAcquires);
                         self.begin_step(tid, StepKind::Fetch(mon), dispatch);
                         WorkOutcome::StepScheduled
                     }
-                    AcquireOutcome::Contended => {
+                    Ok(AcquireOutcome::Contended) => {
                         self.counters.inc(CounterId::LockContentions);
                         self.ctxs[tid.index()].pending = Some(PendingAcquire {
                             monitor: mon,
                             held: dispatch,
                             purpose: Purpose::Fetch,
                             granted: false,
+                            penalty: SimDuration::ZERO,
                         });
                         self.block_on_monitor(tid);
+                        WorkOutcome::Blocked
+                    }
+                    Err(misuse) => {
+                        self.flag_violation(
+                            MonitorKind::MonitorProtocol,
+                            format!("{misuse} ({mon})"),
+                        );
                         WorkOutcome::Blocked
                     }
                 }
@@ -1308,7 +1347,14 @@ impl<'a> Sim<'a> {
     }
 
     fn release_monitor(&mut self, mon: MonitorId, tid: ThreadId) {
-        if let Some(grant) = self.locks.release(mon, tid, self.now()) {
+        let grant = match self.locks.release(mon, tid, self.now()) {
+            Ok(grant) => grant,
+            Err(misuse) => {
+                self.flag_violation(MonitorKind::MonitorProtocol, format!("{misuse} ({mon})"));
+                return;
+            }
+        };
+        if let Some(grant) = grant {
             let next = grant.next;
             self.counters.inc(CounterId::LockAcquires);
             let p = self.ctxs[next.index()]
@@ -1317,6 +1363,7 @@ impl<'a> Sim<'a> {
                 .expect("granted thread has a pending acquire");
             debug_assert_eq!(p.monitor, mon);
             p.granted = true;
+            p.penalty = grant.penalty;
             if self.chaos.fires(FaultClass::DropWakeup) {
                 // Injected fault: the handoff is recorded but the waiter
                 // is never made runnable — a classic lost wakeup. The
@@ -1732,5 +1779,61 @@ mod tests {
             runnable_wait > SimDuration::ZERO,
             "6 threads on 2 cores must wait for cores"
         );
+    }
+
+    #[test]
+    fn every_lock_algorithm_completes_contended_runs() {
+        let app = xalan().scaled(0.02);
+        let fifo_items = {
+            let cfg = JvmConfig::builder()
+                .threads(8)
+                .seed(1)
+                .lock_alg(scalesim_sync::LockAlg::Fifo)
+                .build()
+                .unwrap();
+            Jvm::new(cfg).run(&app).unwrap().total_items()
+        };
+        for alg in scalesim_sync::LockAlg::ALL {
+            let cfg = JvmConfig::builder()
+                .threads(8)
+                .seed(1)
+                .lock_alg(alg)
+                .build()
+                .unwrap();
+            let report = Jvm::new(cfg).run(&app).unwrap();
+            assert!(matches!(report.outcome, RunOutcome::Ok), "{alg}");
+            // Work conservation is algorithm-independent: every item
+            // completes no matter who gets the lock when.
+            assert_eq!(report.total_items(), fifo_items, "{alg}");
+            assert!(report.locks.total.contentions > 0, "{alg}: uncontended");
+        }
+    }
+
+    #[test]
+    fn every_lock_algorithm_quarantines_under_wakeup_drops() {
+        // Chaos eventual-admission property: dropped wakeups must never
+        // panic or hang any algorithm — the invariant monitors (or the
+        // event budget) catch the lost handoff and the salvaged run
+        // finalizes as a quarantined/truncated report.
+        use scalesim_simkit::ChaosConfig;
+        for alg in scalesim_sync::LockAlg::ALL {
+            let chaos = ChaosConfig {
+                drop_wakeup_period: 64,
+                ..ChaosConfig::default()
+            };
+            let cfg = JvmConfig::builder()
+                .threads(8)
+                .seed(1)
+                .lock_alg(alg)
+                .chaos(chaos)
+                .salvage(true)
+                .build()
+                .unwrap();
+            let report = Jvm::new(cfg).run(&xalan().scaled(0.02)).unwrap();
+            assert!(
+                !matches!(report.outcome, RunOutcome::Ok),
+                "{alg}: a dropped wakeup must not finalize clean"
+            );
+        }
     }
 }

@@ -146,6 +146,11 @@ struct ServerSim<'a> {
     /// Closed-loop request ownership: which client is waiting on a
     /// request (across its retries). Open loop leaves this empty.
     client_owner: BTreeMap<u64, usize>,
+    /// First monitor-protocol misuse observed; the main loop finishes
+    /// the run as [`RunOutcome::Quarantined`] instead of panicking (the
+    /// server model always salvages — its entry point returns a report,
+    /// not a `Result`).
+    violation: Option<String>,
     stats: ServerStats,
 }
 
@@ -173,7 +178,7 @@ impl<'a> ServerSim<'a> {
             config.nursery_fraction,
             NurseryLayout::Shared,
         ));
-        let mut locks = LockTable::new();
+        let mut locks = LockTable::with_algorithm(config.lock_alg);
         locks.set_timeline(config.trace.recorder());
         let mut monitors = BTreeMap::new();
         for class in &spec.classes {
@@ -210,6 +215,7 @@ impl<'a> ServerSim<'a> {
             retries_issued: 0,
             client_round: vec![0; clients],
             client_owner: BTreeMap::new(),
+            violation: None,
             stats: ServerStats {
                 policy: spec.name.clone(),
                 arrivals: 0,
@@ -283,6 +289,10 @@ impl<'a> ServerSim<'a> {
                 panic!("chaos: deliberate panic at event {processed}");
             }
             self.handle(ev);
+            if let Some(detail) = self.violation.take() {
+                outcome = RunOutcome::Quarantined(detail);
+                break;
+            }
             if processed.is_multiple_of(BUDGET_CHECK_PERIOD) {
                 if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
                     outcome = RunOutcome::Truncated(AbortReason::Watchdog);
@@ -526,7 +536,7 @@ impl<'a> ServerSim<'a> {
             let m = self.monitors[&lock.class];
             let tid = ThreadId::new(w);
             match self.locks.acquire(m, tid, self.queue.now()) {
-                AcquireOutcome::Acquired => {
+                Ok(AcquireOutcome::Acquired) => {
                     self.counters.inc(CounterId::LockAcquires);
                     let hold = self
                         .spec
@@ -540,8 +550,12 @@ impl<'a> ServerSim<'a> {
                         },
                     );
                 }
-                AcquireOutcome::Contended => {
+                Ok(AcquireOutcome::Contended) => {
                     self.counters.inc(CounterId::LockContentions);
+                    self.workers[w].blocked = true;
+                }
+                Err(misuse) => {
+                    self.violation = Some(format!("{misuse} ({m})"));
                     self.workers[w].blocked = true;
                 }
             }
@@ -593,24 +607,33 @@ impl<'a> ServerSim<'a> {
             .expect("held class has a lock profile");
         let m = self.monitors[&lock.class];
         let tid = ThreadId::new(w);
-        if let Some(grant) = self.locks.release(m, tid, self.queue.now()) {
-            // Hand the monitor to the blocked worker and start its hold.
-            let next = grant.next.index();
-            self.counters.inc(CounterId::LockAcquires);
-            self.workers[next].blocked = false;
-            let key = self.workers[next].busy.expect("waiter is mid-request");
-            let nclass = self.attempts[&key].class;
-            let hold = self
-                .spec
-                .hold_ns(self.seed, key.0, nclass)
-                .expect("waiter's class has a hold draw");
-            self.queue.schedule_at(
-                SimTime::from_nanos(self.now_ns() + hold),
-                Ev::HoldDone {
-                    worker: next,
-                    accum: self.stw_accum,
-                },
-            );
+        match self.locks.release(m, tid, self.queue.now()) {
+            Ok(Some(grant)) => {
+                // Hand the monitor to the blocked worker and start its
+                // hold, stretched by the algorithm's handoff penalty
+                // (park/wake latency on the critical path).
+                let next = grant.next.index();
+                self.counters.inc(CounterId::LockAcquires);
+                self.workers[next].blocked = false;
+                let key = self.workers[next].busy.expect("waiter is mid-request");
+                let nclass = self.attempts[&key].class;
+                let hold = self
+                    .spec
+                    .hold_ns(self.seed, key.0, nclass)
+                    .expect("waiter's class has a hold draw");
+                self.queue.schedule_at(
+                    SimTime::from_nanos(self.now_ns() + hold + grant.penalty.as_nanos()),
+                    Ev::HoldDone {
+                        worker: next,
+                        accum: self.stw_accum,
+                    },
+                );
+            }
+            Ok(None) => {}
+            Err(misuse) => {
+                self.violation = Some(format!("{misuse} ({m})"));
+                return;
+            }
         }
         let svc = self.spec.service_ns(self.seed, req, class);
         self.queue.schedule_at(
@@ -719,6 +742,11 @@ impl<'a> ServerSim<'a> {
     // ------------------------------------------------------------------
 
     fn finish(mut self, wall: SimTime, outcome: RunOutcome) -> RunReport {
+        if !matches!(outcome, RunOutcome::Ok) {
+            // Workers still queued on monitors at truncation: account
+            // their partial waits (mirrors the batch runtime).
+            self.locks.finalize(wall);
+        }
         self.stats.in_flight = self.attempts.len() as u64;
         debug_assert!(self.stats.conserves(), "attempt conservation broke");
 

@@ -22,7 +22,7 @@ use scalesim_metrics::LogHistogram;
 use scalesim_objtrace::{ObjectTracer, Retention, TraceEvent, TracerSnapshot};
 use scalesim_sched::StateTimes;
 use scalesim_simkit::{AbortReason, ChaosConfig, RunBudget, SimDuration, SimTime};
-use scalesim_sync::{LockReport, MonitorStats};
+use scalesim_sync::{LockAlg, LockReport, MonitorStats};
 use scalesim_trace::{CounterId, Counters, EventKind, Timeline, TimelineEvent, TraceConfig};
 use scalesim_workloads::{
     app_by_name, AppModel, ArrivalProcess, Backoff, ClientPolicy, LockProfile, RequestClass,
@@ -264,20 +264,28 @@ fn stats_to_json(m: &MonitorStats) -> JsonValue {
         dur(m.total_wait),
         dur(m.max_wait),
         dur(m.total_hold),
+        u(m.queued),
     ])
 }
 
 fn stats_from_json(v: &JsonValue) -> Result<MonitorStats, SnapshotError> {
+    // 5-tuples are accepted for compatibility with snapshots written
+    // before truncated-waiter accounting (`queued` defaults to 0).
     let row = v
         .as_arr()
-        .filter(|r| r.len() == 5)
-        .ok_or_else(|| err("monitor stats is not a 5-tuple"))?;
+        .filter(|r| r.len() == 5 || r.len() == 6)
+        .ok_or_else(|| err("monitor stats is not a 5- or 6-tuple"))?;
     Ok(MonitorStats {
         acquisitions: item_u64(row, 0, "stats")?,
         contentions: item_u64(row, 1, "stats")?,
         total_wait: SimDuration::from_nanos(item_u64(row, 2, "stats")?),
         max_wait: SimDuration::from_nanos(item_u64(row, 3, "stats")?),
         total_hold: SimDuration::from_nanos(item_u64(row, 4, "stats")?),
+        queued: if row.len() == 6 {
+            item_u64(row, 5, "stats")?
+        } else {
+            0
+        },
     })
 }
 
@@ -726,6 +734,8 @@ pub struct ReproSpec {
     /// run rather than a batch benchmark (the app is then only a memo
     /// carrier).
     pub server: Option<ServerSpec>,
+    /// Monitor handoff algorithm of the failing run.
+    pub lock_alg: LockAlg,
     /// Memo key of the spec this file reproduces.
     pub spec_key: u64,
     /// Whether reconstruction was verified key-exact at emit time.
@@ -968,6 +978,7 @@ impl ReproSpec {
             chaos: config.chaos,
             budget: config.budget,
             server: config.server.clone(),
+            lock_alg: config.lock_alg,
             spec_key,
             exact: false,
         }
@@ -997,6 +1008,11 @@ impl ReproSpec {
         ]);
         if let Some(spec) = &self.server {
             pairs.push(("server", server_spec_to_json(spec)));
+        }
+        // Written only when non-default, so pre-existing repro files
+        // (and their hashes) are unchanged for FIFO runs.
+        if self.lock_alg != LockAlg::Fifo {
+            pairs.push(("lock_alg", s(self.lock_alg.as_str())));
         }
         pairs.extend([
             ("spec_key", s(&format!("{:016x}", self.spec_key))),
@@ -1043,6 +1059,13 @@ impl ReproSpec {
                 None => None,
                 Some(spec) => Some(server_spec_from_json(spec)?),
             },
+            lock_alg: match v.get("lock_alg") {
+                None => LockAlg::Fifo,
+                Some(name) => name
+                    .as_str()
+                    .and_then(LockAlg::parse)
+                    .ok_or_else(|| err("lock_alg is not a known algorithm"))?,
+            },
             spec_key,
             exact: get_bool(v, "exact")?,
         })
@@ -1072,6 +1095,7 @@ impl ReproSpec {
             .retention(self.retention)
             .chaos(self.chaos)
             .budget(self.budget)
+            .lock_alg(self.lock_alg)
             .trace(TraceConfig::off());
         if let Some(spec) = &self.server {
             builder.server(spec.clone());
@@ -1184,6 +1208,7 @@ mod tests {
                 watchdog_ms: Some(500),
             },
             server: Some(scalesim_workloads::ServerSpec::robust(25_000, 64)),
+            lock_alg: LockAlg::Malthusian,
             spec_key: 0xdead_beef_0badu64,
             exact: true,
         };
@@ -1197,6 +1222,33 @@ mod tests {
         assert_eq!(config.cores_override, Some(12));
         assert_eq!(config.budget.watchdog_ms, Some(500));
         assert_eq!(config.chaos.panic_at_event, 2000);
+        assert_eq!(config.lock_alg, LockAlg::Malthusian);
+    }
+
+    #[test]
+    fn repro_spec_fifo_emits_no_lock_alg_key() {
+        // FIFO runs must serialize exactly as before the pluggable-lock
+        // refactor so existing repro files and their hashes are stable.
+        let spec = ReproSpec {
+            app: "xalan".to_owned(),
+            total_items: 1,
+            threads: 1,
+            cores_override: None,
+            seed: 1,
+            heap_bytes_override: None,
+            monitors: false,
+            retention: Retention::HistogramOnly,
+            chaos: ChaosConfig::default(),
+            budget: RunBudget::default(),
+            server: None,
+            lock_alg: LockAlg::Fifo,
+            spec_key: 0,
+            exact: false,
+        };
+        let text = spec.to_json().to_string();
+        assert!(!text.contains("lock_alg"), "{text}");
+        let back = ReproSpec::from_json(&JsonValue::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.lock_alg, LockAlg::Fifo);
     }
 
     #[test]
@@ -1213,6 +1265,7 @@ mod tests {
             chaos: ChaosConfig::default(),
             budget: RunBudget::default(),
             server: None,
+            lock_alg: LockAlg::Fifo,
             spec_key: 0,
             exact: false,
         };

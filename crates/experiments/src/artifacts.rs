@@ -9,6 +9,7 @@ use scalesim_core::SimError;
 use scalesim_metrics::Table;
 
 use crate::ablation::{run_biased_sched, run_heaplets};
+use crate::ext_locks::run_lock_algorithms;
 use crate::extensions::{
     run_concurrent_old_gen, run_ergonomics, run_gc_workers, run_heap_size, run_lock_sharding,
     run_numa_placement, run_oversubscription,
@@ -42,6 +43,7 @@ pub const ALL_ARTIFACTS: &[&str] = &[
     "ext-concurrent",
     "ext-topo",
     "ext-server",
+    "ext-locks",
 ];
 
 /// One rendered table of an artifact: the CSV base name, the banner
@@ -164,6 +166,11 @@ pub fn artifact_tables(
             "ext_server",
             "Extension: server request workloads with overload control (metastable failure)",
             run_server_study(p).map(|s| s.table()),
+        ),
+        "ext-locks" => one(
+            "ext_locks",
+            "Extension: lock algorithms (fifo / mcs / malthusian) across all apps",
+            run_lock_algorithms(p).map(|s| s.table()),
         ),
         _ => return None,
     };

@@ -65,6 +65,7 @@ use scalesim_workloads::{all_apps, scalable_apps, AppModel};
 
 use crate::artifacts::{artifact_tables, ArtifactTable};
 use crate::checkpoint::{self, decode_record, encode_record, Record};
+use crate::ext_locks::lock_specs;
 use crate::fig1_lifespan::lifespan_specs;
 use crate::params::ExpParams;
 use crate::server::server_specs;
@@ -87,6 +88,7 @@ pub const CAMPAIGN_ARTIFACTS: &[&str] = &[
     "fig2",
     "ext-topo",
     "ext-server",
+    "ext-locks",
 ];
 
 /// What one campaign runs: an artifact id plus the shared sweep
@@ -259,6 +261,7 @@ pub fn campaign_units(
         "fig1d" => Some(lifespan_specs("xalan", params)),
         "ext-topo" => Some(topo_specs("xalan", params)),
         "ext-server" => Some(server_specs(params)),
+        "ext-locks" => Some(lock_specs(params)),
         _ => None,
     }
 }

@@ -22,6 +22,7 @@
 //! | `ext-concurrent` | extension: mostly-concurrent old generation | [`run_concurrent_old_gen`] |
 //! | `ext-topo` | extension: machine-topology sweep | [`run_topology`] |
 //! | `ext-server` | extension: server workloads with overload control | [`run_server_study`] |
+//! | `ext-locks` | extension: pluggable lock algorithms | [`run_lock_algorithms`] |
 //!
 //! Sweeps run in parallel across host cores ([`run_all`]); every
 //! simulation itself is deterministic and single-threaded, so results are
@@ -62,6 +63,7 @@ mod artifacts;
 mod auditing;
 pub mod campaign;
 pub mod checkpoint;
+mod ext_locks;
 mod extensions;
 mod fig1_lifespan;
 mod fig1_locks;
@@ -79,6 +81,7 @@ pub use analyze::{run_analytics, write_analytics};
 pub use artifacts::{artifact_tables, ArtifactTable, ALL_ARTIFACTS};
 pub use auditing::{audit_spec, write_audit_repro, AUDIT_EVENT_BACKSTOP};
 pub use checkpoint::ResumeStats;
+pub use ext_locks::{run_lock_algorithms, LockAlgRow, LockAlgStudy};
 pub use extensions::{
     run_concurrent_old_gen, run_ergonomics, run_gc_workers, run_heap_size, run_lock_sharding,
     run_numa_placement, run_oversubscription, ConcurrentRow, ConcurrentStudy, ErgoRow, Ergonomics,

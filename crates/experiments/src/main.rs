@@ -9,7 +9,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use scalesim_core::{JsonValue, Jvm, JvmConfig, ReproSpec, SimError, TraceConfig};
+use scalesim_core::{JsonValue, Jvm, JvmConfig, LockAlg, ReproSpec, SimError, TraceConfig};
 use scalesim_experiments::campaign::{self, CampaignError, CampaignSpec};
 use scalesim_experiments::{
     artifact_tables, audit_spec, checkpoint, run_analytics, run_isolated, shrink_failure,
@@ -46,6 +46,11 @@ artifacts:
   ext-heapsize extension: trace-replay heap-size sweep (3x-min-heap rule)
   ext-concurrent extension: mostly-concurrent old-gen collector
   ext-topo    extension: machine-topology sweep (AMD / Xeon / SPARC-T3)
+  ext-locks   extension: lock algorithms (fifo / mcs / malthusian) x
+              thread count across all six workloads; the queue-fair
+              algorithms collapse past the knee, the Malthusian
+              (concurrency-restricting) lock holds its saturated
+              throughput
   ext-server  extension: server request workloads with overload control
               (no-fault / naive / robust policies under a transient GC
               stall; reproduces retry-storm metastable failure and its
@@ -63,7 +68,7 @@ artifacts:
               single-process run no matter how many workers ran or
               crashed (SIGKILL included). Campaignable artifacts:
               workdist scaletable fig1a fig1b fig1c fig1d fig2 ext-topo
-              ext-server
+              ext-server ext-locks
   repro FILE  re-execute a shrunk failure spec (repro-*.json or
               audit-*.json) exactly; exits 0 when the failure
               reproduces, 1 when it does not
@@ -89,6 +94,9 @@ options:
   --scale F      workload scale factor (default 1.0 = paper-sized)
   --seed N       master seed (default 42)
   --threads LIST comma-separated thread counts (default 4,8,16,32,48)
+  --lock-alg A   monitor lock algorithm for every run: fifo (default),
+                 mcs, or malthusian (SCALESIM_LOCK_ALG reaches the same
+                 switch from wrappers; campaign workers inherit it)
   --out DIR      also write each table as CSV into DIR, plus a
                  manifest.jsonl joining every sweep run with its
                  harness provenance (memo/retry/quarantine status)
@@ -128,6 +136,7 @@ struct Cli {
     dir: Option<PathBuf>,
     workers: Option<usize>,
     params: ExpParams,
+    lock_alg: Option<LockAlg>,
     out: Option<PathBuf>,
     trace: Option<PathBuf>,
     checkpoint: Option<PathBuf>,
@@ -162,6 +171,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut dir = None;
     let mut workers = None;
     let mut params = ExpParams::paper();
+    let mut lock_alg = None;
     let mut out = None;
     let mut trace = None;
     let mut checkpoint = None;
@@ -191,6 +201,12 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                     return Err("thread list must be strictly increasing".to_owned());
                 }
                 params = params.with_threads(threads);
+            }
+            "--lock-alg" => {
+                let v = it.next().ok_or("--lock-alg needs a value")?;
+                lock_alg = Some(LockAlg::parse(v).ok_or_else(|| {
+                    format!("unknown lock algorithm {v} (fifo | mcs | malthusian)")
+                })?);
             }
             "--out" => {
                 let v = it.next().ok_or("--out needs a value")?;
@@ -255,6 +271,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         dir,
         workers,
         params,
+        lock_alg,
         out,
         trace,
         checkpoint,
@@ -732,6 +749,12 @@ fn main() -> ExitCode {
             return ExitCode::from(3);
         }
     };
+    if let Some(alg) = cli.lock_alg {
+        // Every JvmConfig builder reads SCALESIM_LOCK_ALG, and spawned
+        // campaign workers inherit the environment, so one switch
+        // covers every run this process (transitively) starts.
+        std::env::set_var("SCALESIM_LOCK_ALG", alg.as_str());
+    }
     if cli.artifact == "repro" {
         let Some(file) = cli.file.as_deref() else {
             eprintln!("error: repro needs a repro-*.json file argument\n");
@@ -886,6 +909,17 @@ mod tests {
         assert!(parse_args(&s(&["fig2", "--scale", "-1"])).is_err());
         assert!(parse_args(&s(&["fig2", "--threads", "4,2"])).is_err());
         assert!(parse_args(&s(&["fig2", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn lock_alg_flag_parses_and_rejects_unknowns() {
+        let cli = parse_args(&s(&["ext-locks", "--lock-alg", "malthusian"])).unwrap();
+        assert_eq!(cli.artifact, "ext-locks");
+        assert_eq!(cli.lock_alg, Some(LockAlg::Malthusian));
+        let cli = parse_args(&s(&["fig1a"])).unwrap();
+        assert!(cli.lock_alg.is_none());
+        assert!(parse_args(&s(&["fig1a", "--lock-alg", "ticket"])).is_err());
+        assert!(parse_args(&s(&["fig1a", "--lock-alg"])).is_err());
     }
 
     #[test]

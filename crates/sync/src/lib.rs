@@ -8,9 +8,15 @@
 //! 1b) — an acquisition attempt that finds the lock already held. This
 //! crate reproduces those observables exactly: every [`LockTable::acquire`]
 //! either takes the monitor on the fast path or enqueues the thread (one
-//! recorded contention), and every release hands the monitor to the oldest
-//! waiter. [`LockTable::report`] yields the per-class and global counts the
+//! recorded contention), and every release hands the monitor to a waiter.
+//! [`LockTable::report`] yields the per-class and global counts the
 //! figures plot.
+//!
+//! *Which* waiter a release hands the monitor to — and at what modeled
+//! cost — is a pluggable [`LockAlgorithm`]: the paper-calibrated FIFO
+//! baseline, an MCS/CLH-style queue lock, or a Malthusian
+//! concurrency-restricting lock (see [`LockAlg`] and the [`alg`] module
+//! docs).
 //!
 //! ```
 //! use scalesim_sync::{AcquireOutcome, LockTable};
@@ -20,9 +26,12 @@
 //! let mut locks = LockTable::new();
 //! let queue = locks.create("workqueue");
 //! let (a, b) = (ThreadId::new(0), ThreadId::new(1));
-//! locks.acquire(queue, a, SimTime::ZERO);
-//! assert_eq!(locks.acquire(queue, b, SimTime::from_nanos(5)), AcquireOutcome::Contended);
-//! let grant = locks.release(queue, a, SimTime::from_nanos(9)).unwrap();
+//! locks.acquire(queue, a, SimTime::ZERO).unwrap();
+//! assert_eq!(
+//!     locks.acquire(queue, b, SimTime::from_nanos(5)),
+//!     Ok(AcquireOutcome::Contended)
+//! );
+//! let grant = locks.release(queue, a, SimTime::from_nanos(9)).unwrap().unwrap();
 //! assert_eq!(grant.next, b);
 //! assert_eq!(locks.report().total.contentions, 1);
 //! ```
@@ -30,8 +39,10 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod alg;
 mod monitor;
 mod table;
 
+pub use alg::{FifoLock, LockAlg, LockAlgorithm, LockMisuse, MalthusianLock, McsLock};
 pub use monitor::{AcquireOutcome, Grant, MonitorId, MonitorStats};
 pub use table::{LockReport, LockTable};

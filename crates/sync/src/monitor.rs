@@ -1,16 +1,24 @@
 //! Java-style monitors with per-lock statistics.
 //!
 //! A [`Monitor`] models an object monitor under the JVM's inflated-lock
-//! slow path: one owner, a FIFO wait queue, and direct handoff on release.
+//! slow path: one owner, a wait queue, and direct handoff on release.
 //! Every acquisition and every *contention instance* (an acquire attempt
 //! that finds the monitor held — the quantity DTrace's lockstat probes
 //! count, and the y-axis of the paper's Figure 1b) is recorded.
+//!
+//! The handoff discipline — who waits where and which waiter a release
+//! hands the monitor to — is a pluggable [`LockAlgorithm`]
+//! (see [`crate::alg`]). Statistics are accrued here in the wrapper,
+//! derived purely from acquire outcomes and release grants, so every
+//! algorithm shares one arithmetic path and the counters stay
+//! comparable across algorithms.
 
-use std::collections::VecDeque;
 use std::fmt;
 
 use scalesim_sched::ThreadId;
 use scalesim_simkit::{SimDuration, SimTime};
+
+use crate::alg::{instantiate, FifoLock, LockAlg, LockAlgorithm, LockMisuse};
 
 /// Identifies a monitor within a [`LockTable`](crate::LockTable).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -47,8 +55,14 @@ pub enum AcquireOutcome {
 pub struct Grant {
     /// The thread that now owns the monitor.
     pub next: ThreadId,
-    /// How long that thread waited in the queue.
+    /// How long that thread waited in the queue (exactly grant time minus
+    /// enqueue time, for every algorithm — the audit pass reconstructs
+    /// enqueue instants from this).
     pub waited: SimDuration,
+    /// Modeled handoff cost charged to the new owner's critical section
+    /// (park/wake latency on the lock's critical path). Always zero for
+    /// the baseline FIFO algorithm.
+    pub penalty: SimDuration,
 }
 
 /// Cumulative statistics for one monitor.
@@ -60,23 +74,34 @@ pub struct MonitorStats {
     /// Acquire attempts that found the monitor held — Figure 1b's
     /// quantity.
     pub contentions: u64,
-    /// Total time threads spent waiting in this monitor's queue.
+    /// Total time threads spent waiting in this monitor's queue,
+    /// including partial waits of threads still queued when a run
+    /// truncates (see [`queued`](MonitorStats::queued)).
     pub total_wait: SimDuration,
     /// Longest single wait.
     pub max_wait: SimDuration,
     /// Total time the monitor was held.
     pub total_hold: SimDuration,
+    /// Waiters still queued when the run ended (budget truncation or
+    /// quarantine). Each was counted in `contentions` at enqueue but
+    /// never granted, so without this the contention/acquisition
+    /// equalities — and [`contention_rate`](MonitorStats::contention_rate)
+    /// — would skew on truncated runs.
+    pub queued: u64,
 }
 
 impl MonitorStats {
-    /// Fraction of acquisitions that were contended (0 when never
-    /// acquired).
+    /// Fraction of acquire attempts that were contended (0 when there
+    /// were no attempts). Still-queued waiters at truncation count as
+    /// attempts: every contention instance has a matching attempt in the
+    /// denominator, completed or not.
     #[must_use]
     pub fn contention_rate(&self) -> f64 {
-        if self.acquisitions == 0 {
+        let attempts = self.acquisitions + self.queued;
+        if attempts == 0 {
             0.0
         } else {
-            self.contentions as f64 / self.acquisitions as f64
+            self.contentions as f64 / attempts as f64
         }
     }
 
@@ -88,100 +113,132 @@ impl MonitorStats {
         self.total_wait += other.total_wait;
         self.max_wait = self.max_wait.max(other.max_wait);
         self.total_hold += other.total_hold;
+        self.queued += other.queued;
     }
 }
 
-#[derive(Debug, Clone)]
+/// The handoff algorithm behind one monitor. The default FIFO algorithm
+/// is stored inline and statically dispatched — the seed model's hot
+/// path pays nothing for the pluggability. Every other algorithm (and
+/// the bench-only [`LockAlg::FifoDyn`]) goes through a trait object.
+#[derive(Debug)]
+enum LockImpl {
+    Fifo(FifoLock),
+    Dyn(Box<dyn LockAlgorithm>),
+}
+
+#[derive(Debug)]
 pub(crate) struct Monitor {
     pub class: String,
-    owner: Option<ThreadId>,
-    held_since: SimTime,
-    waiters: VecDeque<(ThreadId, SimTime)>,
+    imp: LockImpl,
     pub stats: MonitorStats,
 }
 
 impl Monitor {
-    pub fn new(class: &str) -> Self {
+    pub fn new(class: &str, alg: LockAlg) -> Self {
+        let imp = match alg {
+            LockAlg::Fifo => LockImpl::Fifo(FifoLock::default()),
+            other => LockImpl::Dyn(instantiate(other)),
+        };
         Monitor {
             class: class.to_owned(),
-            owner: None,
-            held_since: SimTime::ZERO,
-            waiters: VecDeque::new(),
+            imp,
             stats: MonitorStats::default(),
         }
     }
 
     pub fn owner(&self) -> Option<ThreadId> {
-        self.owner
+        match &self.imp {
+            LockImpl::Fifo(f) => f.owner_impl(),
+            LockImpl::Dyn(d) => d.owner(),
+        }
     }
 
-    /// When the current owner took the monitor (meaningless if unowned).
-    pub fn held_since(&self) -> SimTime {
-        self.held_since
+    /// When the current owner took the monitor; `None` while unowned.
+    pub fn held_since(&self) -> Option<SimTime> {
+        match &self.imp {
+            LockImpl::Fifo(f) => f.held_since_impl(),
+            LockImpl::Dyn(d) => d.held_since(),
+        }
     }
 
     pub fn queue_len(&self) -> usize {
-        self.waiters.len()
+        match &self.imp {
+            LockImpl::Fifo(f) => f.queue_len_impl(),
+            LockImpl::Dyn(d) => d.queue_len(),
+        }
     }
 
     pub fn is_waiting(&self, tid: ThreadId) -> bool {
-        self.waiters.iter().any(|&(w, _)| w == tid)
+        match &self.imp {
+            LockImpl::Fifo(f) => f.is_waiting_impl(tid),
+            LockImpl::Dyn(d) => d.is_waiting(tid),
+        }
+    }
+
+    /// Every queued waiter with its enqueue time.
+    pub fn queued_waiters(&self) -> Vec<(ThreadId, SimTime)> {
+        match &self.imp {
+            LockImpl::Fifo(f) => f.queued_waiters_impl(),
+            LockImpl::Dyn(d) => d.queued_waiters(),
+        }
     }
 
     /// Attempts to acquire for `tid` at `now`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on re-entrant acquisition (the workload models never
-    /// re-enter a monitor they hold) and on double-enqueue.
-    pub fn acquire(&mut self, tid: ThreadId, now: SimTime) -> AcquireOutcome {
-        assert_ne!(self.owner, Some(tid), "{tid} re-entered a held monitor");
-        match self.owner {
-            None => {
-                self.owner = Some(tid);
-                self.held_since = now;
-                self.stats.acquisitions += 1;
-                AcquireOutcome::Acquired
-            }
-            Some(_) => {
-                assert!(
-                    !self.waiters.iter().any(|&(w, _)| w == tid),
-                    "{tid} enqueued twice on one monitor"
-                );
-                self.waiters.push_back((tid, now));
-                self.stats.contentions += 1;
-                AcquireOutcome::Contended
-            }
+    /// Returns the [`LockMisuse`] on re-entrant acquisition (the
+    /// workload models never re-enter a monitor they hold), double
+    /// enqueue, or other protocol misuse, leaving the monitor state and
+    /// statistics untouched.
+    pub fn acquire(&mut self, tid: ThreadId, now: SimTime) -> Result<AcquireOutcome, LockMisuse> {
+        let outcome = match &mut self.imp {
+            LockImpl::Fifo(f) => f.acquire_impl(tid, now)?,
+            LockImpl::Dyn(d) => d.acquire(tid, now)?,
+        };
+        match outcome {
+            AcquireOutcome::Acquired => self.stats.acquisitions += 1,
+            AcquireOutcome::Contended => self.stats.contentions += 1,
         }
+        Ok(outcome)
     }
 
-    /// Releases the monitor, handing it directly to the oldest waiter if
-    /// one exists.
+    /// Releases the monitor, handing it to the waiter the algorithm
+    /// chooses (the oldest one, under the default FIFO discipline).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `tid` is not the current owner.
-    pub fn release(&mut self, tid: ThreadId, now: SimTime) -> Option<Grant> {
-        assert_eq!(
-            self.owner,
-            Some(tid),
-            "{tid} released a monitor it does not own"
-        );
-        self.stats.total_hold += now.saturating_since(self.held_since);
-        match self.waiters.pop_front() {
-            None => {
-                self.owner = None;
-                None
-            }
-            Some((next, enqueued_at)) => {
-                let waited = now.saturating_since(enqueued_at);
-                self.owner = Some(next);
-                self.held_since = now;
-                self.stats.acquisitions += 1;
-                self.stats.total_wait += waited;
-                self.stats.max_wait = self.stats.max_wait.max(waited);
-                Some(Grant { next, waited })
-            }
+    /// Returns [`LockMisuse::ReleaseByNonOwner`] if `tid` is not the
+    /// current owner, leaving the monitor state and statistics untouched.
+    pub fn release(&mut self, tid: ThreadId, now: SimTime) -> Result<Option<Grant>, LockMisuse> {
+        let held_since = self.held_since();
+        let grant = match &mut self.imp {
+            LockImpl::Fifo(f) => f.release_impl(tid, now)?,
+            LockImpl::Dyn(d) => d.release(tid, now)?,
+        };
+        // Only accrue after the algorithm accepted the release; a
+        // misused release must not perturb the counters.
+        if let Some(held_since) = held_since {
+            self.stats.total_hold += now.saturating_since(held_since);
+        }
+        if let Some(g) = &grant {
+            self.stats.acquisitions += 1;
+            self.stats.total_wait += g.waited;
+            self.stats.max_wait = self.stats.max_wait.max(g.waited);
+        }
+        Ok(grant)
+    }
+
+    /// Accounts for waiters still queued at `now` when the run ends
+    /// mid-wait: their partial waits enter `total_wait`/`max_wait` and
+    /// they are tallied in [`MonitorStats::queued`].
+    pub fn account_truncated(&mut self, now: SimTime) {
+        for (_, enqueued_at) in self.queued_waiters() {
+            let waited = now.saturating_since(enqueued_at);
+            self.stats.total_wait += waited;
+            self.stats.max_wait = self.stats.max_wait.max(waited);
+            self.stats.queued += 1;
         }
     }
 }
@@ -196,14 +253,19 @@ mod tests {
     fn tid(n: usize) -> ThreadId {
         ThreadId::new(n)
     }
+    fn fifo(class: &str) -> Monitor {
+        Monitor::new(class, LockAlg::Fifo)
+    }
 
     #[test]
     fn fast_path_acquire_release() {
-        let mut m = Monitor::new("q");
-        assert_eq!(m.acquire(tid(0), t(0)), AcquireOutcome::Acquired);
+        let mut m = fifo("q");
+        assert_eq!(m.acquire(tid(0), t(0)), Ok(AcquireOutcome::Acquired));
         assert_eq!(m.owner(), Some(tid(0)));
-        assert_eq!(m.release(tid(0), t(10)), None);
+        assert_eq!(m.held_since(), Some(t(0)));
+        assert_eq!(m.release(tid(0), t(10)), Ok(None));
         assert_eq!(m.owner(), None);
+        assert_eq!(m.held_since(), None);
         assert_eq!(m.stats.acquisitions, 1);
         assert_eq!(m.stats.contentions, 0);
         assert_eq!(m.stats.total_hold, SimDuration::from_nanos(10));
@@ -211,50 +273,79 @@ mod tests {
 
     #[test]
     fn contended_acquire_queues_fifo_and_hands_off() {
-        let mut m = Monitor::new("q");
-        m.acquire(tid(0), t(0));
-        assert_eq!(m.acquire(tid(1), t(2)), AcquireOutcome::Contended);
-        assert_eq!(m.acquire(tid(2), t(3)), AcquireOutcome::Contended);
+        let mut m = fifo("q");
+        m.acquire(tid(0), t(0)).unwrap();
+        assert_eq!(m.acquire(tid(1), t(2)), Ok(AcquireOutcome::Contended));
+        assert_eq!(m.acquire(tid(2), t(3)), Ok(AcquireOutcome::Contended));
         assert_eq!(m.queue_len(), 2);
         assert_eq!(m.stats.contentions, 2);
 
-        let g = m.release(tid(0), t(10)).expect("handoff");
+        let g = m.release(tid(0), t(10)).unwrap().expect("handoff");
         assert_eq!(g.next, tid(1));
         assert_eq!(g.waited, SimDuration::from_nanos(8));
+        assert_eq!(g.penalty, SimDuration::ZERO);
         assert_eq!(m.owner(), Some(tid(1)));
         assert_eq!(m.stats.acquisitions, 2);
 
-        let g = m.release(tid(1), t(20)).expect("handoff");
+        let g = m.release(tid(1), t(20)).unwrap().expect("handoff");
         assert_eq!(g.next, tid(2));
         assert_eq!(g.waited, SimDuration::from_nanos(17));
-        assert_eq!(m.release(tid(2), t(25)), None);
+        assert_eq!(m.release(tid(2), t(25)), Ok(None));
         assert_eq!(m.stats.total_wait, SimDuration::from_nanos(8 + 17));
         assert_eq!(m.stats.max_wait, SimDuration::from_nanos(17));
     }
 
     #[test]
-    #[should_panic(expected = "re-entered")]
-    fn reentrant_acquire_panics() {
-        let mut m = Monitor::new("q");
-        m.acquire(tid(0), t(0));
-        m.acquire(tid(0), t(1));
+    fn reentrant_acquire_is_typed_misuse() {
+        let mut m = fifo("q");
+        m.acquire(tid(0), t(0)).unwrap();
+        assert_eq!(
+            m.acquire(tid(0), t(1)),
+            Err(LockMisuse::ReentrantAcquire(tid(0)))
+        );
+        // State and stats untouched.
+        assert_eq!(m.owner(), Some(tid(0)));
+        assert_eq!(m.stats.acquisitions, 1);
     }
 
     #[test]
-    #[should_panic(expected = "does not own")]
-    fn release_by_non_owner_panics() {
-        let mut m = Monitor::new("q");
-        m.acquire(tid(0), t(0));
-        m.release(tid(1), t(1));
+    fn release_by_non_owner_is_typed_misuse() {
+        let mut m = fifo("q");
+        m.acquire(tid(0), t(0)).unwrap();
+        assert_eq!(
+            m.release(tid(1), t(1)),
+            Err(LockMisuse::ReleaseByNonOwner(tid(1)))
+        );
+        assert_eq!(m.owner(), Some(tid(0)));
+        assert_eq!(m.stats.total_hold, SimDuration::ZERO);
     }
 
     #[test]
-    #[should_panic(expected = "enqueued twice")]
-    fn double_enqueue_panics() {
-        let mut m = Monitor::new("q");
-        m.acquire(tid(0), t(0));
-        m.acquire(tid(1), t(1));
-        m.acquire(tid(1), t(2));
+    fn double_enqueue_is_typed_misuse() {
+        let mut m = fifo("q");
+        m.acquire(tid(0), t(0)).unwrap();
+        m.acquire(tid(1), t(1)).unwrap();
+        assert_eq!(
+            m.acquire(tid(1), t(2)),
+            Err(LockMisuse::DoubleEnqueue(tid(1)))
+        );
+        assert_eq!(m.queue_len(), 1);
+        assert_eq!(m.stats.contentions, 1);
+    }
+
+    #[test]
+    fn truncation_accounts_still_queued_waiters() {
+        let mut m = fifo("q");
+        m.acquire(tid(0), t(0)).unwrap();
+        m.acquire(tid(1), t(10)).unwrap();
+        m.acquire(tid(2), t(20)).unwrap();
+        m.account_truncated(t(100));
+        assert_eq!(m.stats.queued, 2);
+        assert_eq!(m.stats.total_wait, SimDuration::from_nanos(90 + 80));
+        assert_eq!(m.stats.max_wait, SimDuration::from_nanos(90));
+        // Contention rate denominator now includes the truncated
+        // attempts: 2 contentions / (1 acquisition + 2 queued).
+        assert!((m.stats.contention_rate() - 2.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]
@@ -274,6 +365,7 @@ mod tests {
             total_wait: SimDuration::from_nanos(5),
             max_wait: SimDuration::from_nanos(5),
             total_hold: SimDuration::from_nanos(9),
+            queued: 1,
         };
         let b = MonitorStats {
             acquisitions: 2,
@@ -281,16 +373,34 @@ mod tests {
             total_wait: SimDuration::from_nanos(1),
             max_wait: SimDuration::from_nanos(1),
             total_hold: SimDuration::from_nanos(2),
+            queued: 0,
         };
         a.merge(&b);
         assert_eq!(a.acquisitions, 3);
         assert_eq!(a.max_wait, SimDuration::from_nanos(5));
         assert_eq!(a.total_hold, SimDuration::from_nanos(11));
+        assert_eq!(a.queued, 1);
     }
 
     #[test]
     fn monitor_id_display() {
         assert_eq!(MonitorId(4).to_string(), "monitor4");
         assert_eq!(MonitorId(4).index(), 4);
+    }
+
+    #[test]
+    fn dyn_fifo_matches_static_fifo() {
+        let mut a = fifo("q");
+        let mut b = Monitor::new("q", LockAlg::FifoDyn);
+        for m in [&mut a, &mut b] {
+            m.acquire(tid(0), t(0)).unwrap();
+            m.acquire(tid(1), t(2)).unwrap();
+            m.acquire(tid(2), t(3)).unwrap();
+            let g = m.release(tid(0), t(10)).unwrap().unwrap();
+            m.release(g.next, t(20)).unwrap().unwrap();
+        }
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.owner(), b.owner());
+        assert_eq!(a.queue_len(), b.queue_len());
     }
 }

@@ -8,13 +8,15 @@ use scalesim_sched::ThreadId;
 use scalesim_simkit::SimTime;
 use scalesim_trace::{EventKind, Timeline};
 
+use crate::alg::{LockAlg, LockMisuse};
 use crate::monitor::{AcquireOutcome, Grant, Monitor, MonitorId, MonitorStats};
 
 /// Owns every monitor in a simulated JVM and aggregates their statistics.
 ///
 /// Monitors are created with a *class* label (e.g. `"workqueue"`,
 /// `"dtm-cache"`) so the profiler can report per-class breakdowns the way
-/// a DTrace lockstat script groups probes by call site.
+/// a DTrace lockstat script groups probes by call site. Every monitor in
+/// a table uses the same handoff algorithm (a [`LockAlg`], default FIFO).
 ///
 /// # Examples
 ///
@@ -26,13 +28,18 @@ use crate::monitor::{AcquireOutcome, Grant, Monitor, MonitorId, MonitorStats};
 /// let mut locks = LockTable::new();
 /// let q = locks.create("workqueue");
 /// let t0 = ThreadId::new(0);
-/// assert_eq!(locks.acquire(q, t0, SimTime::ZERO), AcquireOutcome::Acquired);
-/// locks.release(q, t0, SimTime::from_nanos(100));
+/// assert_eq!(
+///     locks.acquire(q, t0, SimTime::ZERO),
+///     Ok(AcquireOutcome::Acquired)
+/// );
+/// locks.release(q, t0, SimTime::from_nanos(100)).unwrap();
 /// assert_eq!(locks.report().total.acquisitions, 1);
 /// ```
 #[derive(Debug, Default)]
 pub struct LockTable {
     monitors: Vec<Monitor>,
+    /// Handoff algorithm newly created monitors use.
+    alg: LockAlg,
     /// Timeline recorder for hold/wait spans (disabled by default).
     timeline: Timeline,
     /// Distribution of completed hold durations (ns) over every monitor
@@ -44,10 +51,25 @@ pub struct LockTable {
 }
 
 impl LockTable {
-    /// Creates an empty table.
+    /// Creates an empty table using the default FIFO handoff algorithm.
     #[must_use]
     pub fn new() -> Self {
         LockTable::default()
+    }
+
+    /// Creates an empty table whose monitors use `alg` for handoff.
+    #[must_use]
+    pub fn with_algorithm(alg: LockAlg) -> Self {
+        LockTable {
+            alg,
+            ..LockTable::default()
+        }
+    }
+
+    /// The handoff algorithm this table's monitors use.
+    #[must_use]
+    pub fn algorithm(&self) -> LockAlg {
+        self.alg
     }
 
     /// Installs a timeline recorder; each release then records the closed
@@ -66,7 +88,7 @@ impl LockTable {
     /// Creates a monitor with a class label and returns its id.
     pub fn create(&mut self, class: &str) -> MonitorId {
         let id = MonitorId(self.monitors.len());
-        self.monitors.push(Monitor::new(class));
+        self.monitors.push(Monitor::new(class, self.alg));
         id
     }
 
@@ -87,11 +109,22 @@ impl LockTable {
     /// On [`AcquireOutcome::Contended`] the caller must block the thread;
     /// it will be granted ownership by a future release.
     ///
+    /// # Errors
+    ///
+    /// Returns the [`LockMisuse`] on re-entrant acquisition or double
+    /// enqueue (state and statistics untouched) so callers can quarantine
+    /// the run instead of crashing.
+    ///
     /// # Panics
     ///
-    /// Panics if `m` is out of range or on re-entrant acquisition.
-    pub fn acquire(&mut self, m: MonitorId, tid: ThreadId, now: SimTime) -> AcquireOutcome {
-        let outcome = self.monitors[m.0].acquire(tid, now);
+    /// Panics if `m` is out of range.
+    pub fn acquire(
+        &mut self,
+        m: MonitorId,
+        tid: ThreadId,
+        now: SimTime,
+    ) -> Result<AcquireOutcome, LockMisuse> {
+        let outcome = self.monitors[m.0].acquire(tid, now)?;
         if outcome == AcquireOutcome::Contended {
             // Wait-begin marker: the audit pass pairs it with the closing
             // MonitorWait span emitted on handoff; an enqueue that is never
@@ -103,18 +136,31 @@ impl LockTable {
                 tid.index() as u64,
             );
         }
-        outcome
+        Ok(outcome)
     }
 
     /// Releases monitor `m`; returns the handoff grant if a waiter took
     /// over.
     ///
+    /// # Errors
+    ///
+    /// Returns [`LockMisuse::ReleaseByNonOwner`] if `tid` is not the
+    /// owner (state and statistics untouched).
+    ///
     /// # Panics
     ///
-    /// Panics if `m` is out of range or `tid` is not the owner.
-    pub fn release(&mut self, m: MonitorId, tid: ThreadId, now: SimTime) -> Option<Grant> {
+    /// Panics if `m` is out of range.
+    pub fn release(
+        &mut self,
+        m: MonitorId,
+        tid: ThreadId,
+        now: SimTime,
+    ) -> Result<Option<Grant>, LockMisuse> {
         let held_since = self.monitors[m.0].held_since();
-        let grant = self.monitors[m.0].release(tid, now);
+        let grant = self.monitors[m.0].release(tid, now)?;
+        // The release was accepted, so `tid` owned the monitor and the
+        // hold start is known.
+        let held_since = held_since.expect("accepted release implies an owned monitor");
         let track = m.0 as u32;
         self.hold_hist
             .record(now.saturating_since(held_since).as_nanos());
@@ -138,13 +184,30 @@ impl LockTable {
                 g.next.index() as u64,
             );
         }
-        grant
+        Ok(grant)
+    }
+
+    /// Accounts for threads still queued on any monitor when a run ends
+    /// mid-wait (budget truncation or quarantine): their partial waits
+    /// enter the wait totals and [`MonitorStats::queued`] tallies them,
+    /// keeping [`MonitorStats::contention_rate`] honest on truncated
+    /// runs. Completed-sample histograms are deliberately untouched.
+    pub fn finalize(&mut self, now: SimTime) {
+        for mon in &mut self.monitors {
+            mon.account_truncated(now);
+        }
     }
 
     /// The current owner of monitor `m`.
     #[must_use]
     pub fn owner(&self, m: MonitorId) -> Option<ThreadId> {
         self.monitors[m.0].owner()
+    }
+
+    /// When monitor `m`'s current owner took it; `None` while unowned.
+    #[must_use]
+    pub fn held_since(&self, m: MonitorId) -> Option<SimTime> {
+        self.monitors[m.0].held_since()
     }
 
     /// Number of threads queued on monitor `m`.
@@ -257,12 +320,14 @@ mod tests {
     fn create_and_query() {
         let mut lt = LockTable::new();
         assert!(lt.is_empty());
+        assert_eq!(lt.algorithm(), LockAlg::Fifo);
         let a = lt.create("queue");
         let b = lt.create("cache");
         assert_eq!(lt.len(), 2);
         assert_eq!(lt.class(a), "queue");
         assert_eq!(lt.class(b), "cache");
         assert_eq!(lt.owner(a), None);
+        assert_eq!(lt.held_since(a), None);
         assert_eq!(lt.queue_len(a), 0);
     }
 
@@ -273,14 +338,14 @@ mod tests {
         let q2 = lt.create("queue");
         let c = lt.create("cache");
 
-        lt.acquire(q1, tid(0), t(0));
-        lt.acquire(q1, tid(1), t(1)); // contention
-        lt.release(q1, tid(0), t(5)); // handoff -> acquisition 2
-        lt.release(q1, tid(1), t(6));
-        lt.acquire(q2, tid(2), t(2));
-        lt.release(q2, tid(2), t(3));
-        lt.acquire(c, tid(3), t(4));
-        lt.release(c, tid(3), t(9));
+        lt.acquire(q1, tid(0), t(0)).unwrap();
+        lt.acquire(q1, tid(1), t(1)).unwrap(); // contention
+        lt.release(q1, tid(0), t(5)).unwrap(); // handoff -> acquisition 2
+        lt.release(q1, tid(1), t(6)).unwrap();
+        lt.acquire(q2, tid(2), t(2)).unwrap();
+        lt.release(q2, tid(2), t(3)).unwrap();
+        lt.acquire(c, tid(3), t(4)).unwrap();
+        lt.release(c, tid(3), t(9)).unwrap();
 
         let r = lt.report();
         assert_eq!(r.acquisitions_of("queue"), 3);
@@ -300,12 +365,51 @@ mod tests {
     fn handoff_grant_propagates_through_table() {
         let mut lt = LockTable::new();
         let m = lt.create("db");
-        lt.acquire(m, tid(0), t(0));
-        assert_eq!(lt.acquire(m, tid(1), t(10)), AcquireOutcome::Contended);
-        let g = lt.release(m, tid(0), t(30)).expect("grant");
+        lt.acquire(m, tid(0), t(0)).unwrap();
+        assert_eq!(lt.acquire(m, tid(1), t(10)), Ok(AcquireOutcome::Contended));
+        let g = lt.release(m, tid(0), t(30)).unwrap().expect("grant");
         assert_eq!(g.next, tid(1));
         assert_eq!(g.waited, SimDuration::from_nanos(20));
         assert_eq!(lt.owner(m), Some(tid(1)));
+    }
+
+    #[test]
+    fn misuse_propagates_without_side_effects() {
+        let mut lt = LockTable::new();
+        lt.set_timeline(scalesim_trace::Timeline::with_capacity(16));
+        let m = lt.create("db");
+        lt.acquire(m, tid(0), t(0)).unwrap();
+        assert_eq!(
+            lt.acquire(m, tid(0), t(1)),
+            Err(LockMisuse::ReentrantAcquire(tid(0)))
+        );
+        assert_eq!(
+            lt.release(m, tid(1), t(2)),
+            Err(LockMisuse::ReleaseByNonOwner(tid(1)))
+        );
+        assert_eq!(lt.owner(m), Some(tid(0)));
+        assert_eq!(lt.stats(m).acquisitions, 1);
+        // No spurious timeline events or histogram samples were emitted.
+        assert_eq!(lt.take_timeline().len(), 0);
+        assert_eq!(lt.report().hold_hist.count(), 0);
+    }
+
+    #[test]
+    fn finalize_accounts_queued_waiters() {
+        let mut lt = LockTable::new();
+        let m = lt.create("db");
+        lt.acquire(m, tid(0), t(0)).unwrap();
+        lt.acquire(m, tid(1), t(10)).unwrap();
+        lt.acquire(m, tid(2), t(20)).unwrap();
+        lt.finalize(t(100));
+        let r = lt.report();
+        assert_eq!(r.total.queued, 2);
+        assert_eq!(r.total.contentions, 2);
+        assert_eq!(r.total.total_wait, SimDuration::from_nanos(90 + 80));
+        // 2 contentions over (1 acquisition + 2 truncated attempts).
+        assert!((r.total.contention_rate() - 2.0 / 3.0).abs() < 1e-12);
+        // Histograms only hold completed samples.
+        assert_eq!(r.wait_hist.count(), 0);
     }
 
     #[test]
@@ -315,10 +419,10 @@ mod tests {
         let mut lt = LockTable::new();
         lt.set_timeline(scalesim_trace::Timeline::with_capacity(16));
         let m = lt.create("db");
-        lt.acquire(m, tid(0), t(0));
-        lt.acquire(m, tid(1), t(10)); // contended
-        lt.release(m, tid(0), t(30)); // handoff to tid 1
-        lt.release(m, tid(1), t(45));
+        lt.acquire(m, tid(0), t(0)).unwrap();
+        lt.acquire(m, tid(1), t(10)).unwrap(); // contended
+        lt.release(m, tid(0), t(30)).unwrap(); // handoff to tid 1
+        lt.release(m, tid(1), t(45)).unwrap();
 
         let tl = lt.take_timeline();
         let events: Vec<_> = tl.events().copied().collect();
@@ -351,17 +455,49 @@ mod tests {
     }
 
     #[test]
+    fn timeline_works_for_every_algorithm() {
+        use scalesim_trace::EventKind;
+
+        for alg in LockAlg::ALL {
+            let mut lt = LockTable::with_algorithm(alg);
+            assert_eq!(lt.algorithm(), alg);
+            lt.set_timeline(scalesim_trace::Timeline::with_capacity(16));
+            let m = lt.create("db");
+            lt.acquire(m, tid(0), t(0)).unwrap();
+            lt.acquire(m, tid(1), t(10)).unwrap();
+            let g = lt.release(m, tid(0), t(30)).unwrap().expect("grant");
+            assert_eq!(g.next, tid(1));
+            lt.release(m, g.next, t(45)).unwrap();
+
+            // Every algorithm emits the same trace shape: one enqueue,
+            // one closed wait span, two closed hold spans — and the wait
+            // span reconstructs the enqueue instant exactly.
+            let events: Vec<_> = lt.take_timeline().events().copied().collect();
+            let count = |k: EventKind| events.iter().filter(|e| e.kind == k).count();
+            assert_eq!(count(EventKind::MonitorEnqueue), 1, "{alg}");
+            assert_eq!(count(EventKind::MonitorHold), 2, "{alg}");
+            let waits: Vec<_> = events
+                .iter()
+                .filter(|e| e.kind == EventKind::MonitorWait)
+                .collect();
+            assert_eq!(waits.len(), 1, "{alg}");
+            assert_eq!(waits[0].at, t(10), "{alg}: wait span starts at enqueue");
+            assert_eq!(waits[0].end(), t(30), "{alg}");
+        }
+    }
+
+    #[test]
     fn report_histograms_record_holds_and_waits() {
         let mut lt = LockTable::new();
         let m = lt.create("db");
         // Uncontended acquire/release: one hold sample, no wait sample.
-        lt.acquire(m, tid(0), t(0));
-        lt.release(m, tid(0), t(100));
+        lt.acquire(m, tid(0), t(0)).unwrap();
+        lt.release(m, tid(0), t(100)).unwrap();
         // Contended handoff: second hold sample plus one wait sample.
-        lt.acquire(m, tid(0), t(200));
-        lt.acquire(m, tid(1), t(210));
-        lt.release(m, tid(0), t(250)); // tid1 waited 40 ns
-        lt.release(m, tid(1), t(300)); // tid1 held 50 ns
+        lt.acquire(m, tid(0), t(200)).unwrap();
+        lt.acquire(m, tid(1), t(210)).unwrap();
+        lt.release(m, tid(0), t(250)).unwrap(); // tid1 waited 40 ns
+        lt.release(m, tid(1), t(300)).unwrap(); // tid1 held 50 ns
 
         let r = lt.report();
         assert_eq!(r.hold_hist.count(), 3);
@@ -378,8 +514,8 @@ mod tests {
     fn display_report_is_readable() {
         let mut lt = LockTable::new();
         let m = lt.create("db");
-        lt.acquire(m, tid(0), t(0));
-        lt.release(m, tid(0), t(5));
+        lt.acquire(m, tid(0), t(0)).unwrap();
+        lt.release(m, tid(0), t(5)).unwrap();
         let text = lt.report().to_string();
         assert!(text.contains("1 acquisitions"), "{text}");
         assert!(text.contains("db:"), "{text}");

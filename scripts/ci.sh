@@ -110,6 +110,18 @@ SCALESIM_SERVER_DEGRADE=1 \
     ext-server --scale 0.02 --threads 4 --out target/ci-server-deg > /dev/null 2>&1 || rc=$?
 [ "$rc" -eq 2 ] || { echo "expected degraded server exit 2, got $rc"; exit 1; }
 grep -q '"degraded":true' target/ci-server-deg/manifest.jsonl
+echo '== ext-locks smoke (lock-algorithm artifact must run clean, every algorithm present)'
+rm -rf target/ci-locks
+cargo run --release -q -p scalesim-experiments -- \
+    ext-locks --scale 0.02 --threads 4,8 --out target/ci-locks > /dev/null
+grep -q '^sunflow,mcs,' target/ci-locks/ext_locks.csv
+grep -q '^xalan,malthusian,' target/ci-locks/ext_locks.csv
+echo '== per-algorithm audit smoke (every lock algorithm must audit clean, exit 0)'
+for alg in fifo mcs malthusian; do
+    SCALESIM_LOCK_ALG="$alg" \
+        cargo run --release -q -p scalesim-experiments -- \
+        audit --out "target/ci-audit-$alg" > /dev/null
+done
 echo '== bench budget check (committed BENCH_sweep.json must respect its budgets)'
 cargo run --release -q -p scalesim-bench --bin bench_check -- BENCH_sweep.json
 echo '== traced smoke (timeline export + run manifest must validate)'

@@ -265,7 +265,7 @@ fn monitors_preserve_mutual_exclusion_and_fifo() {
                 if holder == Some(thread) || waiting.contains(&thread) {
                     continue;
                 }
-                match locks.acquire(m, ThreadId::new(thread), now) {
+                match locks.acquire(m, ThreadId::new(thread), now).unwrap() {
                     AcquireOutcome::Acquired => {
                         assert!(holder.is_none(), "mutual exclusion violated");
                         holder = Some(thread);
@@ -276,7 +276,7 @@ fn monitors_preserve_mutual_exclusion_and_fifo() {
                     }
                 }
             } else if let Some(h) = holder {
-                let grant = locks.release(m, ThreadId::new(h), now);
+                let grant = locks.release(m, ThreadId::new(h), now).unwrap();
                 match grant {
                     None => {
                         assert!(waiting.is_empty(), "grant skipped a waiter");
